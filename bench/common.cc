@@ -1,0 +1,108 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "holoclean/data/flights.h"
+#include "holoclean/data/food.h"
+#include "holoclean/data/hospital.h"
+#include "holoclean/data/physicians.h"
+
+namespace holoclean::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("HOLOCLEAN_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+GeneratedData MakeDataset(const std::string& name) {
+  double scale = BenchScale();
+  if (name == "hospital") {
+    HospitalOptions options;
+    options.num_rows = static_cast<size_t>(1000 * scale);
+    return MakeHospital(options);
+  }
+  if (name == "flights") {
+    FlightsOptions options;
+    options.num_rows = static_cast<size_t>(2377 * scale);
+    return MakeFlights(options);
+  }
+  if (name == "food") {
+    FoodOptions options;
+    options.num_rows = static_cast<size_t>(4000 * scale);
+    return MakeFood(options);
+  }
+  if (name == "physicians") {
+    PhysiciansOptions options;
+    options.num_rows = static_cast<size_t>(8000 * scale);
+    return MakePhysicians(options);
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  std::abort();
+}
+
+double PaperTau(const std::string& name) {
+  if (name == "hospital") return 0.5;
+  if (name == "flights") return 0.3;
+  if (name == "food") return 0.5;
+  return 0.7;  // physicians
+}
+
+HoloCleanConfig PaperConfig(const std::string& name) {
+  HoloCleanConfig config;
+  config.tau = PaperTau(name);
+  config.dc_mode = DcMode::kFeatures;
+  config.partitioning = false;
+  return config;
+}
+
+RunOutcome RunHoloClean(GeneratedData* data, const HoloCleanConfig& config,
+                        bool use_dicts) {
+  HoloClean cleaner(config);
+  auto report = use_dicts && !data->dicts.empty()
+                    ? cleaner.Run(&data->dataset, data->dcs, &data->dicts,
+                                  &data->mds)
+                    : cleaner.Run(&data->dataset, data->dcs);
+  if (!report.ok()) {
+    std::fprintf(stderr, "HoloClean failed on %s: %s\n", data->name.c_str(),
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  RunOutcome outcome;
+  outcome.eval = EvaluateRepairs(data->dataset, report.value().repairs);
+  outcome.stats = report.value().stats;
+  outcome.repairs = std::move(report.value().repairs);
+  return outcome;
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  for (int w : widths) {
+    std::printf("+");
+    for (int i = 0; i < w + 2; ++i) std::printf("-");
+  }
+  std::printf("+\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("| %-*s ", widths[i], cells[i].c_str());
+  }
+  std::printf("|\n");
+}
+
+std::string Fmt(double v, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+const std::vector<std::string>& AllDatasetNames() {
+  static const std::vector<std::string> kNames = {"hospital", "flights",
+                                                  "food", "physicians"};
+  return kNames;
+}
+
+}  // namespace holoclean::bench

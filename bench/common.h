@@ -1,0 +1,53 @@
+#ifndef HOLOCLEAN_BENCH_COMMON_H_
+#define HOLOCLEAN_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "holoclean/core/config.h"
+#include "holoclean/core/evaluation.h"
+#include "holoclean/core/pipeline.h"
+#include "holoclean/data/generated_data.h"
+
+namespace holoclean::bench {
+
+/// Scale knob for all benches: HOLOCLEAN_BENCH_SCALE environment variable
+/// multiplies the default row counts (1.0 when unset). Use e.g. 85 for
+/// Food to approach the paper's full 339,908 rows.
+double BenchScale();
+
+/// Builds one of the four paper datasets by name ("hospital", "flights",
+/// "food", "physicians") at the bench scale.
+GeneratedData MakeDataset(const std::string& name);
+
+/// The paper's per-dataset pruning thresholds (Table 3): hospital .5,
+/// flights .3, food .5, physicians .7.
+double PaperTau(const std::string& name);
+
+/// Default HoloClean configuration for a dataset (paper Table 3 setup:
+/// DC features, no partitioning, per-dataset tau).
+HoloCleanConfig PaperConfig(const std::string& name);
+
+/// Runs HoloClean on a dataset and returns (evaluation, report).
+struct RunOutcome {
+  EvalResult eval;
+  RunStats stats;
+  std::vector<Repair> repairs;
+};
+RunOutcome RunHoloClean(GeneratedData* data, const HoloCleanConfig& config,
+                        bool use_dicts);
+
+/// Prints a markdown-style table row.
+void PrintRule(const std::vector<int>& widths);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+/// Formats a double with fixed precision.
+std::string Fmt(double v, int precision = 3);
+
+const std::vector<std::string>& AllDatasetNames();
+
+}  // namespace holoclean::bench
+
+#endif  // HOLOCLEAN_BENCH_COMMON_H_

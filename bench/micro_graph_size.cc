@@ -1,0 +1,72 @@
+// Reproduces the grounding-reduction claims of §1/§5: the paper reports
+// that domain pruning (Alg. 2) plus tuple partitioning (Alg. 3) shrink the
+// grounded factor graph by 7x (small datasets) to 96,000x (largest).
+//
+// For each dataset we compare:
+//   naive     — DC factors over all tuple pairs with active-domain-sized
+//               variable states (computed analytically; materializing it is
+//               exactly what the paper says is infeasible),
+//   pruned    — DC factors with Alg. 2 candidate sets, no partitioning,
+//   pruned+p. — with partitioning (Alg. 3) as well.
+
+#include <cstdio>
+
+#include "common.h"
+#include "holoclean/detect/violation_detector.h"
+
+using namespace holoclean;        // NOLINT
+using namespace holoclean::bench; // NOLINT
+
+int main() {
+  std::printf("Micro: factor-graph size reduction from Alg. 2 + Alg. 3\n\n");
+  std::vector<int> widths = {12, 16, 14, 16, 11};
+  PrintRule(widths);
+  PrintRow({"Dataset", "Naive factors", "Pruned", "Pruned+part.",
+            "Reduction"},
+           widths);
+  PrintRule(widths);
+
+  for (const std::string& name : AllDatasetNames()) {
+    // Naive: every two-tuple DC grounds a factor per tuple pair, and each
+    // cell variable ranges over its attribute's full active domain.
+    GeneratedData data = MakeDataset(name);
+    const Table& table = data.dataset.dirty();
+    double n = static_cast<double>(table.num_rows());
+    double naive = 0.0;
+    for (const auto& dc : data.dcs) {
+      naive += dc.IsTwoTuple() ? n * (n - 1) / 2 : n;
+    }
+    // Plus one feature factor per (cell, active-domain value, feature).
+    double active_states = 0.0;
+    for (size_t a = 0; a < table.schema().num_attrs(); ++a) {
+      active_states +=
+          n * static_cast<double>(
+                  table.ActiveDomain(static_cast<AttrId>(a)).size());
+    }
+    naive += active_states;
+
+    HoloCleanConfig config = PaperConfig(name);
+    config.dc_mode = DcMode::kBoth;
+    config.partitioning = false;
+    RunOutcome pruned = RunHoloClean(&data, config, false);
+
+    GeneratedData data2 = MakeDataset(name);
+    config.partitioning = true;
+    RunOutcome part = RunHoloClean(&data2, config, false);
+
+    double reduction =
+        static_cast<double>(part.stats.num_grounded_factors) > 0
+            ? naive /
+                  static_cast<double>(part.stats.num_grounded_factors)
+            : 0.0;
+    PrintRow({name, Fmt(naive, 0),
+              std::to_string(pruned.stats.num_grounded_factors),
+              std::to_string(part.stats.num_grounded_factors),
+              Fmt(reduction, 0) + "x"},
+             widths);
+  }
+  PrintRule(widths);
+  std::printf("\n(The reduction grows with dataset size — at the paper's "
+              "full scale it reaches ~96,000x on Physicians.)\n");
+  return 0;
+}

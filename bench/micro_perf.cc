@@ -1,0 +1,166 @@
+// Infrastructure micro-benchmarks (google-benchmark): throughput of the
+// hot paths that determine HoloClean's scalability — violation detection
+// (blocked vs naive), co-occurrence statistics, domain pruning, grounding,
+// SGD learning, and Gibbs sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "holoclean/data/hospital.h"
+#include "holoclean/detect/violation_detector.h"
+#include "holoclean/infer/gibbs.h"
+#include "holoclean/infer/learner.h"
+#include "holoclean/model/domain_pruning.h"
+#include "holoclean/model/grounding.h"
+#include "holoclean/stats/cooccurrence.h"
+
+namespace holoclean {
+namespace {
+
+GeneratedData& SharedHospital() {
+  static GeneratedData* data = [] {
+    HospitalOptions options;
+    options.num_rows = 1000;
+    return new GeneratedData(MakeHospital(options));
+  }();
+  return *data;
+}
+
+void BM_ViolationDetection(benchmark::State& state) {
+  GeneratedData& data = SharedHospital();
+  for (auto _ : state) {
+    ViolationDetector detector(&data.dataset.dirty(), &data.dcs);
+    benchmark::DoNotOptimize(detector.Detect());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          data.dataset.dirty().num_rows());
+}
+BENCHMARK(BM_ViolationDetection);
+
+void BM_CooccurrenceBuild(benchmark::State& state) {
+  GeneratedData& data = SharedHospital();
+  std::vector<AttrId> attrs = data.dataset.RepairableAttrs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CooccurrenceStats::Build(data.dataset.dirty(), attrs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          data.dataset.dirty().num_cells());
+}
+BENCHMARK(BM_CooccurrenceBuild);
+
+void BM_DomainPruning(benchmark::State& state) {
+  GeneratedData& data = SharedHospital();
+  std::vector<AttrId> attrs = data.dataset.RepairableAttrs();
+  CooccurrenceStats cooc =
+      CooccurrenceStats::Build(data.dataset.dirty(), attrs);
+  ViolationDetector detector(&data.dataset.dirty(), &data.dcs);
+  NoisyCells noisy =
+      ViolationDetector::NoisyFromViolations(detector.Detect());
+  DomainPruningOptions options;
+  options.tau = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PruneDomains(data.dataset.dirty(),
+                                          noisy.cells(), attrs, cooc,
+                                          options));
+  }
+  state.SetItemsProcessed(state.iterations() * noisy.size());
+}
+BENCHMARK(BM_DomainPruning)->Arg(3)->Arg(5)->Arg(9);
+
+struct GroundedModel {
+  GroundedModel(GeneratedData& data, DcMode mode) {
+    attrs = data.dataset.RepairableAttrs();
+    table = &data.dataset.dirty();
+    cooc = CooccurrenceStats::Build(*table, attrs);
+    ViolationDetector detector(table, &data.dcs);
+    violations = detector.Detect();
+    noisy = ViolationDetector::NoisyFromViolations(violations);
+    for (size_t t = 0; t < table->num_rows(); ++t) {
+      for (AttrId a : attrs) {
+        CellRef c{static_cast<TupleId>(t), a};
+        if (!noisy.Contains(c) && table->Get(c) != Dictionary::kNull &&
+            evidence.size() < 4000) {
+          evidence.push_back(c);
+        }
+      }
+    }
+    std::vector<CellRef> all = noisy.cells();
+    all.insert(all.end(), evidence.begin(), evidence.end());
+    DomainPruningOptions prune;
+    prune.tau = 0.5;
+    domains = PruneDomains(*table, all, attrs, cooc, prune);
+
+    input.table = table;
+    input.dcs = &data.dcs;
+    input.attrs = &attrs;
+    input.query_cells = &noisy.cells();
+    input.evidence_cells = &evidence;
+    input.domains = &domains;
+    input.cooc = &cooc;
+    input.violations = &violations;
+    options.dc_mode = mode;
+    options.use_partitioning = mode != DcMode::kFeatures;
+  }
+
+  const Table* table;
+  std::vector<AttrId> attrs;
+  CooccurrenceStats cooc;
+  std::vector<Violation> violations;
+  NoisyCells noisy;
+  std::vector<CellRef> evidence;
+  PrunedDomains domains;
+  GroundingInput input;
+  GroundingOptions options;
+};
+
+void BM_Grounding(benchmark::State& state) {
+  GroundedModel model(SharedHospital(),
+                      state.range(0) == 0 ? DcMode::kFeatures
+                                          : DcMode::kBoth);
+  for (auto _ : state) {
+    Grounder grounder(model.input, model.options);
+    auto graph = grounder.Ground();
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_Grounding)->Arg(0)->Arg(1);
+
+void BM_SgdEpoch(benchmark::State& state) {
+  GroundedModel model(SharedHospital(), DcMode::kFeatures);
+  Grounder grounder(model.input, model.options);
+  auto graph = grounder.Ground();
+  LearnerOptions options;
+  options.epochs = 1;
+  SgdLearner learner(&graph.value(), options);
+  for (auto _ : state) {
+    WeightStore weights;
+    benchmark::DoNotOptimize(learner.Train(&weights));
+  }
+  state.SetItemsProcessed(state.iterations() * model.evidence.size());
+}
+BENCHMARK(BM_SgdEpoch);
+
+void BM_GibbsSweep(benchmark::State& state) {
+  GeneratedData& data = SharedHospital();
+  GroundedModel model(data, DcMode::kBoth);
+  Grounder grounder(model.input, model.options);
+  auto graph = grounder.Ground();
+  WeightStore weights;
+  GibbsOptions options;
+  options.burn_in = 0;
+  options.samples = 1;
+  for (auto _ : state) {
+    GibbsSampler sampler(&graph.value(), model.table, &data.dcs, &weights,
+                         options);
+    benchmark::DoNotOptimize(sampler.Run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          graph.value().query_vars().size());
+}
+BENCHMARK(BM_GibbsSweep);
+
+}  // namespace
+}  // namespace holoclean
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Reproduces Table 4 of the paper: end-to-end wall-clock runtime of each
+// method per dataset. Absolute numbers differ from the paper (scaled data,
+// different hardware, in-memory substrate instead of Postgres/DeepDive);
+// the comparison of interest is relative cost across methods.
+
+#include <cstdio>
+
+#include "common.h"
+#include "holoclean/baselines/holistic.h"
+#include "holoclean/baselines/katara.h"
+#include "holoclean/baselines/scare.h"
+#include "holoclean/util/timer.h"
+
+using namespace holoclean;        // NOLINT
+using namespace holoclean::bench; // NOLINT
+
+int main() {
+  std::printf("Table 4: Runtime (seconds) per dataset and method\n");
+  std::printf("(paper: HoloClean 148s/71s/33m/6.5h; Holistic 5.7s/80s/7.6m/"
+              "2h; KATARA 2s/n-a/1.7m/15.5m; SCARE 25s/14s/DNF/DNF)\n\n");
+  std::vector<int> widths = {12, 12, 10, 8, 7};
+  PrintRule(widths);
+  PrintRow({"Dataset", "HoloClean", "Holistic", "KATARA", "SCARE"}, widths);
+  PrintRule(widths);
+
+  for (const std::string& name : AllDatasetNames()) {
+    GeneratedData data = MakeDataset(name);
+
+    RunOutcome holo = RunHoloClean(&data, PaperConfig(name), false);
+
+    Timer timer;
+    Holistic holistic;
+    holistic.Run(data.dataset, data.dcs);
+    double holistic_seconds = timer.Seconds();
+
+    std::string katara_cell = "n/a";
+    if (!data.dicts.empty()) {
+      timer.Reset();
+      Katara katara;
+      katara.Run(&data.dataset, data.dicts, data.mds);
+      katara_cell = Fmt(timer.Seconds(), 2);
+    }
+
+    timer.Reset();
+    Scare scare;
+    scare.Run(data.dataset);
+    double scare_seconds = timer.Seconds();
+
+    PrintRow({name, Fmt(holo.stats.TotalSeconds(), 2),
+              Fmt(holistic_seconds, 2), katara_cell,
+              Fmt(scare_seconds, 2)},
+             widths);
+  }
+  PrintRule(widths);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Quickstart: clean the paper's running example (Figure 1) with HoloClean.
+//
+// Builds the four-tuple Chicago food-inspections snippet, declares the
+// functional dependencies of Figure 1(B) and the address dictionary of
+// Figure 1(D), runs the pipeline, and prints the proposed repairs with
+// their marginal probabilities.
+
+#include <cstdio>
+
+#include "holoclean/constraints/parser.h"
+#include "holoclean/core/evaluation.h"
+#include "holoclean/core/pipeline.h"
+
+using namespace holoclean;  // NOLINT — example brevity.
+
+int main() {
+  // The dirty snippet of Figure 1(A).
+  Schema schema({"DBAName", "AKAName", "Address", "City", "State", "Zip"});
+  Table dirty(schema, std::make_shared<Dictionary>());
+  dirty.AppendRow({"John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST",
+                   "Chicago", "IL", "60608"});
+  dirty.AppendRow({"John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST",
+                   "Chicago", "IL", "60609"});
+  dirty.AppendRow({"John Veliotis Sr.", "Johnnyo's", "3465 S Morgan ST",
+                   "Chicago", "IL", "60609"});
+  dirty.AppendRow({"Johnnyo's", "Johnnyo's", "3465 S Morgan ST", "Cicago",
+                   "IL", "60608"});
+  // Context rows so co-occurrence statistics have evidence to learn from.
+  for (int i = 0; i < 8; ++i) {
+    dirty.AppendRow({"Taqueria Lucky " + std::to_string(i), "Lucky",
+                     std::to_string(100 + i) + " W Cermak Rd", "Chicago",
+                     "IL", "60608"});
+  }
+
+  // Figure 1(B): the functional dependencies, written as denial
+  // constraints in the parser's textual format.
+  const char* kConstraints =
+      "t1&t2&EQ(t1.DBAName,t2.DBAName)&IQ(t1.Zip,t2.Zip)\n"
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)\n"
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.State,t2.State)\n"
+      "t1&t2&EQ(t1.City,t2.City)&EQ(t1.State,t2.State)&"
+      "EQ(t1.Address,t2.Address)&IQ(t1.Zip,t2.Zip)\n";
+  auto dcs = ParseDenialConstraints(kConstraints, schema);
+  if (!dcs.ok()) {
+    std::fprintf(stderr, "constraint parse error: %s\n",
+                 dcs.status().ToString().c_str());
+    return 1;
+  }
+
+  // Figure 1(D): the external address listing, wired in through the
+  // matching dependencies of Figure 1(C).
+  ExtDictCollection dicts;
+  Table listing(Schema({"Ext_Address", "Ext_City", "Ext_State", "Ext_Zip"}),
+                std::make_shared<Dictionary>());
+  listing.AppendRow({"3465 S Morgan ST", "Chicago", "IL", "60608"});
+  listing.AppendRow({"1208 N Wells ST", "Chicago", "IL", "60610"});
+  listing.AppendRow({"259 E Erie ST", "Chicago", "IL", "60611"});
+  listing.AppendRow({"2806 W Cermak Rd", "Chicago", "IL", "60623"});
+  int k = dicts.Add("chicago-addresses", std::move(listing));
+  std::vector<MatchingDependency> mds;
+  mds.push_back({"m1: zip->city", k, {{"Zip", "Ext_Zip"}}, "City",
+                 "Ext_City"});
+  mds.push_back({"m2: zip->state", k, {{"Zip", "Ext_Zip"}}, "State",
+                 "Ext_State"});
+  mds.push_back({"m3: city,state,address->zip",
+                 k,
+                 {{"City", "Ext_City"},
+                  {"State", "Ext_State"},
+                  {"Address", "Ext_Address"}},
+                 "Zip",
+                 "Ext_Zip"});
+
+  Dataset dataset(std::move(dirty));
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  config.max_training_cells = 1000;
+  // On this tiny instance we can afford the full model: DC factors with
+  // Gibbs sampling on top of the relaxed features, so the proposed zips
+  // are consistent across the conflicting tuples.
+  config.dc_mode = DcMode::kBoth;
+  config.gibbs_burn_in = 100;
+  config.gibbs_samples = 400;
+  // Soft constraint weight: hard factors trap Gibbs in one mode (the
+  // paper's §5.2 argument); a gentler weight lets the chain mix.
+  config.dc_factor_weight = 1.5;
+  // Trust the curated address listing more than the (tiny) statistics.
+  config.ext_dict_init = 6.0;
+  HoloClean cleaner(config);
+  auto report = cleaner.Run(&dataset, dcs.value(), &dicts, &mds);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  const Table& table = dataset.dirty();
+  std::printf("Generated DDlog program:\n%s\n", report.value().ddlog.c_str());
+  std::printf("%zu noisy cells, %zu proposed repairs:\n",
+              report.value().stats.num_noisy_cells,
+              report.value().repairs.size());
+  for (const Repair& r : report.value().repairs) {
+    std::printf("  t%d.%-8s  %-18s -> %-18s  (p=%.2f)\n", r.cell.tid,
+                table.schema().name(r.cell.attr).c_str(),
+                table.dict().GetString(r.old_value).c_str(),
+                table.dict().GetString(r.new_value).c_str(), r.probability);
+  }
+  return 0;
+}

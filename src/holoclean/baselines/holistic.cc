@@ -1,0 +1,120 @@
+#include "holoclean/baselines/holistic.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "holoclean/detect/conflict_hypergraph.h"
+#include "holoclean/detect/violation_detector.h"
+
+namespace holoclean {
+
+namespace {
+
+// Value suggestions that resolve the violations a cell participates in:
+// for every !=-predicate of a violated constraint targeting the cell's
+// attribute, becoming equal to the partner's value resolves the violation.
+ValueId ChooseRepairValue(const Table& table,
+                          const std::vector<DenialConstraint>& dcs,
+                          const ConflictHypergraph& graph,
+                          const CellRef& cell) {
+  std::map<ValueId, int> votes;
+  for (int e : graph.EdgesOfCell(cell)) {
+    const Violation& v = graph.edges()[static_cast<size_t>(e)];
+    const DenialConstraint& dc = dcs[static_cast<size_t>(v.dc_index)];
+    for (const Predicate& p : dc.preds) {
+      if (p.op != Op::kNeq || p.rhs_is_constant) continue;
+      TupleId lhs_tid = p.lhs_tuple == 0 ? v.t1 : v.t2;
+      TupleId rhs_tid = p.rhs_tuple == 0 ? v.t1 : v.t2;
+      if (p.lhs_attr == cell.attr && lhs_tid == cell.tid) {
+        ++votes[table.Get(rhs_tid, p.rhs_attr)];
+      } else if (p.rhs_attr == cell.attr && rhs_tid == cell.tid) {
+        ++votes[table.Get(lhs_tid, p.lhs_attr)];
+      }
+    }
+  }
+  if (votes.empty()) return table.Get(cell);
+  // Minimality: the majority suggestion requires the fewest further
+  // changes. Ties break on the smaller string (deterministic).
+  ValueId best = table.Get(cell);
+  int best_votes = 0;
+  for (const auto& [value, n] : votes) {
+    bool better = n > best_votes ||
+                  (n == best_votes && best_votes > 0 &&
+                   table.dict().GetString(value) <
+                       table.dict().GetString(best));
+    if (better) {
+      best = value;
+      best_votes = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Repair> Holistic::Run(
+    const Dataset& dataset, const std::vector<DenialConstraint>& dcs) const {
+  Table work = dataset.dirty().Clone();
+  ViolationDetector::Options det_options;
+  det_options.sim_threshold = options_.sim_threshold;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ViolationDetector detector(&work, &dcs, det_options);
+    std::vector<Violation> violations = detector.Detect();
+    if (violations.empty()) break;
+    ConflictHypergraph graph(std::move(violations));
+    // Greedy minimum vertex cover over the hyperedges: take the cell with
+    // the highest uncovered degree. This is the minimality heuristic of
+    // the original system — and it inherits its failure mode: when the
+    // left-hand side of the dependencies accumulates the highest degree
+    // (as on Flights, where the flight id joins all four constraints), the
+    // cover is spent on cells with no repair expression and nothing gets
+    // fixed. All suggestions of one iteration are computed against the same
+    // snapshot and applied as a batch, then violations are re-detected.
+    std::vector<bool> edge_covered(graph.edges().size(), false);
+    size_t uncovered = graph.edges().size();
+    std::vector<CellRef> nodes = graph.Nodes();
+    std::vector<std::pair<CellRef, ValueId>> batch;
+    while (uncovered > 0) {
+      CellRef best{};
+      size_t best_degree = 0;
+      for (const CellRef& cell : nodes) {
+        size_t degree = 0;
+        for (int e : graph.EdgesOfCell(cell)) {
+          if (!edge_covered[static_cast<size_t>(e)]) ++degree;
+        }
+        if (degree > best_degree) {
+          best = cell;
+          best_degree = degree;
+        }
+      }
+      if (best_degree == 0) break;
+      ValueId value = ChooseRepairValue(work, dcs, graph, best);
+      if (value != work.Get(best)) batch.emplace_back(best, value);
+      for (int e : graph.EdgesOfCell(best)) {
+        if (!edge_covered[static_cast<size_t>(e)]) {
+          edge_covered[static_cast<size_t>(e)] = true;
+          --uncovered;
+        }
+      }
+    }
+    if (batch.empty()) break;
+    for (const auto& [cell, value] : batch) work.Set(cell, value);
+  }
+
+  std::vector<Repair> repairs;
+  const Table& dirty = dataset.dirty();
+  for (size_t t = 0; t < dirty.num_rows(); ++t) {
+    for (AttrId a : dataset.RepairableAttrs()) {
+      CellRef c{static_cast<TupleId>(t), a};
+      if (work.Get(c) != dirty.Get(c)) {
+        repairs.push_back({c, dirty.Get(c), work.Get(c), 1.0});
+      }
+    }
+  }
+  return repairs;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,44 @@
+#ifndef HOLOCLEAN_BASELINES_HOLISTIC_H_
+#define HOLOCLEAN_BASELINES_HOLISTIC_H_
+
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/core/report.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// Reimplementation of Holistic data cleaning (Chu, Ilyas, Papotti —
+/// ICDE 2013), the constraints-only baseline of the paper (Table 1/3).
+///
+/// Algorithm: detect denial-constraint violations, build the conflict
+/// hypergraph, greedily pick a (near-)minimum vertex cover of cells to
+/// change, and assign each cover cell the value that resolves the most of
+/// its violations with the fewest changes (the minimality principle; the
+/// original solves a QP for numeric repairs — our value selection is the
+/// majority value among the cell's constraint partners, which preserves the
+/// defining minimal-change behaviour). Iterates until no violations remain
+/// or `max_iterations` passes complete.
+class Holistic {
+ public:
+  struct Options {
+    int max_iterations = 10;
+    double sim_threshold = 0.8;
+  };
+
+  Holistic() : options_(Options()) {}
+  explicit Holistic(Options options) : options_(options) {}
+
+  /// Repairs `dataset`'s dirty table. The table is not mutated; the repairs
+  /// reflect the final state of the internal working copy.
+  std::vector<Repair> Run(const Dataset& dataset,
+                             const std::vector<DenialConstraint>& dcs) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_BASELINES_HOLISTIC_H_

@@ -1,0 +1,45 @@
+#include "holoclean/baselines/katara.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+std::vector<Repair> Katara::Run(
+    Dataset* dataset, const ExtDictCollection& dicts,
+    const std::vector<MatchingDependency>& mds) const {
+  std::vector<Repair> repairs;
+  if (dicts.empty() || mds.empty()) return repairs;
+
+  Table& table = dataset->dirty();
+  Matcher matcher(&table, &dicts);
+  auto matched = matcher.MatchAll(mds);
+  if (!matched.ok()) {
+    HOLO_LOG(kWarning) << "KATARA matching failed: "
+                       << matched.status().ToString();
+    return repairs;
+  }
+
+  // Group suggestions per cell; repair only unambiguous disagreements.
+  std::unordered_map<CellRef, std::unordered_set<std::string>, CellRefHash>
+      suggestions;
+  for (const MatchedEntry& m : matched.value()) {
+    suggestions[m.cell].insert(m.value);
+  }
+  for (const auto& [cell, values] : suggestions) {
+    if (values.size() != 1) continue;  // Ambiguous: defer (no crowd).
+    const std::string& suggestion = *values.begin();
+    if (table.GetString(cell) == suggestion) continue;
+    ValueId old_value = table.Get(cell);
+    ValueId new_value = table.dict().Intern(suggestion);
+    repairs.push_back({cell, old_value, new_value, 1.0});
+  }
+  std::sort(repairs.begin(), repairs.end(),
+            [](const Repair& a, const Repair& b) { return a.cell < b.cell; });
+  return repairs;
+}
+
+}  // namespace holoclean

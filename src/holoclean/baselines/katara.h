@@ -1,0 +1,31 @@
+#ifndef HOLOCLEAN_BASELINES_KATARA_H_
+#define HOLOCLEAN_BASELINES_KATARA_H_
+
+#include <vector>
+
+#include "holoclean/core/report.h"
+#include "holoclean/extdata/matcher.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// Reimplementation of KATARA's automatic core (Chu et al., SIGMOD 2015) —
+/// the external-data-only baseline of the paper.
+///
+/// KATARA aligns table patterns with a knowledge base and repairs cells
+/// that disagree with the KB. We reuse the matching-dependency machinery:
+/// a cell is repaired to the dictionary's suggestion when the tuple matches
+/// a dictionary record and all suggestions for the cell agree (ambiguous
+/// matches are skipped — KATARA defers those to the crowd, which is not
+/// available offline). High precision, recall bounded by KB coverage.
+class Katara {
+ public:
+  /// Repairs the dataset's dirty table (not mutated; suggested values are
+  /// interned into its dictionary, which is why the dataset is non-const).
+  std::vector<Repair> Run(Dataset* dataset, const ExtDictCollection& dicts,
+                             const std::vector<MatchingDependency>& mds) const;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_BASELINES_KATARA_H_

@@ -1,0 +1,45 @@
+#ifndef HOLOCLEAN_BASELINES_SCARE_H_
+#define HOLOCLEAN_BASELINES_SCARE_H_
+
+#include <vector>
+
+#include "holoclean/core/report.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// Reimplementation of SCARE (Yakout, Berti-Équille, Elmagarmid — SIGMOD
+/// 2013), the statistics-only baseline of the paper: scalable automatic
+/// repairing with maximal likelihood and bounded changes. It uses no
+/// integrity constraints or external data.
+///
+/// Our version follows SCARE's core loop: estimate the empirical
+/// conditional model P(attr = v | other attribute values) from the data
+/// (naive-Bayes factorization over co-occurrence statistics), flag cells
+/// whose observed value is unlikely under that model, and propose the
+/// maximum-likelihood replacement when its likelihood exceeds the observed
+/// value's by `min_likelihood_gain`, changing at most `max_changes_per_tuple`
+/// cells per tuple.
+class Scare {
+ public:
+  struct Options {
+    /// Log-likelihood margin required to modify a value.
+    double min_likelihood_gain = 2.0;
+    /// SCARE's bounded-changes parameter.
+    int max_changes_per_tuple = 2;
+    /// Laplace smoothing for the conditional estimates.
+    double smoothing = 0.1;
+  };
+
+  Scare() : options_(Options()) {}
+  explicit Scare(Options options) : options_(options) {}
+
+  std::vector<Repair> Run(const Dataset& dataset) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_BASELINES_SCARE_H_

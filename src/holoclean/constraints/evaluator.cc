@@ -1,0 +1,98 @@
+#include "holoclean/constraints/evaluator.h"
+
+#include <string_view>
+
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+DcEvaluator::DcEvaluator(const Table* table, double sim_threshold)
+    : table_(table), sim_threshold_(sim_threshold) {}
+
+ValueId DcEvaluator::CellValue(
+    TupleId t1, TupleId t2, int role, AttrId attr,
+    const std::vector<CellOverride>& overrides) const {
+  TupleId t = role == 0 ? t1 : t2;
+  for (const CellOverride& o : overrides) {
+    if (o.cell.tid == t && o.cell.attr == attr) return o.value;
+  }
+  return table_->Get(t, attr);
+}
+
+bool DcEvaluator::Compare(Op op, ValueId lhs, ValueId rhs) const {
+  // Fast path: equality comparisons are integer comparisons thanks to the
+  // shared dictionary encoding.
+  switch (op) {
+    case Op::kEq:
+      return lhs == rhs;
+    case Op::kNeq:
+      return lhs != rhs;
+    default:
+      break;
+  }
+  return CompareStrings(op, table_->dict().GetString(lhs),
+                        table_->dict().GetString(rhs));
+}
+
+bool DcEvaluator::CompareStrings(Op op, const std::string& ls,
+                                 const std::string& rs) const {
+  switch (op) {
+    case Op::kEq:
+      return ls == rs;
+    case Op::kNeq:
+      return ls != rs;
+    default:
+      break;
+  }
+  if (op == Op::kSim) {
+    return Similarity(ls, rs) >= sim_threshold_;
+  }
+  int cmp;
+  if (IsNumeric(ls) && IsNumeric(rs)) {
+    double ld = ParseDoubleOr(ls, 0.0);
+    double rd = ParseDoubleOr(rs, 0.0);
+    cmp = ld < rd ? -1 : (ld > rd ? 1 : 0);
+  } else {
+    cmp = ls.compare(rs);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case Op::kLt:
+      return cmp < 0;
+    case Op::kGt:
+      return cmp > 0;
+    case Op::kLeq:
+      return cmp <= 0;
+    case Op::kGeq:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+bool DcEvaluator::PredicateHolds(
+    const Predicate& p, TupleId t1, TupleId t2,
+    const std::vector<CellOverride>& overrides) const {
+  ValueId lhs = CellValue(t1, t2, p.lhs_tuple, p.lhs_attr, overrides);
+  if (lhs == Dictionary::kNull) return false;
+  if (p.rhs_is_constant) {
+    // Constants may not be interned in the data's dictionary; compare the
+    // strings (numerically when both sides parse as numbers).
+    return CompareStrings(p.op, table_->dict().GetString(lhs), p.constant);
+  }
+  ValueId rhs = CellValue(t1, t2, p.rhs_tuple, p.rhs_attr, overrides);
+  if (rhs == Dictionary::kNull) return false;
+  return Compare(p.op, lhs, rhs);
+}
+
+bool DcEvaluator::ViolatesWith(
+    const DenialConstraint& dc, TupleId t1, TupleId t2,
+    const std::vector<CellOverride>& overrides) const {
+  if (dc.IsTwoTuple() && t1 == t2) return false;
+  for (const Predicate& p : dc.preds) {
+    if (!PredicateHolds(p, t1, t2, overrides)) return false;
+  }
+  return true;
+}
+
+}  // namespace holoclean

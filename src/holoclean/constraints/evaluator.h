@@ -1,0 +1,68 @@
+#ifndef HOLOCLEAN_CONSTRAINTS_EVALUATOR_H_
+#define HOLOCLEAN_CONSTRAINTS_EVALUATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+
+namespace holoclean {
+
+/// A hypothetical cell assignment overriding the table's stored value;
+/// used to evaluate constraints under candidate repairs without mutating
+/// the table (relaxed DC features, Gibbs factor evaluation).
+struct CellOverride {
+  CellRef cell;
+  ValueId value;
+};
+
+/// Evaluates denial-constraint predicates against a table.
+///
+/// Semantics: a tuple pair violates a DC when *all* its predicates hold.
+/// Predicates involving NULL cells never hold (NULLs do not create
+/// violations). Ordered comparisons use numeric order when both operands
+/// parse as numbers, lexicographic order otherwise. The ≈ operator holds
+/// when normalized edit similarity >= `sim_threshold`.
+class DcEvaluator {
+ public:
+  explicit DcEvaluator(const Table* table, double sim_threshold = 0.8);
+
+  /// Whether (t1, t2) violates the two-tuple constraint `dc`.
+  /// For DCs whose predicates are all symmetric it suffices to test t1 < t2;
+  /// the caller controls the ordering.
+  bool Violates(const DenialConstraint& dc, TupleId t1, TupleId t2) const {
+    return ViolatesWith(dc, t1, t2, {});
+  }
+
+  /// Whether a single tuple violates the single-tuple constraint `dc`.
+  bool ViolatesSingle(const DenialConstraint& dc, TupleId t) const {
+    return ViolatesWith(dc, t, t, {});
+  }
+
+  /// Violation check with hypothetical cell assignments applied on top of
+  /// the table. `overrides` is expected to be tiny (1-2 entries).
+  bool ViolatesWith(const DenialConstraint& dc, TupleId t1, TupleId t2,
+                    const std::vector<CellOverride>& overrides) const;
+
+  /// Evaluates a single predicate for the pair (t1, t2) with overrides.
+  bool PredicateHolds(const Predicate& p, TupleId t1, TupleId t2,
+                      const std::vector<CellOverride>& overrides) const;
+
+  const Table& table() const { return *table_; }
+  double sim_threshold() const { return sim_threshold_; }
+
+ private:
+  ValueId CellValue(TupleId t1, TupleId t2, int role, AttrId attr,
+                    const std::vector<CellOverride>& overrides) const;
+
+  bool Compare(Op op, ValueId lhs, ValueId rhs) const;
+  bool CompareStrings(Op op, const std::string& ls,
+                      const std::string& rs) const;
+
+  const Table* table_;
+  double sim_threshold_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CONSTRAINTS_EVALUATOR_H_

@@ -1,0 +1,179 @@
+#include "holoclean/constraints/parser.h"
+
+#include <optional>
+#include <string>
+
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+namespace {
+
+std::optional<Op> OpFromName(std::string_view name) {
+  if (name == "EQ") return Op::kEq;
+  if (name == "IQ" || name == "NEQ") return Op::kNeq;
+  if (name == "LT") return Op::kLt;
+  if (name == "GT") return Op::kGt;
+  if (name == "LTE" || name == "LEQ") return Op::kLeq;
+  if (name == "GTE" || name == "GEQ") return Op::kGeq;
+  if (name == "SIM") return Op::kSim;
+  return std::nullopt;
+}
+
+// Splits on '&' but not inside parentheses or quotes.
+std::vector<std::string> SplitTopLevel(std::string_view text) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  bool in_quotes = false;
+  for (char c : text) {
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == '&' && depth == 0) {
+        parts.push_back(current);
+        current.clear();
+        continue;
+      }
+    }
+    current.push_back(c);
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+struct Ref {
+  bool is_constant = false;
+  int tuple = 0;
+  AttrId attr = 0;
+  std::string constant;
+};
+
+Result<Ref> ParseRef(std::string_view text, const Schema& schema,
+                     bool allow_constant) {
+  text = StripWhitespace(text);
+  Ref ref;
+  if (!text.empty() && text.front() == '"') {
+    if (!allow_constant) {
+      return Status::ParseError("constant not allowed on left side: " +
+                                std::string(text));
+    }
+    if (text.size() < 2 || text.back() != '"') {
+      return Status::ParseError("unterminated constant: " + std::string(text));
+    }
+    ref.is_constant = true;
+    ref.constant = std::string(text.substr(1, text.size() - 2));
+    return ref;
+  }
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos) {
+    return Status::ParseError("expected tN.Attr or \"const\", got: " +
+                              std::string(text));
+  }
+  std::string_view tuple_part = text.substr(0, dot);
+  std::string_view attr_part = text.substr(dot + 1);
+  if (tuple_part == "t1") {
+    ref.tuple = 0;
+  } else if (tuple_part == "t2") {
+    ref.tuple = 1;
+  } else {
+    return Status::ParseError("unknown tuple variable: " +
+                              std::string(tuple_part));
+  }
+  AttrId attr = schema.IndexOf(attr_part);
+  if (attr < 0) {
+    return Status::NotFound("unknown attribute: " + std::string(attr_part));
+  }
+  ref.attr = attr;
+  return ref;
+}
+
+}  // namespace
+
+Result<DenialConstraint> ParseDenialConstraint(std::string_view text,
+                                               const Schema& schema) {
+  DenialConstraint dc;
+  dc.name = std::string(StripWhitespace(text));
+  bool declared_t1 = false;
+  bool declared_t2 = false;
+  for (const std::string& raw_part : SplitTopLevel(text)) {
+    std::string_view part = StripWhitespace(raw_part);
+    if (part.empty()) continue;
+    if (part == "t1") {
+      declared_t1 = true;
+      continue;
+    }
+    if (part == "t2") {
+      declared_t2 = true;
+      continue;
+    }
+    size_t open = part.find('(');
+    if (open == std::string_view::npos || part.back() != ')') {
+      return Status::ParseError("malformed predicate: " + std::string(part));
+    }
+    auto op = OpFromName(StripWhitespace(part.substr(0, open)));
+    if (!op.has_value()) {
+      return Status::ParseError("unknown operator: " +
+                                std::string(part.substr(0, open)));
+    }
+    std::string_view args = part.substr(open + 1, part.size() - open - 2);
+    // Split on the top-level comma (constants may not contain commas).
+    size_t comma = std::string_view::npos;
+    bool in_quotes = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == '"') in_quotes = !in_quotes;
+      if (args[i] == ',' && !in_quotes) {
+        comma = i;
+        break;
+      }
+    }
+    if (comma == std::string_view::npos) {
+      return Status::ParseError("predicate needs two arguments: " +
+                                std::string(part));
+    }
+    HOLO_ASSIGN_OR_RETURN(lhs, ParseRef(args.substr(0, comma), schema,
+                                        /*allow_constant=*/false));
+    HOLO_ASSIGN_OR_RETURN(rhs, ParseRef(args.substr(comma + 1), schema,
+                                        /*allow_constant=*/true));
+    Predicate p;
+    p.lhs_tuple = lhs.tuple;
+    p.lhs_attr = lhs.attr;
+    p.op = *op;
+    if (rhs.is_constant) {
+      p.rhs_is_constant = true;
+      p.constant = rhs.constant;
+    } else {
+      p.rhs_tuple = rhs.tuple;
+      p.rhs_attr = rhs.attr;
+    }
+    dc.preds.push_back(std::move(p));
+  }
+  if (dc.preds.empty()) {
+    return Status::ParseError("constraint has no predicates: " +
+                              std::string(text));
+  }
+  if (!declared_t1) {
+    return Status::ParseError("constraint must declare t1: " +
+                              std::string(text));
+  }
+  if (dc.IsTwoTuple() && !declared_t2) {
+    return Status::ParseError("constraint uses t2 without declaring it: " +
+                              std::string(text));
+  }
+  return dc;
+}
+
+Result<std::vector<DenialConstraint>> ParseDenialConstraints(
+    std::string_view text, const Schema& schema) {
+  std::vector<DenialConstraint> out;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    HOLO_ASSIGN_OR_RETURN(dc, ParseDenialConstraint(stripped, schema));
+    out.push_back(std::move(dc));
+  }
+  return out;
+}
+
+}  // namespace holoclean

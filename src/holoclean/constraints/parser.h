@@ -1,0 +1,30 @@
+#ifndef HOLOCLEAN_CONSTRAINTS_PARSER_H_
+#define HOLOCLEAN_CONSTRAINTS_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+
+namespace holoclean {
+
+/// Parses the textual denial-constraint format used by the original
+/// HoloClean / Holistic tooling:
+///
+///   t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
+///   t1&EQ(t1.State,"IL")&GT(t1.Score,"10")
+///
+/// Grammar: an '&'-separated list of tuple declarations ("t1", "t2")
+/// followed by predicates `OP(ref,ref)`, where OP is one of
+/// EQ, IQ, LT, GT, LTE, GTE, SIM and ref is `tN.Attr` or a double-quoted
+/// constant (constants are only allowed on the right side).
+Result<DenialConstraint> ParseDenialConstraint(std::string_view text,
+                                               const Schema& schema);
+
+/// Parses one constraint per non-empty line; '#'-prefixed lines are comments.
+Result<std::vector<DenialConstraint>> ParseDenialConstraints(
+    std::string_view text, const Schema& schema);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CONSTRAINTS_PARSER_H_

@@ -1,0 +1,32 @@
+#include "holoclean/core/calibration.h"
+
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+std::vector<CalibrationBucket> ComputeCalibration(
+    const Dataset& dataset, const std::vector<Repair>& repairs,
+    const std::vector<double>& edges) {
+  HOLO_CHECK(dataset.has_clean());
+  HOLO_CHECK(edges.size() >= 2);
+  std::vector<CalibrationBucket> buckets;
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    buckets.push_back({edges[i], edges[i + 1], 0, 0});
+  }
+  for (const Repair& r : repairs) {
+    if (r.new_value == r.old_value) continue;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      bool is_last = i + 1 == buckets.size();
+      bool in_bucket = r.probability >= buckets[i].lo &&
+                       (is_last ? r.probability <= buckets[i].hi
+                                : r.probability < buckets[i].hi);
+      if (!in_bucket) continue;
+      ++buckets[i].total;
+      if (dataset.clean().Get(r.cell) != r.new_value) ++buckets[i].wrong;
+      break;
+    }
+  }
+  return buckets;
+}
+
+}  // namespace holoclean

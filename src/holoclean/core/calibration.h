@@ -1,0 +1,34 @@
+#ifndef HOLOCLEAN_CORE_CALIBRATION_H_
+#define HOLOCLEAN_CORE_CALIBRATION_H_
+
+#include <vector>
+
+#include "holoclean/core/report.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// One probability bucket of the calibration analysis (paper Figure 6).
+struct CalibrationBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t total = 0;
+  size_t wrong = 0;
+
+  /// Rate of incorrect repairs among repairs in this bucket.
+  double ErrorRate() const {
+    return total == 0 ? 0.0 : static_cast<double>(wrong) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Buckets the run's repairs by marginal probability and measures the
+/// error rate per bucket against ground truth. Default buckets are the
+/// paper's: [.5,.6), [.6,.7), [.7,.8), [.8,.9), [.9,1.0].
+std::vector<CalibrationBucket> ComputeCalibration(
+    const Dataset& dataset, const std::vector<Repair>& repairs,
+    const std::vector<double>& edges = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_CALIBRATION_H_

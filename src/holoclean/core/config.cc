@@ -1,0 +1,17 @@
+#include "holoclean/core/config.h"
+
+namespace holoclean {
+
+std::string DcModeName(DcMode mode) {
+  switch (mode) {
+    case DcMode::kFactors:
+      return "DC Factors";
+    case DcMode::kFeatures:
+      return "DC Feats";
+    case DcMode::kBoth:
+      return "DC Feats + DC Factors";
+  }
+  return "?";
+}
+
+}  // namespace holoclean

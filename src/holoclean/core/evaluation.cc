@@ -1,0 +1,34 @@
+#include "holoclean/core/evaluation.h"
+
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+EvalResult EvaluateRepairs(const Dataset& dataset,
+                           const std::vector<Repair>& repairs) {
+  HOLO_CHECK(dataset.has_clean());
+  EvalResult result;
+  result.total_errors = dataset.TrueErrors().size();
+  for (const Repair& r : repairs) {
+    if (r.new_value == r.old_value) continue;  // Not an actual change.
+    ++result.total_repairs;
+    if (dataset.clean().Get(r.cell) == r.new_value) {
+      ++result.correct_repairs;
+    }
+  }
+  if (result.total_repairs > 0) {
+    result.precision = static_cast<double>(result.correct_repairs) /
+                       static_cast<double>(result.total_repairs);
+  }
+  if (result.total_errors > 0) {
+    result.recall = static_cast<double>(result.correct_repairs) /
+                    static_cast<double>(result.total_errors);
+  }
+  if (result.precision + result.recall > 0.0) {
+    result.f1 = 2.0 * result.precision * result.recall /
+                (result.precision + result.recall);
+  }
+  return result;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,31 @@
+#ifndef HOLOCLEAN_CORE_EVALUATION_H_
+#define HOLOCLEAN_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "holoclean/core/report.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// Repair-quality metrics of the paper (§6.1): precision is correct repairs
+/// over performed repairs; recall is correct repairs over ground-truth
+/// errors; F1 is their harmonic mean.
+struct EvalResult {
+  size_t total_repairs = 0;
+  size_t correct_repairs = 0;
+  size_t total_errors = 0;
+
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores `repairs` against the dataset's ground truth. A repair is correct
+/// when it sets the cell to its clean value. Requires dataset.has_clean().
+EvalResult EvaluateRepairs(const Dataset& dataset,
+                           const std::vector<Repair>& repairs);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_EVALUATION_H_

@@ -1,0 +1,55 @@
+#include "holoclean/core/feedback.h"
+
+#include <algorithm>
+
+#include "holoclean/core/pipeline.h"
+
+namespace holoclean {
+
+size_t FeedbackSession::AddLabel(const FeedbackLabel& label) {
+  // A newer verdict for the same cell replaces the older one.
+  for (FeedbackLabel& existing : labels_) {
+    if (existing.cell == label.cell) {
+      existing.true_value = label.true_value;
+      return labels_.size();
+    }
+  }
+  labels_.push_back(label);
+  return labels_.size();
+}
+
+Result<Report> FeedbackSession::Run() {
+  // Apply the verified values: the labeled cells now hold ground truth, so
+  // they stop violating constraints (leaving Dn) and serve as evidence for
+  // weight learning — the "labeled examples to retrain the parameters" of
+  // §2.2.
+  Table& table = dataset_->dirty();
+  std::vector<std::pair<CellRef, ValueId>> previous;
+  previous.reserve(labels_.size());
+  for (const FeedbackLabel& label : labels_) {
+    previous.emplace_back(label.cell, table.Get(label.cell));
+    table.Set(label.cell, label.true_value);
+  }
+
+  HoloClean cleaner(config_);
+  Result<Report> report = cleaner.Run(dataset_, dcs_);
+  if (!report.ok()) {
+    // Restore on failure so the session stays usable.
+    for (const auto& [cell, value] : previous) table.Set(cell, value);
+    return report.status();
+  }
+  last_report_ = report.value();
+  return std::move(report).value();
+}
+
+std::vector<Repair> FeedbackSession::ReviewQueue(size_t k) const {
+  std::vector<Repair> queue = last_report_.repairs;
+  std::sort(queue.begin(), queue.end(), [](const Repair& a, const Repair& b) {
+    return a.probability != b.probability ? a.probability < b.probability
+                                          : a.cell < b.cell;
+  });
+  if (queue.size() > k) queue.resize(k);
+  return queue;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,63 @@
+#ifndef HOLOCLEAN_CORE_FEEDBACK_H_
+#define HOLOCLEAN_CORE_FEEDBACK_H_
+
+#include <vector>
+
+#include "holoclean/core/config.h"
+#include "holoclean/core/report.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// One user verdict on a proposed repair (or on a cell directly): the cell
+/// and its true value.
+struct FeedbackLabel {
+  CellRef cell;
+  ValueId true_value = 0;
+};
+
+/// The incremental-cleaning loop sketched in paper §2.2: HoloClean's
+/// calibrated marginals identify the repairs worth showing a human ("ask
+/// users to verify repairs with low marginal probabilities"), and the
+/// verified labels are folded back in as evidence for the next run.
+class FeedbackSession {
+ public:
+  FeedbackSession(Dataset* dataset, std::vector<DenialConstraint> dcs,
+                  HoloCleanConfig config)
+      : dataset_(dataset), dcs_(std::move(dcs)), config_(config) {}
+
+  /// Runs the pipeline with all labels received so far applied: labeled
+  /// cells are fixed to their verified values (the cells become part of
+  /// the clean evidence) and the model is re-learned.
+  Result<Report> Run();
+
+  /// The `k` proposed repairs with the lowest marginal probability from
+  /// the last Run() — the review queue for the user.
+  std::vector<Repair> ReviewQueue(size_t k) const;
+
+  /// Records a user verdict. Returns the number of labels so far.
+  size_t AddLabel(const FeedbackLabel& label);
+
+  /// Convenience: confirm a proposed repair (label = repaired value).
+  size_t Confirm(const Repair& repair) {
+    return AddLabel({repair.cell, repair.new_value});
+  }
+  /// Convenience: reject a proposed repair (label = original value).
+  size_t Reject(const Repair& repair) {
+    return AddLabel({repair.cell, repair.old_value});
+  }
+
+  const std::vector<FeedbackLabel>& labels() const { return labels_; }
+  const Report& last_report() const { return last_report_; }
+
+ private:
+  Dataset* dataset_;
+  std::vector<DenialConstraint> dcs_;
+  HoloCleanConfig config_;
+  std::vector<FeedbackLabel> labels_;
+  Report last_report_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_FEEDBACK_H_

@@ -1,0 +1,54 @@
+#ifndef HOLOCLEAN_CORE_PIPELINE_H_
+#define HOLOCLEAN_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "holoclean/core/config.h"
+#include "holoclean/core/report.h"
+#include "holoclean/detect/error_detector.h"
+#include "holoclean/extdata/matcher.h"
+#include "holoclean/extdata/matching_dependency.h"
+#include "holoclean/model/weight_store.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// The end-to-end HoloClean system (paper Figure 2):
+///
+///   1. Error detection — DC violations, plus any extra detectors.
+///   2. Compilation — co-occurrence statistics, domain pruning (Alg. 2),
+///      external-data matching, DDlog program generation, grounding
+///      (with partitioning, Alg. 3, when configured).
+///   3. Repairing — SGD weight learning on the evidence cells, then exact
+///      marginals (relaxed model) or Gibbs sampling (DC factors), MAP
+///      assignment, and repairs with calibrated marginal probabilities.
+///
+/// The pipeline mutates the dataset's dictionary (interning candidate
+/// values suggested by external dictionaries) but never the cell values;
+/// apply repairs explicitly with Report::Apply.
+class HoloClean {
+ public:
+  explicit HoloClean(HoloCleanConfig config) : config_(std::move(config)) {}
+
+  /// Cleans `dataset` under constraints `dcs`. `dicts`/`mds` supply the
+  /// external-data signal and may be null; `extra_detectors` augments the
+  /// default DC-violation error detection and may be null.
+  Result<Report> Run(Dataset* dataset,
+                     const std::vector<DenialConstraint>& dcs,
+                     const ExtDictCollection* dicts = nullptr,
+                     const std::vector<MatchingDependency>* mds = nullptr,
+                     const DetectorSuite* extra_detectors = nullptr);
+
+  /// Learned weights of the last run (model introspection, tests).
+  const WeightStore& weights() const { return weights_; }
+
+  const HoloCleanConfig& config() const { return config_; }
+
+ private:
+  HoloCleanConfig config_;
+  WeightStore weights_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_PIPELINE_H_

@@ -1,0 +1,7 @@
+#include "holoclean/core/report.h"
+
+namespace holoclean {
+
+// Report types are header-only; this TU anchors the library target.
+
+}  // namespace holoclean

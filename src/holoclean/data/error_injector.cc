@@ -1,0 +1,112 @@
+#include "holoclean/data/error_injector.h"
+
+#include <array>
+#include <cctype>
+
+namespace holoclean {
+
+std::string InjectTypo(const std::string& value, Rng* rng) {
+  if (value.empty()) return "x";
+  std::string out = value;
+  // Find a position whose character is not already 'x'.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    size_t pos = rng->Below(out.size());
+    if (out[pos] != 'x') {
+      out[pos] = 'x';
+      return out;
+    }
+  }
+  out[0] = 'y';
+  return out;
+}
+
+std::string PerturbDigit(const std::string& value, Rng* rng) {
+  std::string out = value;
+  std::vector<size_t> digit_positions;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(out[i]))) {
+      digit_positions.push_back(i);
+    }
+  }
+  if (digit_positions.empty()) return InjectTypo(value, rng);
+  size_t pos = digit_positions[rng->Below(digit_positions.size())];
+  char old = out[pos];
+  char replacement = static_cast<char>('0' + rng->Below(10));
+  if (replacement == old) {
+    replacement = static_cast<char>('0' + (old - '0' + 1) % 10);
+  }
+  out[pos] = replacement;
+  return out;
+}
+
+std::string SwapAdjacent(const std::string& value, Rng* rng) {
+  if (value.size() < 2) return InjectTypo(value, rng);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    size_t pos = rng->Below(value.size() - 1);
+    if (value[pos] != value[pos + 1]) {
+      std::string out = value;
+      std::swap(out[pos], out[pos + 1]);
+      return out;
+    }
+  }
+  return InjectTypo(value, rng);
+}
+
+std::string PickDifferent(const std::vector<std::string>& pool,
+                          const std::string& value, Rng* rng) {
+  if (pool.empty()) return value;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& candidate = pool[rng->Below(pool.size())];
+    if (candidate != value) return candidate;
+  }
+  return value;
+}
+
+std::vector<GeoCity> MakeGeography(size_t n, size_t zips_per_city,
+                                   uint64_t seed) {
+  static const std::array<const char*, 24> kCityNames = {
+      "Springfield", "Riverton",  "Fairview",  "Greenville", "Bristol",
+      "Clinton",     "Salem",     "Madison",   "Georgetown", "Arlington",
+      "Ashland",     "Dover",     "Oxford",    "Jackson",    "Milton",
+      "Newport",     "Kingston",  "Burlington", "Lexington", "Winchester",
+      "Hudson",      "Clayton",   "Dayton",    "Franklin"};
+  static const std::array<const char*, 8> kStates = {
+      "IL", "WI", "IN", "IA", "MO", "MI", "OH", "MN"};
+  static const std::array<const char*, 12> kCounties = {
+      "Cook",   "Lake",   "Adams", "Brown",  "Clark",  "Grant",
+      "Greene", "Jasper", "Logan", "Marion", "Monroe", "Perry"};
+
+  Rng rng(seed);
+  std::vector<GeoCity> cities;
+  cities.reserve(n);
+  int zip_counter = 60001;
+  for (size_t i = 0; i < n; ++i) {
+    GeoCity city;
+    city.city = kCityNames[i % kCityNames.size()];
+    if (i >= kCityNames.size()) {
+      city.city += " " + std::to_string(i / kCityNames.size() + 1);
+    }
+    city.state = kStates[rng.Below(kStates.size())];
+    city.county = kCounties[rng.Below(kCounties.size())] + std::string(" County");
+    for (size_t z = 0; z < zips_per_city; ++z) {
+      city.zips.push_back(std::to_string(zip_counter++));
+    }
+    cities.push_back(std::move(city));
+  }
+  return cities;
+}
+
+std::string MinutesToTime(int minutes) {
+  minutes = ((minutes % 1440) + 1440) % 1440;
+  int h = minutes / 60;
+  int m = minutes % 60;
+  std::string out;
+  if (h < 10) out.push_back('0');
+  out += std::to_string(h);
+  out.push_back(':');
+  if (m < 10) out.push_back('0');
+  out += std::to_string(m);
+  return out;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,50 @@
+#ifndef HOLOCLEAN_DATA_ERROR_INJECTOR_H_
+#define HOLOCLEAN_DATA_ERROR_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "holoclean/util/rng.h"
+
+namespace holoclean {
+
+/// Mutation primitives used by the dataset generators to corrupt clean
+/// values. Each produces a value different from the input (when possible)
+/// so the injected error is observable.
+
+/// Replaces one character with 'x' — the classic typo of the Hospital
+/// benchmark used across the data-cleaning literature.
+std::string InjectTypo(const std::string& value, Rng* rng);
+
+/// Replaces one digit with a different digit (zip codes, phone numbers).
+std::string PerturbDigit(const std::string& value, Rng* rng);
+
+/// Swaps two adjacent characters — a transcription error.
+std::string SwapAdjacent(const std::string& value, Rng* rng);
+
+/// Picks a pool element different from `value` (falls back to `value` when
+/// the pool has no alternative).
+std::string PickDifferent(const std::vector<std::string>& pool,
+                          const std::string& value, Rng* rng);
+
+/// A small synthetic geography shared by the generators: cities with a
+/// consistent state, county, and a handful of zip codes each — so that
+/// Zip -> City/State/County functional dependencies hold in clean data.
+struct GeoCity {
+  std::string city;
+  std::string state;
+  std::string county;
+  std::vector<std::string> zips;
+};
+
+/// Deterministically builds `n` cities (cycling through a fixed name pool
+/// with numeric suffixes once exhausted), each with `zips_per_city` zips.
+std::vector<GeoCity> MakeGeography(size_t n, size_t zips_per_city,
+                                   uint64_t seed);
+
+/// "HH:MM" string for a minute-of-day, e.g. 615 -> "10:15".
+std::string MinutesToTime(int minutes);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DATA_ERROR_INJECTOR_H_

@@ -1,0 +1,117 @@
+#include "holoclean/data/flights.h"
+
+#include <algorithm>
+
+#include "holoclean/data/error_injector.h"
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+GeneratedData MakeFlights(const FlightsOptions& options) {
+  Rng rng(options.seed);
+  HOLO_CHECK(options.num_reliable < options.num_sources);
+
+  Schema schema({"Flight", "ScheduledDeparture", "ActualDeparture",
+                 "ScheduledArrival", "ActualArrival", "Source"});
+  Table clean(schema, std::make_shared<Dictionary>());
+  Table dirty(schema, clean.dict_ptr());
+
+  std::vector<std::string> sources;
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    sources.push_back("src_" + std::to_string(s));
+  }
+  auto accuracy_of = [&](size_t s) {
+    return s < options.num_reliable ? options.reliable_accuracy
+                                    : options.unreliable_accuracy;
+  };
+
+  const size_t kTimeAttrs = 4;
+  size_t rows_emitted = 0;
+  size_t flight_index = 0;
+  while (rows_emitted < options.num_rows) {
+    std::string flight =
+        "UA-" + std::to_string(1000 + flight_index) + "-2011-12-0" +
+        std::to_string(1 + flight_index % 9);
+    ++flight_index;
+
+    // True times: departure, actual dep (+delay), arrival, actual arr.
+    int sched_dep = static_cast<int>(rng.Below(288)) * 5;
+    int act_dep = sched_dep + static_cast<int>(rng.Below(12)) * 5;
+    int sched_arr = sched_dep + 90 + static_cast<int>(rng.Below(36)) * 5;
+    int act_arr = sched_arr + static_cast<int>(rng.Below(12)) * 5;
+    std::vector<std::string> truth = {
+        MinutesToTime(sched_dep), MinutesToTime(act_dep),
+        MinutesToTime(sched_arr), MinutesToTime(act_arr)};
+    // One decoy value per attribute (a wrong upstream feed that unreliable
+    // sources copy from).
+    std::vector<std::string> decoy(kTimeAttrs);
+    for (size_t a = 0; a < kTimeAttrs; ++a) {
+      decoy[a] = PerturbDigit(truth[a], &rng);
+    }
+
+    // Reporting sources: adversarial flights are covered by few reliable
+    // and many unreliable sources; anchor flights the other way around.
+    bool adversarial = rng.Chance(options.adversarial_fraction);
+    std::vector<size_t> reporters;
+    if (adversarial) {
+      reporters.push_back(rng.Below(options.num_reliable));
+      size_t wanted = 4 + rng.Below(2);
+      while (reporters.size() < 1 + wanted) {
+        size_t s = options.num_reliable +
+                   rng.Below(options.num_sources - options.num_reliable);
+        if (std::find(reporters.begin(), reporters.end(), s) ==
+            reporters.end()) {
+          reporters.push_back(s);
+        }
+      }
+    } else {
+      for (size_t s = 0; s < options.num_reliable; ++s) reporters.push_back(s);
+      size_t extra = 1 + rng.Below(2);
+      while (extra > 0) {
+        size_t s = options.num_reliable +
+                   rng.Below(options.num_sources - options.num_reliable);
+        if (std::find(reporters.begin(), reporters.end(), s) ==
+            reporters.end()) {
+          reporters.push_back(s);
+          --extra;
+        }
+      }
+    }
+
+    for (size_t s : reporters) {
+      if (rows_emitted >= options.num_rows) break;
+      std::vector<std::string> reported(kTimeAttrs);
+      for (size_t a = 0; a < kTimeAttrs; ++a) {
+        if (rng.Chance(accuracy_of(s))) {
+          reported[a] = truth[a];
+        } else if (rng.Chance(options.decoy_share)) {
+          reported[a] = decoy[a];
+        } else {
+          reported[a] = MinutesToTime(static_cast<int>(rng.Below(288)) * 5);
+        }
+      }
+      clean.AppendRow({flight, truth[0], truth[1], truth[2], truth[3],
+                       sources[s]});
+      dirty.AppendRow({flight, reported[0], reported[1], reported[2],
+                       reported[3], sources[s]});
+      ++rows_emitted;
+    }
+  }
+
+  Dataset dataset(std::move(dirty));
+  dataset.set_clean(std::move(clean));
+  dataset.set_source_attr(schema.IndexOf("Source"));
+  GeneratedData data("flights", std::move(dataset));
+
+  const Schema& s = data.dataset.dirty().schema();
+  auto fds = FdToDenialConstraints(
+      s, {"Flight"},
+      {"ScheduledDeparture", "ActualDeparture", "ScheduledArrival",
+       "ActualArrival"});
+  HOLO_CHECK(fds.ok());
+  data.dcs = std::move(fds.value());
+  HOLO_CHECK(data.dcs.size() == 4);
+  return data;
+}
+
+}  // namespace holoclean

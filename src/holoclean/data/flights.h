@@ -1,0 +1,35 @@
+#ifndef HOLOCLEAN_DATA_FLIGHTS_H_
+#define HOLOCLEAN_DATA_FLIGHTS_H_
+
+#include "holoclean/data/generated_data.h"
+
+namespace holoclean {
+
+/// Generator options for the Flights benchmark (paper Table 2: 2,377
+/// tuples, 6 attributes, 4 denial constraints; majority of cells noisy).
+struct FlightsOptions {
+  size_t num_rows = 2377;
+  /// Fraction of flights reported mostly by unreliable sources that share
+  /// a decoy value (the "wrong majority" regime where minimality fails).
+  double adversarial_fraction = 0.35;
+  /// Probability that an unreliable source copies the decoy instead of
+  /// inventing its own wrong value.
+  double decoy_share = 0.85;
+  size_t num_sources = 10;
+  size_t num_reliable = 3;
+  double reliable_accuracy = 0.97;
+  double unreliable_accuracy = 0.25;
+  uint64_t seed = 202;
+};
+
+/// Synthesizes the Flights profile: each flight reported by several web
+/// sources with conflicting departure/arrival times; provenance column
+/// "Source"; reliable sources are consistent across flights while
+/// unreliable ones copy shared wrong values. Exercises the source-trust
+/// signal (§6.2.1) — plain minimality/majority repairs fail on the
+/// adversarial flights.
+GeneratedData MakeFlights(const FlightsOptions& options = {});
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DATA_FLIGHTS_H_

@@ -1,0 +1,156 @@
+#include "holoclean/data/food.h"
+
+#include <array>
+
+#include "holoclean/data/error_injector.h"
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+GeneratedData MakeFood(const FoodOptions& options) {
+  Rng rng(options.seed);
+  std::vector<GeoCity> geo = MakeGeography(8, 3, options.seed ^ 0x517CULL);
+
+  static const std::array<const char*, 10> kNameParts = {
+      "Johnny", "Taqueria", "Golden", "Lucky",  "Corner",
+      "Blue",   "Star",     "Royal",  "Garden", "Sunrise"};
+  static const std::array<const char*, 6> kNameKinds = {
+      "Grill", "Diner", "Cafe", "Kitchen", "Deli", "Bistro"};
+  static const std::array<const char*, 5> kFacilityTypes = {
+      "Restaurant", "Grocery Store", "Bakery", "School Cafeteria", "Tavern"};
+  static const std::array<const char*, 3> kRisks = {
+      "Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"};
+  static const std::array<const char*, 6> kStreets = {
+      "S Morgan ST", "W Cermak Rd", "N Wells ST",
+      "E Erie ST",   "W Madison ST", "S Halsted ST"};
+  static const std::array<const char*, 3> kInspectionTypes = {
+      "Canvass", "Complaint", "License"};
+  static const std::array<const char*, 3> kResults = {
+      "Pass", "Fail", "Pass w/ Conditions"};
+
+  Schema schema({"InspectionID", "DBAName", "AKAName", "License",
+                 "FacilityType", "Risk", "Address", "City", "State", "Zip",
+                 "InspectionDate", "InspectionType", "Results",
+                 "ViolationCount", "Latitude", "Longitude", "Ward"});
+  Table clean(schema, std::make_shared<Dictionary>());
+
+  size_t rows = 0;
+  size_t establishment = 0;
+  size_t inspection_id = 2000000;
+  while (rows < options.num_rows) {
+    std::string dba = std::string(kNameParts[rng.Below(kNameParts.size())]) +
+                      " " + kNameKinds[rng.Below(kNameKinds.size())] + " " +
+                      std::to_string(establishment);
+    std::string aka = rng.Chance(0.5) ? dba : dba + "'s";
+    std::string license = std::to_string(100000 + establishment);
+    std::string facility =
+        kFacilityTypes[rng.Below(kFacilityTypes.size())];
+    std::string risk = kRisks[rng.Below(kRisks.size())];
+    const GeoCity& city = geo[rng.Below(geo.size())];
+    const std::string& zip = city.zips[rng.Below(city.zips.size())];
+    std::string address = std::to_string(100 + establishment) + " " +
+                          kStreets[rng.Below(kStreets.size())];
+    std::string latitude = "41." + zip.substr(2) + "1";
+    std::string longitude = "-87." + zip.substr(2) + "5";
+    std::string ward = std::to_string(1 + (zip.back() - '0') * 5);
+    ++establishment;
+
+    // Duplication profile: most establishments inspected 2-3 times (small
+    // groups where minimality has to guess), some 5-8 times.
+    size_t visits = rng.Chance(0.6) ? 2 + rng.Below(2) : 5 + rng.Below(4);
+    for (size_t v = 0; v < visits && rows < options.num_rows; ++v) {
+      std::string date = std::to_string(2010 + v % 6) + "-" +
+                         std::to_string(1 + rng.Below(12)) + "-" +
+                         std::to_string(1 + rng.Below(28));
+      clean.AppendRow({std::to_string(inspection_id++), dba, aka, license,
+                       facility, risk, address, city.city, city.state, zip,
+                       date, kInspectionTypes[rng.Below(3)],
+                       kResults[rng.Below(3)],
+                       std::to_string(rng.Below(12)), latitude, longitude,
+                       ward});
+      ++rows;
+    }
+  }
+
+  // Non-systematic errors: independent random corruptions per cell, with
+  // an attribute-appropriate corruption operator.
+  Table dirty = clean.Clone();
+  struct ErrorSpec {
+    const char* attr;
+    int op;  // 0 typo, 1 digit, 2 swap-category
+  };
+  static const std::array<ErrorSpec, 9> kErrors = {{{"DBAName", 0},
+                                                    {"AKAName", 0},
+                                                    {"City", 0},
+                                                    {"State", 0},
+                                                    {"Zip", 1},
+                                                    {"FacilityType", 2},
+                                                    {"Risk", 2},
+                                                    {"Address", 0},
+                                                    {"Results", 2}}};
+  std::vector<std::string> facility_pool(kFacilityTypes.begin(),
+                                         kFacilityTypes.end());
+  std::vector<std::string> risk_pool(kRisks.begin(), kRisks.end());
+  std::vector<std::string> results_pool(kResults.begin(), kResults.end());
+  for (size_t t = 0; t < dirty.num_rows(); ++t) {
+    TupleId tid = static_cast<TupleId>(t);
+    for (const ErrorSpec& spec : kErrors) {
+      if (!rng.Chance(options.error_rate)) continue;
+      AttrId a = schema.IndexOf(spec.attr);
+      HOLO_CHECK(a >= 0);
+      const std::string& value = dirty.GetString(tid, a);
+      std::string corrupted;
+      switch (spec.op) {
+        case 0:
+          corrupted = rng.Chance(0.5) ? InjectTypo(value, &rng)
+                                      : SwapAdjacent(value, &rng);
+          break;
+        case 1:
+          corrupted = PerturbDigit(value, &rng);
+          break;
+        default: {
+          const std::vector<std::string>& pool =
+              std::string(spec.attr) == "FacilityType"
+                  ? facility_pool
+                  : (std::string(spec.attr) == "Risk" ? risk_pool
+                                                      : results_pool);
+          corrupted = PickDifferent(pool, value, &rng);
+          break;
+        }
+      }
+      dirty.SetString(tid, a, corrupted);
+    }
+  }
+
+  Dataset dataset(std::move(dirty));
+  dataset.set_clean(std::move(clean));
+  GeneratedData data("food", std::move(dataset));
+
+  const Schema& s = data.dataset.dirty().schema();
+  auto add_fd = [&](const std::vector<std::string>& lhs,
+                    const std::vector<std::string>& rhs) {
+    auto dcs = FdToDenialConstraints(s, lhs, rhs);
+    HOLO_CHECK(dcs.ok());
+    for (auto& dc : dcs.value()) data.dcs.push_back(std::move(dc));
+  };
+  add_fd({"License"}, {"DBAName", "Address", "FacilityType", "Risk"});
+  add_fd({"Zip"}, {"City", "State"});
+  add_fd({"Address"}, {"Zip"});
+  HOLO_CHECK(data.dcs.size() == 7);
+
+  Table listing(Schema({"Ext_Zip", "Ext_City", "Ext_State"}),
+                std::make_shared<Dictionary>());
+  for (const GeoCity& city : geo) {
+    for (const std::string& zip : city.zips) {
+      listing.AppendRow({zip, city.city, city.state});
+    }
+  }
+  int dict_id = data.dicts.Add("zip-listing", std::move(listing));
+  data.mds.push_back({"zip->city", dict_id, {{"Zip", "Ext_Zip"}}, "City",
+                      "Ext_City"});
+  data.mds.push_back({"zip->state", dict_id, {{"Zip", "Ext_Zip"}}, "State",
+                      "Ext_State"});
+  return data;
+}
+
+}  // namespace holoclean

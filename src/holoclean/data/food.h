@@ -1,0 +1,29 @@
+#ifndef HOLOCLEAN_DATA_FOOD_H_
+#define HOLOCLEAN_DATA_FOOD_H_
+
+#include "holoclean/data/generated_data.h"
+
+namespace holoclean {
+
+/// Generator options for the Food-inspections benchmark (paper Table 2:
+/// 339,908 tuples, 17 attributes, 7 denial constraints; non-systematic
+/// errors, many duplicates across years). The default scale is reduced so
+/// benches finish in minutes; pass the paper's row count to reproduce the
+/// full-size experiment.
+struct FoodOptions {
+  size_t num_rows = 4000;
+  /// Per-cell corruption probability over error-eligible attributes.
+  double error_rate = 0.06;
+  uint64_t seed = 303;
+};
+
+/// Synthesizes the Chicago food-inspections profile: establishments
+/// inspected repeatedly across years (duplication), with random,
+/// non-systematic transcription errors — misspelled names/cities,
+/// perturbed zips, swapped facility types and risk levels. Ships the
+/// zip/city/state dictionary used by KATARA.
+GeneratedData MakeFood(const FoodOptions& options = {});
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DATA_FOOD_H_

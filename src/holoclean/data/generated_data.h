@@ -1,0 +1,38 @@
+#ifndef HOLOCLEAN_DATA_GENERATED_DATA_H_
+#define HOLOCLEAN_DATA_GENERATED_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/extdata/ext_dict.h"
+#include "holoclean/extdata/matching_dependency.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// A complete generated cleaning benchmark: dirty data with exact ground
+/// truth, the denial constraints of the corresponding paper dataset, and
+/// (when the paper's experiments use one) an external dictionary with its
+/// matching dependencies.
+///
+/// Move-only (owns the dictionary collection).
+struct GeneratedData {
+  GeneratedData(std::string name_in, Dataset dataset_in)
+      : name(std::move(name_in)), dataset(std::move(dataset_in)) {}
+
+  GeneratedData(GeneratedData&&) = default;
+  GeneratedData& operator=(GeneratedData&&) = default;
+  GeneratedData(const GeneratedData&) = delete;
+  GeneratedData& operator=(const GeneratedData&) = delete;
+
+  std::string name;
+  Dataset dataset;
+  std::vector<DenialConstraint> dcs;
+  ExtDictCollection dicts;
+  std::vector<MatchingDependency> mds;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DATA_GENERATED_DATA_H_

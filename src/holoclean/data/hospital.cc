@@ -1,0 +1,167 @@
+#include "holoclean/data/hospital.h"
+
+#include <array>
+
+#include "holoclean/data/error_injector.h"
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+namespace {
+
+struct HospitalEntity {
+  std::string provider;
+  std::string name;
+  std::string address;
+  size_t city_index;
+  std::string zip;
+  std::string phone;
+  std::string type;
+  std::string owner;
+  std::string emergency;
+};
+
+}  // namespace
+
+GeneratedData MakeHospital(const HospitalOptions& options) {
+  Rng rng(options.seed);
+  std::vector<GeoCity> geo = MakeGeography(12, 2, options.seed ^ 0x9E37ULL);
+
+  static const std::array<const char*, 8> kPrefixes = {
+      "Mercy",  "St. Vincent", "Riverside", "Providence",
+      "Sacred", "Memorial",    "Unity",     "Baptist"};
+  static const std::array<const char*, 4> kKinds = {
+      "Medical Center", "Hospital", "Regional Hospital", "Health Center"};
+  static const std::array<const char*, 2> kTypes = {
+      "Acute Care Hospitals", "Critical Access Hospitals"};
+  static const std::array<const char*, 4> kOwners = {
+      "Government - State", "Proprietary", "Voluntary non-profit - Private",
+      "Voluntary non-profit - Church"};
+  static const std::array<const char*, 6> kConditions = {
+      "Heart Attack",     "Heart Failure", "Pneumonia",
+      "Surgical Infection", "Stroke",       "Pregnancy"};
+  static const std::array<const char*, 8> kStreets = {
+      "Main St", "Oak Ave", "Maple Dr", "Pine Rd",
+      "1st Ave", "Lake St", "Hill Rd",  "Park Blvd"};
+
+  size_t num_hospitals = std::max<size_t>(5, options.num_rows / 20);
+  std::vector<HospitalEntity> hospitals;
+  hospitals.reserve(num_hospitals);
+  for (size_t h = 0; h < num_hospitals; ++h) {
+    HospitalEntity e;
+    e.provider = std::to_string(10000 + h);
+    e.name = std::string(kPrefixes[h % kPrefixes.size()]) + " " +
+             kKinds[(h / kPrefixes.size()) % kKinds.size()] + " " +
+             std::to_string(h);
+    e.address = std::to_string(100 + rng.Below(900)) + " " +
+                kStreets[rng.Below(kStreets.size())];
+    e.city_index = rng.Below(geo.size());
+    const GeoCity& city = geo[e.city_index];
+    e.zip = city.zips[rng.Below(city.zips.size())];
+    e.phone = "205" + std::to_string(1000000 + h * 13 + rng.Below(13));
+    e.type = kTypes[rng.Below(kTypes.size())];
+    e.owner = kOwners[rng.Below(kOwners.size())];
+    e.emergency = rng.Chance(0.7) ? "Yes" : "No";
+    hospitals.push_back(std::move(e));
+  }
+
+  const size_t num_measures = 24;
+  std::vector<std::string> measure_codes;
+  std::vector<std::string> measure_names;
+  for (size_t m = 0; m < num_measures; ++m) {
+    measure_codes.push_back("AMI-" + std::to_string(m + 1));
+    measure_names.push_back("patients given treatment protocol " +
+                            std::to_string(m + 1));
+  }
+
+  Schema schema({"ProviderNumber", "HospitalName", "Address1", "Address2",
+                 "Address3", "City", "State", "ZipCode", "CountyName",
+                 "PhoneNumber", "HospitalType", "HospitalOwner",
+                 "EmergencyService", "Condition", "MeasureCode",
+                 "MeasureName", "Score", "Sample", "StateAvg"});
+  Table clean(schema, std::make_shared<Dictionary>());
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    const HospitalEntity& h = hospitals[i % num_hospitals];
+    const GeoCity& city = geo[h.city_index];
+    size_t m = rng.Below(num_measures);
+    std::vector<std::string> row = {
+        h.provider,
+        h.name,
+        h.address,
+        "",
+        "",
+        city.city,
+        city.state,
+        h.zip,
+        city.county,
+        h.phone,
+        h.type,
+        h.owner,
+        h.emergency,
+        kConditions[m % kConditions.size()],
+        measure_codes[m],
+        measure_names[m],
+        std::to_string(50 + rng.Below(50)) + "%",
+        std::to_string(10 + rng.Below(490)) + " patients",
+        city.state + "_" + measure_codes[m] + "_avg",
+    };
+    clean.AppendRow(row);
+  }
+
+  // Corrupt a copy with 'x'-typos across the error-eligible attributes
+  // (covered by constraints or not — uncovered errors bound recall, §2.2).
+  Table dirty = clean.Clone();
+  const std::vector<std::string> eligible = {
+      "HospitalName", "City",        "State",   "ZipCode",
+      "CountyName",   "PhoneNumber", "Condition", "MeasureName",
+      "Score",        "Sample",      "StateAvg"};
+  for (size_t t = 0; t < dirty.num_rows(); ++t) {
+    for (const std::string& attr_name : eligible) {
+      AttrId a = schema.IndexOf(attr_name);
+      HOLO_CHECK(a >= 0);
+      if (!rng.Chance(options.error_rate)) continue;
+      TupleId tid = static_cast<TupleId>(t);
+      dirty.SetString(tid, a, InjectTypo(dirty.GetString(tid, a), &rng));
+    }
+  }
+
+  Dataset dataset(std::move(dirty));
+  dataset.set_clean(std::move(clean));
+  GeneratedData data("hospital", std::move(dataset));
+
+  const Schema& s = data.dataset.dirty().schema();
+  auto add_fd = [&](const std::vector<std::string>& lhs,
+                    const std::vector<std::string>& rhs) {
+    auto dcs = FdToDenialConstraints(s, lhs, rhs);
+    HOLO_CHECK(dcs.ok());
+    for (auto& dc : dcs.value()) data.dcs.push_back(std::move(dc));
+  };
+  add_fd({"ProviderNumber"}, {"HospitalName", "City", "PhoneNumber"});
+  add_fd({"ZipCode"}, {"City", "State", "CountyName"});
+  add_fd({"PhoneNumber"}, {"ZipCode"});
+  add_fd({"MeasureCode"}, {"MeasureName", "Condition"});
+  HOLO_CHECK(data.dcs.size() == 9);
+
+  // External dictionary: the federal zip listing of §6.1 (Ext_Zip ->
+  // Ext_City, Ext_State).
+  Table listing(Schema({"Ext_Zip", "Ext_City", "Ext_State"}),
+                std::make_shared<Dictionary>());
+  for (const GeoCity& city : geo) {
+    for (const std::string& zip : city.zips) {
+      listing.AppendRow({zip, city.city, city.state});
+    }
+  }
+  int dict_id = data.dicts.Add("zip-listing", std::move(listing));
+  data.mds.push_back({"zip->city", dict_id, {{"ZipCode", "Ext_Zip"}},
+                      "City", "Ext_City"});
+  data.mds.push_back({"zip->state", dict_id, {{"ZipCode", "Ext_Zip"}},
+                      "State", "Ext_State"});
+  data.mds.push_back({"city,state->zip",
+                      dict_id,
+                      {{"City", "Ext_City"}, {"State", "Ext_State"}},
+                      "ZipCode",
+                      "Ext_Zip"});
+  return data;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,26 @@
+#ifndef HOLOCLEAN_DATA_HOSPITAL_H_
+#define HOLOCLEAN_DATA_HOSPITAL_H_
+
+#include "holoclean/data/generated_data.h"
+
+namespace holoclean {
+
+/// Generator options for the Hospital benchmark (paper Table 2: 1,000
+/// tuples, 19 attributes, 9 denial constraints, ~5% errors).
+struct HospitalOptions {
+  size_t num_rows = 1000;
+  /// Per-cell corruption probability over the error-eligible attributes.
+  double error_rate = 0.05;
+  uint64_t seed = 101;
+};
+
+/// Synthesizes the Hospital dataset profile: few distinct hospitals, each
+/// appearing on many measure rows (heavy duplication), errors are 'x'-typos
+/// sprinkled uniformly — the benchmark where redundancy makes statistical
+/// repair easy. Ships the zip/city/state external dictionary used by
+/// KATARA and §6.3.2.
+GeneratedData MakeHospital(const HospitalOptions& options = {});
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DATA_HOSPITAL_H_

@@ -1,0 +1,183 @@
+#include "holoclean/data/physicians.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "holoclean/data/error_injector.h"
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+namespace {
+
+struct Organization {
+  std::string org_id;
+  std::string name;
+  std::string address;
+  size_t city_index;
+  std::string zip;
+  std::string phone;
+  std::string ccn;
+  // Systematic error plan: a fixed misspelling applied to a fraction of
+  // this organization's rows (empty when the org is clean).
+  std::string bad_city;
+  double bad_city_rate = 0.0;
+};
+
+}  // namespace
+
+GeneratedData MakePhysicians(const PhysiciansOptions& options) {
+  Rng rng(options.seed);
+  std::vector<GeoCity> geo = MakeGeography(16, 2, options.seed ^ 0xA11CULL);
+
+  static const std::array<const char*, 12> kFirst = {
+      "John", "Mary",  "Ahmed",  "Wei",   "Elena", "Raj",
+      "Sara", "James", "Olivia", "Noah",  "Emma",  "Liam"};
+  static const std::array<const char*, 12> kLast = {
+      "Smith", "Johnson", "Lee",    "Patel", "Garcia",   "Kim",
+      "Brown", "Davis",   "Wilson", "Moore", "Anderson", "Taylor"};
+  static const std::array<const char*, 6> kSpecialties = {
+      "INTERNAL MEDICINE", "FAMILY PRACTICE", "CARDIOLOGY",
+      "DERMATOLOGY",       "PEDIATRICS",      "RADIOLOGY"};
+  static const std::array<const char*, 4> kCredentials = {"MD", "DO", "NP",
+                                                          "PA"};
+  static const std::array<const char*, 5> kSchools = {
+      "STATE UNIVERSITY SCHOOL OF MEDICINE", "CITY MEDICAL COLLEGE",
+      "NORTHERN HEALTH SCIENCES UNIVERSITY", "CENTRAL MEDICAL SCHOOL",
+      "OTHER"};
+  static const std::array<const char*, 5> kOrgKinds = {
+      "MEDICAL GROUP", "HEALTH PARTNERS", "CLINIC", "ASSOCIATES",
+      "PHYSICIANS LLC"};
+  static const std::array<const char*, 6> kStreets = {
+      "MAIN ST", "OAK AVE", "ELM ST", "2ND AVE", "PARK RD", "CENTER ST"};
+
+  size_t num_orgs = std::max<size_t>(8, options.num_rows / 40);
+  std::vector<Organization> orgs;
+  orgs.reserve(num_orgs);
+  for (size_t o = 0; o < num_orgs; ++o) {
+    Organization org;
+    org.org_id = std::to_string(3000000 + o);
+    org.city_index = rng.Below(geo.size());
+    const GeoCity& city = geo[org.city_index];
+    org.name = city.city + " " + kOrgKinds[rng.Below(kOrgKinds.size())] +
+               " " + std::to_string(o);
+    org.address = std::to_string(100 + o) + " " +
+                  kStreets[rng.Below(kStreets.size())];
+    org.zip = city.zips[rng.Below(city.zips.size())];
+    org.phone = "312" + std::to_string(2000000 + o * 11 + rng.Below(11));
+    org.ccn = std::to_string(140000 + o);
+    if (rng.Chance(options.systematic_org_fraction)) {
+      // The systematic misspelling, e.g. "Sacramento" -> "Scaramento":
+      // swap two adjacent characters once, reuse the same wrong string for
+      // every affected row of the organization. In a fraction of affected
+      // organizations the misspelling *dominates* the org's rows — there
+      // minimality-based repair sides with the wrong majority, while the
+      // global zip/city statistics still identify the correct spelling.
+      org.bad_city = SwapAdjacent(city.city, &rng);
+      if (rng.Chance(0.3)) {
+        // A "dominant" systematic error: most of this organization's rows
+        // carry the misspelling, and the org has its own zip code (as real
+        // organizations do at street granularity), so no other org's rows
+        // witness the correct spelling inside the constraint blocks.
+        org.bad_city_rate = 0.65;
+        org.zip = std::to_string(70000 + o);
+      } else {
+        org.bad_city_rate = options.systematic_row_fraction;
+      }
+    }
+    orgs.push_back(std::move(org));
+  }
+
+  Schema schema({"NPI", "FirstName", "LastName", "Gender", "Credential",
+                 "MedicalSchool", "GradYear", "PrimarySpecialty", "OrgName",
+                 "OrgID", "AddressLine1", "City", "State", "Zip", "Phone",
+                 "CCN", "HospitalAffiliation", "AcceptsMedicare"});
+  Table clean(schema, std::make_shared<Dictionary>());
+  Table dirty(schema, clean.dict_ptr());
+
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    const Organization& org = orgs[rng.Below(orgs.size())];
+    const GeoCity& city = geo[org.city_index];
+    std::string npi = std::to_string(1000000000ULL + i);
+    std::vector<std::string> row = {
+        npi,
+        kFirst[rng.Below(kFirst.size())],
+        kLast[rng.Below(kLast.size())],
+        rng.Chance(0.5) ? "M" : "F",
+        kCredentials[rng.Below(kCredentials.size())],
+        kSchools[rng.Below(kSchools.size())],
+        std::to_string(1970 + rng.Below(45)),
+        kSpecialties[rng.Below(kSpecialties.size())],
+        org.name,
+        org.org_id,
+        org.address,
+        city.city,
+        city.state,
+        org.zip,
+        org.phone,
+        org.ccn,
+        "HOSPITAL " + org.ccn,
+        rng.Chance(0.9) ? "Y" : "N",
+    };
+    clean.AppendRowIds([&] {
+      std::vector<ValueId> ids;
+      ids.reserve(row.size());
+      for (const auto& v : row) ids.push_back(clean.dict().Intern(v));
+      return ids;
+    }());
+
+    // Dirty copy of the row: systematic city misspelling first, then rare
+    // independent random noise.
+    std::vector<std::string> dirty_row = row;
+    if (!org.bad_city.empty() && rng.Chance(org.bad_city_rate)) {
+      dirty_row[static_cast<size_t>(schema.IndexOf("City"))] = org.bad_city;
+    }
+    static const std::array<const char*, 5> kRandomAttrs = {
+        "OrgName", "Zip", "Phone", "State", "City"};
+    for (const char* attr : kRandomAttrs) {
+      if (!rng.Chance(options.random_error_rate)) continue;
+      size_t a = static_cast<size_t>(schema.IndexOf(attr));
+      dirty_row[a] = std::string(attr) == "Zip" ||
+                             std::string(attr) == "Phone"
+                         ? PerturbDigit(dirty_row[a], &rng)
+                         : InjectTypo(dirty_row[a], &rng);
+    }
+    dirty.AppendRow(dirty_row);
+  }
+
+  Dataset dataset(std::move(dirty));
+  dataset.set_clean(std::move(clean));
+  GeneratedData data("physicians", std::move(dataset));
+
+  const Schema& s = data.dataset.dirty().schema();
+  auto add_fd = [&](const std::vector<std::string>& lhs,
+                    const std::vector<std::string>& rhs) {
+    auto dcs = FdToDenialConstraints(s, lhs, rhs);
+    HOLO_CHECK(dcs.ok());
+    for (auto& dc : dcs.value()) data.dcs.push_back(std::move(dc));
+  };
+  add_fd({"OrgID"},
+         {"OrgName", "AddressLine1", "City", "State", "Zip", "Phone", "CCN"});
+  add_fd({"Zip"}, {"City", "State"});
+  HOLO_CHECK(data.dcs.size() == 9);
+
+  // KATARA's dictionary, reproducing the paper's format mismatch: the
+  // listing stores zero-padded 6-digit zips, the data 5-digit ones, so no
+  // tuple ever matches (Table 3: "KATARA performs no repairs due to format
+  // mismatch for zip code").
+  Table listing(Schema({"Ext_Zip", "Ext_City", "Ext_State"}),
+                std::make_shared<Dictionary>());
+  for (const GeoCity& city : geo) {
+    for (const std::string& zip : city.zips) {
+      listing.AppendRow({"0" + zip, city.city, city.state});
+    }
+  }
+  int dict_id = data.dicts.Add("zip-listing-padded", std::move(listing));
+  data.mds.push_back({"zip->city", dict_id, {{"Zip", "Ext_Zip"}}, "City",
+                      "Ext_City"});
+  data.mds.push_back({"zip->state", dict_id, {{"Zip", "Ext_Zip"}}, "State",
+                      "Ext_State"});
+  return data;
+}
+
+}  // namespace holoclean

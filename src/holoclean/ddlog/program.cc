@@ -1,0 +1,117 @@
+#include "holoclean/ddlog/program.h"
+
+#include <set>
+#include <sstream>
+
+namespace holoclean {
+
+std::vector<DcHeadSlot> EnumerateHeadSlots(const DenialConstraint& dc) {
+  std::set<std::pair<int, AttrId>> seen;
+  std::vector<DcHeadSlot> out;
+  auto add = [&](int role, AttrId attr) {
+    if (seen.insert({role, attr}).second) out.push_back({role, attr});
+  };
+  for (const Predicate& p : dc.preds) {
+    add(p.lhs_tuple, p.lhs_attr);
+    if (!p.rhs_is_constant) add(p.rhs_tuple, p.rhs_attr);
+  }
+  return out;
+}
+
+namespace {
+
+std::string ScopeString(const DenialConstraint& dc, const Schema& schema) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dc.preds.size(); ++i) {
+    const Predicate& p = dc.preds[i];
+    if (i > 0) os << ", ";
+    os << "v" << (p.lhs_tuple + 1) << "_" << schema.name(p.lhs_attr) << " "
+       << OpName(p.op) << " ";
+    if (p.rhs_is_constant) {
+      os << "\"" << p.constant << "\"";
+    } else {
+      os << "v" << (p.rhs_tuple + 1) << "_" << schema.name(p.rhs_attr);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string ValuePred(int role, AttrId attr, const Schema& schema) {
+  std::ostringstream os;
+  os << "Value?(t" << (role + 1) << "," << schema.name(attr) << ",v"
+     << (role + 1) << "_" << schema.name(attr) << ")";
+  return os.str();
+}
+
+std::string InitPred(int role, AttrId attr, const Schema& schema) {
+  std::ostringstream os;
+  os << "InitValue(t" << (role + 1) << "," << schema.name(attr) << ",v"
+     << (role + 1) << "_" << schema.name(attr) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string InferenceRule::ToDDlog(
+    const Schema& schema, const std::vector<DenialConstraint>& dcs) const {
+  std::ostringstream os;
+  switch (kind) {
+    case RuleKind::kRandomVariable:
+      os << "Value?(t,a,d) :- Domain(t,a,d)";
+      break;
+    case RuleKind::kFeature:
+      os << "Value?(t,a,d) :- HasFeature(t,a,f) weight = w(d,f)";
+      break;
+    case RuleKind::kMinimalityPrior:
+      os << "Value?(t,a,d) :- InitValue(t,a,d) weight = " << fixed_weight;
+      break;
+    case RuleKind::kExtDictMatch:
+      os << "Value?(t,a,d) :- Matched(t,a,d," << dict_id
+         << ") weight = w(k=" << dict_id << ")";
+      break;
+    case RuleKind::kDcFactor: {
+      const DenialConstraint& dc = dcs[static_cast<size_t>(dc_index)];
+      os << "!(";
+      auto slots = EnumerateHeadSlots(dc);
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (i > 0) os << " ^ ";
+        os << ValuePred(slots[i].role, slots[i].attr, schema);
+      }
+      os << ") :- Tuple(t1)";
+      if (dc.IsTwoTuple()) os << ",Tuple(t2)";
+      os << "," << ScopeString(dc, schema) << " weight = " << fixed_weight;
+      break;
+    }
+    case RuleKind::kDcRelaxedFeature: {
+      const DenialConstraint& dc = dcs[static_cast<size_t>(dc_index)];
+      os << "!" << ValuePred(head.role, head.attr, schema) << " :- ";
+      bool first = true;
+      for (const DcHeadSlot& slot : EnumerateHeadSlots(dc)) {
+        if (slot.role == head.role && slot.attr == head.attr) continue;
+        if (!first) os << ",";
+        first = false;
+        os << InitPred(slot.role, slot.attr, schema);
+      }
+      if (!first) os << ",";
+      os << "Tuple(t1)";
+      if (dc.IsTwoTuple()) os << ",Tuple(t2)";
+      os << "," << ScopeString(dc, schema) << " weight = w(sigma="
+         << dc_index << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string Program::ToDDlog(const Schema& schema,
+                             const std::vector<DenialConstraint>& dcs) const {
+  std::ostringstream os;
+  for (const InferenceRule& rule : rules) {
+    os << rule.ToDDlog(schema, dcs) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace holoclean

@@ -1,0 +1,73 @@
+#ifndef HOLOCLEAN_DDLOG_PROGRAM_H_
+#define HOLOCLEAN_DDLOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+
+namespace holoclean {
+
+/// The kinds of inference rules HoloClean's compiler emits (paper Section 4.2
+/// and Section 5.2). Grounding dispatches on this tag; ToDDlog() renders the
+/// declarative form the paper shows.
+enum class RuleKind {
+  /// Value?(t,a,d) :- Domain(t,a,d) — declares the random variables.
+  kRandomVariable,
+  /// Value?(t,a,d) :- HasFeature(t,a,f) weight = w(d,f) — co-occurrence
+  /// (and, when provenance exists, source) features.
+  kFeature,
+  /// Value?(t,a,d) :- InitValue(t,a,d) weight = w0 — minimality prior.
+  kMinimalityPrior,
+  /// Value?(t,a,d) :- Matched(t,a,d,k) weight = w(k) — external data.
+  kExtDictMatch,
+  /// !(Value? ∧ ... ∧ Value?) :- Tuple(t1),Tuple(t2),[scope] weight = w —
+  /// the DC factor of Algorithm 1 (soft constraint with fixed weight).
+  kDcFactor,
+  /// !Value?(head) :- InitValue(...),...,[scope] weight = w(σ) — the
+  /// relaxed per-head rules of Section 5.2 (Example 6).
+  kDcRelaxedFeature,
+};
+
+/// A cell slot of a denial constraint: one (tuple role, attribute) pair whose
+/// Value? predicate can serve as the head of a relaxed rule.
+struct DcHeadSlot {
+  int role = 0;
+  AttrId attr = 0;
+};
+
+/// One inference rule of the generated program.
+struct InferenceRule {
+  RuleKind kind = RuleKind::kRandomVariable;
+
+  /// For kDcFactor / kDcRelaxedFeature: index into the DC list.
+  int dc_index = -1;
+  /// For kDcRelaxedFeature: which cell slot is the head Value? predicate.
+  DcHeadSlot head;
+  /// For kExtDictMatch: dictionary id.
+  int dict_id = -1;
+  /// Fixed weight (kDcFactor, kMinimalityPrior); learned weights are
+  /// parameterized and live in the WeightStore.
+  double fixed_weight = 0.0;
+  bool weight_is_learned = false;
+
+  /// Renders the rule in the DDlog-style syntax of the paper.
+  std::string ToDDlog(const Schema& schema,
+                      const std::vector<DenialConstraint>& dcs) const;
+};
+
+/// The probabilistic program the compiler hands to grounding.
+struct Program {
+  std::vector<InferenceRule> rules;
+
+  std::string ToDDlog(const Schema& schema,
+                      const std::vector<DenialConstraint>& dcs) const;
+};
+
+/// Enumerates the distinct head slots of a denial constraint — the relaxation
+/// procedure of Section 5.2 emits one rule per slot.
+std::vector<DcHeadSlot> EnumerateHeadSlots(const DenialConstraint& dc);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DDLOG_PROGRAM_H_

@@ -1,0 +1,30 @@
+#include "holoclean/detect/conflict_hypergraph.h"
+
+#include <algorithm>
+
+namespace holoclean {
+
+ConflictHypergraph::ConflictHypergraph(std::vector<Violation> violations)
+    : violations_(std::move(violations)) {
+  for (size_t i = 0; i < violations_.size(); ++i) {
+    for (const CellRef& c : violations_[i].cells) {
+      by_cell_[c].push_back(static_cast<int>(i));
+    }
+  }
+}
+
+const std::vector<int>& ConflictHypergraph::EdgesOfCell(
+    const CellRef& cell) const {
+  auto it = by_cell_.find(cell);
+  return it == by_cell_.end() ? empty_ : it->second;
+}
+
+std::vector<CellRef> ConflictHypergraph::Nodes() const {
+  std::vector<CellRef> out;
+  out.reserve(by_cell_.size());
+  for (const auto& [cell, edges] : by_cell_) out.push_back(cell);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,42 @@
+#ifndef HOLOCLEAN_DETECT_CONFLICT_HYPERGRAPH_H_
+#define HOLOCLEAN_DETECT_CONFLICT_HYPERGRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "holoclean/detect/violation_detector.h"
+
+namespace holoclean {
+
+/// The conflict hypergraph of Kolahi & Lakshmanan: nodes are cells that
+/// participate in detected violations; hyperedges connect the cells of one
+/// violation and are annotated with the violated constraint (paper §5.1.2).
+///
+/// Consumers: the Holistic baseline (vertex cover over the hyperedges) and
+/// HoloClean's tuple partitioning (connected components per constraint).
+class ConflictHypergraph {
+ public:
+  explicit ConflictHypergraph(std::vector<Violation> violations);
+
+  const std::vector<Violation>& edges() const { return violations_; }
+
+  /// Indices into edges() of the hyperedges containing `cell`.
+  const std::vector<int>& EdgesOfCell(const CellRef& cell) const;
+
+  /// All distinct cells appearing in any hyperedge.
+  std::vector<CellRef> Nodes() const;
+
+  /// Number of hyperedges a cell participates in (its degree).
+  size_t Degree(const CellRef& cell) const {
+    return EdgesOfCell(cell).size();
+  }
+
+ private:
+  std::vector<Violation> violations_;
+  std::unordered_map<CellRef, std::vector<int>, CellRefHash> by_cell_;
+  std::vector<int> empty_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DETECT_CONFLICT_HYPERGRAPH_H_

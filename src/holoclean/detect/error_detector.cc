@@ -1,0 +1,14 @@
+#include "holoclean/detect/error_detector.h"
+
+#include "holoclean/detect/violation_detector.h"
+
+namespace holoclean {
+
+NoisyCells DcViolationDetector::Detect(const Dataset& dataset) const {
+  ViolationDetector::Options options;
+  options.sim_threshold = sim_threshold_;
+  ViolationDetector detector(&dataset.dirty(), &dcs_, options);
+  return ViolationDetector::NoisyFromViolations(detector.Detect());
+}
+
+}  // namespace holoclean

@@ -1,0 +1,63 @@
+#ifndef HOLOCLEAN_DETECT_ERROR_DETECTOR_H_
+#define HOLOCLEAN_DETECT_ERROR_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+/// Pluggable error-detection interface. HoloClean treats error detection as
+/// a black box (paper Section 2.2): any detector produces a set of noisy
+/// cells Dn, and the union over detectors splits D into Dn and Dc.
+class ErrorDetector {
+ public:
+  virtual ~ErrorDetector() = default;
+
+  /// Name for reports.
+  virtual std::string name() const = 0;
+
+  /// Flags potentially erroneous cells of the dataset's dirty table.
+  virtual NoisyCells Detect(const Dataset& dataset) const = 0;
+};
+
+/// Runs a set of detectors and unions their outputs.
+class DetectorSuite {
+ public:
+  void Add(std::unique_ptr<ErrorDetector> detector) {
+    detectors_.push_back(std::move(detector));
+  }
+
+  NoisyCells Detect(const Dataset& dataset) const {
+    NoisyCells all;
+    for (const auto& d : detectors_) all.Merge(d->Detect(dataset));
+    return all;
+  }
+
+  size_t size() const { return detectors_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ErrorDetector>> detectors_;
+};
+
+/// Detector flagging cells that participate in denial-constraint violations.
+class DcViolationDetector : public ErrorDetector {
+ public:
+  explicit DcViolationDetector(std::vector<DenialConstraint> dcs,
+                               double sim_threshold = 0.8)
+      : dcs_(std::move(dcs)), sim_threshold_(sim_threshold) {}
+
+  std::string name() const override { return "dc-violations"; }
+  NoisyCells Detect(const Dataset& dataset) const override;
+
+ private:
+  std::vector<DenialConstraint> dcs_;
+  double sim_threshold_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DETECT_ERROR_DETECTOR_H_

@@ -1,0 +1,17 @@
+#include "holoclean/detect/null_detector.h"
+
+namespace holoclean {
+
+NoisyCells NullDetector::Detect(const Dataset& dataset) const {
+  NoisyCells noisy;
+  const Table& table = dataset.dirty();
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    for (AttrId a : dataset.RepairableAttrs()) {
+      CellRef c{static_cast<TupleId>(t), a};
+      if (table.Get(c) == Dictionary::kNull) noisy.Add(c);
+    }
+  }
+  return noisy;
+}
+
+}  // namespace holoclean

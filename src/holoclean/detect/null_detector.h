@@ -1,0 +1,18 @@
+#ifndef HOLOCLEAN_DETECT_NULL_DETECTOR_H_
+#define HOLOCLEAN_DETECT_NULL_DETECTOR_H_
+
+#include "holoclean/detect/error_detector.h"
+
+namespace holoclean {
+
+/// Flags NULL (empty) cells in repairable attributes as noisy, turning
+/// missing-value imputation into the same inference problem as repairing.
+class NullDetector : public ErrorDetector {
+ public:
+  std::string name() const override { return "nulls"; }
+  NoisyCells Detect(const Dataset& dataset) const override;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DETECT_NULL_DETECTOR_H_

@@ -1,0 +1,32 @@
+#include "holoclean/detect/numeric_outlier_detector.h"
+
+#include "holoclean/stats/numeric.h"
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+NoisyCells NumericOutlierDetector::Detect(const Dataset& dataset) const {
+  NoisyCells noisy;
+  const Table& table = dataset.dirty();
+  for (AttrId a : dataset.RepairableAttrs()) {
+    NumericProfile profile = ProfileNumeric(table, a);
+    if (!profile.IsNumericAttribute()) continue;
+    for (size_t t = 0; t < table.num_rows(); ++t) {
+      CellRef c{static_cast<TupleId>(t), a};
+      ValueId v = table.Get(c);
+      if (v == Dictionary::kNull) continue;
+      const std::string& s = table.dict().GetString(v);
+      if (!IsNumeric(s)) {
+        // A non-number in a numeric column (e.g. an 'x'-typo in a zip).
+        noisy.Add(c);
+        continue;
+      }
+      if (profile.RobustZ(ParseDoubleOr(s, 0.0)) > options_.max_robust_z) {
+        noisy.Add(c);
+      }
+    }
+  }
+  return noisy;
+}
+
+}  // namespace holoclean

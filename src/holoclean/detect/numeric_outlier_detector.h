@@ -1,0 +1,32 @@
+#ifndef HOLOCLEAN_DETECT_NUMERIC_OUTLIER_DETECTOR_H_
+#define HOLOCLEAN_DETECT_NUMERIC_OUTLIER_DETECTOR_H_
+
+#include "holoclean/detect/error_detector.h"
+
+namespace holoclean {
+
+/// Quantitative outlier detection for numeric attributes in the spirit of
+/// Hellerstein's "Quantitative Data Cleaning for Large Databases" (cited
+/// as an error-detection method in paper §2.2): a cell is flagged when its
+/// attribute is predominantly numeric and the value's robust z-score
+/// (|v − median| / MAD) exceeds the threshold, or when the value fails to
+/// parse at all in an otherwise-numeric column.
+class NumericOutlierDetector : public ErrorDetector {
+ public:
+  struct Options {
+    double max_robust_z = 5.0;
+  };
+
+  NumericOutlierDetector() : options_(Options()) {}
+  explicit NumericOutlierDetector(Options options) : options_(options) {}
+
+  std::string name() const override { return "numeric-outliers"; }
+  NoisyCells Detect(const Dataset& dataset) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DETECT_NUMERIC_OUTLIER_DETECTOR_H_

@@ -1,0 +1,40 @@
+#ifndef HOLOCLEAN_DETECT_OUTLIER_DETECTOR_H_
+#define HOLOCLEAN_DETECT_OUTLIER_DETECTOR_H_
+
+#include "holoclean/detect/error_detector.h"
+
+namespace holoclean {
+
+/// Categorical outlier detection in the spirit of Das & Schneider (KDD'07):
+/// a cell is an outlier when its value is rare in the attribute's marginal
+/// distribution *and* rare conditionally on some other attribute value of
+/// the same tuple that is itself common.
+///
+/// Example (paper Figure 1): t4's City "Cicago" appears once while the
+/// co-occurring Zip "60608" overwhelmingly co-occurs with "Chicago".
+class OutlierDetector : public ErrorDetector {
+ public:
+  struct Options {
+    /// A value with marginal frequency above this is never an outlier.
+    double max_marginal_prob = 0.05;
+    /// Absolute count cap: values appearing more often are never outliers.
+    int max_count = 3;
+    /// Conditional check: context values must be at least this common.
+    int min_context_count = 4;
+    /// The cell value must explain at most this fraction of the context.
+    double max_conditional_prob = 0.1;
+  };
+
+  OutlierDetector() : options_(Options()) {}
+  explicit OutlierDetector(Options options) : options_(options) {}
+
+  std::string name() const override { return "outliers"; }
+  NoisyCells Detect(const Dataset& dataset) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DETECT_OUTLIER_DETECTOR_H_

@@ -1,0 +1,158 @@
+#include "holoclean/detect/violation_detector.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "holoclean/util/hash.h"
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+ViolationDetector::ViolationDetector(const Table* table,
+                                     const std::vector<DenialConstraint>* dcs,
+                                     Options options)
+    : table_(table),
+      dcs_(dcs),
+      options_(options),
+      evaluator_(table, options.sim_threshold) {}
+
+Violation ViolationDetector::MakeViolation(int dc_index, TupleId t1,
+                                           TupleId t2) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  Violation v;
+  v.dc_index = dc_index;
+  v.t1 = t1;
+  v.t2 = t2;
+  std::unordered_set<CellRef, CellRefHash> seen;
+  auto add = [&](TupleId t, AttrId a) {
+    CellRef c{t, a};
+    if (seen.insert(c).second) v.cells.push_back(c);
+  };
+  for (const Predicate& p : dc.preds) {
+    add(p.lhs_tuple == 0 ? t1 : t2, p.lhs_attr);
+    if (!p.rhs_is_constant) add(p.rhs_tuple == 0 ? t1 : t2, p.rhs_attr);
+  }
+  return v;
+}
+
+std::vector<Violation> ViolationDetector::DetectSingleTuple(
+    int dc_index) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  std::vector<Violation> out;
+  for (size_t t = 0; t < table_->num_rows(); ++t) {
+    TupleId tid = static_cast<TupleId>(t);
+    if (evaluator_.ViolatesSingle(dc, tid)) {
+      out.push_back(MakeViolation(dc_index, tid, tid));
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> ViolationDetector::DetectTwoTuple(int dc_index) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  std::vector<Violation> out;
+  auto equalities = dc.CrossEqualities();
+  size_t n = table_->num_rows();
+
+  // Deduplicate on unordered tuple pairs: if both (x,y) and (y,x) violate,
+  // one edge carries the same repair information.
+  std::unordered_set<uint64_t> reported;
+  auto report = [&](TupleId a, TupleId b) {
+    uint64_t lo = static_cast<uint32_t>(std::min(a, b));
+    uint64_t hi = static_cast<uint32_t>(std::max(a, b));
+    if (reported.insert((hi << 32) | lo).second) {
+      out.push_back(MakeViolation(dc_index, a, b));
+    }
+  };
+
+  if (equalities.empty()) {
+    size_t budget = options_.max_fallback_pairs;
+    for (size_t i = 0; i < n && budget > 0; ++i) {
+      for (size_t j = 0; j < n && budget > 0; ++j) {
+        if (i == j) continue;
+        --budget;
+        TupleId a = static_cast<TupleId>(i);
+        TupleId b = static_cast<TupleId>(j);
+        if (evaluator_.Violates(dc, a, b)) report(a, b);
+      }
+    }
+    if (budget == 0) {
+      HOLO_LOG(kWarning) << "fallback pair budget exhausted for DC "
+                         << dc.name;
+    }
+    return out;
+  }
+
+  // Hash blocking: a tuple pair can only violate the DC if it agrees on all
+  // cross-tuple equality predicates. Key tuples by their t1-role values and
+  // t2-role values separately (attributes may differ across roles).
+  auto key_for = [&](TupleId t, int role) -> uint64_t {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const Predicate* p : equalities) {
+      AttrId attr;
+      if (role == 0) {
+        attr = p->lhs_tuple == 0 ? p->lhs_attr : p->rhs_attr;
+      } else {
+        attr = p->lhs_tuple == 1 ? p->lhs_attr : p->rhs_attr;
+      }
+      ValueId v = table_->Get(t, attr);
+      if (v == Dictionary::kNull) return 0;  // NULL never matches.
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    }
+    return h;
+  };
+
+  std::unordered_map<uint64_t, std::vector<TupleId>> t2_buckets;
+  t2_buckets.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    uint64_t key = key_for(static_cast<TupleId>(t), 1);
+    if (key != 0) t2_buckets[key].push_back(static_cast<TupleId>(t));
+  }
+  for (size_t t = 0; t < n; ++t) {
+    TupleId a = static_cast<TupleId>(t);
+    uint64_t key = key_for(a, 0);
+    if (key == 0) continue;
+    auto it = t2_buckets.find(key);
+    if (it == t2_buckets.end()) continue;
+    for (TupleId b : it->second) {
+      if (a == b) continue;
+      if (evaluator_.Violates(dc, a, b)) report(a, b);
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> ViolationDetector::DetectOne(int dc_index) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  return dc.IsTwoTuple() ? DetectTwoTuple(dc_index)
+                         : DetectSingleTuple(dc_index);
+}
+
+std::vector<Violation> ViolationDetector::Detect() const {
+  std::vector<std::vector<Violation>> per_dc(dcs_->size());
+  if (options_.pool != nullptr && dcs_->size() > 1) {
+    options_.pool->ParallelFor(dcs_->size(), [&](size_t i) {
+      per_dc[i] = DetectOne(static_cast<int>(i));
+    });
+  } else {
+    for (size_t i = 0; i < dcs_->size(); ++i) {
+      per_dc[i] = DetectOne(static_cast<int>(i));
+    }
+  }
+  std::vector<Violation> out;
+  for (auto& part : per_dc) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+NoisyCells ViolationDetector::NoisyFromViolations(
+    const std::vector<Violation>& violations) {
+  NoisyCells noisy;
+  for (const Violation& v : violations) {
+    for (const CellRef& c : v.cells) noisy.Add(c);
+  }
+  return noisy;
+}
+
+}  // namespace holoclean

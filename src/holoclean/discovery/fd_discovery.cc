@@ -1,0 +1,153 @@
+#include "holoclean/discovery/fd_discovery.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "holoclean/util/hash.h"
+
+namespace holoclean {
+
+namespace {
+
+// Groups tuple ids by the combined value of the LHS attributes; rows with
+// a NULL in the LHS are skipped (NULLs determine nothing).
+std::unordered_map<uint64_t, std::vector<TupleId>> GroupByLhs(
+    const Table& table, const std::vector<AttrId>& lhs) {
+  std::unordered_map<uint64_t, std::vector<TupleId>> groups;
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    uint64_t key = 0x9E3779B97F4A7C15ULL;
+    bool has_null = false;
+    for (AttrId a : lhs) {
+      ValueId v = table.Get(static_cast<TupleId>(t), a);
+      if (v == Dictionary::kNull) {
+        has_null = true;
+        break;
+      }
+      key = HashCombine(key, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    }
+    if (!has_null) groups[key].push_back(static_cast<TupleId>(t));
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::string DiscoveredFd::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << schema.name(lhs[i]);
+  }
+  os << " -> " << schema.name(rhs);
+  return os.str();
+}
+
+std::vector<DiscoveredFd> DiscoverFds(const Table& table,
+                                      const FdDiscoveryOptions& options) {
+  std::vector<DiscoveredFd> out;
+  size_t num_attrs = table.schema().num_attrs();
+  size_t n = table.num_rows();
+  if (n == 0) return out;
+
+  // Distinct-value ratios decide which attributes are useful as LHS/RHS.
+  std::vector<double> distinct_ratio(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    distinct_ratio[a] =
+        static_cast<double>(table.ActiveDomain(static_cast<AttrId>(a)).size()) /
+        static_cast<double>(n);
+  }
+
+  // Candidate LHS sets: singles, then pairs (lattice level 2).
+  std::vector<std::vector<AttrId>> candidates;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (distinct_ratio[a] <= options.max_lhs_distinct_ratio) {
+      candidates.push_back({static_cast<AttrId>(a)});
+    }
+  }
+  if (options.max_lhs_size >= 2) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      for (size_t b = a + 1; b < num_attrs; ++b) {
+        if (distinct_ratio[a] <= options.max_lhs_distinct_ratio &&
+            distinct_ratio[b] <= options.max_lhs_distinct_ratio) {
+          candidates.push_back(
+              {static_cast<AttrId>(a), static_cast<AttrId>(b)});
+        }
+      }
+    }
+  }
+
+  // Already-discovered (lhs ⊆, rhs) combinations, for minimality pruning.
+  std::set<std::pair<AttrId, AttrId>> single_holds;  // (lhs attr, rhs).
+
+  for (const auto& lhs : candidates) {
+    // Minimality: a pair LHS is redundant for rhs if either single holds.
+    auto groups = GroupByLhs(table, lhs);
+    for (size_t r = 0; r < num_attrs; ++r) {
+      AttrId rhs = static_cast<AttrId>(r);
+      if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+      if (distinct_ratio[r] > options.max_rhs_distinct_ratio) continue;
+      if (lhs.size() == 2 &&
+          (single_holds.count({lhs[0], rhs}) > 0 ||
+           single_holds.count({lhs[1], rhs}) > 0)) {
+        continue;
+      }
+
+      size_t violations = 0;
+      size_t considered = 0;
+      size_t support_groups = 0;
+      for (const auto& [key, tids] : groups) {
+        if (tids.size() < 2) continue;
+        ++support_groups;
+        considered += tids.size();
+        std::unordered_map<ValueId, size_t> counts;
+        size_t majority = 0;
+        for (TupleId t : tids) {
+          size_t c = ++counts[table.Get(t, rhs)];
+          majority = std::max(majority, c);
+        }
+        violations += tids.size() - majority;
+      }
+      if (support_groups < options.min_support_groups || considered == 0) {
+        continue;
+      }
+      double error = static_cast<double>(violations) /
+                     static_cast<double>(considered);
+      if (error > options.max_error) continue;
+
+      DiscoveredFd fd;
+      fd.lhs = lhs;
+      fd.rhs = rhs;
+      fd.error = error;
+      fd.support_groups = support_groups;
+      out.push_back(std::move(fd));
+      if (lhs.size() == 1) single_holds.insert({lhs[0], rhs});
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const DiscoveredFd& a, const DiscoveredFd& b) {
+              if (a.error != b.error) return a.error < b.error;
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return a.rhs < b.rhs;
+            });
+  return out;
+}
+
+std::vector<DenialConstraint> ToDenialConstraints(
+    const Table& table, const std::vector<DiscoveredFd>& fds) {
+  std::vector<DenialConstraint> out;
+  for (const DiscoveredFd& fd : fds) {
+    std::vector<std::string> lhs_names;
+    for (AttrId a : fd.lhs) lhs_names.push_back(table.schema().name(a));
+    auto dcs = FdToDenialConstraints(table.schema(), lhs_names,
+                                     {table.schema().name(fd.rhs)});
+    if (dcs.ok()) {
+      for (auto& dc : dcs.value()) out.push_back(std::move(dc));
+    }
+  }
+  return out;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,62 @@
+#ifndef HOLOCLEAN_DISCOVERY_FD_DISCOVERY_H_
+#define HOLOCLEAN_DISCOVERY_FD_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// A discovered (approximate) functional dependency lhs -> rhs with its
+/// measured violation rate on the profiled table.
+struct DiscoveredFd {
+  std::vector<AttrId> lhs;
+  AttrId rhs = 0;
+  /// Fraction of tuples that deviate from their LHS-group's majority RHS
+  /// value (g3-style error measure). 0 = exact FD.
+  double error = 0.0;
+  /// Number of distinct LHS groups with >= 2 tuples (the support).
+  size_t support_groups = 0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Options for approximate FD discovery.
+struct FdDiscoveryOptions {
+  /// Maximum tolerated violation rate: dirty data violates the true FDs, so
+  /// discovery over dirty data needs slack roughly matching the error rate.
+  double max_error = 0.1;
+  /// Candidate LHS size (1 = single attribute, 2 adds attribute pairs).
+  int max_lhs_size = 1;
+  /// Minimum groups with >= 2 tuples for an FD to be considered supported
+  /// (FDs that never see two tuples with the same LHS are vacuous).
+  size_t min_support_groups = 2;
+  /// Skip candidate LHS attributes that are (near-)keys: if the fraction of
+  /// distinct values exceeds this, grouping carries no information.
+  double max_lhs_distinct_ratio = 0.9;
+  /// Skip RHS attributes with more distinct values than this ratio (keys /
+  /// free text cannot be functionally determined in a useful way).
+  double max_rhs_distinct_ratio = 0.9;
+};
+
+/// TANE-style approximate functional-dependency discovery with the g3
+/// error measure: lhs -> rhs holds approximately when removing `error`
+/// fraction of tuples makes it exact. Profiling the *dirty* data with a
+/// small error budget recovers the constraints that HoloClean then
+/// enforces — the workflow the paper's §6.1 datasets come from (it cites
+/// Chu et al., "Discovering denial constraints").
+///
+/// Results are minimal (no discovered FD's LHS is a superset of another
+/// discovered FD's LHS with the same RHS) and sorted by ascending error.
+std::vector<DiscoveredFd> DiscoverFds(const Table& table,
+                                      const FdDiscoveryOptions& options);
+
+/// Converts discovered FDs into denial constraints for the pipeline.
+std::vector<DenialConstraint> ToDenialConstraints(
+    const Table& table, const std::vector<DiscoveredFd>& fds);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_DISCOVERY_FD_DISCOVERY_H_

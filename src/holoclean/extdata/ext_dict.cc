@@ -1,0 +1,7 @@
+#include "holoclean/extdata/ext_dict.h"
+
+namespace holoclean {
+
+// ExtDict types are header-only; this TU anchors the library target.
+
+}  // namespace holoclean

@@ -1,0 +1,51 @@
+#ifndef HOLOCLEAN_EXTDATA_EXT_DICT_H_
+#define HOLOCLEAN_EXTDATA_EXT_DICT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// One external dictionary (the ExtDict relation of paper Section 4.1):
+/// a clean reference table such as address listings, identified by an
+/// integer id `k` so factor weights w(k) can differ per dictionary.
+class ExtDict {
+ public:
+  ExtDict(int id, std::string name, Table records)
+      : id_(id), name_(std::move(name)), records_(std::move(records)) {}
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Table& records() const { return records_; }
+
+ private:
+  int id_;
+  std::string name_;
+  Table records_;
+};
+
+/// The set of dictionaries available to a cleaning run.
+class ExtDictCollection {
+ public:
+  /// Registers a dictionary and returns its id.
+  int Add(std::string name, Table records) {
+    int id = static_cast<int>(dicts_.size());
+    dicts_.push_back(
+        std::make_unique<ExtDict>(id, std::move(name), std::move(records)));
+    return id;
+  }
+
+  const ExtDict& Get(int id) const { return *dicts_[static_cast<size_t>(id)]; }
+  size_t size() const { return dicts_.size(); }
+  bool empty() const { return dicts_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<ExtDict>> dicts_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_EXTDATA_EXT_DICT_H_

@@ -1,0 +1,144 @@
+#include "holoclean/extdata/matcher.h"
+
+#include <unordered_map>
+
+#include "holoclean/util/hash.h"
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+namespace {
+
+struct ResolvedClause {
+  AttrId data_attr;
+  AttrId ext_attr;
+  bool approximate;
+  double sim_threshold;
+};
+
+uint64_t KeyOfStrings(const std::vector<std::string>& parts) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const std::string& s : parts) h = HashCombine(h, HashBytes(s));
+  return h;
+}
+
+}  // namespace
+
+Matcher::Matcher(const Table* data, const ExtDictCollection* dicts)
+    : data_(data), dicts_(dicts) {}
+
+Result<std::vector<MatchedEntry>> Matcher::Match(
+    const MatchingDependency& md) const {
+  if (md.dict_id < 0 || static_cast<size_t>(md.dict_id) >= dicts_->size()) {
+    return Status::InvalidArgument("unknown dictionary id");
+  }
+  const Table& ext = dicts_->Get(md.dict_id).records();
+
+  std::vector<ResolvedClause> clauses;
+  for (const MatchClause& c : md.conditions) {
+    ResolvedClause rc;
+    rc.data_attr = data_->schema().IndexOf(c.data_attr);
+    rc.ext_attr = ext.schema().IndexOf(c.ext_attr);
+    if (rc.data_attr < 0) {
+      return Status::NotFound("unknown data attribute: " + c.data_attr);
+    }
+    if (rc.ext_attr < 0) {
+      return Status::NotFound("unknown dictionary attribute: " + c.ext_attr);
+    }
+    rc.approximate = c.approximate;
+    rc.sim_threshold = c.sim_threshold;
+    clauses.push_back(rc);
+  }
+  AttrId target_data = data_->schema().IndexOf(md.target_data_attr);
+  AttrId target_ext = ext.schema().IndexOf(md.target_ext_attr);
+  if (target_data < 0) {
+    return Status::NotFound("unknown target attribute: " +
+                            md.target_data_attr);
+  }
+  if (target_ext < 0) {
+    return Status::NotFound("unknown dictionary target attribute: " +
+                            md.target_ext_attr);
+  }
+
+  // Index the dictionary on the normalized values of its exact clauses.
+  std::vector<const ResolvedClause*> exact;
+  std::vector<const ResolvedClause*> approx;
+  for (const ResolvedClause& rc : clauses) {
+    (rc.approximate ? approx : exact).push_back(&rc);
+  }
+
+  std::unordered_map<uint64_t, std::vector<TupleId>> index;
+  if (!exact.empty()) {
+    for (size_t e = 0; e < ext.num_rows(); ++e) {
+      std::vector<std::string> parts;
+      parts.reserve(exact.size());
+      bool has_null = false;
+      for (const ResolvedClause* rc : exact) {
+        const std::string& raw =
+            ext.GetString(static_cast<TupleId>(e), rc->ext_attr);
+        if (raw.empty()) has_null = true;
+        parts.push_back(NormalizeForMatch(raw));
+      }
+      if (has_null) continue;
+      index[KeyOfStrings(parts)].push_back(static_cast<TupleId>(e));
+    }
+  }
+
+  auto approx_ok = [&](TupleId t, TupleId e) {
+    for (const ResolvedClause* rc : approx) {
+      const std::string& dv = data_->GetString(t, rc->data_attr);
+      const std::string& ev = ext.GetString(e, rc->ext_attr);
+      if (dv.empty() || ev.empty()) return false;
+      if (Similarity(NormalizeForMatch(dv), NormalizeForMatch(ev)) <
+          rc->sim_threshold) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<MatchedEntry> out;
+  for (size_t t = 0; t < data_->num_rows(); ++t) {
+    TupleId tid = static_cast<TupleId>(t);
+    std::vector<TupleId> candidates;
+    if (!exact.empty()) {
+      std::vector<std::string> parts;
+      parts.reserve(exact.size());
+      bool has_null = false;
+      for (const ResolvedClause* rc : exact) {
+        const std::string& raw = data_->GetString(tid, rc->data_attr);
+        if (raw.empty()) has_null = true;
+        parts.push_back(NormalizeForMatch(raw));
+      }
+      if (has_null) continue;
+      auto it = index.find(KeyOfStrings(parts));
+      if (it == index.end()) continue;
+      candidates = it->second;
+    } else {
+      candidates.resize(ext.num_rows());
+      for (size_t e = 0; e < ext.num_rows(); ++e) {
+        candidates[e] = static_cast<TupleId>(e);
+      }
+    }
+    for (TupleId e : candidates) {
+      if (!approx_ok(tid, e)) continue;
+      const std::string& suggestion = ext.GetString(e, target_ext);
+      if (suggestion.empty()) continue;
+      out.push_back(MatchedEntry{CellRef{tid, target_data}, suggestion,
+                                 md.dict_id});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<MatchedEntry>> Matcher::MatchAll(
+    const std::vector<MatchingDependency>& mds) const {
+  std::vector<MatchedEntry> out;
+  for (const MatchingDependency& md : mds) {
+    HOLO_ASSIGN_OR_RETURN(part, Match(md));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,45 @@
+#ifndef HOLOCLEAN_EXTDATA_MATCHER_H_
+#define HOLOCLEAN_EXTDATA_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "holoclean/extdata/ext_dict.h"
+#include "holoclean/extdata/matching_dependency.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// One entry of the Matched relation (paper Section 4.2): dictionary `dict_id`
+/// suggests `value` for cell (tid, attr).
+struct MatchedEntry {
+  CellRef cell;
+  std::string value;
+  int dict_id = 0;
+};
+
+/// Evaluates matching dependencies between a data table and external
+/// dictionaries, materializing the Matched(t, a, v, k) relation.
+///
+/// Exact clauses are evaluated via a hash index over the dictionary keyed on
+/// the normalized clause values; approximate clauses are verified within the
+/// indexed candidate set (or by scan when a dependency has no exact clause).
+class Matcher {
+ public:
+  Matcher(const Table* data, const ExtDictCollection* dicts);
+
+  /// All matches for one dependency. Fails when an attribute is unknown.
+  Result<std::vector<MatchedEntry>> Match(const MatchingDependency& md) const;
+
+  /// Union of matches over all dependencies.
+  Result<std::vector<MatchedEntry>> MatchAll(
+      const std::vector<MatchingDependency>& mds) const;
+
+ private:
+  const Table* data_;
+  const ExtDictCollection* dicts_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_EXTDATA_MATCHER_H_

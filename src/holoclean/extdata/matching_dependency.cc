@@ -1,0 +1,7 @@
+#include "holoclean/extdata/matching_dependency.h"
+
+namespace holoclean {
+
+// MatchingDependency is header-only; this TU anchors the library target.
+
+}  // namespace holoclean

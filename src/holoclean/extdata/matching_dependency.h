@@ -1,0 +1,37 @@
+#ifndef HOLOCLEAN_EXTDATA_MATCHING_DEPENDENCY_H_
+#define HOLOCLEAN_EXTDATA_MATCHING_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// One condition of a matching dependency: data attribute must match the
+/// dictionary attribute, exactly or approximately (the ≈ of paper Fig. 1(C)).
+struct MatchClause {
+  std::string data_attr;
+  std::string ext_attr;
+  bool approximate = false;
+  /// Similarity threshold for approximate clauses.
+  double sim_threshold = 0.85;
+};
+
+/// A matching dependency (paper Section 3 / Example 3):
+/// if all `conditions` hold between a data tuple and a dictionary tuple,
+/// then the data tuple's `target_data_attr` should equal the dictionary
+/// tuple's `target_ext_attr`.
+///
+/// Example — m1 of Figure 1(C): Zip = Ext_Zip -> City = Ext_City.
+struct MatchingDependency {
+  std::string name;
+  int dict_id = 0;
+  std::vector<MatchClause> conditions;
+  std::string target_data_attr;
+  std::string target_ext_attr;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_EXTDATA_MATCHING_DEPENDENCY_H_

@@ -1,0 +1,117 @@
+#include "holoclean/extdata/md_parser.h"
+
+#include <string>
+
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+namespace {
+
+// Parses "A=B", "A~B" or "A~B@0.9" into a clause.
+Result<MatchClause> ParseClause(std::string_view text) {
+  text = StripWhitespace(text);
+  MatchClause clause;
+  size_t op_pos = text.find_first_of("=~");
+  if (op_pos == std::string_view::npos || op_pos == 0 ||
+      op_pos + 1 >= text.size()) {
+    return Status::ParseError("malformed clause: " + std::string(text));
+  }
+  clause.approximate = text[op_pos] == '~';
+  clause.data_attr = std::string(StripWhitespace(text.substr(0, op_pos)));
+  std::string_view rhs = text.substr(op_pos + 1);
+  if (clause.approximate) {
+    size_t at = rhs.find('@');
+    if (at != std::string_view::npos) {
+      double threshold = ParseDoubleOr(rhs.substr(at + 1), -1.0);
+      if (threshold <= 0.0 || threshold > 1.0) {
+        return Status::ParseError("bad similarity threshold in: " +
+                                  std::string(text));
+      }
+      clause.sim_threshold = threshold;
+      rhs = rhs.substr(0, at);
+    }
+  }
+  clause.ext_attr = std::string(StripWhitespace(rhs));
+  if (clause.data_attr.empty() || clause.ext_attr.empty()) {
+    return Status::ParseError("empty attribute in clause: " +
+                              std::string(text));
+  }
+  return clause;
+}
+
+}  // namespace
+
+Result<MatchingDependency> ParseMatchingDependency(std::string_view text) {
+  MatchingDependency md;
+  std::string_view rest = StripWhitespace(text);
+
+  // Optional "name:" prefix (but not the ':' inside attribute names — the
+  // name ends at the first ':' that appears before any clause operator).
+  size_t colon = rest.find(':');
+  size_t first_op = rest.find_first_of("=~");
+  if (colon != std::string_view::npos &&
+      (first_op == std::string_view::npos || colon < first_op)) {
+    md.name = std::string(StripWhitespace(rest.substr(0, colon)));
+    rest = StripWhitespace(rest.substr(colon + 1));
+  }
+
+  // Optional "dict=K" token.
+  if (rest.rfind("dict=", 0) == 0) {
+    size_t space = rest.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::ParseError("matching dependency has no clauses: " +
+                                std::string(text));
+    }
+    double id = ParseDoubleOr(rest.substr(5, space - 5), -1.0);
+    if (id < 0) {
+      return Status::ParseError("bad dictionary id in: " + std::string(text));
+    }
+    md.dict_id = static_cast<int>(id);
+    rest = StripWhitespace(rest.substr(space + 1));
+  }
+
+  size_t arrow = rest.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("matching dependency needs '->': " +
+                              std::string(text));
+  }
+  std::string_view conditions = rest.substr(0, arrow);
+  std::string_view target = StripWhitespace(rest.substr(arrow + 2));
+
+  for (const std::string& part : Split(conditions, '&')) {
+    if (StripWhitespace(part).empty()) continue;
+    HOLO_ASSIGN_OR_RETURN(clause, ParseClause(part));
+    md.conditions.push_back(std::move(clause));
+  }
+  if (md.conditions.empty()) {
+    return Status::ParseError("matching dependency has no conditions: " +
+                              std::string(text));
+  }
+  HOLO_ASSIGN_OR_RETURN(target_clause, ParseClause(target));
+  if (target_clause.approximate) {
+    return Status::ParseError("target of a matching dependency must be "
+                              "exact: " +
+                              std::string(text));
+  }
+  md.target_data_attr = target_clause.data_attr;
+  md.target_ext_attr = target_clause.ext_attr;
+  if (md.name.empty()) {
+    md.name = md.conditions.front().data_attr + "->" + md.target_data_attr;
+  }
+  return md;
+}
+
+Result<std::vector<MatchingDependency>> ParseMatchingDependencies(
+    std::string_view text) {
+  std::vector<MatchingDependency> out;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    HOLO_ASSIGN_OR_RETURN(md, ParseMatchingDependency(stripped));
+    out.push_back(std::move(md));
+  }
+  return out;
+}
+
+}  // namespace holoclean

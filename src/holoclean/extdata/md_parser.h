@@ -1,0 +1,32 @@
+#ifndef HOLOCLEAN_EXTDATA_MD_PARSER_H_
+#define HOLOCLEAN_EXTDATA_MD_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "holoclean/extdata/matching_dependency.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// Parses the textual matching-dependency format used by the CLI and
+/// configuration files:
+///
+///   m1: dict=0 Zip=Ext_Zip -> City=Ext_City
+///   m3: dict=0 City=Ext_City & State=Ext_State & Address~Ext_Address
+///       -> Zip=Ext_Zip
+///
+/// Grammar per line: `[name:] [dict=K] clause (& clause)* -> target`.
+/// A clause is `DataAttr=ExtAttr` (exact) or `DataAttr~ExtAttr`
+/// (approximate, optional `@threshold` suffix, default 0.85); the target
+/// is always `DataAttr=ExtAttr`. `dict=K` defaults to dictionary 0.
+/// '#'-prefixed lines are comments.
+Result<MatchingDependency> ParseMatchingDependency(std::string_view text);
+
+/// One dependency per non-empty, non-comment line.
+Result<std::vector<MatchingDependency>> ParseMatchingDependencies(
+    std::string_view text);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_EXTDATA_MD_PARSER_H_

@@ -1,0 +1,176 @@
+#include "holoclean/infer/gibbs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "holoclean/infer/learner.h"
+#include "holoclean/util/hash.h"
+#include "holoclean/util/union_find.h"
+
+namespace holoclean {
+
+GibbsSampler::GibbsSampler(const FactorGraph* graph, const Table* table,
+                           const std::vector<DenialConstraint>* dcs,
+                           const WeightStore* weights, GibbsOptions options)
+    : graph_(graph),
+      table_(table),
+      dcs_(dcs),
+      weights_(weights),
+      options_(options),
+      evaluator_(table) {
+  assignment_.resize(graph_->num_variables());
+  unary_scores_.resize(graph_->num_variables());
+  for (size_t v = 0; v < graph_->num_variables(); ++v) {
+    const Variable& var = graph_->variable(static_cast<int>(v));
+    assignment_[v] = var.init_index >= 0 ? var.init_index : 0;
+    auto& scores = unary_scores_[v];
+    scores.resize(var.NumCandidates());
+    for (size_t k = 0; k < var.NumCandidates(); ++k) {
+      scores[k] = graph_->UnaryScore(static_cast<int>(v),
+                                     static_cast<int>(k), *weights_);
+    }
+  }
+}
+
+double GibbsSampler::FactorScore(int var_id, int candidate_index) {
+  const Variable& var = graph_->variable(var_id);
+  double score = 0.0;
+  std::vector<CellOverride> overrides;
+  for (int32_t fid : graph_->FactorsOfVar(var_id)) {
+    const DcFactor& factor =
+        graph_->dc_factors()[static_cast<size_t>(fid)];
+    overrides.clear();
+    for (int32_t other : factor.var_ids) {
+      const Variable& other_var = graph_->variable(other);
+      ValueId value =
+          other == var_id
+              ? var.domain[static_cast<size_t>(candidate_index)]
+              : other_var.domain[static_cast<size_t>(
+                    assignment_[static_cast<size_t>(other)])];
+      overrides.push_back({other_var.cell, value});
+    }
+    const DenialConstraint& dc =
+        (*dcs_)[static_cast<size_t>(factor.dc_index)];
+    if (evaluator_.ViolatesWith(dc, factor.t1, factor.t2, overrides)) {
+      score -= factor.weight;
+    }
+  }
+  return score;
+}
+
+void GibbsSampler::SampleVariable(int var_id, Rng* rng,
+                                  std::vector<double>* scratch) {
+  const Variable& var = graph_->variable(var_id);
+  size_t num_cand = var.NumCandidates();
+  if (num_cand == 1) {
+    assignment_[static_cast<size_t>(var_id)] = 0;
+    return;
+  }
+  auto& scores = *scratch;
+  scores.assign(num_cand, 0.0);
+  const auto& unary = unary_scores_[static_cast<size_t>(var_id)];
+  bool has_factors = !graph_->FactorsOfVar(var_id).empty();
+  for (size_t k = 0; k < num_cand; ++k) {
+    scores[k] = unary[k];
+    if (has_factors) {
+      scores[k] += FactorScore(var_id, static_cast<int>(k));
+    }
+  }
+  std::vector<double> probs = Softmax(scores);
+  assignment_[static_cast<size_t>(var_id)] =
+      static_cast<int>(rng->Categorical(probs));
+}
+
+std::vector<std::vector<int32_t>> GibbsSampler::QueryComponents() const {
+  const auto& query = graph_->query_vars();
+  UnionFind uf(graph_->num_variables());
+  for (const DcFactor& factor : graph_->dc_factors()) {
+    for (size_t i = 1; i < factor.var_ids.size(); ++i) {
+      uf.Union(static_cast<size_t>(factor.var_ids[0]),
+               static_cast<size_t>(factor.var_ids[i]));
+    }
+  }
+  std::unordered_map<size_t, std::vector<int32_t>> by_root;
+  for (int32_t v : query) {
+    by_root[uf.Find(static_cast<size_t>(v))].push_back(v);
+  }
+  std::vector<std::vector<int32_t>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    components.push_back(std::move(members));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return components;
+}
+
+void GibbsSampler::RunComponent(
+    const std::vector<int32_t>& component,
+    std::vector<std::vector<uint32_t>>* counts) {
+  // Seeded by the component's smallest variable id: deterministic for any
+  // thread count or component ordering.
+  Rng rng(options_.seed ^ Mix64(static_cast<uint64_t>(component[0]) + 1));
+  std::vector<int32_t> order(component);
+  std::vector<double> scratch;
+  int total_sweeps = options_.burn_in + options_.samples;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    rng.Shuffle(&order);
+    for (int32_t var_id : order) {
+      SampleVariable(var_id, &rng, &scratch);
+    }
+    if (sweep >= options_.burn_in) {
+      for (int32_t var_id : order) {
+        ++(*counts)[static_cast<size_t>(var_id)][static_cast<size_t>(
+            assignment_[static_cast<size_t>(var_id)])];
+      }
+    }
+  }
+}
+
+Marginals GibbsSampler::Run() {
+  std::vector<std::vector<uint32_t>> counts(graph_->num_variables());
+  for (size_t v = 0; v < graph_->num_variables(); ++v) {
+    counts[v].assign(graph_->variable(static_cast<int>(v)).NumCandidates(),
+                     0);
+  }
+
+  // Independent chains per factor-graph component; components share no
+  // variables, so their chains may run concurrently.
+  std::vector<std::vector<int32_t>> components = QueryComponents();
+  if (options_.pool != nullptr && components.size() > 1) {
+    options_.pool->ParallelFor(components.size(), [&](size_t c) {
+      RunComponent(components[c], &counts);
+    });
+  } else {
+    for (const auto& component : components) {
+      RunComponent(component, &counts);
+    }
+  }
+
+  Marginals out(graph_->num_variables());
+  for (size_t v = 0; v < graph_->num_variables(); ++v) {
+    const Variable& var = graph_->variable(static_cast<int>(v));
+    auto& probs = out.probs()[v];
+    probs.assign(var.NumCandidates(), 0.0);
+    if (var.is_evidence) {
+      probs[static_cast<size_t>(var.init_index)] = 1.0;
+      continue;
+    }
+    uint64_t total = 0;
+    for (uint32_t c : counts[v]) total += c;
+    if (total == 0) {
+      // Query variable never sampled (shouldn't happen); keep current state.
+      probs[static_cast<size_t>(assignment_[v])] = 1.0;
+      continue;
+    }
+    for (size_t k = 0; k < probs.size(); ++k) {
+      probs[k] = static_cast<double>(counts[v][k]) /
+                 static_cast<double>(total);
+    }
+  }
+  return out;
+}
+
+}  // namespace holoclean

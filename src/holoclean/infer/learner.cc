@@ -1,0 +1,66 @@
+#include "holoclean/infer/learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "holoclean/util/rng.h"
+
+namespace holoclean {
+
+std::vector<double> Softmax(const std::vector<double>& scores) {
+  std::vector<double> probs(scores.size());
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    probs[i] = std::exp(scores[i] - max_score);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+SgdLearner::SgdLearner(const FactorGraph* graph, LearnerOptions options)
+    : graph_(graph), options_(options) {}
+
+std::vector<double> SgdLearner::Train(WeightStore* weights) const {
+  std::vector<int32_t> order(graph_->evidence_vars());
+  std::vector<double> epoch_nll;
+  if (order.empty()) return epoch_nll;
+
+  Rng rng(options_.seed);
+  double lr = options_.learning_rate;
+  std::vector<double> scores;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double nll = 0.0;
+    for (int32_t var_id : order) {
+      const Variable& var = graph_->variable(var_id);
+      size_t num_cand = var.NumCandidates();
+      scores.assign(num_cand, 0.0);
+      for (size_t k = 0; k < num_cand; ++k) {
+        scores[k] = graph_->UnaryScore(var_id, static_cast<int>(k), *weights);
+      }
+      std::vector<double> probs = Softmax(scores);
+      size_t label = static_cast<size_t>(var.init_index);
+      nll -= std::log(std::max(probs[label], 1e-12));
+
+      for (size_t k = 0; k < num_cand; ++k) {
+        double coef = (k == label ? 1.0 : 0.0) - probs[k];
+        if (coef == 0.0) continue;
+        for (int32_t i = var.feat_begin[k]; i < var.feat_begin[k + 1]; ++i) {
+          const FeatureInstance& f = var.features[static_cast<size_t>(i)];
+          // Lazy L2: shrink the weight as we touch it.
+          double w = weights->Get(f.weight_key);
+          weights->Set(f.weight_key,
+                       w * (1.0 - lr * options_.l2) + lr * coef * f.activation);
+        }
+      }
+    }
+    epoch_nll.push_back(nll / static_cast<double>(order.size()));
+    lr *= options_.lr_decay;
+  }
+  return epoch_nll;
+}
+
+}  // namespace holoclean

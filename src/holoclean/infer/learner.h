@@ -1,0 +1,44 @@
+#ifndef HOLOCLEAN_INFER_LEARNER_H_
+#define HOLOCLEAN_INFER_LEARNER_H_
+
+#include <vector>
+
+#include "holoclean/model/factor_graph.h"
+
+namespace holoclean {
+
+/// SGD hyper-parameters for weight learning.
+struct LearnerOptions {
+  int epochs = 20;
+  double learning_rate = 0.05;
+  /// Multiplicative decay applied to the learning rate per epoch.
+  double lr_decay = 0.95;
+  /// L2 regularization strength (applied lazily to touched weights).
+  double l2 = 1e-5;
+  uint64_t seed = 17;
+};
+
+/// Numerically stable softmax.
+std::vector<double> Softmax(const std::vector<double>& scores);
+
+/// Empirical-risk minimization over the evidence variables (paper §2.2):
+/// each evidence cell is a multinomial logistic example whose label is its
+/// observed value; SGD maximizes the conditional log-likelihood. Because
+/// the relaxed model's variables are independent, this objective is convex
+/// (paper §5.2).
+class SgdLearner {
+ public:
+  SgdLearner(const FactorGraph* graph, LearnerOptions options);
+
+  /// Trains `weights` in place; returns the average negative log-likelihood
+  /// per epoch (for convergence monitoring/tests).
+  std::vector<double> Train(WeightStore* weights) const;
+
+ private:
+  const FactorGraph* graph_;
+  LearnerOptions options_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_INFER_LEARNER_H_

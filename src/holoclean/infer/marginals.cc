@@ -1,0 +1,42 @@
+#include "holoclean/infer/marginals.h"
+
+#include <algorithm>
+
+#include "holoclean/infer/learner.h"
+
+namespace holoclean {
+
+int Marginals::MapIndex(int var_id) const {
+  const auto& p = probs_[static_cast<size_t>(var_id)];
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double Marginals::MapProb(int var_id) const {
+  const auto& p = probs_[static_cast<size_t>(var_id)];
+  return *std::max_element(p.begin(), p.end());
+}
+
+Marginals ExactIndependentMarginals(const FactorGraph& graph,
+                                    const WeightStore& weights) {
+  Marginals out(graph.num_variables());
+  std::vector<double> scores;
+  for (size_t v = 0; v < graph.num_variables(); ++v) {
+    const Variable& var = graph.variable(static_cast<int>(v));
+    auto& probs = out.probs()[v];
+    if (var.is_evidence) {
+      probs.assign(var.NumCandidates(), 0.0);
+      probs[static_cast<size_t>(var.init_index)] = 1.0;
+      continue;
+    }
+    scores.assign(var.NumCandidates(), 0.0);
+    for (size_t k = 0; k < var.NumCandidates(); ++k) {
+      scores[k] =
+          graph.UnaryScore(static_cast<int>(v), static_cast<int>(k), weights);
+    }
+    probs = Softmax(scores);
+  }
+  return out;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,51 @@
+#include "holoclean/model/feature_registry.h"
+
+#include <sstream>
+
+namespace holoclean {
+
+std::string WeightKeyCodec::Describe(uint64_t key, const Schema& schema,
+                                     const Dictionary& dict) {
+  std::ostringstream os;
+  FeatureKind kind = Kind(key);
+  uint32_t p1 = P1(key);
+  uint32_t p2 = P2(key);
+  uint32_t ctx = Ctx(key);
+  uint32_t value = Value(key);
+  auto attr_name = [&](uint32_t a) -> std::string {
+    return a < schema.num_attrs() ? schema.name(static_cast<AttrId>(a))
+                                  : "?";
+  };
+  auto value_str = [&](uint32_t v) -> std::string {
+    return v < dict.size() ? dict.GetString(static_cast<ValueId>(v)) : "?";
+  };
+  switch (kind) {
+    case FeatureKind::kCooccurrence:
+      os << "cooc[" << attr_name(p1) << "=" << value_str(value) << " | "
+         << attr_name(p2) << "=" << value_str(ctx) << "]";
+      break;
+    case FeatureKind::kSourceSupport:
+      os << "support[attr=" << attr_name(p1) << ", dc=" << p2
+         << ", src=" << value_str(ctx) << "]";
+      break;
+    case FeatureKind::kExtDict:
+      os << "extdict[k=" << p2 << "]";
+      break;
+    case FeatureKind::kDcViolation:
+      os << "dc_violation[sigma=" << p2 << "]";
+      break;
+    case FeatureKind::kSourcePrior:
+      os << "src_prior[" << attr_name(p1) << "=" << value_str(value)
+         << " | src=" << value_str(ctx) << "]";
+      break;
+    case FeatureKind::kCondProb:
+      os << "cond_prob[" << attr_name(p1) << " | " << attr_name(p2) << "]";
+      break;
+    case FeatureKind::kFrequency:
+      os << "frequency[" << attr_name(p1) << "]";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace holoclean

@@ -1,0 +1,77 @@
+#ifndef HOLOCLEAN_MODEL_FEATURE_REGISTRY_H_
+#define HOLOCLEAN_MODEL_FEATURE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// Kinds of unary features HoloClean attaches to cell random variables.
+/// Each corresponds to one inference-rule family of the generated program.
+enum class FeatureKind : uint8_t {
+  /// Co-occurrence feature: candidate d together with context attribute
+  /// value "a_ctx = v_ctx" in the same tuple. Weight w(d, f) — paper §4.2.
+  kCooccurrence = 1,
+  /// Support from tuples that agree on a constraint's equality key, keyed
+  /// by the supporting tuple's source (provenance trust, paper §4.1/§6.2.1).
+  kSourceSupport = 2,
+  /// External-dictionary match through a matching dependency; weight w(k).
+  kExtDict = 3,
+  /// Relaxed denial-constraint feature; weight w(σ) — paper §5.2.
+  kDcViolation = 4,
+  /// Per-source value prior: candidate d reported by source s; weight
+  /// w(d, src=s).
+  kSourcePrior = 5,
+  /// Probability-valued co-occurrence feature shared per attribute pair:
+  /// activation = Pr[d | a_ctx = v_ctx]. One weight per (a, a_ctx), so the
+  /// statistics signal generalizes across values even where the per-value
+  /// weights w(d, f) have no training signal.
+  kCondProb = 6,
+  /// Marginal frequency of the candidate within its attribute; one weight
+  /// per attribute.
+  kFrequency = 7,
+};
+
+/// Packs/unpacks the 64-bit weight keys used by the WeightStore and the
+/// learner. Layout: [kind:4][p1:8][p2:8][ctx:22][value:22].
+///
+/// The packing is injective, so two distinct features can never alias the
+/// same weight. ValueIds must fit in 22 bits (~4.2M distinct strings),
+/// which is checked at grounding time.
+class WeightKeyCodec {
+ public:
+  static constexpr int kValueBits = 22;
+  static constexpr uint64_t kValueMask = (1ULL << kValueBits) - 1;
+
+  /// Packs a weight key. `p1`/`p2` are small parameters (attribute ids,
+  /// constraint indices, dictionary ids); `ctx` and `value` are ValueIds
+  /// (or 0 when unused / weight is shared across candidates).
+  static uint64_t Pack(FeatureKind kind, uint32_t p1, uint32_t p2,
+                       uint32_t ctx, uint32_t value) {
+    return (static_cast<uint64_t>(kind) << 60) |
+           (static_cast<uint64_t>(p1 & 0xFF) << 52) |
+           (static_cast<uint64_t>(p2 & 0xFF) << 44) |
+           ((static_cast<uint64_t>(ctx) & kValueMask) << kValueBits) |
+           (static_cast<uint64_t>(value) & kValueMask);
+  }
+
+  static FeatureKind Kind(uint64_t key) {
+    return static_cast<FeatureKind>(key >> 60);
+  }
+  static uint32_t P1(uint64_t key) { return (key >> 52) & 0xFF; }
+  static uint32_t P2(uint64_t key) { return (key >> 44) & 0xFF; }
+  static uint32_t Ctx(uint64_t key) {
+    return (key >> kValueBits) & kValueMask;
+  }
+  static uint32_t Value(uint64_t key) { return key & kValueMask; }
+
+  /// Human-readable description for debugging and model introspection.
+  static std::string Describe(uint64_t key, const Schema& schema,
+                              const Dictionary& dict);
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_MODEL_FEATURE_REGISTRY_H_

@@ -1,0 +1,25 @@
+#include "holoclean/model/weight_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace holoclean {
+
+void WeightStore::ShrinkAll(double factor) {
+  for (auto& [key, w] : weights_) w *= (1.0 - factor);
+}
+
+std::vector<std::pair<uint64_t, double>> WeightStore::TopByMagnitude(
+    size_t k) const {
+  std::vector<std::pair<uint64_t, double>> all(weights_.begin(),
+                                               weights_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    double ma = std::abs(a.second);
+    double mb = std::abs(b.second);
+    return ma != mb ? ma > mb : a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace holoclean

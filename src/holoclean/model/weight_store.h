@@ -1,0 +1,42 @@
+#ifndef HOLOCLEAN_MODEL_WEIGHT_STORE_H_
+#define HOLOCLEAN_MODEL_WEIGHT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace holoclean {
+
+/// Sparse parameter vector of the probabilistic model, keyed by the packed
+/// weight keys of WeightKeyCodec. Unseen weights are implicitly zero.
+class WeightStore {
+ public:
+  double Get(uint64_t key) const {
+    auto it = weights_.find(key);
+    return it == weights_.end() ? 0.0 : it->second;
+  }
+
+  void Set(uint64_t key, double value) { weights_[key] = value; }
+
+  /// Adds `delta` to the weight (creating it when absent).
+  void Add(uint64_t key, double delta) { weights_[key] += delta; }
+
+  /// In-place L2 shrinkage: w *= (1 - factor), applied to every weight.
+  /// Used for lazily-regularized SGD epochs.
+  void ShrinkAll(double factor);
+
+  size_t size() const { return weights_.size(); }
+
+  const std::unordered_map<uint64_t, double>& raw() const { return weights_; }
+
+  /// Largest-magnitude weights, for model introspection.
+  std::vector<std::pair<uint64_t, double>> TopByMagnitude(size_t k) const;
+
+ private:
+  std::unordered_map<uint64_t, double> weights_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_MODEL_WEIGHT_STORE_H_

@@ -1,0 +1,108 @@
+#include "holoclean/stats/cooccurrence.h"
+
+#include <algorithm>
+
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+namespace {
+constexpr uint64_t kValueBits = 24;
+constexpr uint64_t kValueMask = (1ULL << kValueBits) - 1;
+}  // namespace
+
+uint64_t CooccurrenceStats::PairKey(AttrId a, ValueId v, AttrId a_ctx,
+                                    ValueId v_ctx) const {
+  // Layout: [a:8][a_ctx:8][v:24][v_ctx:24]. Checked at build time.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 56) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(a_ctx)) << 48) |
+         ((static_cast<uint64_t>(static_cast<uint32_t>(v)) & kValueMask)
+          << kValueBits) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(v_ctx)) & kValueMask);
+}
+
+CooccurrenceStats CooccurrenceStats::Build(const Table& table,
+                                           const std::vector<AttrId>& attrs) {
+  CooccurrenceStats stats;
+  size_t num_attrs = table.schema().num_attrs();
+  stats.num_attrs_ = num_attrs;
+  HOLO_CHECK(num_attrs < 256);
+  HOLO_CHECK(table.dict().size() < (1ULL << kValueBits));
+  stats.pair_index_.resize(num_attrs * num_attrs);
+  stats.domains_.resize(num_attrs);
+
+  for (AttrId a : attrs) {
+    for (ValueId v : table.Column(a)) {
+      if (v == Dictionary::kNull) continue;
+      ++stats.value_counts_[KeyAV(a, v)];
+    }
+    stats.domains_[static_cast<size_t>(a)] = table.ActiveDomain(a);
+  }
+
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    for (AttrId a : attrs) {
+      ValueId v = table.Get(static_cast<TupleId>(t), a);
+      if (v == Dictionary::kNull) continue;
+      for (AttrId a_ctx : attrs) {
+        if (a_ctx == a) continue;
+        ValueId v_ctx = table.Get(static_cast<TupleId>(t), a_ctx);
+        if (v_ctx == Dictionary::kNull) continue;
+        ++stats.pair_counts_[stats.PairKey(a, v, a_ctx, v_ctx)];
+      }
+    }
+  }
+
+  // Build the per-context index from the flat pair counts.
+  for (const auto& [key, count] : stats.pair_counts_) {
+    AttrId a = static_cast<AttrId>(key >> 56);
+    AttrId a_ctx = static_cast<AttrId>((key >> 48) & 0xFF);
+    ValueId v = static_cast<ValueId>((key >> kValueBits) & kValueMask);
+    ValueId v_ctx = static_cast<ValueId>(key & kValueMask);
+    auto& index = stats.pair_index_[static_cast<size_t>(a) * num_attrs +
+                                    static_cast<size_t>(a_ctx)];
+    index.by_ctx[v_ctx].emplace_back(v, count);
+  }
+  // Deterministic ordering for reproducible candidate generation.
+  for (auto& index : stats.pair_index_) {
+    for (auto& [ctx, values] : index.by_ctx) {
+      std::sort(values.begin(), values.end());
+    }
+  }
+  return stats;
+}
+
+int CooccurrenceStats::PairCount(AttrId a, ValueId v, AttrId a_ctx,
+                                 ValueId v_ctx) const {
+  auto it = pair_counts_.find(PairKey(a, v, a_ctx, v_ctx));
+  return it == pair_counts_.end() ? 0 : it->second;
+}
+
+int CooccurrenceStats::Count(AttrId a, ValueId v) const {
+  auto it = value_counts_.find(KeyAV(a, v));
+  return it == value_counts_.end() ? 0 : it->second;
+}
+
+double CooccurrenceStats::CondProb(AttrId a, ValueId v, AttrId a_ctx,
+                                   ValueId v_ctx) const {
+  int ctx_count = Count(a_ctx, v_ctx);
+  if (ctx_count == 0) return 0.0;
+  return static_cast<double>(PairCount(a, v, a_ctx, v_ctx)) /
+         static_cast<double>(ctx_count);
+}
+
+const std::vector<std::pair<ValueId, int>>&
+CooccurrenceStats::CooccurringValues(AttrId a, AttrId a_ctx,
+                                     ValueId v_ctx) const {
+  static const std::vector<std::pair<ValueId, int>> kEmpty;
+  const auto& index = pair_index_[static_cast<size_t>(a) * num_attrs_ +
+                                  static_cast<size_t>(a_ctx)];
+  auto it = index.by_ctx.find(v_ctx);
+  if (it == index.by_ctx.end()) return kEmpty;
+  return it->second;
+}
+
+const std::vector<ValueId>& CooccurrenceStats::Domain(AttrId a) const {
+  return domains_[static_cast<size_t>(a)];
+}
+
+}  // namespace holoclean

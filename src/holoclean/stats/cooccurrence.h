@@ -1,0 +1,69 @@
+#ifndef HOLOCLEAN_STATS_COOCCURRENCE_H_
+#define HOLOCLEAN_STATS_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// Pairwise value co-occurrence statistics of a table.
+///
+/// This is the quantitative-statistics signal of the paper: the conditional
+/// probability Pr[v | v'] = #(v, v' in the same tuple) / #v' drives both the
+/// domain-pruning strategy (Algorithm 2) and the co-occurrence features of
+/// the probabilistic model.
+class CooccurrenceStats {
+ public:
+  /// Counts co-occurrences across all ordered pairs of `attrs` in `table`.
+  /// NULL cells are skipped.
+  static CooccurrenceStats Build(const Table& table,
+                                 const std::vector<AttrId>& attrs);
+
+  /// #(tuples where attribute a = v and attribute a_ctx = v_ctx).
+  int PairCount(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
+
+  /// #(tuples where attribute a = v).
+  int Count(AttrId a, ValueId v) const;
+
+  /// Pr[v for attribute a | v_ctx for attribute a_ctx]; 0 when v_ctx unseen.
+  double CondProb(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
+
+  /// Values of attribute a that co-occur with (a_ctx = v_ctx) in >= 1 tuple,
+  /// with their pair counts. This is the candidate-generation primitive of
+  /// Algorithm 2: it avoids scanning the whole active domain of a.
+  const std::vector<std::pair<ValueId, int>>& CooccurringValues(
+      AttrId a, AttrId a_ctx, ValueId v_ctx) const;
+
+  /// Active domain (distinct non-null values) of attribute a.
+  const std::vector<ValueId>& Domain(AttrId a) const;
+
+  /// Total number of (attr-pair, value-pair) entries; the memory footprint.
+  size_t num_pair_entries() const { return pair_counts_.size(); }
+
+ private:
+  // Packs (a, v) into a 64-bit key. Requires v < 2^32.
+  static uint64_t KeyAV(AttrId a, ValueId v) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(v);
+  }
+
+  std::unordered_map<uint64_t, int> value_counts_;  // (a,v) -> count
+  // (a,a_ctx) indexed by a*A+a_ctx -> map from (v_ctx) -> list of (v,count).
+  // Stored as: per attr-pair, map v_ctx -> vector<pair<v,count>>.
+  struct PairIndex {
+    std::unordered_map<ValueId, std::vector<std::pair<ValueId, int>>> by_ctx;
+  };
+  std::vector<PairIndex> pair_index_;              // size A*A
+  std::unordered_map<uint64_t, int> pair_counts_;  // packed pair key -> count
+  std::vector<std::vector<ValueId>> domains_;      // per attribute
+  size_t num_attrs_ = 0;
+
+  uint64_t PairKey(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STATS_COOCCURRENCE_H_

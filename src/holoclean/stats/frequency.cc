@@ -1,0 +1,46 @@
+#include "holoclean/stats/frequency.h"
+
+#include <algorithm>
+
+namespace holoclean {
+
+FrequencyStats FrequencyStats::Build(const Table& table) {
+  FrequencyStats stats;
+  stats.num_rows_ = table.num_rows();
+  stats.counts_.resize(table.schema().num_attrs());
+  for (size_t a = 0; a < table.schema().num_attrs(); ++a) {
+    auto& counter = stats.counts_[a];
+    for (ValueId v : table.Column(static_cast<AttrId>(a))) {
+      ++counter[v];
+    }
+  }
+  return stats;
+}
+
+int FrequencyStats::Count(AttrId a, ValueId v) const {
+  const auto& counter = counts_[static_cast<size_t>(a)];
+  auto it = counter.find(v);
+  return it == counter.end() ? 0 : it->second;
+}
+
+double FrequencyStats::Probability(AttrId a, ValueId v) const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(Count(a, v)) / static_cast<double>(num_rows_);
+}
+
+std::vector<std::pair<ValueId, int>> FrequencyStats::SortedCounts(
+    AttrId a) const {
+  const auto& counter = counts_[static_cast<size_t>(a)];
+  std::vector<std::pair<ValueId, int>> out(counter.begin(), counter.end());
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.second != y.second ? x.second > y.second : x.first < y.first;
+  });
+  return out;
+}
+
+ValueId FrequencyStats::Mode(AttrId a) const {
+  auto sorted = SortedCounts(a);
+  return sorted.empty() ? Dictionary::kNull : sorted.front().first;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,39 @@
+#ifndef HOLOCLEAN_STATS_FREQUENCY_H_
+#define HOLOCLEAN_STATS_FREQUENCY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// Per-attribute empirical value distribution of a table.
+/// Used by the categorical outlier detector and the SCARE baseline.
+class FrequencyStats {
+ public:
+  /// Counts values of every attribute of `table`.
+  static FrequencyStats Build(const Table& table);
+
+  /// Number of occurrences of value v in attribute a.
+  int Count(AttrId a, ValueId v) const;
+
+  /// Empirical probability of v within attribute a.
+  double Probability(AttrId a, ValueId v) const;
+
+  /// Distinct values of attribute a sorted by descending count.
+  std::vector<std::pair<ValueId, int>> SortedCounts(AttrId a) const;
+
+  /// Most frequent value of attribute a (kNull when the column is empty).
+  ValueId Mode(AttrId a) const;
+
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  std::vector<std::unordered_map<ValueId, int>> counts_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STATS_FREQUENCY_H_

@@ -1,0 +1,42 @@
+#include "holoclean/stats/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+NumericProfile ProfileNumeric(const Table& table, AttrId a) {
+  NumericProfile profile;
+  std::vector<double> values;
+  for (ValueId v : table.Column(a)) {
+    if (v == Dictionary::kNull) continue;
+    const std::string& s = table.dict().GetString(v);
+    if (IsNumeric(s)) {
+      values.push_back(ParseDoubleOr(s, 0.0));
+    } else {
+      ++profile.non_numeric_count;
+    }
+  }
+  profile.numeric_count = values.size();
+  if (values.empty()) return profile;
+
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  profile.mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - profile.mean) * (v - profile.mean);
+  profile.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+
+  std::sort(values.begin(), values.end());
+  profile.median = values[values.size() / 2];
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::abs(v - profile.median));
+  std::sort(deviations.begin(), deviations.end());
+  profile.mad = 1.4826 * deviations[deviations.size() / 2];
+  return profile;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,44 @@
+#ifndef HOLOCLEAN_STATS_NUMERIC_H_
+#define HOLOCLEAN_STATS_NUMERIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// Robust summary of a (mostly) numeric attribute: median and MAD
+/// (median absolute deviation), plus mean/stddev, over the cells that
+/// parse as numbers.
+struct NumericProfile {
+  size_t numeric_count = 0;
+  size_t non_numeric_count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  /// Median absolute deviation, scaled by 1.4826 (consistent with the
+  /// standard deviation under normality).
+  double mad = 0.0;
+
+  /// Whether the attribute is predominantly numeric (>= 80% parseable).
+  bool IsNumericAttribute() const {
+    size_t total = numeric_count + non_numeric_count;
+    return total > 0 && numeric_count * 5 >= total * 4;
+  }
+
+  /// Robust z-score of a value: |v - median| / MAD (infinite MAD-less
+  /// columns yield 0).
+  double RobustZ(double value) const {
+    if (mad <= 0.0) return 0.0;
+    double z = (value - median) / mad;
+    return z < 0 ? -z : z;
+  }
+};
+
+/// Profiles attribute `a` of the table (NULLs skipped).
+NumericProfile ProfileNumeric(const Table& table, AttrId a);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STATS_NUMERIC_H_

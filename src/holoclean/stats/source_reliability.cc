@@ -1,0 +1,86 @@
+#include "holoclean/stats/source_reliability.h"
+
+#include <algorithm>
+
+namespace holoclean {
+
+SourceReliability SourceReliability::Estimate(const Table& table,
+                                              AttrId key_attr,
+                                              AttrId source_attr,
+                                              Options options) {
+  // Group tuple ids by entity key.
+  std::unordered_map<ValueId, std::vector<TupleId>> groups;
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    ValueId key = table.Get(static_cast<TupleId>(t), key_attr);
+    if (key == Dictionary::kNull) continue;
+    groups[key].push_back(static_cast<TupleId>(t));
+  }
+
+  std::unordered_map<ValueId, double> reliability;
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    ValueId src = table.Get(static_cast<TupleId>(t), source_attr);
+    reliability.emplace(src, options.initial);
+  }
+
+  size_t num_attrs = table.schema().num_attrs();
+  for (int round = 0; round < options.iterations; ++round) {
+    std::unordered_map<ValueId, double> agree;
+    std::unordered_map<ValueId, double> total;
+    for (const auto& [key, tids] : groups) {
+      if (tids.size() < 2) continue;  // Singletons carry no conflict signal.
+      for (size_t a = 0; a < num_attrs; ++a) {
+        AttrId attr = static_cast<AttrId>(a);
+        if (attr == key_attr || attr == source_attr) continue;
+        // Reliability-weighted vote for the entity's true value.
+        std::unordered_map<ValueId, double> votes;
+        for (TupleId t : tids) {
+          ValueId v = table.Get(t, attr);
+          if (v == Dictionary::kNull) continue;
+          votes[v] += reliability[table.Get(t, source_attr)];
+        }
+        if (votes.empty()) continue;
+        ValueId truth = Dictionary::kNull;
+        double best = -1.0;
+        for (const auto& [v, score] : votes) {
+          if (score > best || (score == best && v < truth)) {
+            truth = v;
+            best = score;
+          }
+        }
+        for (TupleId t : tids) {
+          ValueId v = table.Get(t, attr);
+          if (v == Dictionary::kNull) continue;
+          ValueId src = table.Get(t, source_attr);
+          total[src] += 1.0;
+          if (v == truth) agree[src] += 1.0;
+        }
+      }
+    }
+    for (auto& [src, r] : reliability) {
+      auto it = total.find(src);
+      if (it == total.end()) continue;
+      double hits = 0.0;
+      auto ag = agree.find(src);
+      if (ag != agree.end()) hits = ag->second;
+      r = (hits + options.smoothing) / (it->second + 2.0 * options.smoothing);
+    }
+  }
+
+  SourceReliability out;
+  out.reliability_ = std::move(reliability);
+  return out;
+}
+
+double SourceReliability::Get(ValueId source) const {
+  auto it = reliability_.find(source);
+  return it == reliability_.end() ? 0.5 : it->second;
+}
+
+std::vector<std::pair<ValueId, double>> SourceReliability::All() const {
+  std::vector<std::pair<ValueId, double>> out(reliability_.begin(),
+                                              reliability_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace holoclean

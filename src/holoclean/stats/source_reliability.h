@@ -1,0 +1,51 @@
+#ifndef HOLOCLEAN_STATS_SOURCE_RELIABILITY_H_
+#define HOLOCLEAN_STATS_SOURCE_RELIABILITY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// Iterative (EM-style) estimate of per-source trustworthiness, in the
+/// spirit of SLiMFast [Rekatsinas et al., SIGMOD'17] — the signal the paper
+/// uses on Flights (§6.2.1).
+///
+/// Tuples are grouped by a key attribute (the entity, e.g. flight number).
+/// Starting from a uniform prior, each round (1) estimates the truth of
+/// every (entity, attribute) by a reliability-weighted vote and (2)
+/// re-estimates each source's reliability as its smoothed agreement rate
+/// with the estimated truths. Consistently-correct sources reinforce each
+/// other, which lets the estimate escape wrong unweighted majorities.
+class SourceReliability {
+ public:
+  struct Options {
+    int iterations = 10;
+    double initial = 0.8;
+    /// Laplace smoothing of the agreement rate.
+    double smoothing = 1.0;
+  };
+
+  /// Estimates reliabilities. `key_attr` identifies the entity; `source_attr`
+  /// identifies the reporting source; all other attributes are voted on.
+  static SourceReliability Estimate(const Table& table, AttrId key_attr,
+                                    AttrId source_attr, Options options);
+  static SourceReliability Estimate(const Table& table, AttrId key_attr,
+                                    AttrId source_attr) {
+    return Estimate(table, key_attr, source_attr, Options());
+  }
+
+  /// Reliability in [0,1]; 0.5 for unknown sources (uninformative prior).
+  double Get(ValueId source) const;
+
+  /// All (source value, reliability) pairs, sorted by source id.
+  std::vector<std::pair<ValueId, double>> All() const;
+
+ private:
+  std::unordered_map<ValueId, double> reliability_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STATS_SOURCE_RELIABILITY_H_

@@ -1,0 +1,7 @@
+#include "holoclean/storage/dataset.h"
+
+namespace holoclean {
+
+// Dataset and NoisyCells are header-only; this TU anchors the library target.
+
+}  // namespace holoclean

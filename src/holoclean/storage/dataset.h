@@ -1,0 +1,90 @@
+#ifndef HOLOCLEAN_STORAGE_DATASET_H_
+#define HOLOCLEAN_STORAGE_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// A data-cleaning instance: the dirty table D, optional ground truth, and
+/// metadata about provenance / repairability of attributes.
+class Dataset {
+ public:
+  explicit Dataset(Table dirty) : dirty_(std::move(dirty)) {}
+
+  Table& dirty() { return dirty_; }
+  const Table& dirty() const { return dirty_; }
+
+  /// Ground-truth clean version of the table (same schema/dictionary),
+  /// when available. Used only for evaluation, never by repairing code.
+  void set_clean(Table clean) { clean_ = std::move(clean); }
+  bool has_clean() const { return clean_.has_value(); }
+  const Table& clean() const { return *clean_; }
+
+  /// Marks an attribute as the provenance/source column (e.g. which web
+  /// source reported a Flights tuple). Source cells are never repaired but
+  /// are turned into trust features of the model (paper Section 4.1).
+  void set_source_attr(AttrId a) { source_attr_ = a; }
+  AttrId source_attr() const { return source_attr_; }
+  bool has_source_attr() const { return source_attr_ >= 0; }
+
+  /// Attributes eligible for repair: everything except the source column.
+  std::vector<AttrId> RepairableAttrs() const {
+    std::vector<AttrId> out;
+    for (size_t a = 0; a < dirty_.schema().num_attrs(); ++a) {
+      if (static_cast<AttrId>(a) != source_attr_) {
+        out.push_back(static_cast<AttrId>(a));
+      }
+    }
+    return out;
+  }
+
+  /// The set of cells whose ground-truth value differs from the observed
+  /// one. Requires has_clean().
+  std::vector<CellRef> TrueErrors() const {
+    std::vector<CellRef> out;
+    for (size_t t = 0; t < dirty_.num_rows(); ++t) {
+      for (AttrId a : RepairableAttrs()) {
+        CellRef c{static_cast<TupleId>(t), a};
+        if (dirty_.Get(c) != clean_->Get(c)) out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+ private:
+  Table dirty_;
+  std::optional<Table> clean_;
+  AttrId source_attr_ = -1;
+};
+
+/// Set of cells flagged as potentially erroneous (Dn in the paper).
+/// Cells not in the set form Dc and are treated as evidence.
+class NoisyCells {
+ public:
+  void Add(const CellRef& c) {
+    if (set_.insert(c).second) cells_.push_back(c);
+  }
+
+  bool Contains(const CellRef& c) const { return set_.count(c) > 0; }
+  const std::vector<CellRef>& cells() const { return cells_; }
+  size_t size() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+
+  /// Union with another detector's output.
+  void Merge(const NoisyCells& other) {
+    for (const CellRef& c : other.cells()) Add(c);
+  }
+
+ private:
+  std::vector<CellRef> cells_;
+  std::unordered_set<CellRef, CellRefHash> set_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STORAGE_DATASET_H_

@@ -1,0 +1,7 @@
+#include "holoclean/storage/dictionary.h"
+
+namespace holoclean {
+
+// Dictionary is header-only; this TU anchors the library target.
+
+}  // namespace holoclean

@@ -1,0 +1,60 @@
+#ifndef HOLOCLEAN_STORAGE_DICTIONARY_H_
+#define HOLOCLEAN_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace holoclean {
+
+/// Integer id of an interned string value. Id 0 is always the NULL/empty
+/// value (`Dictionary::kNull`).
+using ValueId = int32_t;
+
+/// A string interner shared by all columns of a table.
+///
+/// Cells hold ValueIds; equality of cell values is integer equality, which
+/// is what makes violation detection and co-occurrence counting cheap.
+class Dictionary {
+ public:
+  /// The id of the canonical NULL value (the empty string).
+  static constexpr ValueId kNull = 0;
+
+  Dictionary() { Intern(""); }
+
+  /// Returns the id for `value`, interning it if new.
+  ValueId Intern(std::string_view value) {
+    auto it = ids_.find(std::string(value));
+    if (it != ids_.end()) return it->second;
+    ValueId id = static_cast<ValueId>(values_.size());
+    values_.emplace_back(value);
+    ids_.emplace(values_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `value` or kNull-1 (-1) when absent; never interns.
+  ValueId Lookup(std::string_view value) const {
+    auto it = ids_.find(std::string(value));
+    return it == ids_.end() ? ValueId{-1} : it->second;
+  }
+
+  /// String for an id. Requires a valid id.
+  const std::string& GetString(ValueId id) const {
+    return values_[static_cast<size_t>(id)];
+  }
+
+  bool Contains(std::string_view value) const { return Lookup(value) >= 0; }
+
+  /// Number of interned values (including NULL).
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueId> ids_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STORAGE_DICTIONARY_H_

@@ -1,0 +1,89 @@
+#include "holoclean/storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+Schema::Schema(std::vector<std::string> attr_names)
+    : names_(std::move(attr_names)) {}
+
+AttrId Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<AttrId>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema, std::shared_ptr<Dictionary> dict)
+    : schema_(std::move(schema)), dict_(std::move(dict)) {
+  HOLO_CHECK(dict_ != nullptr);
+  cols_.resize(schema_.num_attrs());
+}
+
+void Table::AppendRow(const std::vector<std::string>& values) {
+  HOLO_CHECK(values.size() == schema_.num_attrs());
+  for (size_t a = 0; a < values.size(); ++a) {
+    cols_[a].push_back(dict_->Intern(values[a]));
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRowIds(const std::vector<ValueId>& ids) {
+  HOLO_CHECK(ids.size() == schema_.num_attrs());
+  for (size_t a = 0; a < ids.size(); ++a) {
+    cols_[a].push_back(ids[a]);
+  }
+  ++num_rows_;
+}
+
+std::vector<ValueId> Table::ActiveDomain(AttrId a) const {
+  std::unordered_set<ValueId> seen;
+  std::vector<ValueId> out;
+  for (ValueId v : cols_[static_cast<size_t>(a)]) {
+    if (v == Dictionary::kNull) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Table Table::Clone() const {
+  Table copy(schema_, dict_);
+  copy.cols_ = cols_;
+  copy.num_rows_ = num_rows_;
+  return copy;
+}
+
+Result<Table> Table::FromCsv(const CsvDocument& doc) {
+  if (doc.header.empty()) {
+    return Status::InvalidArgument("CSV document has no header");
+  }
+  Table table(Schema(doc.header), std::make_shared<Dictionary>());
+  for (const auto& row : doc.rows) {
+    if (row.size() != doc.header.size()) {
+      return Status::InvalidArgument("CSV row arity mismatch");
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+CsvDocument Table::ToCsv() const {
+  CsvDocument doc;
+  doc.header = schema_.names();
+  doc.rows.reserve(num_rows_);
+  for (size_t t = 0; t < num_rows_; ++t) {
+    std::vector<std::string> row;
+    row.reserve(schema_.num_attrs());
+    for (size_t a = 0; a < schema_.num_attrs(); ++a) {
+      row.push_back(dict_->GetString(cols_[a][t]));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,129 @@
+#ifndef HOLOCLEAN_STORAGE_TABLE_H_
+#define HOLOCLEAN_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "holoclean/storage/dictionary.h"
+#include "holoclean/util/csv.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// Index of an attribute (column) in a table's schema.
+using AttrId = int32_t;
+/// Index of a tuple (row) in a table.
+using TupleId = int32_t;
+
+/// Addresses a single cell t[a] of a table — the unit the paper repairs.
+struct CellRef {
+  TupleId tid = 0;
+  AttrId attr = 0;
+
+  bool operator==(const CellRef& other) const {
+    return tid == other.tid && attr == other.attr;
+  }
+  bool operator<(const CellRef& other) const {
+    return tid != other.tid ? tid < other.tid : attr < other.attr;
+  }
+};
+
+/// Hash functor for CellRef keys.
+struct CellRefHash {
+  size_t operator()(const CellRef& c) const {
+    return (static_cast<size_t>(c.tid) << 20) ^ static_cast<size_t>(c.attr);
+  }
+};
+
+/// Ordered list of attribute names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attr_names);
+
+  /// Attribute index by name, or -1 when absent.
+  AttrId IndexOf(std::string_view name) const;
+
+  const std::string& name(AttrId a) const {
+    return names_[static_cast<size_t>(a)];
+  }
+  size_t num_attrs() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// In-memory columnar relation. Cells are dictionary-encoded ValueIds; the
+/// dictionary is shared across columns (and may be shared across tables,
+/// e.g. between a dirty table and its ground-truth clean version).
+class Table {
+ public:
+  Table(Schema schema, std::shared_ptr<Dictionary> dict);
+
+  /// Appends a row of raw string values. Requires row arity == schema arity.
+  void AppendRow(const std::vector<std::string>& values);
+
+  /// Appends a row of pre-interned ids.
+  void AppendRowIds(const std::vector<ValueId>& ids);
+
+  ValueId Get(TupleId t, AttrId a) const {
+    return cols_[static_cast<size_t>(a)][static_cast<size_t>(t)];
+  }
+  ValueId Get(const CellRef& c) const { return Get(c.tid, c.attr); }
+
+  void Set(TupleId t, AttrId a, ValueId v) {
+    cols_[static_cast<size_t>(a)][static_cast<size_t>(t)] = v;
+  }
+  void Set(const CellRef& c, ValueId v) { Set(c.tid, c.attr, v); }
+
+  /// The string value of a cell.
+  const std::string& GetString(TupleId t, AttrId a) const {
+    return dict_->GetString(Get(t, a));
+  }
+  const std::string& GetString(const CellRef& c) const {
+    return GetString(c.tid, c.attr);
+  }
+
+  /// Sets a cell from a raw string (interning it).
+  void SetString(TupleId t, AttrId a, std::string_view value) {
+    Set(t, a, dict_->Intern(value));
+  }
+
+  /// Full column; index is TupleId.
+  const std::vector<ValueId>& Column(AttrId a) const {
+    return cols_[static_cast<size_t>(a)];
+  }
+
+  /// Distinct non-null values appearing in attribute `a` (its active domain).
+  std::vector<ValueId> ActiveDomain(AttrId a) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cells() const { return num_rows_ * schema_.num_attrs(); }
+  const Schema& schema() const { return schema_; }
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+  std::shared_ptr<Dictionary> dict_ptr() const { return dict_; }
+
+  /// Deep copy sharing the same dictionary.
+  Table Clone() const;
+
+  /// Builds a table from a parsed CSV document using a fresh dictionary.
+  static Result<Table> FromCsv(const CsvDocument& doc);
+
+  /// Serializes to a CSV document.
+  CsvDocument ToCsv() const;
+
+ private:
+  Schema schema_;
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<std::vector<ValueId>> cols_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STORAGE_TABLE_H_

@@ -1,0 +1,144 @@
+#include "holoclean/util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace holoclean {
+
+namespace {
+
+// Parses one record starting at *pos; advances *pos past the record and its
+// line terminator. Returns false at end of input.
+bool ParseRecord(std::string_view text, size_t* pos,
+                 std::vector<std::string>* fields, Status* error) {
+  if (*pos >= text.size()) return false;
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!field.empty()) {
+          *error = Status::ParseError("quote inside unquoted field");
+          return false;
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields->push_back(std::move(field));
+        field.clear();
+        ++i;
+      } else if (c == '\n' || c == '\r') {
+        fields->push_back(std::move(field));
+        if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        *pos = i + 1;
+        return true;
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    *error = Status::ParseError("unterminated quoted field");
+    return false;
+  }
+  fields->push_back(std::move(field));
+  *pos = text.size();
+  return true;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string* out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  CsvDocument doc;
+  Status error;
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  if (!ParseRecord(text, &pos, &fields, &error)) {
+    if (!error.ok()) return error;
+    return Status::ParseError("empty CSV input");
+  }
+  doc.header = std::move(fields);
+  while (true) {
+    std::vector<std::string> row;
+    if (!ParseRecord(text, &pos, &row, &error)) {
+      if (!error.ok()) return error;
+      break;
+    }
+    // Tolerate a trailing blank line.
+    if (row.size() == 1 && row[0].empty() && pos >= text.size()) break;
+    if (row.size() != doc.header.size()) {
+      std::ostringstream msg;
+      msg << "row " << doc.rows.size() + 1 << " has " << row.size()
+          << " fields, header has " << doc.header.size();
+      return Status::ParseError(msg.str());
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(&out, row[i]);
+    }
+    out.push_back('\n');
+  };
+  write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open file for writing: " + path);
+  out << WriteCsv(doc);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace holoclean

@@ -1,0 +1,34 @@
+#ifndef HOLOCLEAN_UTIL_CSV_H_
+#define HOLOCLEAN_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// A parsed CSV document: a header row plus data rows, all as strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text: comma separated, double-quote quoting,
+/// doubled quotes as escapes, LF or CRLF line endings. The first record is
+/// the header. Every data row must have the same arity as the header.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV, quoting fields that need it.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Writes a document to disk.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_CSV_H_

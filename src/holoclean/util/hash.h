@@ -1,0 +1,44 @@
+#ifndef HOLOCLEAN_UTIL_HASH_H_
+#define HOLOCLEAN_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace holoclean {
+
+/// splitmix64 finalizer; a fast, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a over bytes.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Hash functor for std::pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(std::hash<A>()(p.first)),
+                    static_cast<uint64_t>(std::hash<B>()(p.second))));
+  }
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_HASH_H_

@@ -1,0 +1,57 @@
+#ifndef HOLOCLEAN_UTIL_LOGGING_H_
+#define HOLOCLEAN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace holoclean {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+/// Stream-style log line: emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HOLO_LOG(level)                                          \
+  ::holoclean::internal::LogMessage(::holoclean::LogLevel::level)
+
+/// Invariant check that aborts with a message; used for programming errors
+/// (not data errors, which go through Status).
+#define HOLO_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::holoclean::internal::EmitLog(::holoclean::LogLevel::kError,        \
+                                     "CHECK failed: " #condition " at "    \
+                                     __FILE__);                            \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_LOGGING_H_

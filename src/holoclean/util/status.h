@@ -1,0 +1,120 @@
+#ifndef HOLOCLEAN_UTIL_STATUS_H_
+#define HOLOCLEAN_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace holoclean {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value used for all recoverable errors in the library.
+/// The library does not throw exceptions across public API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : repr_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when a value is held, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Requires ok(). Accessing the value of an error result aborts.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::move(std::get<T>(repr_)); }
+
+  /// Returns the held value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define HOLO_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::holoclean::Status _st = (expr);        \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define HOLO_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto lhs##_result = (expr);                \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto lhs = std::move(lhs##_result).value()
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_STATUS_H_

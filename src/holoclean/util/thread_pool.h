@@ -1,0 +1,54 @@
+#ifndef HOLOCLEAN_UTIL_THREAD_POOL_H_
+#define HOLOCLEAN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace holoclean {
+
+/// A fixed-size worker pool for data-parallel sections (grounding,
+/// violation detection, per-component Gibbs sweeps — the DimmWitted-style
+/// parallelism the paper's inference engine relies on).
+///
+/// All parallel entry points in the library are deterministic: work is
+/// split into index ranges and any per-task randomness is seeded by the
+/// task index, never by the executing thread.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (hardware concurrency when 0).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), distributed over the workers in
+  /// contiguous chunks; blocks until all iterations complete. Executes
+  /// inline when the pool has a single worker or n is small.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(begin, end) over disjoint chunks covering [0, n).
+  void ParallelChunks(size_t n,
+                      const std::function<void(size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_THREAD_POOL_H_

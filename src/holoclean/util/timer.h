@@ -1,0 +1,31 @@
+#ifndef HOLOCLEAN_UTIL_TIMER_H_
+#define HOLOCLEAN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace holoclean {
+
+/// Wall-clock stopwatch used for the paper's runtime experiments
+/// (Table 4, Figures 4 and 5).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_TIMER_H_

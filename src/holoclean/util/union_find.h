@@ -1,0 +1,53 @@
+#ifndef HOLOCLEAN_UTIL_UNION_FIND_H_
+#define HOLOCLEAN_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace holoclean {
+
+/// Disjoint-set forest with path compression and union by size.
+/// Used to form connected components of the conflict hypergraph
+/// (tuple partitioning, paper Algorithm 3).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  /// Representative of x's component.
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of a and b. Returns true if they were distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Size of the component containing x.
+  size_t ComponentSize(size_t x) { return size_[Find(x)]; }
+
+  size_t num_elements() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_UNION_FIND_H_

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "holoclean/constraints/evaluator.h"
+#include "holoclean/constraints/parser.h"
+
+namespace holoclean {
+namespace {
+
+Schema FoodSchema() {
+  return Schema({"DBAName", "City", "State", "Zip", "Score"});
+}
+
+Table FoodTable() {
+  Table t(FoodSchema(), std::make_shared<Dictionary>());
+  t.AppendRow({"Johnnyo's", "Chicago", "IL", "60608", "10"});
+  t.AppendRow({"Johnnyo's", "Chicago", "IL", "60609", "25"});
+  t.AppendRow({"Other", "Cicago", "IL", "60608", "5"});
+  t.AppendRow({"Other", "", "IL", "60608", "7"});
+  return t;
+}
+
+// ---------- Parser ----------
+
+TEST(Parser, ParsesTwoTupleFd) {
+  auto dc = ParseDenialConstraint(
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)", FoodSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_TRUE(dc.value().IsTwoTuple());
+  ASSERT_EQ(dc.value().preds.size(), 2u);
+  EXPECT_EQ(dc.value().preds[0].op, Op::kEq);
+  EXPECT_EQ(dc.value().preds[1].op, Op::kNeq);
+  EXPECT_EQ(dc.value().preds[0].lhs_attr, 3);
+  EXPECT_EQ(dc.value().preds[1].lhs_attr, 1);
+}
+
+TEST(Parser, ParsesConstantsAndComparisons) {
+  auto dc = ParseDenialConstraint(
+      "t1&EQ(t1.State,\"IL\")&GT(t1.Score,\"20\")", FoodSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_FALSE(dc.value().IsTwoTuple());
+  EXPECT_TRUE(dc.value().preds[0].rhs_is_constant);
+  EXPECT_EQ(dc.value().preds[0].constant, "IL");
+  EXPECT_EQ(dc.value().preds[1].op, Op::kGt);
+}
+
+TEST(Parser, AllOperatorsParse) {
+  for (const char* op : {"EQ", "IQ", "LT", "GT", "LTE", "GTE", "SIM"}) {
+    std::string text = std::string("t1&t2&") + op + "(t1.Zip,t2.Zip)";
+    EXPECT_TRUE(ParseDenialConstraint(text, FoodSchema()).ok()) << op;
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  Schema s = FoodSchema();
+  EXPECT_FALSE(ParseDenialConstraint("", s).ok());
+  EXPECT_FALSE(ParseDenialConstraint("t1", s).ok());
+  EXPECT_FALSE(ParseDenialConstraint("t1&FOO(t1.Zip,t2.Zip)", s).ok());
+  EXPECT_FALSE(ParseDenialConstraint("t1&EQ(t1.Nope,t1.Zip)", s).ok());
+  EXPECT_FALSE(ParseDenialConstraint("t1&EQ(t1.Zip)", s).ok());
+  EXPECT_FALSE(ParseDenialConstraint("t1&EQ(\"c\",t1.Zip)", s).ok());
+  // t2 used without declaration.
+  EXPECT_FALSE(ParseDenialConstraint("t1&EQ(t1.Zip,t2.Zip)", s).ok());
+  // t3 is not a valid tuple variable.
+  EXPECT_FALSE(ParseDenialConstraint("t1&t2&EQ(t1.Zip,t3.Zip)", s).ok());
+}
+
+TEST(Parser, MultiLineWithComments) {
+  auto dcs = ParseDenialConstraints(
+      "# zip determines city\n"
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)\n"
+      "\n"
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.State,t2.State)\n",
+      FoodSchema());
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_EQ(dcs.value().size(), 2u);
+}
+
+TEST(Parser, ToStringRoundTrips) {
+  Schema s = FoodSchema();
+  const char* text = "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)";
+  auto dc = ParseDenialConstraint(text, s);
+  ASSERT_TRUE(dc.ok());
+  auto reparsed = ParseDenialConstraint(dc.value().ToString(s), s);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().ToString(s), dc.value().ToString(s));
+}
+
+// ---------- FD conversion ----------
+
+TEST(FdToDcs, OneConstraintPerRhs) {
+  auto dcs = FdToDenialConstraints(FoodSchema(), {"Zip"}, {"City", "State"});
+  ASSERT_TRUE(dcs.ok());
+  ASSERT_EQ(dcs.value().size(), 2u);
+  for (const auto& dc : dcs.value()) {
+    EXPECT_TRUE(dc.IsTwoTuple());
+    ASSERT_EQ(dc.preds.size(), 2u);
+    EXPECT_EQ(dc.preds.back().op, Op::kNeq);
+  }
+}
+
+TEST(FdToDcs, UnknownAttributeFails) {
+  EXPECT_FALSE(FdToDenialConstraints(FoodSchema(), {"Nope"}, {"City"}).ok());
+  EXPECT_FALSE(FdToDenialConstraints(FoodSchema(), {"Zip"}, {"Nope"}).ok());
+}
+
+TEST(DenialConstraint, RoleAttrsAndEqualities) {
+  auto dc = ParseDenialConstraint(
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)", FoodSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(dc.value().AttrsOfRole(0), (std::vector<AttrId>{1, 3}));
+  EXPECT_EQ(dc.value().AttrsOfRole(1), (std::vector<AttrId>{1, 3}));
+  EXPECT_EQ(dc.value().AllAttrs(), (std::vector<AttrId>{1, 3}));
+  EXPECT_EQ(dc.value().CrossEqualities().size(), 1u);
+}
+
+// ---------- Evaluator ----------
+
+TEST(Evaluator, FdViolationSemantics) {
+  Table t = FoodTable();
+  auto dc = ParseDenialConstraint(
+      "t1&t2&EQ(t1.DBAName,t2.DBAName)&IQ(t1.Zip,t2.Zip)", t.schema());
+  ASSERT_TRUE(dc.ok());
+  DcEvaluator eval(&t);
+  EXPECT_TRUE(eval.Violates(dc.value(), 0, 1));   // Same name, diff zip.
+  EXPECT_TRUE(eval.Violates(dc.value(), 1, 0));   // Symmetric.
+  EXPECT_FALSE(eval.Violates(dc.value(), 0, 2));  // Different names.
+  EXPECT_FALSE(eval.Violates(dc.value(), 2, 3));  // Same zip.
+  EXPECT_FALSE(eval.Violates(dc.value(), 0, 0));  // Self pair never counts.
+}
+
+TEST(Evaluator, NullsNeverViolate) {
+  Table t = FoodTable();
+  auto dc = ParseDenialConstraint(
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)", t.schema());
+  ASSERT_TRUE(dc.ok());
+  DcEvaluator eval(&t);
+  // Tuple 3 has a NULL city: pairs with it hold no violation.
+  EXPECT_FALSE(eval.Violates(dc.value(), 2, 3));
+  EXPECT_FALSE(eval.Violates(dc.value(), 3, 0));
+  // But 0 vs 2 (Chicago vs Cicago, same zip) does violate.
+  EXPECT_TRUE(eval.Violates(dc.value(), 0, 2));
+}
+
+TEST(Evaluator, NumericComparisonUsedWhenBothNumeric) {
+  Table t = FoodTable();
+  auto dc = ParseDenialConstraint("t1&GT(t1.Score,\"9\")", t.schema());
+  ASSERT_TRUE(dc.ok());
+  DcEvaluator eval(&t);
+  EXPECT_TRUE(eval.ViolatesSingle(dc.value(), 0));   // 10 > 9 numerically.
+  EXPECT_TRUE(eval.ViolatesSingle(dc.value(), 1));   // 25 > 9.
+  EXPECT_FALSE(eval.ViolatesSingle(dc.value(), 2));  // 5 < 9.
+}
+
+TEST(Evaluator, SimilarityPredicate) {
+  Table t = FoodTable();
+  auto dc = ParseDenialConstraint(
+      "t1&t2&SIM(t1.City,t2.City)&IQ(t1.City,t2.City)&EQ(t1.Zip,t2.Zip)",
+      t.schema());
+  ASSERT_TRUE(dc.ok());
+  DcEvaluator eval(&t, 0.8);
+  // Chicago ~ Cicago (similarity 6/7 ≈ 0.857 ≥ 0.8) and same zip.
+  EXPECT_TRUE(eval.Violates(dc.value(), 0, 2));
+  DcEvaluator strict(&t, 0.95);
+  EXPECT_FALSE(strict.Violates(dc.value(), 0, 2));
+}
+
+TEST(Evaluator, OverridesChangeOutcome) {
+  Table t = FoodTable();
+  auto dc = ParseDenialConstraint(
+      "t1&t2&EQ(t1.DBAName,t2.DBAName)&IQ(t1.Zip,t2.Zip)", t.schema());
+  ASSERT_TRUE(dc.ok());
+  DcEvaluator eval(&t);
+  ValueId z608 = t.dict().Lookup("60608");
+  // Overriding t1's zip to match t0 resolves the violation.
+  EXPECT_FALSE(
+      eval.ViolatesWith(dc.value(), 0, 1, {{CellRef{1, 3}, z608}}));
+  // Overriding t0's zip away creates one against t... 1 stays violated.
+  ValueId z201 = t.dict().Intern("60201");
+  EXPECT_TRUE(
+      eval.ViolatesWith(dc.value(), 0, 1, {{CellRef{0, 3}, z201}}));
+}
+
+TEST(Evaluator, ConstantNotInDictionary) {
+  Table t = FoodTable();
+  // "MT" never appears in the data: EQ can't hold, IQ holds.
+  auto eq = ParseDenialConstraint("t1&EQ(t1.State,\"MT\")", t.schema());
+  auto neq = ParseDenialConstraint("t1&IQ(t1.State,\"MT\")", t.schema());
+  ASSERT_TRUE(eq.ok());
+  ASSERT_TRUE(neq.ok());
+  DcEvaluator eval(&t);
+  EXPECT_FALSE(eval.ViolatesSingle(eq.value(), 0));
+  EXPECT_TRUE(eval.ViolatesSingle(neq.value(), 0));
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "holoclean/constraints/parser.h"
+#include "holoclean/core/calibration.h"
+#include "holoclean/core/evaluation.h"
+#include "holoclean/core/pipeline.h"
+
+namespace holoclean {
+namespace {
+
+// ---------- Evaluation ----------
+
+struct EvalFixture {
+  EvalFixture() : dataset([] {
+    Table dirty(Schema({"A"}), std::make_shared<Dictionary>());
+    dirty.AppendRow({"x"});
+    dirty.AppendRow({"wrong"});
+    dirty.AppendRow({"also_wrong"});
+    return Dataset(std::move(dirty));
+  }()) {
+    Table clean = dataset.dirty().Clone();
+    clean.SetString(1, 0, "y");
+    clean.SetString(2, 0, "z");
+    dataset.set_clean(std::move(clean));
+  }
+  Dataset dataset;
+  ValueId Id(const std::string& s) {
+    return dataset.dirty().dict().Intern(s);
+  }
+};
+
+TEST(Evaluation, PerfectRepairs) {
+  EvalFixture f;
+  std::vector<Repair> repairs = {
+      {{1, 0}, f.Id("wrong"), f.Id("y"), 0.9},
+      {{2, 0}, f.Id("also_wrong"), f.Id("z"), 0.9},
+  };
+  EvalResult e = EvaluateRepairs(f.dataset, repairs);
+  EXPECT_EQ(e.total_errors, 2u);
+  EXPECT_EQ(e.correct_repairs, 2u);
+  EXPECT_DOUBLE_EQ(e.precision, 1.0);
+  EXPECT_DOUBLE_EQ(e.recall, 1.0);
+  EXPECT_DOUBLE_EQ(e.f1, 1.0);
+}
+
+TEST(Evaluation, PartialAndWrongRepairs) {
+  EvalFixture f;
+  std::vector<Repair> repairs = {
+      {{1, 0}, f.Id("wrong"), f.Id("y"), 0.9},     // Correct.
+      {{0, 0}, f.Id("x"), f.Id("bogus"), 0.6},     // Breaks a clean cell.
+  };
+  EvalResult e = EvaluateRepairs(f.dataset, repairs);
+  EXPECT_EQ(e.correct_repairs, 1u);
+  EXPECT_DOUBLE_EQ(e.precision, 0.5);
+  EXPECT_DOUBLE_EQ(e.recall, 0.5);
+  EXPECT_NEAR(e.f1, 0.5, 1e-12);
+}
+
+TEST(Evaluation, NoopRepairsIgnored) {
+  EvalFixture f;
+  std::vector<Repair> repairs = {{{1, 0}, f.Id("wrong"), f.Id("wrong"), 1.0}};
+  EvalResult e = EvaluateRepairs(f.dataset, repairs);
+  EXPECT_EQ(e.total_repairs, 0u);
+  EXPECT_DOUBLE_EQ(e.precision, 0.0);
+}
+
+// ---------- Calibration ----------
+
+TEST(Calibration, BucketsRepairsByProbability) {
+  EvalFixture f;
+  std::vector<Repair> repairs = {
+      {{1, 0}, f.Id("wrong"), f.Id("y"), 0.55},       // Correct, [.5,.6).
+      {{2, 0}, f.Id("also_wrong"), f.Id("q"), 0.58},  // Wrong, [.5,.6).
+      {{0, 0}, f.Id("x"), f.Id("bogus"), 0.95},       // Wrong, [.9,1].
+  };
+  auto buckets = ComputeCalibration(f.dataset, repairs);
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0].total, 2u);
+  EXPECT_EQ(buckets[0].wrong, 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].ErrorRate(), 0.5);
+  EXPECT_EQ(buckets[4].total, 1u);
+  EXPECT_DOUBLE_EQ(buckets[4].ErrorRate(), 1.0);
+  EXPECT_EQ(buckets[2].total, 0u);
+  EXPECT_DOUBLE_EQ(buckets[2].ErrorRate(), 0.0);
+}
+
+TEST(Calibration, TopBucketIncludesProbabilityOne) {
+  EvalFixture f;
+  std::vector<Repair> repairs = {{{1, 0}, f.Id("wrong"), f.Id("y"), 1.0}};
+  auto buckets = ComputeCalibration(f.dataset, repairs);
+  EXPECT_EQ(buckets[4].total, 1u);
+}
+
+// ---------- Config ----------
+
+TEST(Config, DcModeNames) {
+  EXPECT_EQ(DcModeName(DcMode::kFactors), "DC Factors");
+  EXPECT_EQ(DcModeName(DcMode::kFeatures), "DC Feats");
+  EXPECT_EQ(DcModeName(DcMode::kBoth), "DC Feats + DC Factors");
+}
+
+TEST(Config, GroundingOptionsMirrorConfig) {
+  HoloCleanConfig config;
+  config.dc_mode = DcMode::kBoth;
+  config.partitioning = true;
+  config.dc_factor_weight = 7.0;
+  config.minimality_weight = 0.25;
+  GroundingOptions g = config.ToGroundingOptions();
+  EXPECT_EQ(g.dc_mode, DcMode::kBoth);
+  EXPECT_TRUE(g.use_partitioning);
+  EXPECT_DOUBLE_EQ(g.dc_factor_weight, 7.0);
+  EXPECT_DOUBLE_EQ(g.minimality_weight, 0.25);
+}
+
+// ---------- Pipeline on a small controlled instance ----------
+
+struct PipelineFixture {
+  PipelineFixture() : dataset([] {
+    Table dirty(Schema({"Name", "Zip", "City"}),
+                std::make_shared<Dictionary>());
+    // 10 clean duplicated rows + 2 corrupted ones.
+    for (int i = 0; i < 5; ++i) dirty.AppendRow({"a", "60608", "Chicago"});
+    for (int i = 0; i < 5; ++i) dirty.AppendRow({"b", "60201", "Evanston"});
+    dirty.AppendRow({"a", "60609", "Chicago"});   // t10: wrong zip.
+    dirty.AppendRow({"b", "60201", "Evnaston"});  // t11: typo city.
+    return Dataset(std::move(dirty));
+  }()) {
+    Table clean = dataset.dirty().Clone();
+    clean.SetString(10, 1, "60608");
+    clean.SetString(11, 2, "Evanston");
+    dataset.set_clean(std::move(clean));
+    auto parsed = ParseDenialConstraints(
+        "t1&t2&EQ(t1.Name,t2.Name)&IQ(t1.Zip,t2.Zip)\n"
+        "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)\n",
+        dataset.dirty().schema());
+    EXPECT_TRUE(parsed.ok());
+    dcs = parsed.value();
+  }
+  Dataset dataset;
+  std::vector<DenialConstraint> dcs;
+};
+
+TEST(Pipeline, RepairsInjectedErrors) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  HoloClean cleaner(config);
+  auto report = cleaner.Run(&f.dataset, f.dcs);
+  ASSERT_TRUE(report.ok());
+  EvalResult e = EvaluateRepairs(f.dataset, report.value().repairs);
+  EXPECT_EQ(e.total_errors, 2u);
+  EXPECT_EQ(e.correct_repairs, 2u);
+  EXPECT_DOUBLE_EQ(e.precision, 1.0);
+  EXPECT_DOUBLE_EQ(e.recall, 1.0);
+}
+
+TEST(Pipeline, CleanDataYieldsNoRepairs) {
+  PipelineFixture f;
+  Dataset clean_ds(f.dataset.clean().Clone());
+  clean_ds.set_clean(f.dataset.clean().Clone());
+  HoloClean cleaner(HoloCleanConfig{});
+  auto report = cleaner.Run(&clean_ds, f.dcs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().repairs.empty());
+  EXPECT_EQ(report.value().stats.num_violations, 0u);
+}
+
+TEST(Pipeline, ReportStatsPopulated) {
+  PipelineFixture f;
+  HoloClean cleaner(HoloCleanConfig{});
+  auto report = cleaner.Run(&f.dataset, f.dcs);
+  ASSERT_TRUE(report.ok());
+  const RunStats& s = report.value().stats;
+  EXPECT_GT(s.num_violations, 0u);
+  EXPECT_GT(s.num_noisy_cells, 0u);
+  EXPECT_EQ(s.num_query_vars, s.num_noisy_cells);
+  EXPECT_GT(s.num_candidates, 0u);
+  EXPECT_GT(s.num_grounded_factors, 0u);
+  EXPECT_GE(s.TotalSeconds(), 0.0);
+  EXPECT_FALSE(report.value().ddlog.empty());
+  EXPECT_FALSE(report.value().posteriors.empty());
+}
+
+TEST(Pipeline, DeterministicForSeed) {
+  PipelineFixture f1;
+  PipelineFixture f2;
+  HoloCleanConfig config;
+  config.seed = 7;
+  auto r1 = HoloClean(config).Run(&f1.dataset, f1.dcs);
+  auto r2 = HoloClean(config).Run(&f2.dataset, f2.dcs);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1.value().repairs.size(), r2.value().repairs.size());
+  for (size_t i = 0; i < r1.value().repairs.size(); ++i) {
+    EXPECT_EQ(r1.value().repairs[i].cell, r2.value().repairs[i].cell);
+    EXPECT_EQ(r1.value().repairs[i].new_value,
+              r2.value().repairs[i].new_value);
+    EXPECT_DOUBLE_EQ(r1.value().repairs[i].probability,
+                     r2.value().repairs[i].probability);
+  }
+}
+
+TEST(Pipeline, GibbsModeAlsoRepairs) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  config.dc_mode = DcMode::kBoth;
+  config.partitioning = true;
+  config.gibbs_burn_in = 20;
+  config.gibbs_samples = 100;
+  HoloClean cleaner(config);
+  auto report = cleaner.Run(&f.dataset, f.dcs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().stats.num_dc_factors, 0u);
+  EvalResult e = EvaluateRepairs(f.dataset, report.value().repairs);
+  EXPECT_GE(e.recall, 0.5);
+}
+
+TEST(Pipeline, RepairProbabilitiesAreValid) {
+  PipelineFixture f;
+  HoloClean cleaner(HoloCleanConfig{});
+  auto report = cleaner.Run(&f.dataset, f.dcs);
+  ASSERT_TRUE(report.ok());
+  for (const Repair& r : report.value().repairs) {
+    EXPECT_GT(r.probability, 0.0);
+    EXPECT_LE(r.probability, 1.0);
+    EXPECT_NE(r.new_value, r.old_value);
+  }
+}
+
+TEST(Pipeline, ApplyWritesRepairs) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  HoloClean cleaner(config);
+  auto report = cleaner.Run(&f.dataset, f.dcs);
+  ASSERT_TRUE(report.ok());
+  Table repaired = f.dataset.dirty().Clone();
+  report.value().Apply(&repaired);
+  EXPECT_EQ(repaired.GetString(10, 1), "60608");
+  EXPECT_EQ(repaired.GetString(11, 2), "Evanston");
+}
+
+TEST(Pipeline, NullDatasetRejected) {
+  HoloClean cleaner(HoloCleanConfig{});
+  EXPECT_FALSE(cleaner.Run(nullptr, {}).ok());
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "holoclean/constraints/parser.h"
+#include "holoclean/ddlog/program.h"
+
+namespace holoclean {
+namespace {
+
+Schema TestSchema() { return Schema({"Zip", "City", "State"}); }
+
+DenialConstraint ZipCityFd() {
+  auto dc = ParseDenialConstraint(
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)", TestSchema());
+  EXPECT_TRUE(dc.ok());
+  return dc.value();
+}
+
+TEST(HeadSlots, EnumeratesDistinctCellSlots) {
+  auto slots = EnumerateHeadSlots(ZipCityFd());
+  // Zip and City for each of the two tuple roles.
+  ASSERT_EQ(slots.size(), 4u);
+  int role0 = 0;
+  for (const auto& s : slots) {
+    if (s.role == 0) ++role0;
+  }
+  EXPECT_EQ(role0, 2);
+}
+
+TEST(HeadSlots, ConstantPredicatesContributeOneSlot) {
+  auto dc = ParseDenialConstraint("t1&EQ(t1.State,\"IL\")", TestSchema());
+  ASSERT_TRUE(dc.ok());
+  auto slots = EnumerateHeadSlots(dc.value());
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].role, 0);
+  EXPECT_EQ(slots[0].attr, TestSchema().IndexOf("State"));
+}
+
+TEST(Rules, RandomVariableRule) {
+  InferenceRule rule;
+  rule.kind = RuleKind::kRandomVariable;
+  EXPECT_EQ(rule.ToDDlog(TestSchema(), {}),
+            "Value?(t,a,d) :- Domain(t,a,d)");
+}
+
+TEST(Rules, FeatureRuleShowsParameterizedWeight) {
+  InferenceRule rule;
+  rule.kind = RuleKind::kFeature;
+  EXPECT_NE(rule.ToDDlog(TestSchema(), {}).find("w(d,f)"),
+            std::string::npos);
+}
+
+TEST(Rules, MinimalityRuleShowsFixedWeight) {
+  InferenceRule rule;
+  rule.kind = RuleKind::kMinimalityPrior;
+  rule.fixed_weight = 2.5;
+  std::string text = rule.ToDDlog(TestSchema(), {});
+  EXPECT_NE(text.find("InitValue"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+}
+
+TEST(Rules, DcFactorRuleListsAllValuePredicates) {
+  std::vector<DenialConstraint> dcs = {ZipCityFd()};
+  InferenceRule rule;
+  rule.kind = RuleKind::kDcFactor;
+  rule.dc_index = 0;
+  rule.fixed_weight = 4;
+  std::string text = rule.ToDDlog(TestSchema(), dcs);
+  EXPECT_NE(text.find("!(Value?(t1,Zip"), std::string::npos);
+  EXPECT_NE(text.find("Tuple(t1),Tuple(t2)"), std::string::npos);
+  // Four Value? predicates joined by conjunction.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = text.find("Value?", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Rules, RelaxedRuleHasSingleValueHead) {
+  std::vector<DenialConstraint> dcs = {ZipCityFd()};
+  InferenceRule rule;
+  rule.kind = RuleKind::kDcRelaxedFeature;
+  rule.dc_index = 0;
+  rule.head = {0, TestSchema().IndexOf("City")};
+  std::string text = rule.ToDDlog(TestSchema(), dcs);
+  // Exactly one Value? (the head); the other slots become InitValue.
+  size_t value_count = 0;
+  for (size_t pos = 0;
+       (pos = text.find("Value?", pos)) != std::string::npos; ++pos) {
+    ++value_count;
+  }
+  EXPECT_EQ(value_count, 1u);
+  EXPECT_EQ(text.rfind("!Value?(t1,City", 0), 0u);  // Starts with the head.
+  size_t init_count = 0;
+  for (size_t pos = 0;
+       (pos = text.find("InitValue", pos)) != std::string::npos; ++pos) {
+    ++init_count;
+  }
+  EXPECT_EQ(init_count, 3u);
+}
+
+TEST(Program, PrintsOneRulePerLine) {
+  std::vector<DenialConstraint> dcs = {ZipCityFd()};
+  Program program;
+  program.rules.push_back({RuleKind::kRandomVariable});
+  InferenceRule feature;
+  feature.kind = RuleKind::kFeature;
+  program.rules.push_back(feature);
+  InferenceRule factor;
+  factor.kind = RuleKind::kDcFactor;
+  factor.dc_index = 0;
+  program.rules.push_back(factor);
+  std::string text = program.ToDDlog(TestSchema(), dcs);
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace holoclean

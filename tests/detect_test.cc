@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "holoclean/constraints/parser.h"
+#include "holoclean/data/hospital.h"
+#include "holoclean/detect/conflict_hypergraph.h"
+#include "holoclean/detect/error_detector.h"
+#include "holoclean/detect/null_detector.h"
+#include "holoclean/detect/numeric_outlier_detector.h"
+#include "holoclean/detect/outlier_detector.h"
+#include "holoclean/detect/violation_detector.h"
+#include "holoclean/util/rng.h"
+
+namespace holoclean {
+namespace {
+
+Table FdTable() {
+  Table t(Schema({"Name", "Zip", "City"}), std::make_shared<Dictionary>());
+  t.AppendRow({"a", "60608", "Chicago"});   // 0
+  t.AppendRow({"a", "60609", "Chicago"});   // 1: violates Name->Zip with 0.
+  t.AppendRow({"b", "60608", "Cicago"});    // 2: violates Zip->City with 0.
+  t.AppendRow({"c", "60610", "Evanston"});  // 3: clean.
+  return t;
+}
+
+std::vector<DenialConstraint> FdDcs(const Schema& s) {
+  auto dcs = ParseDenialConstraints(
+      "t1&t2&EQ(t1.Name,t2.Name)&IQ(t1.Zip,t2.Zip)\n"
+      "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)\n",
+      s);
+  EXPECT_TRUE(dcs.ok());
+  return dcs.value();
+}
+
+TEST(ViolationDetector, FindsExpectedViolations) {
+  Table t = FdTable();
+  auto dcs = FdDcs(t.schema());
+  ViolationDetector detector(&t, &dcs);
+  auto violations = detector.Detect();
+  ASSERT_EQ(violations.size(), 2u);
+  std::set<std::pair<int, std::pair<TupleId, TupleId>>> found;
+  for (const auto& v : violations) {
+    found.insert({v.dc_index,
+                  {std::min(v.t1, v.t2), std::max(v.t1, v.t2)}});
+  }
+  EXPECT_TRUE(found.count({0, {0, 1}}) > 0);
+  EXPECT_TRUE(found.count({1, {0, 2}}) > 0);
+}
+
+TEST(ViolationDetector, ViolationCellsCoverPredicates) {
+  Table t = FdTable();
+  auto dcs = FdDcs(t.schema());
+  ViolationDetector detector(&t, &dcs);
+  for (const auto& v : detector.Detect()) {
+    // FD violations touch 4 cells: the key and dependent attr of each tuple.
+    EXPECT_EQ(v.cells.size(), 4u);
+  }
+}
+
+TEST(ViolationDetector, NoisyFromViolations) {
+  Table t = FdTable();
+  auto dcs = FdDcs(t.schema());
+  ViolationDetector detector(&t, &dcs);
+  NoisyCells noisy =
+      ViolationDetector::NoisyFromViolations(detector.Detect());
+  EXPECT_TRUE(noisy.Contains({0, 1}));   // t0.Zip.
+  EXPECT_TRUE(noisy.Contains({1, 1}));   // t1.Zip.
+  EXPECT_TRUE(noisy.Contains({2, 2}));   // t2.City.
+  EXPECT_FALSE(noisy.Contains({3, 0}));  // Clean tuple untouched.
+}
+
+TEST(ViolationDetector, SingleTupleConstraint) {
+  Table t = FdTable();
+  auto dcs = ParseDenialConstraints("t1&EQ(t1.City,\"Cicago\")", t.schema());
+  ASSERT_TRUE(dcs.ok());
+  ViolationDetector detector(&t, &dcs.value());
+  auto violations = detector.Detect();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].t1, 2);
+  EXPECT_EQ(violations[0].t2, 2);
+}
+
+TEST(ViolationDetector, BlockingMatchesBruteForceProperty) {
+  // Property: the hash-blocked detector finds exactly the unordered pairs a
+  // brute-force double loop finds, on random tables.
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Table t(Schema({"K", "V"}), std::make_shared<Dictionary>());
+    for (int i = 0; i < 60; ++i) {
+      t.AppendRow({"k" + std::to_string(rng.Below(6)),
+                   "v" + std::to_string(rng.Below(4))});
+    }
+    auto dcs = ParseDenialConstraints(
+        "t1&t2&EQ(t1.K,t2.K)&IQ(t1.V,t2.V)", t.schema());
+    ASSERT_TRUE(dcs.ok());
+    ViolationDetector detector(&t, &dcs.value());
+    auto violations = detector.Detect();
+
+    std::set<std::pair<TupleId, TupleId>> expected;
+    DcEvaluator eval(&t);
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      for (size_t j = 0; j < t.num_rows(); ++j) {
+        if (i == j) continue;
+        if (eval.Violates(dcs.value()[0], static_cast<TupleId>(i),
+                          static_cast<TupleId>(j))) {
+          expected.insert({static_cast<TupleId>(std::min(i, j)),
+                           static_cast<TupleId>(std::max(i, j))});
+        }
+      }
+    }
+    std::set<std::pair<TupleId, TupleId>> got;
+    for (const auto& v : violations) {
+      got.insert({std::min(v.t1, v.t2), std::max(v.t1, v.t2)});
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(ViolationDetector, CleanTableHasNoViolations) {
+  GeneratedData data = MakeHospital({200, 0.05, 5});
+  Table clean = data.dataset.clean().Clone();
+  ViolationDetector detector(&clean, &data.dcs);
+  EXPECT_TRUE(detector.Detect().empty());
+}
+
+// ---------- ConflictHypergraph ----------
+
+TEST(ConflictHypergraph, AdjacencyAndDegree) {
+  Table t = FdTable();
+  auto dcs = FdDcs(t.schema());
+  ViolationDetector detector(&t, &dcs);
+  ConflictHypergraph graph(detector.Detect());
+  EXPECT_EQ(graph.edges().size(), 2u);
+  // t0.Zip participates in both violations (FD1 with t1, FD2 with t2).
+  EXPECT_EQ(graph.Degree({0, 1}), 2u);
+  EXPECT_EQ(graph.Degree({3, 0}), 0u);
+  EXPECT_FALSE(graph.Nodes().empty());
+}
+
+// ---------- Null / Outlier detectors ----------
+
+TEST(NullDetector, FlagsEmptyCells) {
+  Table t(Schema({"A", "B"}), std::make_shared<Dictionary>());
+  t.AppendRow({"x", ""});
+  t.AppendRow({"", "y"});
+  t.AppendRow({"x", "y"});
+  Dataset dataset(std::move(t));
+  NullDetector detector;
+  NoisyCells noisy = detector.Detect(dataset);
+  EXPECT_EQ(noisy.size(), 2u);
+  EXPECT_TRUE(noisy.Contains({0, 1}));
+  EXPECT_TRUE(noisy.Contains({1, 0}));
+}
+
+TEST(NullDetector, SkipsSourceColumn) {
+  Table t(Schema({"A", "Src"}), std::make_shared<Dictionary>());
+  t.AppendRow({"x", ""});
+  Dataset dataset(std::move(t));
+  dataset.set_source_attr(1);
+  EXPECT_EQ(NullDetector().Detect(dataset).size(), 0u);
+}
+
+TEST(OutlierDetector, FlagsConditionallyRareValue) {
+  Table t(Schema({"City", "Zip"}), std::make_shared<Dictionary>());
+  for (int i = 0; i < 30; ++i) t.AppendRow({"Chicago", "60608"});
+  t.AppendRow({"Cicago", "60608"});  // Rare, conflicts with common context.
+  Dataset dataset(std::move(t));
+  OutlierDetector detector;
+  NoisyCells noisy = detector.Detect(dataset);
+  EXPECT_TRUE(noisy.Contains({30, 0}));
+  EXPECT_FALSE(noisy.Contains({0, 0}));
+}
+
+TEST(OutlierDetector, RareButConsistentIsNotOutlier) {
+  Table t(Schema({"City", "Zip"}), std::make_shared<Dictionary>());
+  for (int i = 0; i < 30; ++i) t.AppendRow({"Chicago", "60608"});
+  // A unique but internally consistent row: its context is also unique,
+  // so there is no common context contradicting it.
+  t.AppendRow({"Evanston", "60201"});
+  Dataset dataset(std::move(t));
+  NoisyCells noisy = OutlierDetector().Detect(dataset);
+  EXPECT_FALSE(noisy.Contains({30, 0}));
+}
+
+TEST(NumericOutlierDetector, FlagsExtremeAndNonNumericValues) {
+  Table t(Schema({"Amount"}), std::make_shared<Dictionary>());
+  for (int i = 0; i < 40; ++i) t.AppendRow({std::to_string(50 + i % 10)});
+  t.AppendRow({"99999"});  // Extreme value.
+  t.AppendRow({"5x"});     // Typo in a numeric column.
+  Dataset dataset(std::move(t));
+  NumericOutlierDetector detector;
+  NoisyCells noisy = detector.Detect(dataset);
+  EXPECT_TRUE(noisy.Contains({40, 0}));
+  EXPECT_TRUE(noisy.Contains({41, 0}));
+  EXPECT_FALSE(noisy.Contains({0, 0}));
+}
+
+TEST(NumericOutlierDetector, IgnoresTextColumns) {
+  Table t(Schema({"Name"}), std::make_shared<Dictionary>());
+  for (int i = 0; i < 20; ++i) t.AppendRow({"alice"});
+  t.AppendRow({"42"});
+  Dataset dataset(std::move(t));
+  EXPECT_EQ(NumericOutlierDetector().Detect(dataset).size(), 0u);
+}
+
+// ---------- DetectorSuite ----------
+
+TEST(DetectorSuite, UnionsDetectors) {
+  Table t(Schema({"Name", "Zip"}), std::make_shared<Dictionary>());
+  t.AppendRow({"a", "60608"});
+  t.AppendRow({"a", "60609"});
+  t.AppendRow({"", "60610"});
+  Dataset dataset(std::move(t));
+  auto dcs = ParseDenialConstraints(
+      "t1&t2&EQ(t1.Name,t2.Name)&IQ(t1.Zip,t2.Zip)",
+      dataset.dirty().schema());
+  ASSERT_TRUE(dcs.ok());
+  DetectorSuite suite;
+  suite.Add(std::make_unique<DcViolationDetector>(dcs.value()));
+  suite.Add(std::make_unique<NullDetector>());
+  NoisyCells noisy = suite.Detect(dataset);
+  EXPECT_TRUE(noisy.Contains({0, 1}));  // Violation cell.
+  EXPECT_TRUE(noisy.Contains({2, 0}));  // Null cell.
+  EXPECT_EQ(suite.size(), 2u);
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "holoclean/data/hospital.h"
+#include "holoclean/detect/violation_detector.h"
+#include "holoclean/discovery/fd_discovery.h"
+
+namespace holoclean {
+namespace {
+
+FdDiscoveryOptions Defaults() {
+  FdDiscoveryOptions options;
+  return options;
+}
+
+Table ZipCityTable(int errors) {
+  Table t(Schema({"Zip", "City", "Row"}), std::make_shared<Dictionary>());
+  for (int i = 0; i < 50; ++i) {
+    const char* city = i % 2 == 0 ? "Chicago" : "Evanston";
+    const char* zip = i % 2 == 0 ? "60608" : "60201";
+    t.AppendRow({zip, (errors-- > 0) ? "Typo" : city,
+                 std::to_string(i)});  // "Row" is a key: never an FD target.
+  }
+  return t;
+}
+
+bool Contains(const std::vector<DiscoveredFd>& fds, const Table& t,
+              const std::string& text) {
+  for (const auto& fd : fds) {
+    if (fd.ToString(t.schema()) == text) return true;
+  }
+  return false;
+}
+
+TEST(FdDiscovery, FindsExactFd) {
+  Table t = ZipCityTable(0);
+  auto fds = DiscoverFds(t, Defaults());
+  ASSERT_TRUE(Contains(fds, t, "Zip -> City"));
+  for (const auto& fd : fds) {
+    if (fd.ToString(t.schema()) == "Zip -> City") {
+      EXPECT_DOUBLE_EQ(fd.error, 0.0);
+      EXPECT_EQ(fd.support_groups, 2u);
+    }
+  }
+}
+
+TEST(FdDiscovery, ToleratesNoiseWithinBudget) {
+  Table t = ZipCityTable(3);  // 3 corrupted dependents out of 50.
+  FdDiscoveryOptions options;
+  options.max_error = 0.1;
+  auto fds = DiscoverFds(t, options);
+  EXPECT_TRUE(Contains(fds, t, "Zip -> City"));
+  options.max_error = 0.01;  // Below the injected 6% error.
+  EXPECT_FALSE(Contains(DiscoverFds(t, options), t, "Zip -> City"));
+}
+
+TEST(FdDiscovery, KeysExcludedBothSides) {
+  Table t = ZipCityTable(0);
+  auto fds = DiscoverFds(t, Defaults());
+  for (const auto& fd : fds) {
+    EXPECT_NE(fd.lhs[0], t.schema().IndexOf("Row"));
+    EXPECT_NE(fd.rhs, t.schema().IndexOf("Row"));
+  }
+}
+
+TEST(FdDiscovery, ErrorIsSortedAscending) {
+  Table t = ZipCityTable(4);
+  auto fds = DiscoverFds(t, Defaults());
+  for (size_t i = 0; i + 1 < fds.size(); ++i) {
+    EXPECT_LE(fds[i].error, fds[i + 1].error);
+  }
+}
+
+TEST(FdDiscovery, PairLhsOnlyWhenSinglesFail) {
+  // C is determined by (A,B) jointly but by neither alone.
+  Table t(Schema({"A", "B", "C"}), std::make_shared<Dictionary>());
+  const char* as[] = {"a0", "a1"};
+  const char* bs[] = {"b0", "b1"};
+  for (int i = 0; i < 40; ++i) {
+    int a = i % 2;
+    int b = (i / 2) % 2;
+    t.AppendRow({as[a], bs[b], "c" + std::to_string(a ^ b)});
+  }
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.max_error = 0.0;
+  auto fds = DiscoverFds(t, options);
+  EXPECT_TRUE(Contains(fds, t, "A,B -> C"));
+  EXPECT_FALSE(Contains(fds, t, "A -> C"));
+  EXPECT_FALSE(Contains(fds, t, "B -> C"));
+  // Minimality: once A->C held, A,B->C would be pruned — here it must not
+  // be, because no single-attribute FD covers C.
+}
+
+TEST(FdDiscovery, MinimalityPrunesRedundantPairs) {
+  Table t = ZipCityTable(0);
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  auto fds = DiscoverFds(t, options);
+  // Zip -> City holds, so (Zip, X) -> City must be pruned.
+  for (const auto& fd : fds) {
+    if (fd.rhs == t.schema().IndexOf("City")) {
+      EXPECT_EQ(fd.lhs.size(), 1u) << fd.ToString(t.schema());
+    }
+  }
+}
+
+TEST(FdDiscovery, RecoversHospitalConstraintsFromDirtyData) {
+  // Profiling the *dirty* Hospital data with a 10% error budget recovers
+  // the zip geography FDs that the benchmark declares.
+  GeneratedData data = MakeHospital({800, 0.05, 97});
+  FdDiscoveryOptions options;
+  options.max_error = 0.1;
+  auto fds = DiscoverFds(data.dataset.dirty(), options);
+  const Table& t = data.dataset.dirty();
+  EXPECT_TRUE(Contains(fds, t, "ZipCode -> City"));
+  EXPECT_TRUE(Contains(fds, t, "ZipCode -> State"));
+  EXPECT_TRUE(Contains(fds, t, "MeasureCode -> Condition"));
+}
+
+TEST(FdDiscovery, DiscoveredConstraintsDriveDetection) {
+  Table t = ZipCityTable(3);
+  auto fds = DiscoverFds(t, Defaults());
+  auto dcs = ToDenialConstraints(t, fds);
+  ASSERT_FALSE(dcs.empty());
+  ViolationDetector detector(&t, &dcs);
+  // The three corrupted cells participate in violations of Zip -> City.
+  NoisyCells noisy =
+      ViolationDetector::NoisyFromViolations(detector.Detect());
+  AttrId city = t.schema().IndexOf("City");
+  EXPECT_TRUE(noisy.Contains({0, city}));
+  EXPECT_TRUE(noisy.Contains({2, city}));
+}
+
+TEST(FdDiscovery, EmptyTable) {
+  Table t(Schema({"A", "B"}), std::make_shared<Dictionary>());
+  EXPECT_TRUE(DiscoverFds(t, Defaults()).empty());
+}
+
+}  // namespace
+}  // namespace holoclean

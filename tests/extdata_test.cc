@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "holoclean/data/hospital.h"
+#include "holoclean/extdata/matcher.h"
+#include "holoclean/extdata/md_parser.h"
+
+namespace holoclean {
+namespace {
+
+struct Fixture {
+  Fixture() : data(Schema({"City", "State", "Zip"}),
+                   std::make_shared<Dictionary>()) {
+    data.AppendRow({"Chicago", "IL", "60608"});
+    data.AppendRow({"Cicago", "IL", "60608"});   // Misspelled city.
+    data.AppendRow({"Evanston", "IL", "60201"});
+    data.AppendRow({"Unknown", "ZZ", "99999"});  // Not in the listing.
+
+    Table listing(Schema({"Ext_Zip", "Ext_City", "Ext_State"}),
+                  std::make_shared<Dictionary>());
+    listing.AppendRow({"60608", "Chicago", "IL"});
+    listing.AppendRow({"60201", "Evanston", "IL"});
+    dict_id = dicts.Add("zips", std::move(listing));
+  }
+
+  Table data;
+  ExtDictCollection dicts;
+  int dict_id;
+};
+
+TEST(Matcher, ExactClauseLookup) {
+  Fixture f;
+  MatchingDependency md{"zip->city", f.dict_id, {{"Zip", "Ext_Zip"}},
+                        "City", "Ext_City"};
+  Matcher matcher(&f.data, &f.dicts);
+  auto matches = matcher.Match(md);
+  ASSERT_TRUE(matches.ok());
+  // Tuples 0, 1, 2 match on zip; tuple 3 does not.
+  ASSERT_EQ(matches.value().size(), 3u);
+  for (const auto& m : matches.value()) {
+    EXPECT_EQ(m.cell.attr, f.data.schema().IndexOf("City"));
+    EXPECT_EQ(m.dict_id, f.dict_id);
+  }
+  EXPECT_EQ(matches.value()[1].cell.tid, 1);
+  EXPECT_EQ(matches.value()[1].value, "Chicago");
+}
+
+TEST(Matcher, ApproximateClause) {
+  Fixture f;
+  MatchingDependency md{"city~,state->zip",
+                        f.dict_id,
+                        {{"State", "Ext_State"},
+                         {"City", "Ext_City", /*approximate=*/true, 0.8}},
+                        "Zip",
+                        "Ext_Zip"};
+  Matcher matcher(&f.data, &f.dicts);
+  auto matches = matcher.Match(md);
+  ASSERT_TRUE(matches.ok());
+  // "Cicago" ≈ "Chicago" (0.857) matches; tuple 3's city matches nothing.
+  bool found_misspelled = false;
+  for (const auto& m : matches.value()) {
+    if (m.cell.tid == 1) {
+      found_misspelled = true;
+      EXPECT_EQ(m.value, "60608");
+    }
+    EXPECT_NE(m.cell.tid, 3);
+  }
+  EXPECT_TRUE(found_misspelled);
+}
+
+TEST(Matcher, UnknownAttributesFail) {
+  Fixture f;
+  Matcher matcher(&f.data, &f.dicts);
+  MatchingDependency bad_data{"x", f.dict_id, {{"Nope", "Ext_Zip"}}, "City",
+                              "Ext_City"};
+  EXPECT_FALSE(matcher.Match(bad_data).ok());
+  MatchingDependency bad_ext{"x", f.dict_id, {{"Zip", "Ext_Nope"}}, "City",
+                             "Ext_City"};
+  EXPECT_FALSE(matcher.Match(bad_ext).ok());
+  MatchingDependency bad_dict{"x", 42, {{"Zip", "Ext_Zip"}}, "City",
+                              "Ext_City"};
+  EXPECT_FALSE(matcher.Match(bad_dict).ok());
+}
+
+TEST(Matcher, MatchAllUnionsDependencies) {
+  Fixture f;
+  std::vector<MatchingDependency> mds = {
+      {"zip->city", f.dict_id, {{"Zip", "Ext_Zip"}}, "City", "Ext_City"},
+      {"zip->state", f.dict_id, {{"Zip", "Ext_Zip"}}, "State", "Ext_State"},
+  };
+  Matcher matcher(&f.data, &f.dicts);
+  auto matches = matcher.MatchAll(mds);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().size(), 6u);
+}
+
+TEST(Matcher, NormalizationIgnoresCaseAndSpacing) {
+  Table data(Schema({"Addr", "Zip"}), std::make_shared<Dictionary>());
+  data.AppendRow({"3465  s MORGAN st", ""});
+  ExtDictCollection dicts;
+  Table listing(Schema({"Ext_Addr", "Ext_Zip"}),
+                std::make_shared<Dictionary>());
+  listing.AppendRow({"3465 S Morgan ST", "60608"});
+  int k = dicts.Add("addr", std::move(listing));
+  Matcher matcher(&data, &dicts);
+  auto matches = matcher.Match(
+      {"addr->zip", k, {{"Addr", "Ext_Addr"}}, "Zip", "Ext_Zip"});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches.value().size(), 1u);
+  EXPECT_EQ(matches.value()[0].value, "60608");
+}
+
+TEST(Matcher, PaddedZipFormatMismatchYieldsNoMatches) {
+  // The Physicians scenario: dictionary zips are zero-padded.
+  Table data(Schema({"Zip", "City"}), std::make_shared<Dictionary>());
+  data.AppendRow({"60608", "Chicago"});
+  ExtDictCollection dicts;
+  Table listing(Schema({"Ext_Zip", "Ext_City"}),
+                std::make_shared<Dictionary>());
+  listing.AppendRow({"060608", "Chicago"});
+  int k = dicts.Add("padded", std::move(listing));
+  Matcher matcher(&data, &dicts);
+  auto matches = matcher.Match(
+      {"zip->city", k, {{"Zip", "Ext_Zip"}}, "City", "Ext_City"});
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches.value().empty());
+}
+
+TEST(ExtDictCollection, AddAndGet) {
+  ExtDictCollection dicts;
+  EXPECT_TRUE(dicts.empty());
+  Table t(Schema({"A"}), std::make_shared<Dictionary>());
+  int id = dicts.Add("first", std::move(t));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(dicts.Get(0).name(), "first");
+  EXPECT_EQ(dicts.size(), 1u);
+}
+
+
+TEST(MdParser, ParsesSimpleDependency) {
+  auto md = ParseMatchingDependency("m1: dict=0 Zip=Ext_Zip -> City=Ext_City");
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md.value().name, "m1");
+  EXPECT_EQ(md.value().dict_id, 0);
+  ASSERT_EQ(md.value().conditions.size(), 1u);
+  EXPECT_EQ(md.value().conditions[0].data_attr, "Zip");
+  EXPECT_EQ(md.value().conditions[0].ext_attr, "Ext_Zip");
+  EXPECT_FALSE(md.value().conditions[0].approximate);
+  EXPECT_EQ(md.value().target_data_attr, "City");
+  EXPECT_EQ(md.value().target_ext_attr, "Ext_City");
+}
+
+TEST(MdParser, ParsesApproximateClausesAndThresholds) {
+  auto md = ParseMatchingDependency(
+      "City=Ext_City & Address~Ext_Address@0.9 -> Zip=Ext_Zip");
+  ASSERT_TRUE(md.ok());
+  ASSERT_EQ(md.value().conditions.size(), 2u);
+  EXPECT_FALSE(md.value().conditions[0].approximate);
+  EXPECT_TRUE(md.value().conditions[1].approximate);
+  EXPECT_DOUBLE_EQ(md.value().conditions[1].sim_threshold, 0.9);
+  EXPECT_EQ(md.value().dict_id, 0);  // Default dictionary.
+  EXPECT_EQ(md.value().name, "City->Zip");  // Auto-generated name.
+}
+
+TEST(MdParser, DefaultSimilarityThreshold) {
+  auto md = ParseMatchingDependency("City~Ext_City -> Zip=Ext_Zip");
+  ASSERT_TRUE(md.ok());
+  EXPECT_DOUBLE_EQ(md.value().conditions[0].sim_threshold, 0.85);
+}
+
+TEST(MdParser, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseMatchingDependency("").ok());
+  EXPECT_FALSE(ParseMatchingDependency("Zip=Ext_Zip").ok());        // No ->.
+  EXPECT_FALSE(ParseMatchingDependency("-> City=Ext_City").ok());   // Empty.
+  EXPECT_FALSE(ParseMatchingDependency("Zip -> City=Ext_City").ok());
+  EXPECT_FALSE(
+      ParseMatchingDependency("Zip=Ext_Zip -> City~Ext_City").ok());
+  EXPECT_FALSE(
+      ParseMatchingDependency("A~B@1.5 -> City=Ext_City").ok());
+}
+
+TEST(MdParser, MultiLineWithComments) {
+  auto mds = ParseMatchingDependencies(
+      "# the zip listing\n"
+      "m1: Zip=Ext_Zip -> City=Ext_City\n"
+      "\n"
+      "m2: Zip=Ext_Zip -> State=Ext_State\n");
+  ASSERT_TRUE(mds.ok());
+  EXPECT_EQ(mds.value().size(), 2u);
+}
+
+TEST(MdParser, ParsedDependencyDrivesMatcher) {
+  Fixture f;
+  auto md = ParseMatchingDependency("zip->city: Zip=Ext_Zip -> City=Ext_City");
+  ASSERT_TRUE(md.ok());
+  Matcher matcher(&f.data, &f.dicts);
+  auto matches = matcher.Match(md.value());
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace holoclean

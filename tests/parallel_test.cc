@@ -1,0 +1,109 @@
+// Tests for the thread pool and for the determinism guarantee of the
+// parallel sections: any thread count must produce bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "holoclean/core/evaluation.h"
+#include "holoclean/core/pipeline.h"
+#include "holoclean/data/food.h"
+#include "holoclean/data/hospital.h"
+#include "holoclean/detect/violation_detector.h"
+#include "holoclean/util/thread_pool.h"
+
+namespace holoclean {
+namespace {
+
+TEST(ThreadPool, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksCoverRangeDisjointly) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.ParallelChunks(5000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SingleWorkerInline) {
+  ThreadPool pool(1);
+  int sum = 0;  // No atomics needed: single worker executes inline.
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, NestedUseFromResults) {
+  // Sequential reuse of the pool for several sections.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(200, [&](size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 5L * 19900L);
+}
+
+class ThreadCountSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ThreadCountSweep, ViolationDetectionIdentical) {
+  GeneratedData data = MakeHospital({300, 0.08, 81});
+  ThreadPool pool(GetParam());
+  ViolationDetector::Options options;
+  options.pool = &pool;
+  ViolationDetector parallel(&data.dataset.dirty(), &data.dcs, options);
+  ViolationDetector sequential(&data.dataset.dirty(), &data.dcs);
+  auto a = parallel.Detect();
+  auto b = sequential.Detect();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dc_index, b[i].dc_index);
+    EXPECT_EQ(a[i].t1, b[i].t1);
+    EXPECT_EQ(a[i].t2, b[i].t2);
+  }
+}
+
+TEST_P(ThreadCountSweep, PipelineRepairsIdentical) {
+  auto run = [](size_t threads) {
+    GeneratedData data = MakeFood({800, 0.06, 82});
+    HoloCleanConfig config;
+    config.tau = 0.5;
+    config.num_threads = threads;
+    config.dc_mode = DcMode::kBoth;
+    config.partitioning = true;
+    config.gibbs_burn_in = 5;
+    config.gibbs_samples = 20;
+    auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+    EXPECT_TRUE(report.ok());
+    return report.value().repairs;
+  };
+  auto sequential = run(1);
+  auto parallel = run(GetParam());
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].cell, parallel[i].cell);
+    EXPECT_EQ(sequential[i].new_value, parallel[i].new_value);
+    EXPECT_DOUBLE_EQ(sequential[i].probability, parallel[i].probability);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountSweep,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace holoclean

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "holoclean/storage/dataset.h"
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+namespace {
+
+Table SmallTable() {
+  Table t(Schema({"City", "Zip"}), std::make_shared<Dictionary>());
+  t.AppendRow({"Chicago", "60608"});
+  t.AppendRow({"Chicago", "60609"});
+  t.AppendRow({"Evanston", "60201"});
+  return t;
+}
+
+// ---------- Dictionary ----------
+
+TEST(Dictionary, NullIsIdZero) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern(""), Dictionary::kNull);
+  EXPECT_EQ(d.GetString(Dictionary::kNull), "");
+}
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary d;
+  ValueId a = d.Intern("x");
+  EXPECT_EQ(d.Intern("x"), a);
+  EXPECT_EQ(d.size(), 2u);  // "" and "x".
+}
+
+TEST(Dictionary, LookupDoesNotIntern) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup("missing"), -1);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_FALSE(d.Contains("missing"));
+}
+
+TEST(Dictionary, RoundTrip) {
+  Dictionary d;
+  ValueId a = d.Intern("alpha");
+  ValueId b = d.Intern("beta");
+  EXPECT_EQ(d.GetString(a), "alpha");
+  EXPECT_EQ(d.GetString(b), "beta");
+  EXPECT_EQ(d.Lookup("beta"), b);
+}
+
+// ---------- Schema ----------
+
+TEST(Schema, IndexOf) {
+  Schema s({"A", "B", "C"});
+  EXPECT_EQ(s.IndexOf("A"), 0);
+  EXPECT_EQ(s.IndexOf("C"), 2);
+  EXPECT_EQ(s.IndexOf("Z"), -1);
+  EXPECT_EQ(s.num_attrs(), 3u);
+  EXPECT_EQ(s.name(1), "B");
+}
+
+// ---------- Table ----------
+
+TEST(Table, AppendAndGet) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cells(), 6u);
+  EXPECT_EQ(t.GetString(0, 0), "Chicago");
+  EXPECT_EQ(t.GetString(2, 1), "60201");
+  // Equal strings share the same id across rows and columns.
+  EXPECT_EQ(t.Get(0, 0), t.Get(1, 0));
+}
+
+TEST(Table, SetAndSetString) {
+  Table t = SmallTable();
+  t.SetString(0, 1, "60610");
+  EXPECT_EQ(t.GetString(0, 1), "60610");
+  ValueId evanston = t.dict().Lookup("Evanston");
+  t.Set(CellRef{0, 0}, evanston);
+  EXPECT_EQ(t.GetString(CellRef{0, 0}), "Evanston");
+}
+
+TEST(Table, ActiveDomainExcludesNull) {
+  Table t(Schema({"A"}), std::make_shared<Dictionary>());
+  t.AppendRow({"x"});
+  t.AppendRow({""});
+  t.AppendRow({"y"});
+  t.AppendRow({"x"});
+  EXPECT_EQ(t.ActiveDomain(0).size(), 2u);
+}
+
+TEST(Table, CloneIsDeepForCellsSharedForDict) {
+  Table t = SmallTable();
+  Table copy = t.Clone();
+  copy.SetString(0, 0, "Springfield");
+  EXPECT_EQ(t.GetString(0, 0), "Chicago");
+  // Dictionary is shared: the new value is visible through both tables.
+  EXPECT_TRUE(t.dict().Contains("Springfield"));
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t = SmallTable();
+  auto parsed = Table::FromCsv(t.ToCsv());
+  ASSERT_TRUE(parsed.ok());
+  const Table& u = parsed.value();
+  ASSERT_EQ(u.num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t a = 0; a < t.schema().num_attrs(); ++a) {
+      EXPECT_EQ(u.GetString(static_cast<TupleId>(r), static_cast<AttrId>(a)),
+                t.GetString(static_cast<TupleId>(r), static_cast<AttrId>(a)));
+    }
+  }
+}
+
+TEST(Table, FromCsvRejectsEmptyHeader) {
+  CsvDocument doc;
+  EXPECT_FALSE(Table::FromCsv(doc).ok());
+}
+
+// ---------- CellRef ----------
+
+TEST(CellRef, OrderingAndEquality) {
+  CellRef a{1, 2};
+  CellRef b{1, 3};
+  CellRef c{2, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (CellRef{1, 2}));
+  EXPECT_FALSE(a == b);
+}
+
+// ---------- Dataset / NoisyCells ----------
+
+TEST(Dataset, TrueErrorsComparesAgainstClean) {
+  Table dirty = SmallTable();
+  Table clean = dirty.Clone();
+  dirty.SetString(1, 0, "Chicgao");
+  dirty.SetString(2, 1, "60202");
+  Dataset dataset(std::move(dirty));
+  dataset.set_clean(std::move(clean));
+  auto errors = dataset.TrueErrors();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0], (CellRef{1, 0}));
+  EXPECT_EQ(errors[1], (CellRef{2, 1}));
+}
+
+TEST(Dataset, SourceAttrExcludedFromRepair) {
+  Table t(Schema({"A", "Src"}), std::make_shared<Dictionary>());
+  t.AppendRow({"x", "s1"});
+  Dataset dataset(std::move(t));
+  dataset.set_source_attr(1);
+  EXPECT_EQ(dataset.RepairableAttrs(), (std::vector<AttrId>{0}));
+  EXPECT_TRUE(dataset.has_source_attr());
+}
+
+TEST(NoisyCells, DeduplicatesAndMerges) {
+  NoisyCells a;
+  a.Add({0, 0});
+  a.Add({0, 0});
+  EXPECT_EQ(a.size(), 1u);
+  NoisyCells b;
+  b.Add({0, 0});
+  b.Add({1, 1});
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.Contains({1, 1}));
+  EXPECT_FALSE(a.Contains({2, 2}));
+}
+
+}  // namespace
+}  // namespace holoclean
