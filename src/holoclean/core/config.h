@@ -5,6 +5,7 @@
 #include <string>
 
 #include "holoclean/model/grounding.h"
+#include "holoclean/model/weight_initializer.h"
 
 namespace holoclean {
 
@@ -68,6 +69,18 @@ struct HoloCleanConfig {
   /// (0 = hardware concurrency, 1 = fully sequential). Results are
   /// identical for any thread count.
   size_t num_threads = 0;
+
+  /// Translates to the weight-initializer options.
+  WeightInitOptions ToWeightInitOptions() const {
+    WeightInitOptions w;
+    w.stats_prior_weight = stats_prior_weight;
+    w.freq_prior_weight = freq_prior_weight;
+    w.dc_violation_init = dc_violation_init;
+    w.ext_dict_init = ext_dict_init;
+    w.support_prior = support_prior;
+    w.source_trust_scale = source_trust_scale;
+    return w;
+  }
 
   /// Translates to the grounding-engine options.
   GroundingOptions ToGroundingOptions() const {

@@ -19,23 +19,36 @@ size_t FeedbackSession::AddLabel(const FeedbackLabel& label) {
 }
 
 Result<Report> FeedbackSession::Run() {
-  // Apply the verified values: the labeled cells now hold ground truth, so
-  // they stop violating constraints (leaving Dn) and serve as evidence for
-  // weight learning — the "labeled examples to retrain the parameters" of
-  // §2.2.
-  Table& table = dataset_->dirty();
-  std::vector<std::pair<CellRef, ValueId>> previous;
-  previous.reserve(labels_.size());
-  for (const FeedbackLabel& label : labels_) {
-    previous.emplace_back(label.cell, table.Get(label.cell));
-    table.Set(label.cell, label.true_value);
+  if (!session_) {
+    HoloClean cleaner(config_);
+    auto opened = cleaner.Open(dataset_, dcs_);
+    if (!opened.ok()) return opened.status();
+    session_.emplace(std::move(opened).value());
   }
 
-  HoloClean cleaner(config_);
-  Result<Report> report = cleaner.Run(dataset_, dcs_);
+  // Pin the labels not yet applied (or re-applied with a newer verdict):
+  // the labeled cells now hold ground truth, so they stop violating
+  // constraints (leaving Dn) and serve as evidence for weight learning —
+  // the "labeled examples to retrain the parameters" of §2.2. PinCell
+  // keeps the cached detection and re-runs only compile and later.
+  Table& table = dataset_->dirty();
+  std::vector<std::pair<CellRef, ValueId>> previous;
+  for (const FeedbackLabel& label : labels_) {
+    auto it = pinned_.find(label.cell);
+    if (it != pinned_.end() && it->second == label.true_value) continue;
+    previous.emplace_back(label.cell, table.Get(label.cell));
+    session_->PinCell(label.cell, label.true_value);
+    pinned_[label.cell] = label.true_value;
+  }
+
+  Result<Report> report = session_->Run();
   if (!report.ok()) {
     // Restore on failure so the session stays usable.
-    for (const auto& [cell, value] : previous) table.Set(cell, value);
+    for (const auto& [cell, value] : previous) {
+      table.Set(cell, value);
+      pinned_.erase(cell);
+    }
+    session_->Invalidate(StageId::kDetect);
     return report.status();
   }
   last_report_ = report.value();

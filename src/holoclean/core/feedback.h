@@ -1,10 +1,13 @@
 #ifndef HOLOCLEAN_CORE_FEEDBACK_H_
 #define HOLOCLEAN_CORE_FEEDBACK_H_
 
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "holoclean/core/config.h"
 #include "holoclean/core/report.h"
+#include "holoclean/core/session.h"
 #include "holoclean/storage/dataset.h"
 
 namespace holoclean {
@@ -20,11 +23,20 @@ struct FeedbackLabel {
 /// calibrated marginals identify the repairs worth showing a human ("ask
 /// users to verify repairs with low marginal probabilities"), and the
 /// verified labels are folded back in as evidence for the next run.
+///
+/// Runs ride a staged Session: the first Run() executes the full pipeline;
+/// later runs pin the new labels into the cached context (Session::PinCell)
+/// and re-execute only from CompileStage — the expensive detection pass is
+/// reused, the labeled cells become evidence, and the model re-learns.
 class FeedbackSession {
  public:
   FeedbackSession(Dataset* dataset, std::vector<DenialConstraint> dcs,
                   HoloCleanConfig config)
       : dataset_(dataset), dcs_(std::move(dcs)), config_(config) {}
+
+  // The underlying Session borrows `dcs_` by address.
+  FeedbackSession(const FeedbackSession&) = delete;
+  FeedbackSession& operator=(const FeedbackSession&) = delete;
 
   /// Runs the pipeline with all labels received so far applied: labeled
   /// cells are fixed to their verified values (the cells become part of
@@ -50,11 +62,17 @@ class FeedbackSession {
   const std::vector<FeedbackLabel>& labels() const { return labels_; }
   const Report& last_report() const { return last_report_; }
 
+  /// The underlying staged session (null before the first Run()).
+  Session* session() { return session_ ? &*session_ : nullptr; }
+
  private:
   Dataset* dataset_;
   std::vector<DenialConstraint> dcs_;
   HoloCleanConfig config_;
   std::vector<FeedbackLabel> labels_;
+  /// Labels already pinned into the session, by their pinned value.
+  std::unordered_map<CellRef, ValueId, CellRefHash> pinned_;
+  std::optional<Session> session_;
   Report last_report_;
 };
 

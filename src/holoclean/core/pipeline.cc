@@ -1,291 +1,25 @@
 #include "holoclean/core/pipeline.h"
 
-#include <algorithm>
-#include <unordered_set>
-
-#include "holoclean/ddlog/program.h"
-#include "holoclean/infer/gibbs.h"
-#include "holoclean/infer/learner.h"
-#include "holoclean/model/domain_pruning.h"
-#include "holoclean/model/feature_registry.h"
-#include "holoclean/model/grounding.h"
-#include "holoclean/stats/cooccurrence.h"
-#include "holoclean/stats/source_reliability.h"
-#include "holoclean/util/rng.h"
-#include "holoclean/util/thread_pool.h"
-#include "holoclean/util/timer.h"
-
 namespace holoclean {
 
-namespace {
-
-/// Builds the DDlog program mirroring the configured model, for the report.
-Program BuildProgram(const HoloCleanConfig& config,
-                     const std::vector<DenialConstraint>& dcs,
-                     size_t num_dicts) {
-  Program program;
-  program.rules.push_back({RuleKind::kRandomVariable});
-  InferenceRule feature;
-  feature.kind = RuleKind::kFeature;
-  feature.weight_is_learned = true;
-  program.rules.push_back(feature);
-  InferenceRule prior;
-  prior.kind = RuleKind::kMinimalityPrior;
-  prior.fixed_weight = config.minimality_weight;
-  program.rules.push_back(prior);
-  for (size_t k = 0; k < num_dicts; ++k) {
-    InferenceRule rule;
-    rule.kind = RuleKind::kExtDictMatch;
-    rule.dict_id = static_cast<int>(k);
-    rule.weight_is_learned = true;
-    program.rules.push_back(rule);
-  }
-  bool factors =
-      config.dc_mode == DcMode::kFactors || config.dc_mode == DcMode::kBoth;
-  bool features =
-      config.dc_mode == DcMode::kFeatures || config.dc_mode == DcMode::kBoth;
-  for (size_t s = 0; s < dcs.size(); ++s) {
-    if (factors) {
-      InferenceRule rule;
-      rule.kind = RuleKind::kDcFactor;
-      rule.dc_index = static_cast<int>(s);
-      rule.fixed_weight = config.dc_factor_weight;
-      program.rules.push_back(rule);
-    }
-    if (features) {
-      for (const DcHeadSlot& slot : EnumerateHeadSlots(dcs[s])) {
-        InferenceRule rule;
-        rule.kind = RuleKind::kDcRelaxedFeature;
-        rule.dc_index = static_cast<int>(s);
-        rule.head = slot;
-        rule.weight_is_learned = true;
-        program.rules.push_back(rule);
-      }
-    }
-  }
-  return program;
+Result<Session> HoloClean::Open(Dataset* dataset,
+                                const std::vector<DenialConstraint>& dcs,
+                                const ExtDictCollection* dicts,
+                                const std::vector<MatchingDependency>* mds,
+                                const DetectorSuite* extra_detectors) const {
+  if (dataset == nullptr) return Status::InvalidArgument("null dataset");
+  return Session(config_, dataset, &dcs, dicts, mds, extra_detectors);
 }
-
-}  // namespace
 
 Result<Report> HoloClean::Run(Dataset* dataset,
                               const std::vector<DenialConstraint>& dcs,
                               const ExtDictCollection* dicts,
                               const std::vector<MatchingDependency>* mds,
                               const DetectorSuite* extra_detectors) {
-  if (dataset == nullptr) return Status::InvalidArgument("null dataset");
-  Report report;
-  Table& table = dataset->dirty();
-  std::vector<AttrId> attrs = dataset->RepairableAttrs();
-  ThreadPool pool(config_.num_threads);
-  ThreadPool* pool_ptr = config_.num_threads == 1 ? nullptr : &pool;
-
-  // ---- Phase 1: error detection --------------------------------------
-  Timer timer;
-  ViolationDetector::Options det_options;
-  det_options.sim_threshold = config_.sim_threshold;
-  det_options.pool = pool_ptr;
-  ViolationDetector detector(&table, &dcs, det_options);
-  std::vector<Violation> violations = detector.Detect();
-  NoisyCells noisy = ViolationDetector::NoisyFromViolations(violations);
-  if (extra_detectors != nullptr) {
-    noisy.Merge(extra_detectors->Detect(*dataset));
-  }
-  report.stats.detect_seconds = timer.Seconds();
-  report.stats.num_violations = violations.size();
-  report.stats.num_noisy_cells = noisy.size();
-
-  // ---- Phase 2: compilation ------------------------------------------
-  timer.Reset();
-  CooccurrenceStats cooc = CooccurrenceStats::Build(table, attrs);
-
-  // External data: evaluate matching dependencies, intern suggested values
-  // so they can enter candidate domains.
-  std::vector<MatchedEntry> matches;
-  if (dicts != nullptr && mds != nullptr && !dicts->empty()) {
-    Matcher matcher(&table, dicts);
-    HOLO_ASSIGN_OR_RETURN(matched, matcher.MatchAll(*mds));
-    matches = std::move(matched);
-    for (const MatchedEntry& m : matches) table.dict().Intern(m.value);
-  }
-
-  // Evidence sample: clean, non-null cells, capped for training cost.
-  std::vector<CellRef> evidence_cells;
-  for (size_t t = 0; t < table.num_rows(); ++t) {
-    for (AttrId a : attrs) {
-      CellRef c{static_cast<TupleId>(t), a};
-      if (noisy.Contains(c)) continue;
-      if (table.Get(c) == Dictionary::kNull) continue;
-      evidence_cells.push_back(c);
-    }
-  }
-  if (evidence_cells.size() > config_.max_training_cells) {
-    Rng rng(config_.seed);
-    rng.Shuffle(&evidence_cells);
-    evidence_cells.resize(config_.max_training_cells);
-    std::sort(evidence_cells.begin(), evidence_cells.end());
-  }
-
-  // Domain pruning (Algorithm 2) over query and evidence cells alike.
-  DomainPruningOptions prune_options;
-  prune_options.tau = config_.tau;
-  prune_options.max_candidates = config_.max_candidates;
-  std::vector<CellRef> all_cells = noisy.cells();
-  all_cells.insert(all_cells.end(), evidence_cells.begin(),
-                   evidence_cells.end());
-  PrunedDomains domains =
-      PruneDomains(table, all_cells, attrs, cooc, prune_options);
-
-  // Candidates suggested by external dictionaries join the domain of the
-  // matched (noisy) cells.
-  for (const MatchedEntry& m : matches) {
-    if (!noisy.Contains(m.cell)) continue;
-    auto it = domains.candidates.find(m.cell);
-    if (it == domains.candidates.end()) continue;
-    ValueId v = table.dict().Lookup(m.value);
-    if (v < 0) continue;
-    if (std::find(it->second.begin(), it->second.end(), v) ==
-        it->second.end()) {
-      it->second.push_back(v);
-    }
-  }
-  report.stats.num_candidates = domains.TotalCandidates();
-
-  Program program = BuildProgram(config_, dcs,
-                                 dicts == nullptr ? 0 : dicts->size());
-  report.ddlog = program.ToDDlog(table.schema(), dcs);
-
-  GroundingInput ground_input;
-  ground_input.table = &table;
-  ground_input.dcs = &dcs;
-  ground_input.attrs = &attrs;
-  ground_input.cooc = &cooc;
-  ground_input.query_cells = &noisy.cells();
-  ground_input.evidence_cells = &evidence_cells;
-  ground_input.domains = &domains;
-  ground_input.matches = matches.empty() ? nullptr : &matches;
-  ground_input.violations = &violations;
-  ground_input.source_attr = dataset->source_attr();
-
-  GroundingOptions ground_options = config_.ToGroundingOptions();
-  ground_options.pool = pool_ptr;
-  Grounder grounder(ground_input, ground_options);
-  HOLO_ASSIGN_OR_RETURN(graph, grounder.Ground());
-  report.stats.compile_seconds = timer.Seconds();
-  report.stats.num_query_vars = grounder.stats().num_query_vars;
-  report.stats.num_evidence_vars = grounder.stats().num_evidence_vars;
-  report.stats.num_dc_factors = grounder.stats().num_dc_factors;
-  report.stats.num_grounded_factors = graph.NumGroundedFactors();
-
-  // ---- Phase 3: learning ----------------------------------------------
-  timer.Reset();
-  weights_ = WeightStore();
-  // Signal priors (refined by SGD below): statistics features positive,
-  // violation counts negative, dictionary matches positive.
-  for (AttrId a : attrs) {
-    uint32_t au = static_cast<uint32_t>(a);
-    weights_.Set(WeightKeyCodec::Pack(FeatureKind::kFrequency, au, 0, 0, 0),
-                 config_.freq_prior_weight);
-    for (AttrId a_ctx : attrs) {
-      if (a_ctx == a) continue;
-      weights_.Set(
-          WeightKeyCodec::Pack(FeatureKind::kCondProb, au,
-                               static_cast<uint32_t>(a_ctx), 0, 0),
-          config_.stats_prior_weight);
-    }
-  }
-  for (size_t s = 0; s < dcs.size(); ++s) {
-    weights_.Set(WeightKeyCodec::Pack(FeatureKind::kDcViolation, 0,
-                                      static_cast<uint32_t>(s), 0, 0),
-                 config_.dc_violation_init);
-  }
-  if (dicts != nullptr) {
-    for (size_t k = 0; k < dicts->size(); ++k) {
-      weights_.Set(WeightKeyCodec::Pack(FeatureKind::kExtDict, 0,
-                                        static_cast<uint32_t>(k), 0, 0),
-                   config_.ext_dict_init);
-    }
-  }
-  if (!dataset->has_source_attr()) {
-    for (AttrId a : attrs) {
-      for (size_t s = 0; s < dcs.size(); ++s) {
-        weights_.Set(WeightKeyCodec::Pack(FeatureKind::kSourceSupport,
-                                          static_cast<uint32_t>(a),
-                                          static_cast<uint32_t>(s), 0, 0),
-                     config_.support_prior);
-      }
-    }
-  }
-  // Source-trust initialization (SLiMFast-style, §6.2.1): when provenance
-  // is available, estimate per-source reliability with the EM voter and
-  // seed the partner-support weights with it. SGD refines from there.
-  if (dataset->has_source_attr()) {
-    AttrId key_attr = -1;
-    for (const DenialConstraint& dc : dcs) {
-      auto equalities = dc.CrossEqualities();
-      if (dc.IsTwoTuple() && !equalities.empty()) {
-        key_attr = equalities.front()->lhs_attr;
-        break;
-      }
-    }
-    if (key_attr >= 0) {
-      SourceReliability trust = SourceReliability::Estimate(
-          table, key_attr, dataset->source_attr());
-      for (const auto& [src, r] : trust.All()) {
-        double w = config_.source_trust_scale * (r - 0.5) * 2.0;
-        for (AttrId a : attrs) {
-          for (size_t s = 0; s < dcs.size(); ++s) {
-            weights_.Set(
-                WeightKeyCodec::Pack(FeatureKind::kSourceSupport,
-                                     static_cast<uint32_t>(a),
-                                     static_cast<uint32_t>(s),
-                                     static_cast<uint32_t>(src), 0),
-                w);
-          }
-        }
-      }
-    }
-  }
-  LearnerOptions learn_options;
-  learn_options.epochs = config_.epochs;
-  learn_options.learning_rate = config_.learning_rate;
-  learn_options.lr_decay = config_.lr_decay;
-  learn_options.l2 = config_.l2;
-  learn_options.seed = config_.seed ^ 0x5851F42D4C957F2DULL;
-  SgdLearner learner(&graph, learn_options);
-  learner.Train(&weights_);
-  report.stats.learn_seconds = timer.Seconds();
-
-  // ---- Phase 3b: inference ---------------------------------------------
-  timer.Reset();
-  Marginals marginals(0);
-  if (graph.dc_factors().empty()) {
-    marginals = ExactIndependentMarginals(graph, weights_);
-  } else {
-    GibbsOptions gibbs_options;
-    gibbs_options.burn_in = config_.gibbs_burn_in;
-    gibbs_options.samples = config_.gibbs_samples;
-    gibbs_options.seed = config_.seed ^ 0x2545F4914F6CDD1DULL;
-    gibbs_options.pool = pool_ptr;
-    GibbsSampler sampler(&graph, &table, &dcs, &weights_, gibbs_options);
-    marginals = sampler.Run();
-  }
-
-  for (int32_t var_id : graph.query_vars()) {
-    const Variable& var = graph.variable(var_id);
-    int map_index = marginals.MapIndex(var_id);
-    double map_prob = marginals.MapProb(var_id);
-    ValueId old_value = table.Get(var.cell);
-    ValueId new_value = var.domain[static_cast<size_t>(map_index)];
-    report.posteriors.push_back(
-        {var.cell, old_value, new_value, map_prob});
-    if (new_value != old_value) {
-      report.repairs.push_back({var.cell, old_value, new_value, map_prob});
-    }
-  }
-  std::sort(report.repairs.begin(), report.repairs.end(),
-            [](const Repair& a, const Repair& b) { return a.cell < b.cell; });
-  report.stats.infer_seconds = timer.Seconds();
+  HOLO_ASSIGN_OR_RETURN(session,
+                        Open(dataset, dcs, dicts, mds, extra_detectors));
+  HOLO_ASSIGN_OR_RETURN(report, session.Run());
+  weights_ = session.context().weights;
   return report;
 }
 

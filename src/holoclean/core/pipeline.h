@@ -5,6 +5,7 @@
 
 #include "holoclean/core/config.h"
 #include "holoclean/core/report.h"
+#include "holoclean/core/session.h"
 #include "holoclean/detect/error_detector.h"
 #include "holoclean/extdata/matcher.h"
 #include "holoclean/extdata/matching_dependency.h"
@@ -13,15 +14,24 @@
 
 namespace holoclean {
 
-/// The end-to-end HoloClean system (paper Figure 2):
+/// The end-to-end HoloClean system (paper Figure 2), built as a staged
+/// pipeline over a shared PipelineContext:
 ///
-///   1. Error detection — DC violations, plus any extra detectors.
-///   2. Compilation — co-occurrence statistics, domain pruning (Alg. 2),
+///   1. DetectStage — DC violations, plus any extra detectors.
+///   2. CompileStage — co-occurrence statistics, domain pruning (Alg. 2),
 ///      external-data matching, DDlog program generation, grounding
-///      (with partitioning, Alg. 3, when configured).
-///   3. Repairing — SGD weight learning on the evidence cells, then exact
-///      marginals (relaxed model) or Gibbs sampling (DC factors), MAP
-///      assignment, and repairs with calibrated marginal probabilities.
+///      (partition-parallel over the Alg. 3 tuple groups when configured).
+///   3. LearnStage — prior weights (WeightInitializer) refined by SGD on
+///      the evidence cells.
+///   4. InferStage — exact marginals (relaxed model) or Gibbs sampling
+///      (DC factors), one concurrent chain per graph component.
+///   5. RepairStage — MAP assignment and repairs with calibrated marginal
+///      probabilities.
+///
+/// Run() executes the full sequence. Open() returns a Session handle that
+/// caches every stage artifact and supports incremental re-runs: after
+/// feedback pins a cell or a config change touches only inference knobs,
+/// only the affected suffix of stages re-executes.
 ///
 /// The pipeline mutates the dataset's dictionary (interning candidate
 /// values suggested by external dictionaries) but never the cell values;
@@ -32,12 +42,21 @@ class HoloClean {
 
   /// Cleans `dataset` under constraints `dcs`. `dicts`/`mds` supply the
   /// external-data signal and may be null; `extra_detectors` augments the
-  /// default DC-violation error detection and may be null.
+  /// default DC-violation error detection and may be null. Thin wrapper
+  /// over the full stage sequence of a fresh Session.
   Result<Report> Run(Dataset* dataset,
                      const std::vector<DenialConstraint>& dcs,
                      const ExtDictCollection* dicts = nullptr,
                      const std::vector<MatchingDependency>* mds = nullptr,
                      const DetectorSuite* extra_detectors = nullptr);
+
+  /// Opens a staged session over the inputs without running anything. All
+  /// referenced inputs are borrowed and must outlive the session.
+  Result<Session> Open(Dataset* dataset,
+                       const std::vector<DenialConstraint>& dcs,
+                       const ExtDictCollection* dicts = nullptr,
+                       const std::vector<MatchingDependency>* mds = nullptr,
+                       const DetectorSuite* extra_detectors = nullptr) const;
 
   /// Learned weights of the last run (model introspection, tests).
   const WeightStore& weights() const { return weights_; }

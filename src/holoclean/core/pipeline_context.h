@@ -1,0 +1,86 @@
+#ifndef HOLOCLEAN_CORE_PIPELINE_CONTEXT_H_
+#define HOLOCLEAN_CORE_PIPELINE_CONTEXT_H_
+
+#include <vector>
+
+#include "holoclean/core/config.h"
+#include "holoclean/core/report.h"
+#include "holoclean/ddlog/program.h"
+#include "holoclean/detect/error_detector.h"
+#include "holoclean/detect/violation_detector.h"
+#include "holoclean/extdata/matcher.h"
+#include "holoclean/extdata/matching_dependency.h"
+#include "holoclean/infer/marginals.h"
+#include "holoclean/model/domain_pruning.h"
+#include "holoclean/model/factor_graph.h"
+#include "holoclean/model/grounding.h"
+#include "holoclean/model/partitioning.h"
+#include "holoclean/model/weight_store.h"
+#include "holoclean/stats/cooccurrence.h"
+#include "holoclean/storage/dataset.h"
+#include "holoclean/util/thread_pool.h"
+
+namespace holoclean {
+
+/// Everything a pipeline run reads and produces, owned in one place so that
+/// stages can re-run individually against cached upstream artifacts.
+///
+/// Two invariants make incremental re-runs sound:
+///  - Stages are stateless: every artifact a stage produces lives here,
+///    never inside the stage, so a later stage sees exactly what an earlier
+///    (possibly cached) execution left behind.
+///  - Engine inputs point at context-owned vectors with stable addresses.
+///    In particular `query_cells` is an owned copy of the noisy set — the
+///    monolithic pipeline wired `GroundingInput::query_cells` to an
+///    accessor-returned reference of a stack-local `NoisyCells`, which is
+///    exactly the kind of dangling-input hazard this struct removes.
+struct PipelineContext {
+  // --- Session inputs (borrowed; must outlive the session) ---
+  Dataset* dataset = nullptr;
+  const std::vector<DenialConstraint>* dcs = nullptr;
+  const ExtDictCollection* dicts = nullptr;
+  const std::vector<MatchingDependency>* mds = nullptr;
+  const DetectorSuite* extra_detectors = nullptr;
+  HoloCleanConfig config;
+  /// Worker pool for the parallel sections; null = fully sequential.
+  /// Owned by the session, never by the context.
+  ThreadPool* pool = nullptr;
+
+  // --- DetectStage artifacts ---
+  std::vector<AttrId> attrs;
+  std::vector<Violation> violations;
+  NoisyCells noisy;
+
+  // --- CompileStage artifacts ---
+  /// Stable owned copy of the noisy cells: the grounding query variables.
+  std::vector<CellRef> query_cells;
+  /// Clean, non-null cells sampled for training (capped, seeded shuffle).
+  std::vector<CellRef> evidence_cells;
+  CooccurrenceStats cooc;
+  std::vector<MatchedEntry> matches;
+  PrunedDomains domains;
+  /// Algorithm-3 tuple groups backing partition-parallel grounding.
+  /// Rebuilt by every compile execution (cheap, linear in the violations)
+  /// and kept here so the groups that drove grounding stay inspectable.
+  TupleGroups groups;
+  Program program;
+  FactorGraph graph;
+  Grounder::Stats grounder_stats;
+  /// Number of grounding executions in this session. An incremental re-run
+  /// from LearnStage or later reuses the cached graph and leaves this
+  /// unchanged (asserted in tests).
+  size_t ground_runs = 0;
+
+  // --- LearnStage artifacts ---
+  WeightStore weights;
+
+  // --- InferStage artifacts ---
+  Marginals marginals{0};
+
+  // --- RepairStage output (stats fields are filled by every stage) ---
+  Report report;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_PIPELINE_CONTEXT_H_

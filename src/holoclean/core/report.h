@@ -27,13 +27,29 @@ struct CellPosterior {
   double map_prob = 0.0;
 };
 
+/// Wall time of one pipeline stage in the last run. Recorded uniformly by
+/// the session for every stage; `cached` marks stages that were skipped on
+/// an incremental re-run because their artifacts were still valid.
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+  bool cached = false;
+};
+
 /// Phase timings and model-size statistics of one run (Tables 2/4,
 /// Figures 4/5, and the grounding-reduction claims of §1).
 struct RunStats {
+  /// Legacy phase view of the timings (detect / compile / learn / infer,
+  /// with the repair-extraction time folded into infer). Kept in sync with
+  /// `stage_timings` by the session.
   double detect_seconds = 0.0;
   double compile_seconds = 0.0;
   double learn_seconds = 0.0;
   double infer_seconds = 0.0;
+
+  /// Per-stage timings in stage order (detect, compile, learn, infer,
+  /// repair). Empty for reports not produced by the staged engine.
+  std::vector<StageTiming> stage_timings;
 
   size_t num_violations = 0;
   size_t num_noisy_cells = 0;

@@ -1,0 +1,114 @@
+#include "holoclean/core/session.h"
+
+#include <algorithm>
+
+#include "holoclean/util/timer.h"
+
+namespace holoclean {
+
+Session::Session(HoloCleanConfig config, Dataset* dataset,
+                 const std::vector<DenialConstraint>* dcs,
+                 const ExtDictCollection* dicts,
+                 const std::vector<MatchingDependency>* mds,
+                 const DetectorSuite* extra_detectors) {
+  ctx_.config = std::move(config);
+  ctx_.dataset = dataset;
+  ctx_.dcs = dcs;
+  ctx_.dicts = dicts;
+  ctx_.mds = mds;
+  ctx_.extra_detectors = extra_detectors;
+  stages_ = MakeDefaultStages();
+  auto& timings = ctx_.report.stats.stage_timings;
+  timings.resize(stages_.size());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    timings[i].name = stages_[i]->Name();
+  }
+  RebuildPool();
+}
+
+void Session::RebuildPool() {
+  pool_.reset();
+  if (ctx_.config.num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(ctx_.config.num_threads);
+  }
+  ctx_.pool = pool_.get();
+}
+
+Result<Report> Session::RunThrough(StageId last) {
+  int last_index = static_cast<int>(last);
+  auto& timings = ctx_.report.stats.stage_timings;
+  for (int i = 0; i <= last_index; ++i) {
+    if (i < valid_through_) {
+      timings[static_cast<size_t>(i)].cached = true;
+      continue;
+    }
+    Timer timer;
+    HOLO_RETURN_NOT_OK(stages_[static_cast<size_t>(i)]->Run(&ctx_));
+    timings[static_cast<size_t>(i)].seconds = timer.Seconds();
+    timings[static_cast<size_t>(i)].cached = false;
+    valid_through_ = i + 1;
+  }
+  // Keep the legacy phase view in sync (repair extraction folds into the
+  // inference phase, matching the monolithic pipeline's accounting).
+  RunStats& stats = ctx_.report.stats;
+  stats.detect_seconds = timings[0].seconds;
+  stats.compile_seconds = timings[1].seconds;
+  stats.learn_seconds = timings[2].seconds;
+  stats.infer_seconds = timings[3].seconds + timings[4].seconds;
+  return ctx_.report;
+}
+
+void Session::Invalidate(StageId from) {
+  valid_through_ = std::min(valid_through_, static_cast<int>(from));
+}
+
+void Session::UpdateConfig(const HoloCleanConfig& config) {
+  const HoloCleanConfig& cur = ctx_.config;
+  int invalid = kNumStages;
+  auto touch = [&](StageId stage) {
+    invalid = std::min(invalid, static_cast<int>(stage));
+  };
+  if (config.sim_threshold != cur.sim_threshold) touch(StageId::kDetect);
+  if (config.tau != cur.tau || config.max_candidates != cur.max_candidates ||
+      config.dc_mode != cur.dc_mode ||
+      config.partitioning != cur.partitioning ||
+      config.dc_factor_weight != cur.dc_factor_weight ||
+      config.minimality_weight != cur.minimality_weight ||
+      config.max_training_cells != cur.max_training_cells ||
+      config.seed != cur.seed) {
+    touch(StageId::kCompile);
+  }
+  if (config.stats_prior_weight != cur.stats_prior_weight ||
+      config.freq_prior_weight != cur.freq_prior_weight ||
+      config.dc_violation_init != cur.dc_violation_init ||
+      config.ext_dict_init != cur.ext_dict_init ||
+      config.support_prior != cur.support_prior ||
+      config.source_trust_scale != cur.source_trust_scale ||
+      config.epochs != cur.epochs ||
+      config.learning_rate != cur.learning_rate ||
+      config.lr_decay != cur.lr_decay || config.l2 != cur.l2) {
+    touch(StageId::kLearn);
+  }
+  if (config.gibbs_burn_in != cur.gibbs_burn_in ||
+      config.gibbs_samples != cur.gibbs_samples) {
+    touch(StageId::kInfer);
+  }
+  bool pool_changed = config.num_threads != cur.num_threads;
+  ctx_.config = config;
+  if (pool_changed) RebuildPool();
+  if (invalid < kNumStages) Invalidate(static_cast<StageId>(invalid));
+}
+
+void Session::PinCell(const CellRef& cell, ValueId value) {
+  ctx_.dataset->dirty().Set(cell, value);
+  if (StageIsValid(StageId::kDetect)) {
+    // Detection is cached and the pin is ground truth: the cell leaves the
+    // noisy set and becomes compile-stage evidence without re-detection.
+    ctx_.noisy.Remove(cell);
+    Invalidate(StageId::kCompile);
+  } else {
+    Invalidate(StageId::kDetect);
+  }
+}
+
+}  // namespace holoclean

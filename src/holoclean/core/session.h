@@ -1,0 +1,96 @@
+#ifndef HOLOCLEAN_CORE_SESSION_H_
+#define HOLOCLEAN_CORE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "holoclean/core/pipeline_context.h"
+#include "holoclean/core/stage.h"
+
+namespace holoclean {
+
+/// A long-lived handle over one cleaning instance (obtained with
+/// HoloClean::Open) that supports incremental re-runs: the session caches
+/// every stage artifact in its PipelineContext and tracks which leading
+/// stages are still valid. Run() only executes the invalid suffix, so e.g.
+/// changing a Gibbs knob re-runs inference and repair extraction against
+/// the cached factor graph without re-detecting or re-grounding anything.
+///
+/// Invalidation sources:
+///  - Invalidate(stage): explicit, everything from `stage` on re-executes.
+///  - UpdateConfig(config): diffs the configs and invalidates the earliest
+///    stage any changed knob feeds into (e.g. tau -> compile, epochs ->
+///    learn, gibbs_samples -> infer). Changing num_threads rebuilds the
+///    worker pool but invalidates nothing: results are thread-count
+///    invariant.
+///  - PinCell(cell, value): writes a user-verified value into the dirty
+///    table (the feedback loop of paper §2.2). When detection is cached,
+///    the pinned cell is dropped from the noisy set and only compile and
+///    later re-run — the pin is ground truth, so re-detecting it is
+///    unnecessary. The cached detection is an approximation in both
+///    directions: cells flagged noisy only because of the pinned cell's
+///    old value stay query variables, and conflicts the pinned value newly
+///    exposes (partners now provably wrong against the verified truth) are
+///    not detected, so those partners are not repaired until a full
+///    re-detection. Call Invalidate(StageId::kDetect) for exact semantics.
+///
+/// The session borrows the dataset and constraints passed to Open; they
+/// must outlive it. It mutates the dataset's dictionary (interning matched
+/// candidate values) and — only via PinCell — cell values.
+class Session {
+ public:
+  Session(HoloCleanConfig config, Dataset* dataset,
+          const std::vector<DenialConstraint>* dcs,
+          const ExtDictCollection* dicts,
+          const std::vector<MatchingDependency>* mds,
+          const DetectorSuite* extra_detectors);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Executes all invalid stages through repair extraction and returns the
+  /// report. When every stage is valid this is a cached-report lookup.
+  Result<Report> Run() { return RunThrough(StageId::kRepair); }
+
+  /// Executes invalid stages up to and including `last` (prefix execution:
+  /// e.g. RunThrough(kCompile) grounds the model without learning). The
+  /// returned report carries the stats of the stages run so far.
+  Result<Report> RunThrough(StageId last);
+
+  /// Marks `from` and every later stage as needing re-execution.
+  void Invalidate(StageId from);
+
+  /// True when the stage's cached artifacts are valid.
+  bool StageIsValid(StageId id) const {
+    return static_cast<int>(id) < valid_through_;
+  }
+
+  /// Adopts a new configuration, invalidating the minimal stage suffix the
+  /// changed knobs feed into (see class comment).
+  void UpdateConfig(const HoloCleanConfig& config);
+
+  /// Applies a user-verified value (feedback loop): writes it to the dirty
+  /// table and invalidates from compile (detection cached) or detect.
+  void PinCell(const CellRef& cell, ValueId value);
+
+  PipelineContext& context() { return ctx_; }
+  const PipelineContext& context() const { return ctx_; }
+
+  /// The report of the last (possibly partial) run.
+  const Report& report() const { return ctx_.report; }
+
+  const HoloCleanConfig& config() const { return ctx_.config; }
+
+ private:
+  void RebuildPool();
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<PipelineStage>> stages_;
+  PipelineContext ctx_;
+  /// Stages [0, valid_through_) have valid cached artifacts.
+  int valid_through_ = 0;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_SESSION_H_

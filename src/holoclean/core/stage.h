@@ -1,0 +1,53 @@
+#ifndef HOLOCLEAN_CORE_STAGE_H_
+#define HOLOCLEAN_CORE_STAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "holoclean/core/pipeline_context.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// The stages of the HoloClean pipeline in execution order (paper Figure 2:
+/// error detection, compilation, repairing = learning + inference), with
+/// repair extraction split out so inference knobs can be re-run without
+/// re-deriving the MAP assignment code path.
+enum class StageId : int {
+  kDetect = 0,
+  kCompile = 1,
+  kLearn = 2,
+  kInfer = 3,
+  kRepair = 4,
+};
+
+inline constexpr int kNumStages = 5;
+
+/// Stage name as used in reports and CLI flags ("detect", "compile", ...).
+const char* StageName(StageId id);
+
+/// Parses a stage name printed by StageName; case-sensitive.
+Result<StageId> ParseStageName(const std::string& name);
+
+/// One composable step of the pipeline. Stages are stateless: everything
+/// they read and write lives in the PipelineContext, so any stage can be
+/// re-executed against cached upstream artifacts at any time.
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+
+  virtual StageId id() const = 0;
+  const char* Name() const { return StageName(id()); }
+
+  /// Executes the stage against the context. Reads upstream artifacts,
+  /// overwrites this stage's artifacts and report statistics.
+  virtual Status Run(PipelineContext* ctx) = 0;
+};
+
+/// The full stage sequence: Detect, Compile, Learn, Infer, Repair.
+std::vector<std::unique_ptr<PipelineStage>> MakeDefaultStages();
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_STAGE_H_

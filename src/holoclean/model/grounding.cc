@@ -11,6 +11,28 @@
 
 namespace holoclean {
 
+namespace {
+
+/// Query-variable ids among the head-slot cells of a grounded tuple pair.
+/// Reads the already-built variables only; safe to call concurrently.
+std::vector<int32_t> VarsOfPair(const FactorGraph& graph,
+                                const std::vector<DcHeadSlot>& slots,
+                                TupleId t1, TupleId t2) {
+  std::vector<int32_t> ids;
+  for (const DcHeadSlot& slot : slots) {
+    CellRef c{slot.role == 0 ? t1 : t2, slot.attr};
+    int id = graph.VarOfCell(c);
+    if (id >= 0 && !graph.variable(id).is_evidence) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
 Grounder::Grounder(GroundingInput input, GroundingOptions options)
     : in_(std::move(input)),
       opt_(options),
@@ -291,12 +313,14 @@ void Grounder::GroundDcFactors(FactorGraph* graph) {
   const Table& table = *in_.table;
   size_t n = table.num_rows();
 
-  TupleGroups groups;
-  if (opt_.use_partitioning) {
+  TupleGroups local_groups;
+  const TupleGroups* groups = in_.groups;
+  if (opt_.use_partitioning && groups == nullptr) {
     static const std::vector<Violation> kNoViolations;
     const auto& violations =
         in_.violations != nullptr ? *in_.violations : kNoViolations;
-    groups = BuildTupleGroups(n, dcs.size(), violations);
+    local_groups = BuildTupleGroups(n, dcs.size(), violations);
+    groups = &local_groups;
   }
 
   for (size_t s = 0; s < dcs.size(); ++s) {
@@ -304,18 +328,13 @@ void Grounder::GroundDcFactors(FactorGraph* graph) {
     auto slots = EnumerateHeadSlots(dc);
 
     auto vars_of_pair = [&](TupleId t1, TupleId t2) {
-      std::vector<int32_t> ids;
-      for (const DcHeadSlot& slot : slots) {
-        CellRef c{slot.role == 0 ? t1 : t2, slot.attr};
-        int id = graph->VarOfCell(c);
-        if (id >= 0 && !graph->variable(id).is_evidence) {
-          ids.push_back(id);
-        }
-      }
-      std::sort(ids.begin(), ids.end());
-      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-      return ids;
+      return VarsOfPair(*graph, slots, t1, t2);
     };
+
+    if (dc.IsTwoTuple() && opt_.use_partitioning) {
+      GroundPartitionedDc(graph, static_cast<int>(s), groups->groups_per_dc[s]);
+      continue;
+    }
 
     if (!dc.IsTwoTuple()) {
       for (size_t t = 0; t < n; ++t) {
@@ -344,17 +363,6 @@ void Grounder::GroundDcFactors(FactorGraph* graph) {
       ++stats_.num_dc_factors;
       ++pairs;
     };
-
-    if (opt_.use_partitioning) {
-      for (const auto& group : groups.groups_per_dc[s]) {
-        for (size_t i = 0; i < group.size(); ++i) {
-          for (size_t j = i + 1; j < group.size(); ++j) {
-            consider(group[i], group[j]);
-          }
-        }
-      }
-      continue;
-    }
 
     // No partitioning: candidate-expanded blocking. A pair can interact
     // through the constraint only if some candidate assignment makes the
@@ -418,6 +426,50 @@ void Grounder::GroundDcFactors(FactorGraph* graph) {
     }
     if (pairs >= opt_.max_pairs_per_dc) {
       HOLO_LOG(kWarning) << "DC factor pair cap reached for " << dc.name;
+    }
+  }
+}
+
+void Grounder::GroundPartitionedDc(
+    FactorGraph* graph, int dc_index,
+    const std::vector<std::vector<TupleId>>& groups) {
+  const DenialConstraint& dc = (*in_.dcs)[static_cast<size_t>(dc_index)];
+  auto slots = EnumerateHeadSlots(dc);
+
+  std::vector<std::vector<DcFactor>> per_group(groups.size());
+  std::vector<size_t> considered(groups.size(), 0);
+  auto build_group = [&](size_t g) {
+    const std::vector<TupleId>& group = groups[g];
+    std::vector<DcFactor>& out = per_group[g];
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        if (out.size() >= opt_.max_pairs_per_dc) return;
+        ++considered[g];
+        auto ids = VarsOfPair(*graph, slots, group[i], group[j]);
+        if (ids.empty()) continue;
+        out.push_back({dc_index, group[i], group[j], opt_.dc_factor_weight,
+                       std::move(ids)});
+      }
+    }
+  };
+  if (opt_.pool != nullptr) {
+    opt_.pool->ParallelFor(groups.size(), build_group);
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) build_group(g);
+  }
+
+  // Deterministic merge: append in group order, capped per constraint.
+  size_t pairs = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    stats_.num_dc_pairs_considered += considered[g];
+    for (DcFactor& factor : per_group[g]) {
+      if (pairs >= opt_.max_pairs_per_dc) {
+        HOLO_LOG(kWarning) << "DC factor pair cap reached for " << dc.name;
+        return;
+      }
+      graph->AddDcFactor(std::move(factor));
+      ++stats_.num_dc_factors;
+      ++pairs;
     }
   }
 }

@@ -71,6 +71,11 @@ struct GroundingInput {
   const CooccurrenceStats* cooc = nullptr;
   const std::vector<MatchedEntry>* matches = nullptr;
   const std::vector<Violation>* violations = nullptr;
+  /// Precomputed Algorithm-3 tuple groups. When null and partitioning is
+  /// enabled, the grounder builds them from `violations` on demand. The
+  /// pipeline passes its context-owned copy so the groups that drove
+  /// grounding stay inspectable after the run (stats, tests, benches).
+  const TupleGroups* groups = nullptr;
   AttrId source_attr = -1;
 };
 
@@ -119,6 +124,12 @@ class Grounder {
   Result<Variable> BuildVariable(const CellRef& cell,
                                  bool is_evidence) const;
   void GroundDcFactors(FactorGraph* graph);
+  /// Grounds one constraint's DC factors inside its Algorithm-3 groups.
+  /// Groups are disjoint tuple sets, so per-group factor lists are built
+  /// concurrently on the pool and appended in group order — factor ids are
+  /// identical for any thread count.
+  void GroundPartitionedDc(FactorGraph* graph, int dc_index,
+                           const std::vector<std::vector<TupleId>>& groups);
 
   GroundingInput in_;
   GroundingOptions opt_;

@@ -1,0 +1,79 @@
+#include "holoclean/model/weight_initializer.h"
+
+#include "holoclean/model/feature_registry.h"
+#include "holoclean/stats/source_reliability.h"
+
+namespace holoclean {
+
+WeightStore WeightInitializer::Initialize(const WeightInitInput& in) const {
+  WeightStore weights;
+  const std::vector<AttrId>& attrs = *in.attrs;
+  const std::vector<DenialConstraint>& dcs = *in.dcs;
+
+  for (AttrId a : attrs) {
+    uint32_t au = static_cast<uint32_t>(a);
+    weights.Set(WeightKeyCodec::Pack(FeatureKind::kFrequency, au, 0, 0, 0),
+                options_.freq_prior_weight);
+    for (AttrId a_ctx : attrs) {
+      if (a_ctx == a) continue;
+      weights.Set(
+          WeightKeyCodec::Pack(FeatureKind::kCondProb, au,
+                               static_cast<uint32_t>(a_ctx), 0, 0),
+          options_.stats_prior_weight);
+    }
+  }
+  for (size_t s = 0; s < dcs.size(); ++s) {
+    weights.Set(WeightKeyCodec::Pack(FeatureKind::kDcViolation, 0,
+                                     static_cast<uint32_t>(s), 0, 0),
+                options_.dc_violation_init);
+  }
+  for (size_t k = 0; k < in.num_dicts; ++k) {
+    weights.Set(WeightKeyCodec::Pack(FeatureKind::kExtDict, 0,
+                                     static_cast<uint32_t>(k), 0, 0),
+                options_.ext_dict_init);
+  }
+
+  if (in.source_attr < 0) {
+    for (AttrId a : attrs) {
+      for (size_t s = 0; s < dcs.size(); ++s) {
+        weights.Set(WeightKeyCodec::Pack(FeatureKind::kSourceSupport,
+                                         static_cast<uint32_t>(a),
+                                         static_cast<uint32_t>(s), 0, 0),
+                    options_.support_prior);
+      }
+    }
+    return weights;
+  }
+
+  // Source-trust initialization (SLiMFast-style, §6.2.1): when provenance
+  // is available, estimate per-source reliability with the EM voter and
+  // seed the partner-support weights with it. SGD refines from there.
+  AttrId key_attr = -1;
+  for (const DenialConstraint& dc : dcs) {
+    auto equalities = dc.CrossEqualities();
+    if (dc.IsTwoTuple() && !equalities.empty()) {
+      key_attr = equalities.front()->lhs_attr;
+      break;
+    }
+  }
+  if (key_attr >= 0) {
+    SourceReliability trust =
+        SourceReliability::Estimate(*in.table, key_attr, in.source_attr);
+    for (const auto& [src, r] : trust.All()) {
+      double w = options_.source_trust_scale * (r - 0.5) * 2.0;
+      for (AttrId a : attrs) {
+        for (size_t s = 0; s < dcs.size(); ++s) {
+          weights.Set(
+              WeightKeyCodec::Pack(FeatureKind::kSourceSupport,
+                                   static_cast<uint32_t>(a),
+                                   static_cast<uint32_t>(s),
+                                   static_cast<uint32_t>(src), 0),
+              w);
+        }
+      }
+    }
+  }
+  return weights;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,63 @@
+#ifndef HOLOCLEAN_MODEL_WEIGHT_INITIALIZER_H_
+#define HOLOCLEAN_MODEL_WEIGHT_INITIALIZER_H_
+
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/model/weight_store.h"
+#include "holoclean/storage/table.h"
+
+namespace holoclean {
+
+/// Prior weights seeded before SGD refinement. The priors encode the
+/// qualitative direction of each signal so the model behaves sensibly even
+/// where the evidence carries no gradient (e.g. single-candidate evidence
+/// variables).
+struct WeightInitOptions {
+  /// Initial weight of the shared probability-valued co-occurrence feature.
+  double stats_prior_weight = 1.0;
+  /// Initial weight of the per-attribute frequency feature.
+  double freq_prior_weight = 0.3;
+  /// Initial weight of the relaxed DC violation-count features w(σ)
+  /// (negative: violations lower a candidate's score).
+  double dc_violation_init = -1.0;
+  /// Initial weight of the external-dictionary factors w(k).
+  double ext_dict_init = 2.0;
+  /// Initial weight of the FD-partner support feature when the table has no
+  /// provenance column (with provenance, EM trust estimates are used).
+  double support_prior = 0.5;
+  /// Scale of the source-trust initialization derived from the
+  /// SLiMFast-style reliability estimates (paper §6.2.1).
+  double source_trust_scale = 2.0;
+};
+
+/// Everything the initializer reads. Pointers are borrowed.
+struct WeightInitInput {
+  const Table* table = nullptr;
+  const std::vector<AttrId>* attrs = nullptr;
+  const std::vector<DenialConstraint>* dcs = nullptr;
+  size_t num_dicts = 0;
+  /// Provenance attribute, -1 when absent. With provenance, per-source
+  /// reliability is estimated with the EM voter and seeds the
+  /// partner-support weights; without it a flat support prior is used.
+  AttrId source_attr = -1;
+};
+
+/// Seeds a WeightStore with the signal priors the pipeline's LearnStage
+/// refines by SGD: statistics features positive, violation counts negative,
+/// dictionary matches positive, and source-trust weights from the
+/// SLiMFast-style EM estimates when provenance is available.
+class WeightInitializer {
+ public:
+  explicit WeightInitializer(WeightInitOptions options)
+      : options_(options) {}
+
+  WeightStore Initialize(const WeightInitInput& in) const;
+
+ private:
+  WeightInitOptions options_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_MODEL_WEIGHT_INITIALIZER_H_

@@ -1,6 +1,7 @@
 #ifndef HOLOCLEAN_STORAGE_DATASET_H_
 #define HOLOCLEAN_STORAGE_DATASET_H_
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -68,6 +69,13 @@ class NoisyCells {
  public:
   void Add(const CellRef& c) {
     if (set_.insert(c).second) cells_.push_back(c);
+  }
+
+  /// Removes a cell — e.g. once user feedback verifies it as clean — so an
+  /// incremental re-compile treats it as evidence. No-op when absent.
+  void Remove(const CellRef& c) {
+    if (set_.erase(c) == 0) return;
+    cells_.erase(std::find(cells_.begin(), cells_.end(), c));
   }
 
   bool Contains(const CellRef& c) const { return set_.count(c) > 0; }

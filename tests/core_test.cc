@@ -244,6 +244,212 @@ TEST(Pipeline, ApplyWritesRepairs) {
 TEST(Pipeline, NullDatasetRejected) {
   HoloClean cleaner(HoloCleanConfig{});
   EXPECT_FALSE(cleaner.Run(nullptr, {}).ok());
+  EXPECT_FALSE(cleaner.Open(nullptr, {}).ok());
+}
+
+// ---------- Staged session ----------
+
+TEST(Stage, NamesRoundTrip) {
+  for (int i = 0; i < kNumStages; ++i) {
+    StageId id = static_cast<StageId>(i);
+    auto parsed = ParseStageName(StageName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), id);
+  }
+  EXPECT_FALSE(ParseStageName("ground").ok());
+  EXPECT_FALSE(ParseStageName("").ok());
+}
+
+TEST(Session, StagedRunMatchesLegacyRunExactly) {
+  PipelineFixture f1;
+  PipelineFixture f2;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  config.dc_mode = DcMode::kBoth;
+  config.partitioning = true;
+  config.gibbs_burn_in = 10;
+  config.gibbs_samples = 40;
+
+  auto legacy = HoloClean(config).Run(&f1.dataset, f1.dcs);
+  ASSERT_TRUE(legacy.ok());
+
+  auto opened = HoloClean(config).Open(&f2.dataset, f2.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto staged = session.Run();
+  ASSERT_TRUE(staged.ok());
+
+  const Report& a = legacy.value();
+  const Report& b = staged.value();
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_EQ(a.repairs[i].cell, b.repairs[i].cell);
+    EXPECT_EQ(a.repairs[i].old_value, b.repairs[i].old_value);
+    EXPECT_EQ(a.repairs[i].new_value, b.repairs[i].new_value);
+    EXPECT_DOUBLE_EQ(a.repairs[i].probability, b.repairs[i].probability);
+  }
+  ASSERT_EQ(a.posteriors.size(), b.posteriors.size());
+  for (size_t i = 0; i < a.posteriors.size(); ++i) {
+    EXPECT_EQ(a.posteriors[i].cell, b.posteriors[i].cell);
+    EXPECT_EQ(a.posteriors[i].map_value, b.posteriors[i].map_value);
+    EXPECT_DOUBLE_EQ(a.posteriors[i].map_prob, b.posteriors[i].map_prob);
+  }
+  EXPECT_EQ(a.stats.num_violations, b.stats.num_violations);
+  EXPECT_EQ(a.stats.num_noisy_cells, b.stats.num_noisy_cells);
+  EXPECT_EQ(a.stats.num_query_vars, b.stats.num_query_vars);
+  EXPECT_EQ(a.stats.num_grounded_factors, b.stats.num_grounded_factors);
+  EXPECT_EQ(a.ddlog, b.ddlog);
+}
+
+TEST(Session, StageTimingsRecordedUniformly) {
+  PipelineFixture f;
+  auto opened = HoloClean(HoloCleanConfig{}).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto report = session.Run();
+  ASSERT_TRUE(report.ok());
+  const auto& timings = report.value().stats.stage_timings;
+  ASSERT_EQ(timings.size(), static_cast<size_t>(kNumStages));
+  const char* expected[] = {"detect", "compile", "learn", "infer", "repair"};
+  for (int i = 0; i < kNumStages; ++i) {
+    EXPECT_EQ(timings[static_cast<size_t>(i)].name, expected[i]);
+    EXPECT_FALSE(timings[static_cast<size_t>(i)].cached);
+    EXPECT_GE(timings[static_cast<size_t>(i)].seconds, 0.0);
+  }
+}
+
+TEST(Session, RerunFromInferReusesCachedGraph) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  config.dc_mode = DcMode::kBoth;
+  config.partitioning = true;
+  config.gibbs_burn_in = 10;
+  config.gibbs_samples = 40;
+  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+
+  auto first = session.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(session.context().ground_runs, 1u);
+  Grounder::Stats stats_before = session.context().grounder_stats;
+
+  session.Invalidate(StageId::kInfer);
+  EXPECT_TRUE(session.StageIsValid(StageId::kLearn));
+  EXPECT_FALSE(session.StageIsValid(StageId::kInfer));
+  auto second = session.Run();
+  ASSERT_TRUE(second.ok());
+
+  // No re-grounding happened: the cached FactorGraph was reused.
+  EXPECT_EQ(session.context().ground_runs, 1u);
+  EXPECT_EQ(session.context().grounder_stats.num_query_vars,
+            stats_before.num_query_vars);
+  EXPECT_EQ(session.context().grounder_stats.num_dc_factors,
+            stats_before.num_dc_factors);
+  const auto& timings = second.value().stats.stage_timings;
+  EXPECT_TRUE(timings[0].cached);
+  EXPECT_TRUE(timings[1].cached);
+  EXPECT_TRUE(timings[2].cached);
+  EXPECT_FALSE(timings[3].cached);
+
+  // Unchanged weights + same seed: identical repairs, bit for bit.
+  const auto& a = first.value().repairs;
+  const auto& b = second.value().repairs;
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell, b[i].cell);
+    EXPECT_EQ(a[i].new_value, b[i].new_value);
+    EXPECT_DOUBLE_EQ(a[i].probability, b[i].probability);
+  }
+}
+
+TEST(Session, RunThroughCompileGroundsWithoutRepairing) {
+  PipelineFixture f;
+  auto opened = HoloClean(HoloCleanConfig{}).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto report = session.RunThrough(StageId::kCompile);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().stats.num_query_vars, 0u);
+  EXPECT_TRUE(report.value().repairs.empty());
+  EXPECT_EQ(session.context().weights.size(), 0u);
+  EXPECT_TRUE(session.StageIsValid(StageId::kCompile));
+  EXPECT_FALSE(session.StageIsValid(StageId::kLearn));
+
+  // Finishing the run executes only the remaining stages.
+  auto full = session.Run();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(session.context().ground_runs, 1u);
+  EXPECT_FALSE(full.value().repairs.empty());
+}
+
+TEST(Session, UpdateConfigInvalidatesMinimalSuffix) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  config.dc_mode = DcMode::kBoth;
+  config.partitioning = true;
+  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_EQ(session.context().ground_runs, 1u);
+
+  // Inference knob: only infer and repair re-execute.
+  HoloCleanConfig infer_knob = config;
+  infer_knob.gibbs_samples += 10;
+  session.UpdateConfig(infer_knob);
+  EXPECT_TRUE(session.StageIsValid(StageId::kLearn));
+  EXPECT_FALSE(session.StageIsValid(StageId::kInfer));
+  ASSERT_TRUE(session.Run().ok());
+  EXPECT_EQ(session.context().ground_runs, 1u);
+
+  // Pruning knob: compile re-executes (re-grounding).
+  HoloCleanConfig compile_knob = infer_knob;
+  compile_knob.tau = 0.5;
+  session.UpdateConfig(compile_knob);
+  EXPECT_TRUE(session.StageIsValid(StageId::kDetect));
+  EXPECT_FALSE(session.StageIsValid(StageId::kCompile));
+  ASSERT_TRUE(session.Run().ok());
+  EXPECT_EQ(session.context().ground_runs, 2u);
+
+  // Identical config: everything stays valid, Run is a cache hit.
+  session.UpdateConfig(compile_knob);
+  EXPECT_TRUE(session.StageIsValid(StageId::kRepair));
+  ASSERT_TRUE(session.Run().ok());
+  EXPECT_EQ(session.context().ground_runs, 2u);
+}
+
+TEST(Session, PinCellSkipsDetectionAndRemovesQueryVariable) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto first = session.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().repairs.empty());
+
+  Repair verified = first.value().repairs.front();
+  session.PinCell(verified.cell, verified.new_value);
+  EXPECT_TRUE(session.StageIsValid(StageId::kDetect));
+  EXPECT_FALSE(session.StageIsValid(StageId::kCompile));
+
+  auto second = session.Run();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(session.context().ground_runs, 2u);
+  EXPECT_EQ(f.dataset.dirty().Get(verified.cell), verified.new_value);
+  for (const Repair& r : second.value().repairs) {
+    EXPECT_FALSE(r.cell == verified.cell);
+  }
+  for (const CellPosterior& p : second.value().posteriors) {
+    EXPECT_FALSE(p.cell == verified.cell);
+  }
+  const auto& timings = second.value().stats.stage_timings;
+  EXPECT_TRUE(timings[0].cached);
+  EXPECT_FALSE(timings[1].cached);
 }
 
 }  // namespace

@@ -102,6 +102,44 @@ TEST_P(ThreadCountSweep, PipelineRepairsIdentical) {
   }
 }
 
+TEST_P(ThreadCountSweep, PartitionParallelMarginalsMatchSequential) {
+  // Partition-parallel grounding + per-component Gibbs chains must produce
+  // the same posterior marginals as the fully sequential run (the engine
+  // guarantees bit-identical results; assert within a tight tolerance).
+  auto marginals_of = [](size_t threads) {
+    GeneratedData data = MakeFood({600, 0.06, 83});
+    HoloCleanConfig config;
+    config.tau = 0.5;
+    config.num_threads = threads;
+    config.dc_mode = DcMode::kBoth;
+    config.partitioning = true;
+    config.gibbs_burn_in = 5;
+    config.gibbs_samples = 20;
+    HoloClean cleaner(config);
+    auto opened = cleaner.Open(&data.dataset, data.dcs);
+    EXPECT_TRUE(opened.ok());
+    Session session = std::move(opened).value();
+    EXPECT_TRUE(session.Run().ok());
+    const PipelineContext& ctx = session.context();
+    std::vector<std::pair<CellRef, std::vector<double>>> out;
+    for (int32_t v : ctx.graph.query_vars()) {
+      out.emplace_back(ctx.graph.variable(v).cell, ctx.marginals.Of(v));
+    }
+    return out;
+  };
+  auto sequential = marginals_of(1);
+  auto parallel = marginals_of(GetParam());
+  ASSERT_EQ(sequential.size(), parallel.size());
+  ASSERT_FALSE(sequential.empty());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].first, parallel[i].first);
+    ASSERT_EQ(sequential[i].second.size(), parallel[i].second.size());
+    for (size_t k = 0; k < sequential[i].second.size(); ++k) {
+      EXPECT_NEAR(sequential[i].second[k], parallel[i].second[k], 1e-12);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountSweep,
                          ::testing::Values(2, 4, 8));
 

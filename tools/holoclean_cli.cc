@@ -9,7 +9,8 @@
 //             [--output repaired.csv] [--repairs repairs.csv] \
 //             [--ground-truth clean.csv] \
 //             [--tau 0.5] [--mode feats|factors|both] [--partitioning] \
-//             [--min-confidence 0.0] [--seed 42] [--threads 0]
+//             [--min-confidence 0.0] [--seed 42] [--threads 0] \
+//             [--stages detect,compile] [--rerun-from infer]
 //
 // Constraint file: one denial constraint per line, e.g.
 //   t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
@@ -41,9 +42,33 @@ struct CliOptions {
   double min_confidence = 0.0;
   bool discover = false;
   double discover_max_error = 0.1;
+  /// Deepest stage to run (prefix execution on the staged session);
+  /// parsed from the comma-separated --stages list at argument time so a
+  /// typo fails before any data loads.
+  StageId last_stage = StageId::kRepair;
+  /// Stage to invalidate for the incremental re-run demo (--rerun-from),
+  /// as an int to allow the "unset" sentinel; -1 = none.
+  int rerun_from = -1;
+  /// True when --stages or --rerun-from drive the staged session path.
+  bool use_session = false;
   HoloCleanConfig config;
   bool show_help = false;
 };
+
+/// The last (deepest) stage named in a comma-separated list.
+Result<StageId> ParseStagesFlag(const std::string& list) {
+  StageId last = StageId::kDetect;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    HOLO_ASSIGN_OR_RETURN(id, ParseStageName(list.substr(begin, end - begin)));
+    if (static_cast<int>(id) > static_cast<int>(last)) last = id;
+    if (end == list.size()) break;
+    begin = end + 1;
+  }
+  return last;
+}
 
 void PrintUsage() {
   std::printf(
@@ -62,7 +87,12 @@ void PrintUsage() {
       "  --partitioning        ground DC factors within conflict groups\n"
       "  --min-confidence P    only apply repairs with marginal >= P\n"
       "  --seed N              master random seed (default 42)\n"
-      "  --threads N           worker threads (0 = all cores)\n");
+      "  --threads N           worker threads (0 = all cores)\n"
+      "  --stages LIST         run only through the last stage named in the\n"
+      "                        comma-separated LIST (detect, compile, learn,\n"
+      "                        infer, repair)\n"
+      "  --rerun-from STAGE    after the run, invalidate from STAGE and run\n"
+      "                        again incrementally (cached stages are skipped)\n");
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -115,6 +145,14 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.config.seed = std::stoull(value);
     } else if (arg == "--threads") {
       options.config.num_threads = std::stoul(value);
+    } else if (arg == "--stages") {
+      HOLO_ASSIGN_OR_RETURN(last, ParseStagesFlag(value));
+      options.last_stage = last;
+      options.use_session = true;
+    } else if (arg == "--rerun-from") {
+      HOLO_ASSIGN_OR_RETURN(from, ParseStageName(value));
+      options.rerun_from = static_cast<int>(from);
+      options.use_session = true;
     } else if (arg == "--mode") {
       if (value == "feats") {
         options.config.dc_mode = DcMode::kFeatures;
@@ -136,6 +174,13 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
         "(see --help)");
   }
   return options;
+}
+
+void PrintStageTimings(const RunStats& stats) {
+  for (const StageTiming& t : stats.stage_timings) {
+    std::printf("  %-8s %8.3fs%s\n", t.name.c_str(), t.seconds,
+                t.cached ? "  (cached)" : "");
+  }
 }
 
 Result<std::string> ReadFileText(const std::string& path) {
@@ -215,11 +260,33 @@ Status RunCli(const CliOptions& options) {
     dataset.set_clean(std::move(clean));
   }
 
-  // Run.
+  // Run: the plain path uses the one-shot wrapper; --stages / --rerun-from
+  // drive the staged session directly.
   HoloClean cleaner(options.config);
-  HOLO_ASSIGN_OR_RETURN(
-      report, cleaner.Run(&dataset, dcs, dicts.empty() ? nullptr : &dicts,
+  Report report;
+  if (!options.use_session) {
+    HOLO_ASSIGN_OR_RETURN(
+        full, cleaner.Run(&dataset, dcs, dicts.empty() ? nullptr : &dicts,
                           mds.empty() ? nullptr : &mds));
+    report = std::move(full);
+  } else {
+    StageId last = options.last_stage;
+    HOLO_ASSIGN_OR_RETURN(
+        session, cleaner.Open(&dataset, dcs, dicts.empty() ? nullptr : &dicts,
+                              mds.empty() ? nullptr : &mds));
+    HOLO_ASSIGN_OR_RETURN(staged, session.RunThrough(last));
+    report = std::move(staged);
+    std::printf("stage timings (through %s):\n", StageName(last));
+    PrintStageTimings(report.stats);
+    if (options.rerun_from >= 0) {
+      StageId from = static_cast<StageId>(options.rerun_from);
+      session.Invalidate(from);
+      HOLO_ASSIGN_OR_RETURN(rerun, session.RunThrough(last));
+      report = std::move(rerun);
+      std::printf("incremental re-run from %s:\n", StageName(from));
+      PrintStageTimings(report.stats);
+    }
+  }
 
   std::vector<Repair> applied;
   for (const Repair& r : report.repairs) {
