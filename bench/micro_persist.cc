@@ -1,0 +1,116 @@
+// Session persistence: cost of Session::Save / HoloClean::Restore versus
+// recomputing the pipeline from scratch. A session saved after learning
+// carries the grounded factor graph and trained weights, so a restored
+// process pays only inference + repair extraction — the snapshot turns the
+// expensive detect/compile/learn prefix into file I/O.
+
+#include <cstdio>
+#include <fstream>
+
+#include "common.h"
+#include "holoclean/data/food.h"
+#include "holoclean/util/timer.h"
+
+using namespace holoclean;         // NOLINT
+using namespace holoclean::bench;  // NOLINT
+
+namespace {
+
+constexpr char kSnapshotPath[] = "/tmp/holoclean_micro_persist.snapshot";
+
+HoloCleanConfig PersistConfig() {
+  HoloCleanConfig config;
+  config.tau = 0.5;
+  config.dc_mode = DcMode::kBoth;
+  config.partitioning = true;
+  config.gibbs_burn_in = 10;
+  config.gibbs_samples = 40;
+  return config;
+}
+
+size_t FileSize(const char* path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<size_t>(in.tellg()) : 0;
+}
+
+}  // namespace
+
+int main() {
+  size_t rows = static_cast<size_t>(4000 * BenchScale());
+  std::printf("Session persistence on generated Food (%zu rows), "
+              "DC factors + partitioning\n\n", rows);
+  HoloCleanConfig config = PersistConfig();
+
+  // Cold run: the baseline a restore competes against.
+  GeneratedData cold_data = MakeFood({rows, 0.06, 7});
+  HoloClean cleaner(config);
+  Timer timer;
+  auto cold_report = cleaner.Run(&cold_data.dataset, cold_data.dcs);
+  if (!cold_report.ok()) {
+    std::fprintf(stderr, "cold run failed: %s\n",
+                 cold_report.status().ToString().c_str());
+    return 1;
+  }
+  double cold_seconds = timer.Seconds();
+
+  // Save after learn: the snapshot carries detect + compile + learn.
+  GeneratedData save_data = MakeFood({rows, 0.06, 7});
+  auto opened = cleaner.Open(&save_data.dataset, save_data.dcs);
+  if (!opened.ok()) return 1;
+  Session session = std::move(opened).value();
+  if (!session.RunThrough(StageId::kLearn).ok()) return 1;
+  timer.Reset();
+  Status saved = session.Save(kSnapshotPath);
+  double save_seconds = timer.Seconds();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  size_t snapshot_bytes = FileSize(kSnapshotPath);
+
+  // Restore into a fresh dataset (as a new process would) and finish the
+  // pipeline from inference.
+  GeneratedData restore_data = MakeFood({rows, 0.06, 7});
+  timer.Reset();
+  auto restored = cleaner.Restore(kSnapshotPath, &restore_data.dataset,
+                                  restore_data.dcs);
+  double load_seconds = timer.Seconds();
+  if (!restored.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n",
+                 restored.status().ToString().c_str());
+    return 1;
+  }
+  timer.Reset();
+  auto resumed = restored.value().Run();
+  double resume_seconds = timer.Seconds();
+  if (!resumed.ok()) return 1;
+
+  bool identical =
+      resumed.value().repairs.size() == cold_report.value().repairs.size();
+  for (size_t i = 0; identical && i < resumed.value().repairs.size(); ++i) {
+    const Repair& a = resumed.value().repairs[i];
+    const Repair& b = cold_report.value().repairs[i];
+    identical = a.cell == b.cell && a.new_value == b.new_value &&
+                a.probability == b.probability;
+  }
+
+  std::vector<int> widths = {34, 12};
+  PrintRule(widths);
+  PrintRow({"Step", "seconds"}, widths);
+  PrintRule(widths);
+  PrintRow({"cold run (all stages)", Fmt(cold_seconds)}, widths);
+  PrintRow({"save after learn", Fmt(save_seconds)}, widths);
+  PrintRow({"restore (load + validate)", Fmt(load_seconds)}, widths);
+  PrintRow({"resume (infer + repair)", Fmt(resume_seconds)}, widths);
+  PrintRow({"restore + resume total", Fmt(load_seconds + resume_seconds)},
+           widths);
+  PrintRule(widths);
+  double warm = load_seconds + resume_seconds;
+  std::printf("snapshot size: %.1f MiB; restore+resume vs cold: %sx; "
+              "repairs %s\n",
+              static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0),
+              warm > 0.0 ? Fmt(cold_seconds / warm, 1).c_str() : "-",
+              identical ? "bit-identical to the cold run" : "DIFFER (BUG)");
+  std::remove(kSnapshotPath);
+  return identical ? 0 : 1;
+}

@@ -31,12 +31,28 @@ Result<Report> FeedbackSession::Run() {
   // constraints (leaving Dn) and serve as evidence for weight learning —
   // the "labeled examples to retrain the parameters" of §2.2. PinCell
   // keeps the cached detection and re-runs only compile and later.
+  // Rollback record per newly applied pin: the cell's table value from just
+  // before the pin, and — when the cell was already pinned with an older
+  // verdict — that previous pin entry. Erasing the entry outright on
+  // failure would desynchronize the bookkeeping: the restored table value
+  // IS the old pin, so the pin entry must come back with it.
+  struct AppliedPin {
+    CellRef cell;
+    ValueId previous_value = 0;
+    bool had_pin = false;
+    ValueId previous_pin = 0;
+  };
   Table& table = dataset_->dirty();
-  std::vector<std::pair<CellRef, ValueId>> previous;
+  std::vector<AppliedPin> applied;
   for (const FeedbackLabel& label : labels_) {
     auto it = pinned_.find(label.cell);
     if (it != pinned_.end() && it->second == label.true_value) continue;
-    previous.emplace_back(label.cell, table.Get(label.cell));
+    AppliedPin pin;
+    pin.cell = label.cell;
+    pin.previous_value = table.Get(label.cell);
+    pin.had_pin = it != pinned_.end();
+    if (pin.had_pin) pin.previous_pin = it->second;
+    applied.push_back(pin);
     session_->PinCell(label.cell, label.true_value);
     pinned_[label.cell] = label.true_value;
   }
@@ -44,9 +60,13 @@ Result<Report> FeedbackSession::Run() {
   Result<Report> report = session_->Run();
   if (!report.ok()) {
     // Restore on failure so the session stays usable.
-    for (const auto& [cell, value] : previous) {
-      table.Set(cell, value);
-      pinned_.erase(cell);
+    for (const AppliedPin& pin : applied) {
+      table.Set(pin.cell, pin.previous_value);
+      if (pin.had_pin) {
+        pinned_[pin.cell] = pin.previous_pin;
+      } else {
+        pinned_.erase(pin.cell);
+      }
     }
     session_->Invalidate(StageId::kDetect);
     return report.status();

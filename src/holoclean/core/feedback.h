@@ -62,6 +62,13 @@ class FeedbackSession {
   const std::vector<FeedbackLabel>& labels() const { return labels_; }
   const Report& last_report() const { return last_report_; }
 
+  /// The pins currently applied to the table, by their pinned value. Stays
+  /// consistent with the table across failed runs: a failure rolls the
+  /// table back and restores the previous pin entries with it.
+  const std::unordered_map<CellRef, ValueId, CellRefHash>& pinned() const {
+    return pinned_;
+  }
+
   /// The underlying staged session (null before the first Run()).
   Session* session() { return session_ ? &*session_ : nullptr; }
 

@@ -11,6 +11,19 @@ Result<Session> HoloClean::Open(Dataset* dataset,
   return Session(config_, dataset, &dcs, dicts, mds, extra_detectors);
 }
 
+Result<Session> HoloClean::Restore(const std::string& snapshot_path,
+                                   Dataset* dataset,
+                                   const std::vector<DenialConstraint>& dcs,
+                                   const ExtDictCollection* dicts,
+                                   const std::vector<MatchingDependency>* mds,
+                                   const DetectorSuite* extra_detectors)
+    const {
+  HOLO_ASSIGN_OR_RETURN(session,
+                        Open(dataset, dcs, dicts, mds, extra_detectors));
+  HOLO_RETURN_NOT_OK(session.RestoreFrom(snapshot_path));
+  return session;
+}
+
 Result<Report> HoloClean::Run(Dataset* dataset,
                               const std::vector<DenialConstraint>& dcs,
                               const ExtDictCollection* dicts,

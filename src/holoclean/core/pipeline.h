@@ -58,6 +58,22 @@ class HoloClean {
                        const std::vector<MatchingDependency>* mds = nullptr,
                        const DetectorSuite* extra_detectors = nullptr) const;
 
+  /// Opens a session over the inputs and restores the cached stage
+  /// artifacts from a SessionSnapshot written by Session::Save — the
+  /// cross-process counterpart of an incremental re-run: a session saved
+  /// after learning and restored here re-runs from inference against the
+  /// persisted factor graph and weights, bit-identical to an uninterrupted
+  /// in-process run. The snapshot must have been saved under the same
+  /// config fingerprint, dataset, and constraints (validated on load).
+  /// Restoring replays onto the dirty table any cell values the saved
+  /// session had pinned via feedback.
+  Result<Session> Restore(const std::string& snapshot_path, Dataset* dataset,
+                          const std::vector<DenialConstraint>& dcs,
+                          const ExtDictCollection* dicts = nullptr,
+                          const std::vector<MatchingDependency>* mds = nullptr,
+                          const DetectorSuite* extra_detectors = nullptr)
+      const;
+
   /// Learned weights of the last run (model introspection, tests).
   const WeightStore& weights() const { return weights_; }
 

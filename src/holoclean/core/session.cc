@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "holoclean/io/session_snapshot.h"
 #include "holoclean/util/timer.h"
 
 namespace holoclean {
@@ -49,13 +50,35 @@ Result<Report> Session::RunThrough(StageId last) {
     valid_through_ = i + 1;
   }
   // Keep the legacy phase view in sync (repair extraction folds into the
-  // inference phase, matching the monolithic pipeline's accounting).
+  // inference phase, matching the monolithic pipeline's accounting). A
+  // cached stage spent no time this run: its StageTiming keeps the
+  // prior-run wall time for reference (flagged `cached`), but the phase
+  // totals report only what this run actually executed.
+  auto spent = [&timings, last_index](size_t i) {
+    if (static_cast<int>(i) > last_index) return 0.0;  // Not visited.
+    return timings[i].cached ? 0.0 : timings[i].seconds;
+  };
   RunStats& stats = ctx_.report.stats;
-  stats.detect_seconds = timings[0].seconds;
-  stats.compile_seconds = timings[1].seconds;
-  stats.learn_seconds = timings[2].seconds;
-  stats.infer_seconds = timings[3].seconds + timings[4].seconds;
+  stats.detect_seconds = spent(0);
+  stats.compile_seconds = spent(1);
+  stats.learn_seconds = spent(2);
+  stats.infer_seconds = spent(3) + spent(4);
   return ctx_.report;
+}
+
+Status Session::Save(const std::string& path) const {
+  return SaveSessionSnapshot(ctx_, valid_through_, path);
+}
+
+Status Session::RestoreFrom(const std::string& path) {
+  // A failed load leaves the context and dataset untouched (the loader
+  // stages everything before committing), but any previously cached prefix
+  // is still dropped: a restore that was asked for and failed should never
+  // silently fall back to older in-process artifacts.
+  valid_through_ = 0;
+  HOLO_ASSIGN_OR_RETURN(valid_through, LoadSessionSnapshot(path, &ctx_));
+  valid_through_ = valid_through;
+  return Status::OK();
 }
 
 void Session::Invalidate(StageId from) {

@@ -73,6 +73,21 @@ class Session {
   /// table and invalidates from compile (detection cached) or detect.
   void PinCell(const CellRef& cell, ValueId value);
 
+  /// Serializes the cached stage artifacts (everything the valid stage
+  /// prefix produced, plus the dirty table's current cell values and
+  /// dictionary) into a versioned, checksummed SessionSnapshot at `path`.
+  /// A later process restores it with HoloClean::Restore (or RestoreFrom)
+  /// and re-runs from any cached stage exactly like an in-process rerun.
+  Status Save(const std::string& path) const;
+
+  /// Loads a snapshot saved by Save() into this session, replacing every
+  /// cached artifact and setting the valid stage prefix to what the
+  /// snapshot carries. The session must have been opened over the same
+  /// dataset, constraints, and config fingerprint the snapshot was saved
+  /// with; on any validation or parse error the session is left invalid
+  /// from detect (as if freshly opened) and the error is returned.
+  Status RestoreFrom(const std::string& path);
+
   PipelineContext& context() { return ctx_; }
   const PipelineContext& context() const { return ctx_; }
 

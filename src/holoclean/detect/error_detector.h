@@ -39,6 +39,14 @@ class DetectorSuite {
 
   size_t size() const { return detectors_.size(); }
 
+  /// Detector names in registration order (reports, fingerprints).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(detectors_.size());
+    for (const auto& d : detectors_) out.push_back(d->name());
+    return out;
+  }
+
  private:
   std::vector<std::unique_ptr<ErrorDetector>> detectors_;
 };

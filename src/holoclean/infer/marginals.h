@@ -15,6 +15,7 @@ class Marginals {
   explicit Marginals(size_t num_vars) : probs_(num_vars) {}
 
   std::vector<std::vector<double>>& probs() { return probs_; }
+  const std::vector<std::vector<double>>& probs() const { return probs_; }
   const std::vector<double>& Of(int var_id) const {
     return probs_[static_cast<size_t>(var_id)];
   }

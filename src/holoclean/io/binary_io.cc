@@ -1,0 +1,94 @@
+#include "holoclean/io/binary_io.h"
+
+#include <cstring>
+
+namespace holoclean {
+
+void BinaryWriter::WriteF32(float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU32(bits);
+}
+
+void BinaryWriter::WriteF64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  buffer_.append(s);
+}
+
+Status BinaryReader::ReadLe(int bytes, uint64_t* out) {
+  if (remaining() < static_cast<size_t>(bytes)) {
+    return Status::ParseError("snapshot truncated");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += static_cast<size_t>(bytes);
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU8(uint8_t* out) {
+  uint64_t v = 0;
+  HOLO_RETURN_NOT_OK(ReadLe(1, &v));
+  *out = static_cast<uint8_t>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* out) {
+  uint64_t v = 0;
+  HOLO_RETURN_NOT_OK(ReadLe(4, &v));
+  *out = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU64(uint64_t* out) { return ReadLe(8, out); }
+
+Status BinaryReader::ReadI32(int32_t* out) {
+  uint32_t v = 0;
+  HOLO_RETURN_NOT_OK(ReadU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadF32(float* out) {
+  uint32_t bits = 0;
+  HOLO_RETURN_NOT_OK(ReadU32(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadF64(double* out) {
+  uint64_t bits = 0;
+  HOLO_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  size_t size = 0;
+  HOLO_RETURN_NOT_OK(ReadCount(1, &size));
+  out->assign(data_.substr(pos_, size));
+  pos_ += size;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadCount(size_t min_bytes_per_elem, size_t* out) {
+  uint64_t count = 0;
+  HOLO_RETURN_NOT_OK(ReadU64(&count));
+  if (min_bytes_per_elem > 0 &&
+      count > remaining() / min_bytes_per_elem) {
+    return Status::ParseError("snapshot truncated");
+  }
+  *out = static_cast<size_t>(count);
+  return Status::OK();
+}
+
+}  // namespace holoclean

@@ -1,0 +1,74 @@
+#ifndef HOLOCLEAN_IO_BINARY_IO_H_
+#define HOLOCLEAN_IO_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// Append-only encoder for the SessionSnapshot format: fixed-width
+/// little-endian integers, IEEE-754 bit patterns for floating point, and
+/// u64-length-prefixed byte strings. The encoding is independent of host
+/// endianness, so snapshots are portable across machines.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) { WriteLe(v, 4); }
+  void WriteU64(uint64_t v) { WriteLe(v, 8); }
+  void WriteI32(int32_t v) { WriteLe(static_cast<uint32_t>(v), 4); }
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(std::string_view s);
+
+  /// Raw bytes, without any length prefix (magic numbers, nested payloads).
+  void WriteBytes(std::string_view s) { buffer_.append(s); }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void WriteLe(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over a byte buffer. Every read past the end fails
+/// with a clean ParseError — a truncated or corrupt snapshot can never crash
+/// the loader, only return a Status.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  Status ReadString(std::string* out);
+
+  /// Reads a u64 element count and rejects counts that could not possibly
+  /// fit in the remaining bytes (`min_bytes_per_elem` each). This bounds
+  /// every container allocation by the snapshot size, so a corrupt count
+  /// fails cleanly instead of triggering a huge allocation.
+  Status ReadCount(size_t min_bytes_per_elem, size_t* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status ReadLe(int bytes, uint64_t* out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_IO_BINARY_IO_H_

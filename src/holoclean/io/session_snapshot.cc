@@ -1,0 +1,937 @@
+#include "holoclean/io/session_snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "holoclean/core/stage.h"
+#include "holoclean/util/hash.h"
+
+namespace holoclean {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'C', 'S', 'S'};
+/// Magic (4) + format version (u32) + payload size (u64).
+constexpr size_t kHeaderBytes = 16;
+/// Trailing FNV-1a checksum (u64) over the payload.
+constexpr size_t kChecksumBytes = 8;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// --- Small-piece codecs ----------------------------------------------------
+
+void WriteCellRef(BinaryWriter* out, const CellRef& c) {
+  out->WriteI32(c.tid);
+  out->WriteI32(c.attr);
+}
+
+Status ReadCellRef(BinaryReader* in, CellRef* c) {
+  HOLO_RETURN_NOT_OK(in->ReadI32(&c->tid));
+  HOLO_RETURN_NOT_OK(in->ReadI32(&c->attr));
+  return Status::OK();
+}
+
+void WriteCellVec(BinaryWriter* out, const std::vector<CellRef>& cells) {
+  out->WriteU64(cells.size());
+  for (const CellRef& c : cells) WriteCellRef(out, c);
+}
+
+Status ReadCellVec(BinaryReader* in, std::vector<CellRef>* cells) {
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(8, &n));
+  cells->resize(n);
+  for (CellRef& c : *cells) HOLO_RETURN_NOT_OK(ReadCellRef(in, &c));
+  return Status::OK();
+}
+
+void WriteI32Vec(BinaryWriter* out, const std::vector<int32_t>& v) {
+  out->WriteU64(v.size());
+  for (int32_t x : v) out->WriteI32(x);
+}
+
+Status ReadI32Vec(BinaryReader* in, std::vector<int32_t>* v) {
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(4, &n));
+  v->resize(n);
+  for (int32_t& x : *v) HOLO_RETURN_NOT_OK(in->ReadI32(&x));
+  return Status::OK();
+}
+
+void WriteF64Vec(BinaryWriter* out, const std::vector<double>& v) {
+  out->WriteU64(v.size());
+  for (double x : v) out->WriteF64(x);
+}
+
+Status ReadF64Vec(BinaryReader* in, std::vector<double>* v) {
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(8, &n));
+  v->resize(n);
+  for (double& x : *v) HOLO_RETURN_NOT_OK(in->ReadF64(&x));
+  return Status::OK();
+}
+
+Status ReadValueIdVec(BinaryReader* in, size_t dict_size,
+                      std::vector<ValueId>* v) {
+  HOLO_RETURN_NOT_OK(ReadI32Vec(in, v));
+  for (ValueId id : *v) {
+    if (id < 0 || static_cast<size_t>(id) >= dict_size) {
+      return Status::ParseError("snapshot value id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const HoloCleanConfig& c) {
+  // Every result-affecting knob must be mixed in below — a knob the
+  // fingerprint misses would let a snapshot restore under a config that
+  // produces different results, breaking the bit-identical guarantee.
+  // This assert trips when HoloCleanConfig gains (or loses) a field, as a
+  // reminder to update the fingerprint and bump kSnapshotFormatVersion if
+  // the default changed behavior. (x86-64/AArch64 SysV layout.)
+  static_assert(sizeof(HoloCleanConfig) == 160,
+                "HoloCleanConfig changed: update ConfigFingerprint");
+  uint64_t h = HashBytes("holoclean-config-v1");
+  auto mix_u = [&h](uint64_t v) { h = HashCombine(h, v); };
+  auto mix_d = [&](double v) { mix_u(DoubleBits(v)); };
+  mix_d(c.tau);
+  mix_u(c.max_candidates);
+  mix_u(static_cast<uint64_t>(c.dc_mode));
+  mix_u(c.partitioning ? 1 : 0);
+  mix_d(c.dc_factor_weight);
+  mix_d(c.minimality_weight);
+  mix_d(c.sim_threshold);
+  mix_d(c.source_trust_scale);
+  mix_d(c.stats_prior_weight);
+  mix_d(c.freq_prior_weight);
+  mix_d(c.dc_violation_init);
+  mix_d(c.ext_dict_init);
+  mix_d(c.support_prior);
+  mix_u(static_cast<uint64_t>(c.epochs));
+  mix_d(c.learning_rate);
+  mix_d(c.lr_decay);
+  mix_d(c.l2);
+  mix_u(c.max_training_cells);
+  mix_u(static_cast<uint64_t>(c.gibbs_burn_in));
+  mix_u(static_cast<uint64_t>(c.gibbs_samples));
+  mix_u(c.seed);
+  return h;
+}
+
+uint64_t DcsFingerprint(const std::vector<DenialConstraint>& dcs,
+                        const Schema& schema) {
+  uint64_t h = HashBytes("holoclean-dcs-v1");
+  for (const DenialConstraint& dc : dcs) {
+    h = HashCombine(h, HashBytes(dc.ToString(schema)));
+  }
+  return h;
+}
+
+namespace {
+
+uint64_t TableContentFingerprint(const Table& table) {
+  uint64_t h = HashBytes("holoclean-table-v1");
+  for (const std::string& name : table.schema().names()) {
+    h = HashCombine(h, HashBytes(name));
+  }
+  h = HashCombine(h, table.num_rows());
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    for (size_t a = 0; a < table.schema().num_attrs(); ++a) {
+      h = HashCombine(h, HashBytes(table.GetString(static_cast<TupleId>(t),
+                                                   static_cast<AttrId>(a))));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ExternalDataFingerprint(const ExtDictCollection* dicts,
+                                 const std::vector<MatchingDependency>* mds,
+                                 const DetectorSuite* extra_detectors) {
+  uint64_t h = HashBytes("holoclean-extdata-v1");
+  h = HashCombine(h, dicts == nullptr ? 0 : dicts->size());
+  if (dicts != nullptr) {
+    for (size_t k = 0; k < dicts->size(); ++k) {
+      const ExtDict& dict = dicts->Get(static_cast<int>(k));
+      h = HashCombine(h, HashBytes(dict.name()));
+      h = HashCombine(h, TableContentFingerprint(dict.records()));
+    }
+  }
+  h = HashCombine(h, mds == nullptr ? 0 : mds->size());
+  if (mds != nullptr) {
+    for (const MatchingDependency& md : *mds) {
+      h = HashCombine(h, HashBytes(md.name));
+      h = HashCombine(h, static_cast<uint64_t>(md.dict_id));
+      h = HashCombine(h, md.conditions.size());
+      for (const MatchClause& c : md.conditions) {
+        h = HashCombine(h, HashBytes(c.data_attr));
+        h = HashCombine(h, HashBytes(c.ext_attr));
+        h = HashCombine(h, c.approximate ? 1 : 0);
+        h = HashCombine(h, DoubleBits(c.sim_threshold));
+      }
+      h = HashCombine(h, HashBytes(md.target_data_attr));
+      h = HashCombine(h, HashBytes(md.target_ext_attr));
+    }
+  }
+  h = HashCombine(h, extra_detectors == nullptr ? 0 : extra_detectors->size());
+  if (extra_detectors != nullptr) {
+    for (const std::string& name : extra_detectors->names()) {
+      h = HashCombine(h, HashBytes(name));
+    }
+  }
+  return h;
+}
+
+// --- FactorGraph -----------------------------------------------------------
+
+void SerializeFactorGraph(const FactorGraph& graph, BinaryWriter* out) {
+  out->WriteU64(graph.num_variables());
+  for (const Variable& var : graph.variables()) {
+    WriteCellRef(out, var.cell);
+    WriteI32Vec(out, var.domain);
+    out->WriteI32(var.init_index);
+    out->WriteU8(var.is_evidence ? 1 : 0);
+    WriteF64Vec(out, var.prior_bias);
+    WriteI32Vec(out, var.feat_begin);
+    out->WriteU64(var.features.size());
+    for (const FeatureInstance& f : var.features) {
+      out->WriteU64(f.weight_key);
+      out->WriteF32(f.activation);
+    }
+  }
+  out->WriteU64(graph.dc_factors().size());
+  for (const DcFactor& f : graph.dc_factors()) {
+    out->WriteI32(f.dc_index);
+    out->WriteI32(f.t1);
+    out->WriteI32(f.t2);
+    out->WriteF64(f.weight);
+    WriteI32Vec(out, f.var_ids);
+  }
+}
+
+Status DeserializeFactorGraph(BinaryReader* in, FactorGraph* graph,
+                              const FactorGraphBounds& bounds) {
+  *graph = FactorGraph();
+  size_t num_vars = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(1, &num_vars));
+  for (size_t i = 0; i < num_vars; ++i) {
+    Variable var;
+    HOLO_RETURN_NOT_OK(ReadCellRef(in, &var.cell));
+    HOLO_RETURN_NOT_OK(ReadValueIdVec(in, bounds.dict_size, &var.domain));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&var.init_index));
+    uint8_t is_evidence = 0;
+    HOLO_RETURN_NOT_OK(in->ReadU8(&is_evidence));
+    var.is_evidence = is_evidence != 0;
+    HOLO_RETURN_NOT_OK(ReadF64Vec(in, &var.prior_bias));
+    HOLO_RETURN_NOT_OK(ReadI32Vec(in, &var.feat_begin));
+    size_t num_features = 0;
+    HOLO_RETURN_NOT_OK(in->ReadCount(12, &num_features));
+    var.features.resize(num_features);
+    for (FeatureInstance& f : var.features) {
+      HOLO_RETURN_NOT_OK(in->ReadU64(&f.weight_key));
+      HOLO_RETURN_NOT_OK(in->ReadF32(&f.activation));
+    }
+    // Validate the invariants AddVariable asserts (and UnaryScore indexes
+    // by) so a corrupt payload reports a Status instead of aborting.
+    if (var.domain.empty() ||
+        var.prior_bias.size() != var.domain.size() ||
+        var.feat_begin.size() != var.domain.size() + 1 ||
+        var.init_index < -1 ||
+        var.init_index >= static_cast<int>(var.domain.size())) {
+      return Status::ParseError("snapshot variable is malformed");
+    }
+    for (int32_t b : var.feat_begin) {
+      if (b < 0 || static_cast<size_t>(b) > var.features.size()) {
+        return Status::ParseError("snapshot variable is malformed");
+      }
+    }
+    graph->AddVariable(std::move(var));
+  }
+  size_t num_factors = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(1, &num_factors));
+  for (size_t i = 0; i < num_factors; ++i) {
+    DcFactor factor;
+    HOLO_RETURN_NOT_OK(in->ReadI32(&factor.dc_index));
+    if (factor.dc_index < 0 ||
+        static_cast<size_t>(factor.dc_index) >= bounds.num_dcs) {
+      return Status::ParseError(
+          "snapshot factor references unknown constraint");
+    }
+    HOLO_RETURN_NOT_OK(in->ReadI32(&factor.t1));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&factor.t2));
+    HOLO_RETURN_NOT_OK(in->ReadF64(&factor.weight));
+    HOLO_RETURN_NOT_OK(ReadI32Vec(in, &factor.var_ids));
+    for (int32_t v : factor.var_ids) {
+      if (v < 0 || static_cast<size_t>(v) >= num_vars) {
+        return Status::ParseError("snapshot factor references unknown variable");
+      }
+    }
+    graph->AddDcFactor(std::move(factor));
+  }
+  return Status::OK();
+}
+
+// --- WeightStore -----------------------------------------------------------
+
+void SerializeWeightStore(const WeightStore& weights, BinaryWriter* out) {
+  // Sorted by key: the snapshot bytes are deterministic even though the
+  // store iterates in hash order.
+  std::vector<std::pair<uint64_t, double>> sorted(weights.raw().begin(),
+                                                  weights.raw().end());
+  std::sort(sorted.begin(), sorted.end());
+  out->WriteU64(sorted.size());
+  for (const auto& [key, value] : sorted) {
+    out->WriteU64(key);
+    out->WriteF64(value);
+  }
+}
+
+Status DeserializeWeightStore(BinaryReader* in, WeightStore* weights) {
+  *weights = WeightStore();
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(16, &n));
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    double value = 0.0;
+    HOLO_RETURN_NOT_OK(in->ReadU64(&key));
+    HOLO_RETURN_NOT_OK(in->ReadF64(&value));
+    weights->Set(key, value);
+  }
+  return Status::OK();
+}
+
+// --- Marginals -------------------------------------------------------------
+
+void SerializeMarginals(const Marginals& marginals, BinaryWriter* out) {
+  const auto& probs = marginals.probs();
+  out->WriteU64(probs.size());
+  for (const std::vector<double>& p : probs) WriteF64Vec(out, p);
+}
+
+Status DeserializeMarginals(BinaryReader* in, Marginals* marginals) {
+  size_t num_vars = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(8, &num_vars));
+  Marginals loaded(num_vars);
+  for (size_t i = 0; i < num_vars; ++i) {
+    HOLO_RETURN_NOT_OK(ReadF64Vec(in, &loaded.probs()[i]));
+  }
+  *marginals = std::move(loaded);
+  return Status::OK();
+}
+
+// --- Whole-session snapshot ------------------------------------------------
+
+namespace {
+
+void SerializeViolations(const std::vector<Violation>& violations,
+                         BinaryWriter* out) {
+  out->WriteU64(violations.size());
+  for (const Violation& v : violations) {
+    out->WriteI32(v.dc_index);
+    out->WriteI32(v.t1);
+    out->WriteI32(v.t2);
+    WriteCellVec(out, v.cells);
+  }
+}
+
+Status DeserializeViolations(BinaryReader* in,
+                             std::vector<Violation>* violations) {
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(20, &n));
+  violations->resize(n);
+  for (Violation& v : *violations) {
+    HOLO_RETURN_NOT_OK(in->ReadI32(&v.dc_index));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&v.t1));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&v.t2));
+    HOLO_RETURN_NOT_OK(ReadCellVec(in, &v.cells));
+  }
+  return Status::OK();
+}
+
+void SerializeDomains(const PrunedDomains& domains, BinaryWriter* out) {
+  // Sorted by cell for deterministic snapshot bytes.
+  std::vector<const std::pair<const CellRef, std::vector<ValueId>>*> entries;
+  entries.reserve(domains.candidates.size());
+  for (const auto& entry : domains.candidates) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  out->WriteU64(entries.size());
+  for (const auto* entry : entries) {
+    WriteCellRef(out, entry->first);
+    WriteI32Vec(out, entry->second);
+  }
+}
+
+Status DeserializeDomains(BinaryReader* in, size_t dict_size,
+                          PrunedDomains* domains) {
+  domains->candidates.clear();
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(16, &n));
+  for (size_t i = 0; i < n; ++i) {
+    CellRef cell;
+    HOLO_RETURN_NOT_OK(ReadCellRef(in, &cell));
+    std::vector<ValueId> candidates;
+    HOLO_RETURN_NOT_OK(ReadValueIdVec(in, dict_size, &candidates));
+    domains->candidates.emplace(cell, std::move(candidates));
+  }
+  return Status::OK();
+}
+
+void SerializeProgram(const Program& program, BinaryWriter* out) {
+  out->WriteU64(program.rules.size());
+  for (const InferenceRule& rule : program.rules) {
+    out->WriteI32(static_cast<int32_t>(rule.kind));
+    out->WriteI32(rule.dc_index);
+    out->WriteI32(rule.head.role);
+    out->WriteI32(rule.head.attr);
+    out->WriteI32(rule.dict_id);
+    out->WriteF64(rule.fixed_weight);
+    out->WriteU8(rule.weight_is_learned ? 1 : 0);
+  }
+}
+
+Status DeserializeProgram(BinaryReader* in, Program* program) {
+  program->rules.clear();
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(29, &n));
+  program->rules.resize(n);
+  for (InferenceRule& rule : program->rules) {
+    int32_t kind = 0;
+    HOLO_RETURN_NOT_OK(in->ReadI32(&kind));
+    if (kind < static_cast<int32_t>(RuleKind::kRandomVariable) ||
+        kind > static_cast<int32_t>(RuleKind::kDcRelaxedFeature)) {
+      return Status::ParseError("snapshot rule kind out of range");
+    }
+    rule.kind = static_cast<RuleKind>(kind);
+    HOLO_RETURN_NOT_OK(in->ReadI32(&rule.dc_index));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&rule.head.role));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&rule.head.attr));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&rule.dict_id));
+    HOLO_RETURN_NOT_OK(in->ReadF64(&rule.fixed_weight));
+    uint8_t learned = 0;
+    HOLO_RETURN_NOT_OK(in->ReadU8(&learned));
+    rule.weight_is_learned = learned != 0;
+  }
+  return Status::OK();
+}
+
+void SerializeRepairs(const std::vector<Repair>& repairs, BinaryWriter* out) {
+  out->WriteU64(repairs.size());
+  for (const Repair& r : repairs) {
+    WriteCellRef(out, r.cell);
+    out->WriteI32(r.old_value);
+    out->WriteI32(r.new_value);
+    out->WriteF64(r.probability);
+  }
+}
+
+Status DeserializeRepairs(BinaryReader* in, std::vector<Repair>* repairs) {
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(24, &n));
+  repairs->resize(n);
+  for (Repair& r : *repairs) {
+    HOLO_RETURN_NOT_OK(ReadCellRef(in, &r.cell));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&r.old_value));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&r.new_value));
+    HOLO_RETURN_NOT_OK(in->ReadF64(&r.probability));
+  }
+  return Status::OK();
+}
+
+void SerializePosteriors(const std::vector<CellPosterior>& posteriors,
+                         BinaryWriter* out) {
+  out->WriteU64(posteriors.size());
+  for (const CellPosterior& p : posteriors) {
+    WriteCellRef(out, p.cell);
+    out->WriteI32(p.old_value);
+    out->WriteI32(p.map_value);
+    out->WriteF64(p.map_prob);
+  }
+}
+
+Status DeserializePosteriors(BinaryReader* in,
+                             std::vector<CellPosterior>* posteriors) {
+  size_t n = 0;
+  HOLO_RETURN_NOT_OK(in->ReadCount(24, &n));
+  posteriors->resize(n);
+  for (CellPosterior& p : *posteriors) {
+    HOLO_RETURN_NOT_OK(ReadCellRef(in, &p.cell));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&p.old_value));
+    HOLO_RETURN_NOT_OK(in->ReadI32(&p.map_value));
+    HOLO_RETURN_NOT_OK(in->ReadF64(&p.map_prob));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       std::initializer_list<std::string_view> parts) {
+  // Unique temp name per save: concurrent saves to the same path must not
+  // interleave into one temp file — each writes its own and the last
+  // rename wins with a complete snapshot.
+  std::string tmp = path + ".tmp.XXXXXX";
+  int fd = ::mkstemp(tmp.data());
+  if (fd < 0) return Status::Internal("cannot open for writing: " + tmp);
+  ::fchmod(fd, 0644);  // mkstemp creates 0600; snapshots are plain files.
+  for (std::string_view part : parts) {
+    size_t off = 0;
+    while (off < part.size()) {
+      ssize_t n = ::write(fd, part.data() + off, part.size() - off);
+      if (n < 0) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return Status::Internal("write failed: " + tmp);
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  // The data must be durable before the rename publishes the name, or a
+  // crash could leave a truncated file under the final path.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::Internal("fsync failed: " + tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename snapshot into place: " + path);
+  }
+  // Best-effort directory sync so the rename itself survives a crash.
+  size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSessionSnapshot(const PipelineContext& ctx, int valid_through,
+                           const std::string& path) {
+  if (ctx.dataset == nullptr || ctx.dcs == nullptr) {
+    return Status::InvalidArgument("snapshot requires an opened session");
+  }
+  if (valid_through < 0 || valid_through > kNumStages) {
+    return Status::InvalidArgument("valid_through out of range");
+  }
+  const Table& table = ctx.dataset->dirty();
+  const Schema& schema = table.schema();
+
+  BinaryWriter payload;
+  payload.WriteU64(ConfigFingerprint(ctx.config));
+  payload.WriteU64(schema.num_attrs());
+  for (const std::string& name : schema.names()) payload.WriteString(name);
+  payload.WriteU64(table.num_rows());
+  payload.WriteU64(DcsFingerprint(*ctx.dcs, schema));
+  payload.WriteU64(
+      ExternalDataFingerprint(ctx.dicts, ctx.mds, ctx.extra_detectors));
+
+  // Dictionary + cell values: pins mutate the table and compilation interns
+  // matched values, and every persisted artifact references both by id.
+  const Dictionary& dict = table.dict();
+  payload.WriteU64(dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    payload.WriteString(dict.GetString(static_cast<ValueId>(i)));
+  }
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    for (ValueId v : table.Column(static_cast<AttrId>(a))) {
+      payload.WriteI32(v);
+    }
+  }
+
+  payload.WriteI32(valid_through);
+  const RunStats& stats = ctx.report.stats;
+  payload.WriteU64(stats.num_violations);
+  payload.WriteU64(stats.num_noisy_cells);
+  payload.WriteU64(stats.num_query_vars);
+  payload.WriteU64(stats.num_evidence_vars);
+  payload.WriteU64(stats.num_candidates);
+  payload.WriteU64(stats.num_dc_factors);
+  payload.WriteU64(stats.num_grounded_factors);
+
+  if (valid_through > static_cast<int>(StageId::kDetect)) {
+    WriteI32Vec(&payload, ctx.attrs);
+    SerializeViolations(ctx.violations, &payload);
+    WriteCellVec(&payload, ctx.noisy.cells());
+  }
+  if (valid_through > static_cast<int>(StageId::kCompile)) {
+    WriteCellVec(&payload, ctx.query_cells);
+    WriteCellVec(&payload, ctx.evidence_cells);
+    SerializeDomains(ctx.domains, &payload);
+    SerializeProgram(ctx.program, &payload);
+    SerializeFactorGraph(ctx.graph, &payload);
+    payload.WriteU64(ctx.grounder_stats.num_query_vars);
+    payload.WriteU64(ctx.grounder_stats.num_evidence_vars);
+    payload.WriteU64(ctx.grounder_stats.num_feature_instances);
+    payload.WriteU64(ctx.grounder_stats.num_dc_factors);
+    payload.WriteU64(ctx.grounder_stats.num_dc_pairs_considered);
+    payload.WriteU64(ctx.ground_runs);
+    payload.WriteString(ctx.report.ddlog);
+  }
+  if (valid_through > static_cast<int>(StageId::kLearn)) {
+    SerializeWeightStore(ctx.weights, &payload);
+  }
+  if (valid_through > static_cast<int>(StageId::kInfer)) {
+    SerializeMarginals(ctx.marginals, &payload);
+  }
+  if (valid_through == kNumStages) {
+    SerializeRepairs(ctx.report.repairs, &payload);
+    SerializePosteriors(ctx.report.posteriors, &payload);
+  }
+
+  // Header and checksum are built separately so the multi-MiB body is
+  // never copied into a second buffer on its way to disk.
+  const std::string& body = payload.buffer();
+  BinaryWriter header;
+  header.WriteBytes(std::string_view(kMagic, sizeof(kMagic)));
+  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU64(body.size());
+  BinaryWriter trailer;
+  trailer.WriteU64(HashBytes(body));
+  return WriteFileAtomic(path, {header.buffer(), body, trailer.buffer()});
+}
+
+Result<int> LoadSessionSnapshot(const std::string& path,
+                                PipelineContext* ctx) {
+  if (ctx == nullptr || ctx->dataset == nullptr || ctx->dcs == nullptr) {
+    return Status::InvalidArgument("restore requires an opened session");
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open snapshot: " + path);
+  // Size the buffer from the file length and read straight into it —
+  // snapshots run to tens of MiB and a stringstream detour would hold the
+  // bytes twice.
+  std::streamoff size = in.tellg();
+  if (size < 0) return Status::Internal("cannot stat snapshot: " + path);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(bytes.data(), size);
+  if (in.gcount() != size) {
+    return Status::Internal("cannot read snapshot: " + path);
+  }
+
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) {
+    return Status::ParseError("snapshot truncated");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a SessionSnapshot file: " + path);
+  }
+  BinaryReader header(std::string_view(bytes).substr(4, 12));
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  HOLO_RETURN_NOT_OK(header.ReadU32(&version));
+  HOLO_RETURN_NOT_OK(header.ReadU64(&payload_size));
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot format version mismatch: file has v" +
+        std::to_string(version) + ", this build reads v" +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  if (bytes.size() != kHeaderBytes + payload_size + kChecksumBytes) {
+    return Status::ParseError("snapshot truncated");
+  }
+  std::string_view body =
+      std::string_view(bytes).substr(kHeaderBytes, payload_size);
+  BinaryReader trailer(std::string_view(bytes).substr(
+      kHeaderBytes + payload_size, kChecksumBytes));
+  uint64_t stored_checksum = 0;
+  HOLO_RETURN_NOT_OK(trailer.ReadU64(&stored_checksum));
+  if (HashBytes(body) != stored_checksum) {
+    return Status::ParseError("snapshot checksum mismatch (corrupt file)");
+  }
+
+  BinaryReader reader(body);
+
+  // --- Compatibility validation, before the context is touched. ---
+  Table& table = ctx->dataset->dirty();
+  const Schema& schema = table.schema();
+  uint64_t config_fp = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadU64(&config_fp));
+  if (config_fp != ConfigFingerprint(ctx->config)) {
+    return Status::InvalidArgument(
+        "snapshot config fingerprint mismatch: the snapshot was saved under "
+        "a different configuration");
+  }
+  size_t num_attrs = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadCount(8, &num_attrs));
+  if (num_attrs != schema.num_attrs()) {
+    return Status::InvalidArgument("snapshot schema mismatch");
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    std::string name;
+    HOLO_RETURN_NOT_OK(reader.ReadString(&name));
+    if (name != schema.name(static_cast<AttrId>(a))) {
+      return Status::InvalidArgument("snapshot schema mismatch: attribute " +
+                                     std::to_string(a) + " is '" + name +
+                                     "', dataset has '" +
+                                     schema.name(static_cast<AttrId>(a)) +
+                                     "'");
+    }
+  }
+  uint64_t num_rows = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadU64(&num_rows));
+  if (num_rows != table.num_rows()) {
+    return Status::InvalidArgument("snapshot row count mismatch");
+  }
+  uint64_t dcs_fp = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadU64(&dcs_fp));
+  if (dcs_fp != DcsFingerprint(*ctx->dcs, schema)) {
+    return Status::InvalidArgument(
+        "snapshot denial-constraint set mismatch");
+  }
+  uint64_t extdata_fp = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadU64(&extdata_fp));
+  if (extdata_fp !=
+      ExternalDataFingerprint(ctx->dicts, ctx->mds, ctx->extra_detectors)) {
+    return Status::InvalidArgument(
+        "snapshot external-data/detector inputs mismatch");
+  }
+
+  // Dictionary alignment: the dataset's interned strings must agree with
+  // the snapshot's on the shared prefix — this is what makes the persisted
+  // value ids meaningful. Entries the save-time session interned on top
+  // (e.g. dictionary-matched candidates) are re-interned below.
+  size_t dict_size = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadCount(8, &dict_size));
+  std::vector<std::string> dict_values(dict_size);
+  for (std::string& s : dict_values) {
+    HOLO_RETURN_NOT_OK(reader.ReadString(&s));
+  }
+  Dictionary& dict = table.dict();
+  size_t shared = std::min(dict_size, dict.size());
+  for (size_t i = 0; i < shared; ++i) {
+    if (dict.GetString(static_cast<ValueId>(i)) != dict_values[i]) {
+      return Status::InvalidArgument(
+          "dataset does not match snapshot: dictionary mismatch at value id " +
+          std::to_string(i));
+    }
+  }
+  // Entries past the shared prefix are re-interned on commit, and Intern
+  // dedupes — a duplicate (against the prefix or within the tail) would
+  // silently shift every id after it. A real dictionary never repeats, so
+  // reject such snapshots outright.
+  if (dict.size() < dict_size) {
+    std::unordered_set<std::string_view> tail;
+    for (size_t i = dict.size(); i < dict_size; ++i) {
+      if (dict.Lookup(dict_values[i]) >= 0 ||
+          !tail.insert(dict_values[i]).second) {
+        return Status::ParseError("snapshot dictionary has duplicate entries");
+      }
+    }
+  }
+  std::vector<std::vector<ValueId>> columns(num_attrs);
+  for (std::vector<ValueId>& column : columns) {
+    column.resize(num_rows);
+    for (ValueId& v : column) {
+      HOLO_RETURN_NOT_OK(reader.ReadI32(&v));
+      if (v < 0 || static_cast<size_t>(v) >= dict_size) {
+        return Status::ParseError("snapshot value id out of range");
+      }
+    }
+  }
+  int valid_through = 0;
+  HOLO_RETURN_NOT_OK(reader.ReadI32(&valid_through));
+  if (valid_through < 0 || valid_through > kNumStages) {
+    return Status::ParseError("snapshot valid_through out of range");
+  }
+
+  // --- Parse every artifact section into staging locals. Nothing in the
+  // context or the dataset is touched until the whole payload parsed, so a
+  // malformed section can never leave a half-restored session behind. ---
+  uint64_t counters[7] = {};
+  for (uint64_t& c : counters) HOLO_RETURN_NOT_OK(reader.ReadU64(&c));
+
+  std::vector<AttrId> attrs;
+  std::vector<Violation> violations;
+  std::vector<CellRef> noisy_cells;
+  if (valid_through > static_cast<int>(StageId::kDetect)) {
+    HOLO_RETURN_NOT_OK(ReadI32Vec(&reader, &attrs));
+    HOLO_RETURN_NOT_OK(DeserializeViolations(&reader, &violations));
+    HOLO_RETURN_NOT_OK(ReadCellVec(&reader, &noisy_cells));
+  }
+  std::vector<CellRef> query_cells;
+  std::vector<CellRef> evidence_cells;
+  PrunedDomains domains;
+  Program program;
+  FactorGraph graph;
+  Grounder::Stats grounder_stats;
+  uint64_t ground_runs = 0;
+  std::string ddlog;
+  if (valid_through > static_cast<int>(StageId::kCompile)) {
+    HOLO_RETURN_NOT_OK(ReadCellVec(&reader, &query_cells));
+    HOLO_RETURN_NOT_OK(ReadCellVec(&reader, &evidence_cells));
+    HOLO_RETURN_NOT_OK(DeserializeDomains(&reader, dict_size, &domains));
+    HOLO_RETURN_NOT_OK(DeserializeProgram(&reader, &program));
+    FactorGraphBounds bounds;
+    bounds.dict_size = dict_size;
+    bounds.num_dcs = ctx->dcs->size();
+    HOLO_RETURN_NOT_OK(DeserializeFactorGraph(&reader, &graph, bounds));
+    HOLO_RETURN_NOT_OK(reader.ReadU64(&grounder_stats.num_query_vars));
+    HOLO_RETURN_NOT_OK(reader.ReadU64(&grounder_stats.num_evidence_vars));
+    HOLO_RETURN_NOT_OK(
+        reader.ReadU64(&grounder_stats.num_feature_instances));
+    HOLO_RETURN_NOT_OK(reader.ReadU64(&grounder_stats.num_dc_factors));
+    HOLO_RETURN_NOT_OK(
+        reader.ReadU64(&grounder_stats.num_dc_pairs_considered));
+    HOLO_RETURN_NOT_OK(reader.ReadU64(&ground_runs));
+    HOLO_RETURN_NOT_OK(reader.ReadString(&ddlog));
+  }
+  WeightStore weights;
+  if (valid_through > static_cast<int>(StageId::kLearn)) {
+    HOLO_RETURN_NOT_OK(DeserializeWeightStore(&reader, &weights));
+  }
+  Marginals marginals{0};
+  if (valid_through > static_cast<int>(StageId::kInfer)) {
+    HOLO_RETURN_NOT_OK(DeserializeMarginals(&reader, &marginals));
+  }
+  std::vector<Repair> repairs;
+  std::vector<CellPosterior> posteriors;
+  if (valid_through == kNumStages) {
+    HOLO_RETURN_NOT_OK(DeserializeRepairs(&reader, &repairs));
+    HOLO_RETURN_NOT_OK(DeserializePosteriors(&reader, &posteriors));
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError("snapshot has trailing bytes");
+  }
+
+  // --- Cross-artifact consistency: every cell, tuple, constraint, and
+  // value id the staged artifacts carry must stay inside the session's
+  // bounds, so a checksum-valid but internally inconsistent snapshot can
+  // never make a later stage index out of range. ---
+  auto cell_ok = [&](const CellRef& c) {
+    return c.tid >= 0 && static_cast<uint64_t>(c.tid) < num_rows &&
+           c.attr >= 0 && static_cast<size_t>(c.attr) < num_attrs;
+  };
+  auto tuple_ok = [&](TupleId t) {
+    return t >= 0 && static_cast<uint64_t>(t) < num_rows;
+  };
+  auto value_ok = [&](ValueId v) {
+    return v >= 0 && static_cast<size_t>(v) < dict_size;
+  };
+  Status inconsistent = Status::ParseError("snapshot artifacts out of range");
+  for (AttrId a : attrs) {
+    if (a < 0 || static_cast<size_t>(a) >= num_attrs) return inconsistent;
+  }
+  for (const Violation& v : violations) {
+    if (v.dc_index < 0 ||
+        static_cast<size_t>(v.dc_index) >= ctx->dcs->size() ||
+        !tuple_ok(v.t1) || !tuple_ok(v.t2)) {
+      return inconsistent;
+    }
+    for (const CellRef& c : v.cells) {
+      if (!cell_ok(c)) return inconsistent;
+    }
+  }
+  for (const CellRef& c : noisy_cells) {
+    if (!cell_ok(c)) return inconsistent;
+  }
+  for (const CellRef& c : query_cells) {
+    if (!cell_ok(c)) return inconsistent;
+  }
+  for (const CellRef& c : evidence_cells) {
+    if (!cell_ok(c)) return inconsistent;
+  }
+  for (const auto& [cell, candidates] : domains.candidates) {
+    if (!cell_ok(cell)) return inconsistent;
+  }
+  for (const Variable& var : graph.variables()) {
+    if (!cell_ok(var.cell)) return inconsistent;
+  }
+  for (const DcFactor& factor : graph.dc_factors()) {
+    if (!tuple_ok(factor.t1) || !tuple_ok(factor.t2)) return inconsistent;
+  }
+  if (valid_through > static_cast<int>(StageId::kInfer)) {
+    // RepairStage indexes marginals by variable id and domains by the MAP
+    // index, so the shapes must agree with the persisted graph.
+    if (marginals.probs().size() != graph.num_variables()) {
+      return inconsistent;
+    }
+    for (size_t v = 0; v < graph.num_variables(); ++v) {
+      if (marginals.probs()[v].size() !=
+          graph.variable(static_cast<int>(v)).NumCandidates()) {
+        return inconsistent;
+      }
+    }
+  }
+  for (const Repair& r : repairs) {
+    if (!cell_ok(r.cell) || !value_ok(r.old_value) ||
+        !value_ok(r.new_value)) {
+      return inconsistent;
+    }
+  }
+  for (const CellPosterior& p : posteriors) {
+    if (!cell_ok(p.cell) || !value_ok(p.old_value) ||
+        !value_ok(p.map_value)) {
+      return inconsistent;
+    }
+  }
+
+  // --- Everything parsed and validated: commit. ---
+  for (size_t i = dict.size(); i < dict_size; ++i) {
+    dict.Intern(dict_values[i]);
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    for (size_t t = 0; t < num_rows; ++t) {
+      table.Set(static_cast<TupleId>(t), static_cast<AttrId>(a),
+                columns[a][t]);
+    }
+  }
+  RunStats& stats = ctx->report.stats;
+  stats.num_violations = counters[0];
+  stats.num_noisy_cells = counters[1];
+  stats.num_query_vars = counters[2];
+  stats.num_evidence_vars = counters[3];
+  stats.num_candidates = counters[4];
+  stats.num_dc_factors = counters[5];
+  stats.num_grounded_factors = counters[6];
+  if (valid_through > static_cast<int>(StageId::kDetect)) {
+    ctx->attrs = std::move(attrs);
+    ctx->violations = std::move(violations);
+    ctx->noisy = NoisyCells();
+    for (const CellRef& c : noisy_cells) ctx->noisy.Add(c);
+  }
+  if (valid_through > static_cast<int>(StageId::kCompile)) {
+    ctx->query_cells = std::move(query_cells);
+    ctx->evidence_cells = std::move(evidence_cells);
+    ctx->domains = std::move(domains);
+    ctx->program = std::move(program);
+    ctx->graph = std::move(graph);
+    ctx->grounder_stats = grounder_stats;
+    ctx->ground_runs = ground_runs;
+    ctx->report.ddlog = std::move(ddlog);
+  }
+  if (valid_through > static_cast<int>(StageId::kLearn)) {
+    ctx->weights = std::move(weights);
+  }
+  if (valid_through > static_cast<int>(StageId::kInfer)) {
+    ctx->marginals = std::move(marginals);
+  }
+  if (valid_through == kNumStages) {
+    ctx->report.repairs = std::move(repairs);
+    ctx->report.posteriors = std::move(posteriors);
+  }
+  return valid_through;
+}
+
+}  // namespace holoclean

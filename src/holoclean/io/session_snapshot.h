@@ -1,0 +1,100 @@
+#ifndef HOLOCLEAN_IO_SESSION_SNAPSHOT_H_
+#define HOLOCLEAN_IO_SESSION_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "holoclean/core/pipeline_context.h"
+#include "holoclean/io/binary_io.h"
+
+namespace holoclean {
+
+/// Version of the SessionSnapshot binary format. Bumped whenever the
+/// payload layout changes; a snapshot written by another version is
+/// rejected on load (no cross-version migration).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Fingerprint over every result-affecting configuration knob. Two configs
+/// with equal fingerprints produce bit-identical pipelines on the same
+/// inputs, so a snapshot is only loadable under a config whose fingerprint
+/// matches the one it was saved with. `num_threads` is excluded: results
+/// are thread-count invariant, so a snapshot saved on 1 thread restores
+/// fine into a 16-thread session.
+uint64_t ConfigFingerprint(const HoloCleanConfig& config);
+
+/// Fingerprint over a denial-constraint set (its textual form under
+/// `schema`). Order-sensitive: constraint indexes are baked into the
+/// grounded factors.
+uint64_t DcsFingerprint(const std::vector<DenialConstraint>& dcs,
+                        const Schema& schema);
+
+/// Fingerprint over the session's external-data and detector inputs:
+/// dictionary names and record contents, the matching dependencies'
+/// clauses and thresholds, and the extra detectors' names. Cached compile
+/// and detect artifacts were derived from these, so a snapshot only
+/// restores under matching inputs. (Detector *parameters* are opaque to
+/// the engine and not covered; registering differently configured
+/// detectors under the same names is on the caller.)
+uint64_t ExternalDataFingerprint(const ExtDictCollection* dicts,
+                                 const std::vector<MatchingDependency>* mds,
+                                 const DetectorSuite* extra_detectors);
+
+// --- Artifact codecs -------------------------------------------------------
+// Each Serialize appends the artifact to the writer; the matching
+// Deserialize consumes it, validating every structural invariant the
+// in-memory type asserts (so a corrupt payload fails with a Status instead
+// of tripping a HOLO_CHECK).
+
+/// Upper bounds the deserialized graph's ids are validated against:
+/// domain value ids must fall inside the dictionary and factor dc_indexes
+/// inside the constraint set. Defaults impose no bound (standalone codec
+/// use); LoadSessionSnapshot passes the session's real bounds.
+struct FactorGraphBounds {
+  size_t dict_size = SIZE_MAX;
+  size_t num_dcs = SIZE_MAX;
+};
+
+void SerializeFactorGraph(const FactorGraph& graph, BinaryWriter* out);
+Status DeserializeFactorGraph(BinaryReader* in, FactorGraph* graph,
+                              const FactorGraphBounds& bounds = {});
+
+void SerializeWeightStore(const WeightStore& weights, BinaryWriter* out);
+Status DeserializeWeightStore(BinaryReader* in, WeightStore* weights);
+
+void SerializeMarginals(const Marginals& marginals, BinaryWriter* out);
+Status DeserializeMarginals(BinaryReader* in, Marginals* marginals);
+
+// --- Whole-session snapshot ------------------------------------------------
+
+/// Serializes the context's cached stage artifacts — everything stages
+/// [0, valid_through) produced — into the versioned, checksummed
+/// SessionSnapshot format and writes it to `path` (temp file + rename, so a
+/// crash mid-save never leaves a half-written snapshot under `path`).
+///
+/// The snapshot carries the dirty table's cell values and the dictionary's
+/// interned strings: feedback pins mutate the table and compilation interns
+/// matched candidate values, and the grounded graph references both by id.
+/// Artifacts every compile execution rebuilds from scratch (co-occurrence
+/// statistics, external-data matches, tuple groups) are not persisted.
+Status SaveSessionSnapshot(const PipelineContext& ctx, int valid_through,
+                           const std::string& path);
+
+/// Loads a snapshot into a freshly opened session's context. Validates,
+/// in order: magic + format version, payload checksum, config
+/// fingerprint, schema and row count, the DC set, the external-data and
+/// detector inputs, and dictionary alignment (the dataset's interned
+/// strings must be a prefix-compatible match of the snapshot's, which
+/// pins value ids); then parses every artifact section into staging
+/// storage. Only after the whole payload parsed cleanly is anything
+/// committed — on any error the context and the dataset are untouched.
+/// On success the context holds the persisted artifacts, the dirty table
+/// holds the cell values from save time (re-applying any feedback pins),
+/// and the returned value is the number of leading stages the snapshot
+/// carries artifacts for (the session's new `valid_through`).
+Result<int> LoadSessionSnapshot(const std::string& path,
+                                PipelineContext* ctx);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_IO_SESSION_SNAPSHOT_H_

@@ -15,6 +15,9 @@ bool ParseRecord(std::string_view text, size_t* pos,
   fields->clear();
   std::string field;
   bool in_quotes = false;
+  // True right after a closing quote: the only legal next characters are a
+  // field separator, a record terminator, or end of input.
+  bool after_quoted = false;
   size_t i = *pos;
   while (i < text.size()) {
     char c = text[i];
@@ -25,6 +28,7 @@ bool ParseRecord(std::string_view text, size_t* pos,
           i += 2;
         } else {
           in_quotes = false;
+          after_quoted = true;
           ++i;
         }
       } else {
@@ -32,22 +36,26 @@ bool ParseRecord(std::string_view text, size_t* pos,
         ++i;
       }
     } else {
-      if (c == '"') {
-        if (!field.empty()) {
-          *error = Status::ParseError("quote inside unquoted field");
-          return false;
-        }
-        in_quotes = true;
-        ++i;
-      } else if (c == ',') {
+      if (c == ',') {
         fields->push_back(std::move(field));
         field.clear();
+        after_quoted = false;
         ++i;
       } else if (c == '\n' || c == '\r') {
         fields->push_back(std::move(field));
         if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
         *pos = i + 1;
         return true;
+      } else if (after_quoted) {
+        *error = Status::ParseError("character after closing quote");
+        return false;
+      } else if (c == '"') {
+        if (!field.empty()) {
+          *error = Status::ParseError("quote inside unquoted field");
+          return false;
+        }
+        in_quotes = true;
+        ++i;
       } else {
         field.push_back(c);
         ++i;

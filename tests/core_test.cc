@@ -421,6 +421,42 @@ TEST(Session, UpdateConfigInvalidatesMinimalSuffix) {
   EXPECT_EQ(session.context().ground_runs, 2u);
 }
 
+TEST(Session, CachedStagesReportZeroLegacySeconds) {
+  PipelineFixture f;
+  HoloCleanConfig config;
+  config.tau = 0.3;
+  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto first = session.Run();
+  ASSERT_TRUE(first.ok());
+
+  // Incremental re-run from infer: detect/compile/learn are cached and the
+  // run spent no time in them, so the legacy phase view must not re-report
+  // the prior run's wall times.
+  session.Invalidate(StageId::kInfer);
+  auto second = session.Run();
+  ASSERT_TRUE(second.ok());
+  const RunStats& s = second.value().stats;
+  EXPECT_DOUBLE_EQ(s.detect_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.compile_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.learn_seconds, 0.0);
+  EXPECT_GE(s.infer_seconds, 0.0);
+  // The per-stage view keeps the prior wall time for reference, flagged.
+  EXPECT_TRUE(s.stage_timings[0].cached);
+  EXPECT_DOUBLE_EQ(s.stage_timings[0].seconds,
+                   first.value().stats.stage_timings[0].seconds);
+
+  // A prefix re-run reports nothing for the stages it never visited.
+  session.Invalidate(StageId::kCompile);
+  auto prefix = session.RunThrough(StageId::kCompile);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_DOUBLE_EQ(prefix.value().stats.detect_seconds, 0.0);
+  EXPECT_GE(prefix.value().stats.compile_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(prefix.value().stats.learn_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(prefix.value().stats.infer_seconds, 0.0);
+}
+
 TEST(Session, PinCellSkipsDetectionAndRemovesQueryVariable) {
   PipelineFixture f;
   HoloCleanConfig config;

@@ -89,6 +89,53 @@ TEST(Feedback, RelabelingSameCellReplaces) {
   EXPECT_EQ(session.labels()[0].true_value, v2);
 }
 
+TEST(Feedback, FailedRunRestoresPreviousPinEntry) {
+  FeedbackFixture f;
+  FeedbackSession session(&f.data.dataset, f.data.dcs, f.config);
+  ASSERT_TRUE(session.Run().ok());
+  auto queue = session.ReviewQueue(1);
+  ASSERT_FALSE(queue.empty());
+  Repair r = queue.front();
+  ValueId v1 = r.new_value;
+  session.AddLabel({r.cell, v1});
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_EQ(session.pinned().at(r.cell), v1);
+  ASSERT_EQ(f.data.dataset.dirty().Get(r.cell), v1);
+
+  // Re-pin with a newer verdict, but sabotage the run so it fails after
+  // the pin is applied: injected external-data inputs whose matching
+  // dependency names an unknown attribute make CompileStage error out.
+  ValueId v2 = r.old_value;  // The user reverses the verdict.
+  session.AddLabel({r.cell, v2});
+  ExtDictCollection dicts;
+  Table records(Schema({"K"}), std::make_shared<Dictionary>());
+  records.AppendRow({"k"});
+  dicts.Add("bad", std::move(records));
+  std::vector<MatchingDependency> mds(1);
+  mds[0].dict_id = 0;
+  mds[0].conditions.push_back({"NoSuchAttr", "K", false, 0.85});
+  mds[0].target_data_attr = "NoSuchAttr";
+  mds[0].target_ext_attr = "K";
+  session.session()->context().dicts = &dicts;
+  session.session()->context().mds = &mds;
+  ASSERT_FALSE(session.Run().ok());
+
+  // The rollback restored the table value AND the previous pin entry —
+  // erasing the entry would leave the table holding a value the
+  // bookkeeping no longer knows is pinned.
+  ASSERT_EQ(session.pinned().count(r.cell), 1u);
+  EXPECT_EQ(session.pinned().at(r.cell), v1);
+  EXPECT_EQ(f.data.dataset.dirty().Get(r.cell), v1);
+
+  // Remove the sabotage: the session recovers and the newer verdict lands.
+  session.session()->context().dicts = nullptr;
+  session.session()->context().mds = nullptr;
+  auto recovered = session.Run();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(session.pinned().at(r.cell), v2);
+  EXPECT_EQ(f.data.dataset.dirty().Get(r.cell), v2);
+}
+
 TEST(Feedback, ConfirmAndRejectHelpers) {
   FeedbackFixture f;
   FeedbackSession session(&f.data.dataset, f.data.dcs, f.config);

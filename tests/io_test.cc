@@ -1,0 +1,631 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "holoclean/constraints/parser.h"
+#include "holoclean/core/pipeline.h"
+#include "holoclean/io/binary_io.h"
+#include "holoclean/io/session_snapshot.h"
+#include "holoclean/util/hash.h"
+
+namespace holoclean {
+namespace {
+
+// ---------- Binary primitives ----------
+
+TEST(BinaryIo, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-42);
+  w.WriteF32(1.5f);
+  w.WriteF64(-2.25);
+  w.WriteString("hello");
+  w.WriteString("");
+
+  BinaryReader r(w.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string s1, s2;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadF32(&f32).ok());
+  ASSERT_TRUE(r.ReadF64(&f64).ok());
+  ASSERT_TRUE(r.ReadString(&s1).ok());
+  ASSERT_TRUE(r.ReadString(&s2).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIo, TruncatedReadsFailCleanly) {
+  BinaryWriter w;
+  w.WriteU32(5);
+  BinaryReader r(w.buffer());
+  uint64_t u64 = 0;
+  EXPECT_EQ(r.ReadU64(&u64).code(), StatusCode::kParseError);
+}
+
+TEST(BinaryIo, HugeCountRejectedBeforeAllocation) {
+  BinaryWriter w;
+  w.WriteU64(uint64_t{1} << 60);  // Claims 2^60 elements in 0 bytes.
+  BinaryReader r(w.buffer());
+  size_t n = 0;
+  EXPECT_EQ(r.ReadCount(8, &n).code(), StatusCode::kParseError);
+}
+
+// ---------- Artifact codecs ----------
+
+TEST(SnapshotCodec, FactorGraphRoundTripsExactly) {
+  FactorGraph graph;
+  Variable v1;
+  v1.cell = {3, 1};
+  v1.domain = {5, 9, 11};
+  v1.init_index = 1;
+  v1.is_evidence = false;
+  v1.prior_bias = {0.0, 1.0, 0.0};
+  v1.feat_begin = {0, 2, 2, 3};
+  v1.features = {{42u, 0.5f}, {43u, 1.0f}, {99u, -2.0f}};
+  graph.AddVariable(v1);
+  Variable v2;
+  v2.cell = {4, 0};
+  v2.domain = {7};
+  v2.init_index = 0;
+  v2.is_evidence = true;
+  v2.prior_bias = {0.25};
+  v2.feat_begin = {0, 1};
+  v2.features = {{7u, 1.0f}};
+  graph.AddVariable(v2);
+  DcFactor f;
+  f.dc_index = 0;
+  f.t1 = 3;
+  f.t2 = 4;
+  f.weight = 4.0;
+  f.var_ids = {0, 1};
+  graph.AddDcFactor(f);
+
+  BinaryWriter w;
+  SerializeFactorGraph(graph, &w);
+  BinaryReader r(w.buffer());
+  FactorGraph loaded;
+  ASSERT_TRUE(DeserializeFactorGraph(&r, &loaded).ok());
+
+  ASSERT_EQ(loaded.num_variables(), 2u);
+  EXPECT_EQ(loaded.variable(0).domain, v1.domain);
+  EXPECT_EQ(loaded.variable(0).init_index, 1);
+  EXPECT_EQ(loaded.variable(0).prior_bias, v1.prior_bias);
+  EXPECT_EQ(loaded.variable(0).feat_begin, v1.feat_begin);
+  ASSERT_EQ(loaded.variable(0).features.size(), 3u);
+  EXPECT_EQ(loaded.variable(0).features[2].weight_key, 99u);
+  EXPECT_EQ(loaded.variable(0).features[2].activation, -2.0f);
+  EXPECT_TRUE(loaded.variable(1).is_evidence);
+  // Derived indexes are rebuilt identically.
+  EXPECT_EQ(loaded.query_vars(), std::vector<int32_t>{0});
+  EXPECT_EQ(loaded.evidence_vars(), std::vector<int32_t>{1});
+  EXPECT_EQ(loaded.VarOfCell({3, 1}), 0);
+  ASSERT_EQ(loaded.dc_factors().size(), 1u);
+  EXPECT_EQ(loaded.FactorsOfVar(0), std::vector<int32_t>{0});
+  EXPECT_EQ(loaded.FactorsOfVar(1), std::vector<int32_t>{0});
+  EXPECT_EQ(loaded.NumGroundedFactors(), graph.NumGroundedFactors());
+}
+
+TEST(SnapshotCodec, GraphIdsValidatedAgainstBounds) {
+  FactorGraph graph;
+  Variable v;
+  v.cell = {0, 0};
+  v.domain = {5};
+  v.init_index = 0;
+  v.prior_bias = {0.0};
+  v.feat_begin = {0, 0};
+  graph.AddVariable(v);
+  DcFactor f;
+  f.dc_index = 1;
+  f.var_ids = {0};
+  graph.AddDcFactor(f);
+  BinaryWriter w;
+  SerializeFactorGraph(graph, &w);
+
+  // Domain value id 5 exceeds a 4-entry dictionary.
+  {
+    BinaryReader r(w.buffer());
+    FactorGraph loaded;
+    FactorGraphBounds bounds;
+    bounds.dict_size = 4;
+    EXPECT_EQ(DeserializeFactorGraph(&r, &loaded, bounds).code(),
+              StatusCode::kParseError);
+  }
+  // dc_index 1 exceeds a 1-constraint set.
+  {
+    BinaryReader r(w.buffer());
+    FactorGraph loaded;
+    FactorGraphBounds bounds;
+    bounds.dict_size = 6;
+    bounds.num_dcs = 1;
+    EXPECT_EQ(DeserializeFactorGraph(&r, &loaded, bounds).code(),
+              StatusCode::kParseError);
+  }
+  // Within bounds: loads.
+  {
+    BinaryReader r(w.buffer());
+    FactorGraph loaded;
+    FactorGraphBounds bounds;
+    bounds.dict_size = 6;
+    bounds.num_dcs = 2;
+    EXPECT_TRUE(DeserializeFactorGraph(&r, &loaded, bounds).ok());
+  }
+}
+
+TEST(SnapshotCodec, MalformedGraphIsRejectedNotAborted) {
+  // A factor referencing a variable id beyond the variable count must fail
+  // with a Status (AddDcFactor would write out of bounds otherwise).
+  BinaryWriter w;
+  w.WriteU64(0);  // No variables.
+  w.WriteU64(1);  // One factor.
+  w.WriteI32(0);
+  w.WriteI32(0);
+  w.WriteI32(1);
+  w.WriteF64(1.0);
+  w.WriteU64(1);
+  w.WriteI32(3);  // var_ids = {3} — unknown variable.
+  BinaryReader r(w.buffer());
+  FactorGraph loaded;
+  EXPECT_EQ(DeserializeFactorGraph(&r, &loaded).code(),
+            StatusCode::kParseError);
+}
+
+TEST(SnapshotCodec, WeightStoreRoundTripsAndIsDeterministic) {
+  WeightStore weights;
+  weights.Set(17u, 0.5);
+  weights.Set(3u, -1.25);
+  weights.Set(0xFFFFFFFFFFFFULL, 1e-9);
+
+  BinaryWriter w1;
+  SerializeWeightStore(weights, &w1);
+  BinaryReader r(w1.buffer());
+  WeightStore loaded;
+  ASSERT_TRUE(DeserializeWeightStore(&r, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.Get(17u), 0.5);
+  EXPECT_DOUBLE_EQ(loaded.Get(3u), -1.25);
+  EXPECT_DOUBLE_EQ(loaded.Get(0xFFFFFFFFFFFFULL), 1e-9);
+
+  // Same logical content serializes to the same bytes (sorted by key),
+  // regardless of hash-map iteration order.
+  BinaryWriter w2;
+  SerializeWeightStore(loaded, &w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+}
+
+TEST(SnapshotCodec, MarginalsRoundTrip) {
+  Marginals m(2);
+  m.probs()[0] = {0.25, 0.75};
+  m.probs()[1] = {1.0};
+  BinaryWriter w;
+  SerializeMarginals(m, &w);
+  BinaryReader r(w.buffer());
+  Marginals loaded(0);
+  ASSERT_TRUE(DeserializeMarginals(&r, &loaded).ok());
+  EXPECT_EQ(loaded.Of(0), (std::vector<double>{0.25, 0.75}));
+  EXPECT_EQ(loaded.Of(1), std::vector<double>{1.0});
+  EXPECT_EQ(loaded.MapIndex(0), 1);
+}
+
+// ---------- Fingerprints ----------
+
+TEST(Fingerprint, SensitiveToResultAffectingKnobsOnly) {
+  HoloCleanConfig a;
+  HoloCleanConfig b = a;
+  EXPECT_EQ(ConfigFingerprint(a), ConfigFingerprint(b));
+  b.num_threads = 13;  // Thread count never changes results.
+  EXPECT_EQ(ConfigFingerprint(a), ConfigFingerprint(b));
+  b.tau = 0.31;
+  EXPECT_NE(ConfigFingerprint(a), ConfigFingerprint(b));
+  b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(ConfigFingerprint(a), ConfigFingerprint(b));
+  b = a;
+  b.gibbs_samples += 1;
+  EXPECT_NE(ConfigFingerprint(a), ConfigFingerprint(b));
+}
+
+// ---------- Whole-session snapshots ----------
+
+struct SnapshotFixture {
+  SnapshotFixture() : dataset(MakeDirty()) {
+    auto parsed = ParseDenialConstraints(
+        "t1&t2&EQ(t1.Name,t2.Name)&IQ(t1.Zip,t2.Zip)\n"
+        "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)\n",
+        dataset.dirty().schema());
+    EXPECT_TRUE(parsed.ok());
+    dcs = parsed.value();
+    config.tau = 0.3;
+    config.dc_mode = DcMode::kBoth;
+    config.partitioning = true;
+    config.gibbs_burn_in = 10;
+    config.gibbs_samples = 40;
+    path = testing::TempDir() + "holoclean_io_test_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".snapshot";
+  }
+  ~SnapshotFixture() { std::remove(path.c_str()); }
+
+  static Dataset MakeDirty() {
+    Table dirty(Schema({"Name", "Zip", "City"}),
+                std::make_shared<Dictionary>());
+    for (int i = 0; i < 5; ++i) dirty.AppendRow({"a", "60608", "Chicago"});
+    for (int i = 0; i < 5; ++i) dirty.AppendRow({"b", "60201", "Evanston"});
+    dirty.AppendRow({"a", "60609", "Chicago"});
+    dirty.AppendRow({"b", "60201", "Evnaston"});
+    return Dataset(std::move(dirty));
+  }
+
+  Dataset dataset;
+  std::vector<DenialConstraint> dcs;
+  HoloCleanConfig config;
+  std::string path;
+};
+
+// The acceptance scenario: save after learn, restore in a "fresh process"
+// (a second dataset instance), re-run from infer, and compare against an
+// uninterrupted in-process run — repairs and marginals bit-identical.
+TEST(SessionSnapshot, SaveAfterLearnRestoreRerunFromInferIsBitIdentical) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+
+  // Uninterrupted reference run.
+  SnapshotFixture ref;
+  auto ref_session = HoloClean(ref.config).Open(&ref.dataset, ref.dcs);
+  ASSERT_TRUE(ref_session.ok());
+  auto ref_report = ref_session.value().Run();
+  ASSERT_TRUE(ref_report.ok());
+
+  // Interrupted run: stop after learn, save, "restart the process".
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  SnapshotFixture fresh;
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  Session resumed = std::move(restored).value();
+  EXPECT_TRUE(resumed.StageIsValid(StageId::kLearn));
+  EXPECT_FALSE(resumed.StageIsValid(StageId::kInfer));
+  // The persisted graph is reused exactly like an in-process rerun: no
+  // re-grounding.
+  size_t ground_runs_before = resumed.context().ground_runs;
+  auto resumed_report = resumed.Run();
+  ASSERT_TRUE(resumed_report.ok());
+  EXPECT_EQ(resumed.context().ground_runs, ground_runs_before);
+
+  const Report& a = ref_report.value();
+  const Report& b = resumed_report.value();
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_EQ(a.repairs[i].cell, b.repairs[i].cell);
+    EXPECT_EQ(a.repairs[i].old_value, b.repairs[i].old_value);
+    EXPECT_EQ(a.repairs[i].new_value, b.repairs[i].new_value);
+    EXPECT_DOUBLE_EQ(a.repairs[i].probability, b.repairs[i].probability);
+  }
+  // Marginals, bit for bit.
+  const auto& ma = ref_session.value().context().marginals.probs();
+  const auto& mb = resumed.context().marginals.probs();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (size_t v = 0; v < ma.size(); ++v) {
+    ASSERT_EQ(ma[v].size(), mb[v].size());
+    for (size_t k = 0; k < ma[v].size(); ++k) {
+      EXPECT_EQ(ma[v][k], mb[v][k]) << "var " << v << " candidate " << k;
+    }
+  }
+}
+
+TEST(SessionSnapshot, FullRunRoundTripsEverything) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto report = session.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  SnapshotFixture fresh;
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  Session resumed = std::move(restored).value();
+  EXPECT_TRUE(resumed.StageIsValid(StageId::kRepair));
+
+  // Everything is cached: Run() is a lookup that returns the saved report.
+  auto cached = resumed.Run();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached.value().repairs.size(), report.value().repairs.size());
+  EXPECT_EQ(cached.value().posteriors.size(),
+            report.value().posteriors.size());
+  EXPECT_EQ(cached.value().ddlog, report.value().ddlog);
+  EXPECT_EQ(cached.value().stats.num_grounded_factors,
+            report.value().stats.num_grounded_factors);
+  const auto& timings = cached.value().stats.stage_timings;
+  for (const StageTiming& t : timings) EXPECT_TRUE(t.cached);
+  // Cached stages cost nothing this run (legacy view agrees).
+  EXPECT_DOUBLE_EQ(cached.value().stats.TotalSeconds(), 0.0);
+}
+
+TEST(SessionSnapshot, RestoreReplaysFeedbackPins) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto first = session.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().repairs.empty());
+  Repair verified = first.value().repairs.front();
+  session.PinCell(verified.cell, verified.new_value);
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  // The fresh dataset still holds the pre-pin (dirty) value; restore
+  // replays the pinned value onto it.
+  SnapshotFixture fresh;
+  ASSERT_NE(fresh.dataset.dirty().Get(verified.cell), verified.new_value);
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(fresh.dataset.dirty().Get(verified.cell), verified.new_value);
+}
+
+TEST(SessionSnapshot, ConfigFingerprintMismatchRejected) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened.value().RunThrough(StageId::kLearn).ok());
+  ASSERT_TRUE(opened.value().Save(f.path).ok());
+
+  SnapshotFixture fresh;
+  HoloCleanConfig other = f.config;
+  other.gibbs_samples += 1;
+  auto restored =
+      HoloClean(other).Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+
+  // Thread count is not part of the fingerprint.
+  HoloCleanConfig threads = f.config;
+  threads.num_threads = 2;
+  auto ok = HoloClean(threads).Restore(f.path, &fresh.dataset, fresh.dcs);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(SessionSnapshot, DatasetAndConstraintMismatchRejected) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened.value().RunThrough(StageId::kLearn).ok());
+  ASSERT_TRUE(opened.value().Save(f.path).ok());
+
+  // Different constraint set.
+  SnapshotFixture fresh1;
+  std::vector<DenialConstraint> one_dc = {fresh1.dcs[0]};
+  auto bad_dcs = cleaner.Restore(f.path, &fresh1.dataset, one_dc);
+  ASSERT_FALSE(bad_dcs.ok());
+  EXPECT_EQ(bad_dcs.status().code(), StatusCode::kInvalidArgument);
+
+  // Different data file: same shape, but the values intern in a different
+  // order, so the dictionary prefixes diverge.
+  Table other(Schema({"Name", "Zip", "City"}),
+              std::make_shared<Dictionary>());
+  for (int i = 0; i < 12; ++i) other.AppendRow({"zzz", "10001", "Albany"});
+  Dataset other_ds(std::move(other));
+  auto bad_data = cleaner.Restore(f.path, &other_ds, f.dcs);
+  ASSERT_FALSE(bad_data.ok());
+  EXPECT_EQ(bad_data.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSnapshot, ExternalDataInputsMismatchRejected) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened.value().RunThrough(StageId::kLearn).ok());
+  ASSERT_TRUE(opened.value().Save(f.path).ok());
+
+  // The snapshot was saved without external data; restoring with a
+  // dictionary + matching dependency present must be rejected — the
+  // cached compile artifacts were not derived from them.
+  SnapshotFixture fresh;
+  ExtDictCollection dicts;
+  Table records(Schema({"Ext_Zip", "Ext_City"}),
+                std::make_shared<Dictionary>());
+  records.AppendRow({"60608", "Chicago"});
+  dicts.Add("listing", std::move(records));
+  std::vector<MatchingDependency> mds(1);
+  mds[0].dict_id = 0;
+  mds[0].conditions.push_back({"Zip", "Ext_Zip", false, 0.85});
+  mds[0].target_data_attr = "City";
+  mds[0].target_ext_attr = "Ext_City";
+  auto restored =
+      cleaner.Restore(f.path, &fresh.dataset, fresh.dcs, &dicts, &mds);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSnapshot, FailedLoadLeavesDatasetUntouched) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto first = session.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().repairs.empty());
+  // Pin a cell so a successful restore WOULD rewrite the table.
+  Repair verified = first.value().repairs.front();
+  session.PinCell(verified.cell, verified.new_value);
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  // Tamper: append junk inside the payload and recompute the checksum, so
+  // every validation passes and parsing fails only at the very end
+  // ("trailing bytes") — after all artifact sections were consumed.
+  std::string bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  std::string payload = bytes.substr(16, bytes.size() - 24);
+  payload.append("junk");
+  BinaryWriter tampered;
+  tampered.WriteBytes(bytes.substr(0, 4));
+  tampered.WriteU32(kSnapshotFormatVersion);
+  tampered.WriteU64(payload.size());
+  tampered.WriteBytes(payload);
+  tampered.WriteU64(HashBytes(payload));
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << tampered.buffer();
+  }
+
+  SnapshotFixture fresh;
+  ValueId before = fresh.dataset.dirty().Get(verified.cell);
+  size_t dict_before = fresh.dataset.dirty().dict().size();
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  // The failed load committed nothing: no replayed pin, no interned values.
+  EXPECT_EQ(fresh.dataset.dirty().Get(verified.cell), before);
+  EXPECT_EQ(fresh.dataset.dirty().dict().size(), dict_before);
+}
+
+TEST(SessionSnapshot, VersionMismatchRejected) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_TRUE(opened.value().RunThrough(StageId::kDetect).ok());
+  ASSERT_TRUE(opened.value().Save(f.path).ok());
+
+  // Bump the version field (bytes 4..7) without touching the payload.
+  std::string bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[4] = static_cast<char>(kSnapshotFormatVersion + 1);
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  SnapshotFixture fresh;
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSnapshot, TruncatedAndCorruptSnapshotsFailCleanly) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  auto report = opened.value().Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(opened.value().Save(f.path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+
+  // Truncation at several depths, including mid-header and mid-payload.
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{10}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, keep);
+    out.close();
+    SnapshotFixture fresh;
+    auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+    ASSERT_FALSE(restored.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError)
+        << "kept " << keep << " bytes";
+  }
+
+  // Bit flip in the middle of the payload: checksum catches it.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  SnapshotFixture fresh;
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+
+  // Not a snapshot at all.
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << "name,zip\njust,a csv\n";
+  }
+  auto not_snapshot = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_FALSE(not_snapshot.ok());
+
+  EXPECT_EQ(cleaner.Restore("/nonexistent/nope.snapshot", &fresh.dataset,
+                            fresh.dcs)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionSnapshot, SavedPrefixesRestoreAtEveryStage) {
+  for (int last = 0; last < kNumStages; ++last) {
+    SnapshotFixture f;
+    HoloClean cleaner(f.config);
+    auto opened = cleaner.Open(&f.dataset, f.dcs);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(
+        opened.value().RunThrough(static_cast<StageId>(last)).ok());
+    ASSERT_TRUE(opened.value().Save(f.path).ok());
+
+    SnapshotFixture fresh;
+    auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+    ASSERT_TRUE(restored.ok()) << "stage " << last << ": "
+                               << restored.status();
+    Session resumed = std::move(restored).value();
+    EXPECT_TRUE(resumed.StageIsValid(static_cast<StageId>(last)));
+    if (last + 1 < kNumStages) {
+      EXPECT_FALSE(resumed.StageIsValid(static_cast<StageId>(last + 1)));
+    }
+    // The restored session completes the pipeline from where it left off.
+    auto finished = resumed.Run();
+    ASSERT_TRUE(finished.ok()) << "stage " << last;
+    EXPECT_FALSE(finished.value().repairs.empty()) << "stage " << last;
+  }
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -254,6 +254,28 @@ TEST(Csv, RejectsUnterminatedQuote) {
   EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
 }
 
+TEST(Csv, RejectsCharacterAfterClosingQuote) {
+  // `"ab"x` is malformed: after a closing quote only a separator, record
+  // terminator, or end of input may follow (it used to parse as `abx`).
+  auto r = ParseCsv("a,b\n\"ab\"x,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(ParseCsv("a\n\"ab\" \n").ok());
+  EXPECT_FALSE(ParseCsv("\"h\"x,b\n1,2\n").ok());  // In the header too.
+  EXPECT_FALSE(ParseCsv("a\n\"\"x\n").ok());
+  // A closing quote at a legal boundary still parses.
+  auto ok = ParseCsv("a,b\n\"x\",\"y\"\n\"z\",w");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().rows[0][0], "x");
+  EXPECT_EQ(ok.value().rows[1][1], "w");
+}
+
+TEST(Csv, RejectsQuoteInsideUnquotedField) {
+  auto r = ParseCsv("a,b\nab\"cd,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
 TEST(Csv, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
 
 TEST(Csv, WriteParseRoundTrip) {

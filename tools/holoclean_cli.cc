@@ -49,7 +49,12 @@ struct CliOptions {
   /// Stage to invalidate for the incremental re-run demo (--rerun-from),
   /// as an int to allow the "unset" sentinel; -1 = none.
   int rerun_from = -1;
-  /// True when --stages or --rerun-from drive the staged session path.
+  /// Snapshot to write after the run (--save-session) and to restore the
+  /// session from instead of a cold start (--load-session).
+  std::string save_session_path;
+  std::string load_session_path;
+  /// True when --stages, --rerun-from, or the session-snapshot flags drive
+  /// the staged session path.
   bool use_session = false;
   HoloCleanConfig config;
   bool show_help = false;
@@ -92,7 +97,13 @@ void PrintUsage() {
       "                        comma-separated LIST (detect, compile, learn,\n"
       "                        infer, repair)\n"
       "  --rerun-from STAGE    after the run, invalidate from STAGE and run\n"
-      "                        again incrementally (cached stages are skipped)\n");
+      "                        again incrementally (cached stages are skipped)\n"
+      "  --save-session FILE   after the run, serialize the session's cached\n"
+      "                        stage artifacts into a snapshot file\n"
+      "  --load-session FILE   restore the session from a snapshot saved by\n"
+      "                        --save-session (same data, constraints, and\n"
+      "                        config) instead of starting cold; restored\n"
+      "                        stages are reused like an in-process rerun\n");
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -152,6 +163,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--rerun-from") {
       HOLO_ASSIGN_OR_RETURN(from, ParseStageName(value));
       options.rerun_from = static_cast<int>(from);
+      options.use_session = true;
+    } else if (arg == "--save-session") {
+      options.save_session_path = value;
+      options.use_session = true;
+    } else if (arg == "--load-session") {
+      options.load_session_path = value;
       options.use_session = true;
     } else if (arg == "--mode") {
       if (value == "feats") {
@@ -271,9 +288,28 @@ Status RunCli(const CliOptions& options) {
     report = std::move(full);
   } else {
     StageId last = options.last_stage;
-    HOLO_ASSIGN_OR_RETURN(
-        session, cleaner.Open(&dataset, dcs, dicts.empty() ? nullptr : &dicts,
-                              mds.empty() ? nullptr : &mds));
+    const ExtDictCollection* dicts_arg = dicts.empty() ? nullptr : &dicts;
+    const std::vector<MatchingDependency>* mds_arg =
+        mds.empty() ? nullptr : &mds;
+    Result<Session> opened =
+        options.load_session_path.empty()
+            ? cleaner.Open(&dataset, dcs, dicts_arg, mds_arg)
+            : cleaner.Restore(options.load_session_path, &dataset, dcs,
+                              dicts_arg, mds_arg);
+    if (!opened.ok()) return opened.status();
+    Session session = std::move(opened).value();
+    if (!options.load_session_path.empty()) {
+      int restored = 0;
+      for (int i = 0; i < kNumStages; ++i) {
+        if (session.StageIsValid(static_cast<StageId>(i))) restored = i + 1;
+      }
+      std::printf("restored session from %s (%d of %d stages cached%s%s)\n",
+                  options.load_session_path.c_str(), restored, kNumStages,
+                  restored > 0 ? ", valid through " : "",
+                  restored > 0
+                      ? StageName(static_cast<StageId>(restored - 1))
+                      : "");
+    }
     HOLO_ASSIGN_OR_RETURN(staged, session.RunThrough(last));
     report = std::move(staged);
     std::printf("stage timings (through %s):\n", StageName(last));
@@ -285,6 +321,11 @@ Status RunCli(const CliOptions& options) {
       report = std::move(rerun);
       std::printf("incremental re-run from %s:\n", StageName(from));
       PrintStageTimings(report.stats);
+    }
+    if (!options.save_session_path.empty()) {
+      HOLO_RETURN_NOT_OK(session.Save(options.save_session_path));
+      std::printf("saved session snapshot to %s\n",
+                  options.save_session_path.c_str());
     }
   }
 
