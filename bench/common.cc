@@ -99,6 +99,23 @@ std::string Fmt(double v, int precision) {
   return buffer;
 }
 
+std::string BenchJsonPath() {
+  const char* env = std::getenv("HOLOCLEAN_BENCH_JSON");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void AppendBenchMetric(const std::string& bench, const std::string& metric,
+                       double value) {
+  std::string path = BenchJsonPath();
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  // Metric names are plain identifiers, so no JSON escaping is needed.
+  std::fprintf(f, "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+               bench.c_str(), metric.c_str(), value);
+  std::fclose(f);
+}
+
 const std::vector<std::string>& AllDatasetNames() {
   static const std::vector<std::string> kNames = {"hospital", "flights",
                                                   "food", "physicians"};

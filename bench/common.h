@@ -46,6 +46,17 @@ void PrintRow(const std::vector<std::string>& cells,
 /// Formats a double with fixed precision.
 std::string Fmt(double v, int precision = 3);
 
+/// Path of the JSON-lines metrics file named by the HOLOCLEAN_BENCH_JSON
+/// environment variable, or empty when unset. CI points every bench at one
+/// file and aggregates the records into BENCH_ci.json per PR, so the perf
+/// trajectory (sizes, wall times, peak memory) is tracked as an artifact.
+std::string BenchJsonPath();
+
+/// Appends one {"bench":...,"metric":...,"value":...} record to the
+/// metrics file. No-op when HOLOCLEAN_BENCH_JSON is unset.
+void AppendBenchMetric(const std::string& bench, const std::string& metric,
+                       double value);
+
 const std::vector<std::string>& AllDatasetNames();
 
 }  // namespace holoclean::bench

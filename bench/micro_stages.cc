@@ -57,18 +57,26 @@ int main() {
     return 1;
   }
 
-  std::vector<int> widths = {9, 14, 16, 9};
+  std::vector<int> widths = {9, 14, 16, 9, 14};
   PrintRule(widths);
   PrintRow({"Stage", "1 thread (s)",
-            "parallel (s, " + std::to_string(hw) + " hw)", "speedup"},
+            "parallel (s, " + std::to_string(hw) + " hw)", "speedup",
+            "peak rss (MiB)"},
            widths);
   PrintRule(widths);
   for (size_t i = 0; i < seq.timings.size(); ++i) {
     double s = seq.timings[i].seconds;
     double p = par.timings[i].seconds;
+    double rss = static_cast<double>(par.timings[i].peak_rss_bytes) /
+                 (1024.0 * 1024.0);
     PrintRow({seq.timings[i].name, Fmt(s), Fmt(p),
-              p > 0.0 ? Fmt(s / p, 2) + "x" : "-"},
+              p > 0.0 ? Fmt(s / p, 2) + "x" : "-", Fmt(rss, 1)},
              widths);
+    AppendBenchMetric("micro_stages",
+                      seq.timings[i].name + std::string("_seconds"), p);
+    AppendBenchMetric("micro_stages",
+                      seq.timings[i].name + std::string("_peak_rss_bytes"),
+                      static_cast<double>(par.timings[i].peak_rss_bytes));
   }
   PrintRule(widths);
   PrintRow({"total", Fmt(seq.total), Fmt(par.total),
@@ -103,5 +111,8 @@ int main() {
   std::printf("incremental re-run from infer: %ss vs %ss cold (%sx)\n",
               Fmt(warm).c_str(), Fmt(cold).c_str(),
               warm > 0.0 ? Fmt(cold / warm, 1).c_str() : "-");
+  AppendBenchMetric("micro_stages", "total_seconds", par.total);
+  AppendBenchMetric("micro_stages", "rerun_from_infer_seconds", warm);
+  AppendBenchMetric("micro_stages", "cold_seconds", cold);
   return 0;
 }

@@ -16,11 +16,11 @@ Result<Session> HoloClean::Restore(const std::string& snapshot_path,
                                    const std::vector<DenialConstraint>& dcs,
                                    const ExtDictCollection* dicts,
                                    const std::vector<MatchingDependency>* mds,
-                                   const DetectorSuite* extra_detectors)
-    const {
+                                   const DetectorSuite* extra_detectors,
+                                   const SnapshotLoadOptions& options) const {
   HOLO_ASSIGN_OR_RETURN(session,
                         Open(dataset, dcs, dicts, mds, extra_detectors));
-  HOLO_RETURN_NOT_OK(session.RestoreFrom(snapshot_path));
+  HOLO_RETURN_NOT_OK(session.RestoreFrom(snapshot_path, options));
   return session;
 }
 

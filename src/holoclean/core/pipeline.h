@@ -67,12 +67,14 @@ class HoloClean {
   /// config fingerprint, dataset, and constraints (validated on load).
   /// Restoring replays onto the dirty table any cell values the saved
   /// session had pinned via feedback.
+  /// `options.lazy_graph` maps the file and defers the factor-graph
+  /// section to first stage access instead of parsing it here.
   Result<Session> Restore(const std::string& snapshot_path, Dataset* dataset,
                           const std::vector<DenialConstraint>& dcs,
                           const ExtDictCollection* dicts = nullptr,
                           const std::vector<MatchingDependency>* mds = nullptr,
-                          const DetectorSuite* extra_detectors = nullptr)
-      const;
+                          const DetectorSuite* extra_detectors = nullptr,
+                          const SnapshotLoadOptions& options = {}) const;
 
   /// Learned weights of the last run (model introspection, tests).
   const WeightStore& weights() const { return weights_; }

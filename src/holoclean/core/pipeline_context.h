@@ -1,6 +1,7 @@
 #ifndef HOLOCLEAN_CORE_PIPELINE_CONTEXT_H_
 #define HOLOCLEAN_CORE_PIPELINE_CONTEXT_H_
 
+#include <memory>
 #include <vector>
 
 #include "holoclean/core/config.h"
@@ -18,9 +19,29 @@
 #include "holoclean/model/weight_store.h"
 #include "holoclean/stats/cooccurrence.h"
 #include "holoclean/storage/dataset.h"
+#include "holoclean/util/status.h"
 #include "holoclean/util/thread_pool.h"
 
 namespace holoclean {
+
+struct PipelineContext;
+
+/// A factor-graph section whose materialization was deferred by a lazy
+/// (mmap-backed) snapshot restore. The source owns whatever keeps the
+/// section bytes readable (typically the file mapping) and knows how to
+/// parse, validate, and install them into a context on first access.
+class DeferredGraphSource {
+ public:
+  virtual ~DeferredGraphSource() = default;
+
+  /// Parses and validates the deferred section, then installs the graph
+  /// into `ctx->graph`. Validation mirrors the eager loader exactly (same
+  /// bounds checks, same marginals-shape check), so a corrupt section
+  /// fails with a clean Status here instead of at restore time. On error
+  /// the context is untouched; the caller keeps the source so a retry
+  /// reports the same error instead of silently running on an empty graph.
+  virtual Status Materialize(PipelineContext* ctx) = 0;
+};
 
 /// Everything a pipeline run reads and produces, owned in one place so that
 /// stages can re-run individually against cached upstream artifacts.
@@ -65,6 +86,11 @@ struct PipelineContext {
   TupleGroups groups;
   Program program;
   FactorGraph graph;
+  /// Non-null while a lazily restored snapshot's factor-graph section has
+  /// not been materialized yet; `graph` is empty until then. Cleared by
+  /// EnsureGraph (first consumer touch) and by every compile execution
+  /// (which rebuilds the graph from scratch).
+  std::shared_ptr<DeferredGraphSource> deferred_graph;
   Grounder::Stats grounder_stats;
   /// Number of grounding executions in this session. An incremental re-run
   /// from LearnStage or later reuses the cached graph and leaves this
@@ -79,6 +105,18 @@ struct PipelineContext {
 
   // --- RepairStage output (stats fields are filled by every stage) ---
   Report report;
+
+  /// Materializes the factor graph if a lazy restore deferred it; cheap
+  /// no-op otherwise. Every consumer of `graph` (the learn/infer/repair
+  /// stages, Session::Save) calls this before touching it. On failure the
+  /// deferred source is kept, so retries keep failing with the same error
+  /// rather than proceeding against an empty graph.
+  Status EnsureGraph() {
+    if (deferred_graph == nullptr) return Status::OK();
+    HOLO_RETURN_NOT_OK(deferred_graph->Materialize(this));
+    deferred_graph.reset();
+    return Status::OK();
+  }
 };
 
 }  // namespace holoclean

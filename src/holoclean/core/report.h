@@ -27,12 +27,18 @@ struct CellPosterior {
   double map_prob = 0.0;
 };
 
-/// Wall time of one pipeline stage in the last run. Recorded uniformly by
-/// the session for every stage; `cached` marks stages that were skipped on
-/// an incremental re-run because their artifacts were still valid.
+/// Wall time and memory high-water mark of one pipeline stage in the last
+/// run. Recorded uniformly by the session for every stage; `cached` marks
+/// stages that were skipped on an incremental re-run because their
+/// artifacts were still valid.
 struct StageTiming {
   std::string name;
   double seconds = 0.0;
+  /// Process peak RSS sampled when the stage finished (bytes; 0 when the
+  /// platform cannot report it). The peak is monotone across the run, so
+  /// the increase over the previous stage's sample is memory this stage
+  /// newly touched.
+  size_t peak_rss_bytes = 0;
   bool cached = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "holoclean/io/session_snapshot.h"
+#include "holoclean/util/memory.h"
 #include "holoclean/util/timer.h"
 
 namespace holoclean {
@@ -46,6 +47,7 @@ Result<Report> Session::RunThrough(StageId last) {
     Timer timer;
     HOLO_RETURN_NOT_OK(stages_[static_cast<size_t>(i)]->Run(&ctx_));
     timings[static_cast<size_t>(i)].seconds = timer.Seconds();
+    timings[static_cast<size_t>(i)].peak_rss_bytes = PeakRssBytes();
     timings[static_cast<size_t>(i)].cached = false;
     valid_through_ = i + 1;
   }
@@ -66,17 +68,27 @@ Result<Report> Session::RunThrough(StageId last) {
   return ctx_.report;
 }
 
-Status Session::Save(const std::string& path) const {
-  return SaveSessionSnapshot(ctx_, valid_through_, path);
+Status Session::Save(const std::string& path,
+                     const SnapshotSaveOptions& options) {
+  // A lazily restored graph must be materialized before it can be
+  // re-serialized (saving is a consumer like any stage) — but only when
+  // the snapshot will actually carry a graph section; a shorter valid
+  // prefix has no business decoding (or failing on) the deferred bytes.
+  if (valid_through_ > static_cast<int>(StageId::kCompile)) {
+    HOLO_RETURN_NOT_OK(ctx_.EnsureGraph());
+  }
+  return SaveSessionSnapshot(ctx_, valid_through_, path, options);
 }
 
-Status Session::RestoreFrom(const std::string& path) {
+Status Session::RestoreFrom(const std::string& path,
+                            const SnapshotLoadOptions& options) {
   // A failed load leaves the context and dataset untouched (the loader
   // stages everything before committing), but any previously cached prefix
   // is still dropped: a restore that was asked for and failed should never
   // silently fall back to older in-process artifacts.
   valid_through_ = 0;
-  HOLO_ASSIGN_OR_RETURN(valid_through, LoadSessionSnapshot(path, &ctx_));
+  HOLO_ASSIGN_OR_RETURN(valid_through,
+                        LoadSessionSnapshot(path, &ctx_, options));
   valid_through_ = valid_through;
   return Status::OK();
 }

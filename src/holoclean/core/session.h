@@ -6,6 +6,7 @@
 
 #include "holoclean/core/pipeline_context.h"
 #include "holoclean/core/stage.h"
+#include "holoclean/io/session_snapshot.h"
 
 namespace holoclean {
 
@@ -78,7 +79,10 @@ class Session {
   /// dictionary) into a versioned, checksummed SessionSnapshot at `path`.
   /// A later process restores it with HoloClean::Restore (or RestoreFrom)
   /// and re-runs from any cached stage exactly like an in-process rerun.
-  Status Save(const std::string& path) const;
+  /// `options` select the section codec (packed by default) and, for
+  /// comparison benchmarks, the legacy v1 format. A lazily restored
+  /// session materializes its factor graph first.
+  Status Save(const std::string& path, const SnapshotSaveOptions& options = {});
 
   /// Loads a snapshot saved by Save() into this session, replacing every
   /// cached artifact and setting the valid stage prefix to what the
@@ -86,7 +90,12 @@ class Session {
   /// dataset, constraints, and config fingerprint the snapshot was saved
   /// with; on any validation or parse error the session is left invalid
   /// from detect (as if freshly opened) and the error is returned.
-  Status RestoreFrom(const std::string& path);
+  /// With options.lazy_graph the snapshot is mapped instead of read and
+  /// the factor-graph section stays on disk until the first stage that
+  /// needs it runs (see SnapshotLoadOptions for the corruption-reporting
+  /// trade-off).
+  Status RestoreFrom(const std::string& path,
+                     const SnapshotLoadOptions& options = {});
 
   PipelineContext& context() { return ctx_; }
   const PipelineContext& context() const { return ctx_; }

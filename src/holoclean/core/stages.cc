@@ -127,6 +127,11 @@ class CompileStage : public PipelineStage {
     ctx->query_cells = ctx->noisy.cells();
     ctx->report.stats.num_noisy_cells = ctx->query_cells.size();
 
+    // Compilation rebuilds the graph from scratch, so a pending lazily
+    // restored graph section is dead weight — drop it (and its file
+    // mapping) instead of materializing it.
+    ctx->deferred_graph.reset();
+
     ctx->cooc = CooccurrenceStats::Build(table, attrs);
 
     // External data: evaluate matching dependencies, intern suggested
@@ -228,6 +233,7 @@ class LearnStage : public PipelineStage {
   StageId id() const override { return StageId::kLearn; }
 
   Status Run(PipelineContext* ctx) override {
+    HOLO_RETURN_NOT_OK(ctx->EnsureGraph());
     const HoloCleanConfig& config = ctx->config;
     WeightInitInput input;
     input.table = &ctx->dataset->dirty();
@@ -259,6 +265,7 @@ class InferStage : public PipelineStage {
   StageId id() const override { return StageId::kInfer; }
 
   Status Run(PipelineContext* ctx) override {
+    HOLO_RETURN_NOT_OK(ctx->EnsureGraph());
     const HoloCleanConfig& config = ctx->config;
     if (ctx->graph.dc_factors().empty()) {
       ctx->marginals = ExactIndependentMarginals(ctx->graph, ctx->weights);
@@ -283,6 +290,7 @@ class RepairStage : public PipelineStage {
   StageId id() const override { return StageId::kRepair; }
 
   Status Run(PipelineContext* ctx) override {
+    HOLO_RETURN_NOT_OK(ctx->EnsureGraph());
     const Table& table = ctx->dataset->dirty();
     Report& report = ctx->report;
     report.repairs.clear();

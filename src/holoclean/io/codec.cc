@@ -1,0 +1,441 @@
+#include "holoclean/io/codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+namespace holoclean {
+
+namespace {
+
+int VarintSize(uint64_t v) {
+  int size = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+uint64_t Delta(uint64_t cur, uint64_t prev) {
+  // Two's-complement wraparound: decode adds the same way, so any u64
+  // sequence round-trips regardless of direction or magnitude.
+  return ZigzagEncode(static_cast<int64_t>(cur - prev));
+}
+
+}  // namespace
+
+void WriteVarint(BinaryWriter* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->WriteU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->WriteU8(static_cast<uint8_t>(v));
+}
+
+Status ReadVarint(BinaryReader* in, uint64_t* out) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = 0;
+    HOLO_RETURN_NOT_OK(in->ReadU8(&byte));
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The tenth byte holds the top single bit; anything above is junk.
+      if (shift == 63 && byte > 1) {
+        return Status::ParseError("varint overflows 64 bits");
+      }
+      *out = v;
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("varint overflows 64 bits");
+}
+
+namespace {
+
+/// `allow_dictionary` is cleared for the nested index stream of a
+/// kDictionary payload, bounding the recursion at one level.
+void WriteU64StreamImpl(BinaryWriter* out, const std::vector<uint64_t>& values,
+                        bool allow_dictionary) {
+  WriteVarint(out, values.size());
+  if (values.empty()) return;
+  const size_t n = values.size();
+
+  // The transforms the encodings are built from: identity, zigzag delta
+  // against the previous element, and zigzag delta against the element two
+  // back (out-of-range predecessors read as 0, keeping every transform a
+  // pure bijection on the sequence).
+  auto raw = [&](size_t i) { return values[i]; };
+  auto d1 = [&](size_t i) {
+    return Delta(values[i], i >= 1 ? values[i - 1] : 0);
+  };
+  auto d2 = [&](size_t i) {
+    return Delta(values[i], i >= 2 ? values[i - 2] : 0);
+  };
+  auto varint_size_of = [&](auto get) {
+    size_t size = 0;
+    for (size_t i = 0; i < n; ++i) size += VarintSize(get(i));
+    return size;
+  };
+  auto rle_size_of = [&](auto get) {
+    size_t size = 0;
+    for (size_t i = 0; i < n;) {
+      uint64_t v = get(i);
+      size_t j = i + 1;
+      while (j < n && get(j) == v) ++j;
+      size += VarintSize(v) + VarintSize(j - i);
+      i = j;
+    }
+    return size;
+  };
+
+  // Legacy layout quirk: kDeltaVarint writes element 0 undeltaed. Same
+  // cost as d1's delta-against-0, so the size computation can share d1.
+  IntEncoding pick = IntEncoding::kVarint;
+  size_t best = varint_size_of(raw);
+  auto consider = [&](IntEncoding enc, size_t size) {
+    if (size < best) {
+      pick = enc;
+      best = size;
+    }
+  };
+  consider(IntEncoding::kDeltaVarint,
+           VarintSize(values[0]) + varint_size_of(d1) - VarintSize(d1(0)));
+  consider(IntEncoding::kRle, rle_size_of(raw));
+  consider(IntEncoding::kDeltaRle, rle_size_of(d1));
+  consider(IntEncoding::kDelta2Varint, varint_size_of(d2));
+  consider(IntEncoding::kDelta2Rle, rle_size_of(d2));
+
+  // Dictionary candidate: materialized (table + nested index stream) only
+  // when the cheap lower bound says it could beat the current best.
+  BinaryWriter dict;
+  if (allow_dictionary) {
+    std::unordered_map<uint64_t, uint64_t> counts;
+    for (uint64_t v : values) ++counts[v];
+    size_t lower_bound = counts.size() + values.size() + 2;
+    if (counts.size() < values.size() && lower_bound < best) {
+      std::vector<std::pair<uint64_t, uint64_t>> table(counts.begin(),
+                                                       counts.end());
+      std::sort(table.begin(), table.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+                });
+      std::unordered_map<uint64_t, uint64_t> index;
+      index.reserve(table.size());
+      for (size_t i = 0; i < table.size(); ++i) {
+        index.emplace(table[i].first, i);
+      }
+      WriteVarint(&dict, table.size());
+      for (const auto& [value, count] : table) {
+        (void)count;
+        WriteVarint(&dict, value);
+      }
+      std::vector<uint64_t> indexes(values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        indexes[i] = index.at(values[i]);
+      }
+      WriteU64StreamImpl(&dict, indexes, /*allow_dictionary=*/false);
+      if (dict.buffer().size() < best) pick = IntEncoding::kDictionary;
+    }
+  }
+
+  auto write_rle = [&](auto get) {
+    for (size_t i = 0; i < n;) {
+      uint64_t v = get(i);
+      size_t j = i + 1;
+      while (j < n && get(j) == v) ++j;
+      WriteVarint(out, v);
+      WriteVarint(out, j - i);
+      i = j;
+    }
+  };
+  out->WriteU8(static_cast<uint8_t>(pick));
+  switch (pick) {
+    case IntEncoding::kVarint:
+      for (uint64_t v : values) WriteVarint(out, v);
+      break;
+    case IntEncoding::kDeltaVarint:
+      WriteVarint(out, values[0]);
+      for (size_t i = 1; i < n; ++i) WriteVarint(out, d1(i));
+      break;
+    case IntEncoding::kRle:
+      write_rle(raw);
+      break;
+    case IntEncoding::kDeltaRle:
+      write_rle(d1);
+      break;
+    case IntEncoding::kDelta2Varint:
+      for (size_t i = 0; i < n; ++i) WriteVarint(out, d2(i));
+      break;
+    case IntEncoding::kDelta2Rle:
+      write_rle(d2);
+      break;
+    case IntEncoding::kDictionary:
+      out->WriteBytes(dict.buffer());
+      break;
+  }
+}
+
+}  // namespace
+
+void WriteU64Stream(BinaryWriter* out, const std::vector<uint64_t>& values) {
+  WriteU64StreamImpl(out, values, /*allow_dictionary=*/true);
+}
+
+namespace {
+
+Status ReadU64StreamImpl(BinaryReader* in, std::vector<uint64_t>* values,
+                         bool allow_dictionary) {
+  values->clear();
+  uint64_t count = 0;
+  HOLO_RETURN_NOT_OK(ReadVarint(in, &count));
+  if (count == 0) return Status::OK();
+  if (count > kMaxStreamElements) {
+    return Status::ParseError("packed stream count out of range");
+  }
+  // Fills `values` with RLE-decoded (still transformed) elements.
+  auto read_rle = [&]() -> Status {
+    values->reserve(std::min<uint64_t>(count, 1u << 16));
+    while (values->size() < count) {
+      uint64_t value = 0;
+      uint64_t run = 0;
+      HOLO_RETURN_NOT_OK(ReadVarint(in, &value));
+      HOLO_RETURN_NOT_OK(ReadVarint(in, &run));
+      if (run == 0 || run > count - values->size()) {
+        return Status::ParseError("packed stream run length out of range");
+      }
+      values->insert(values->end(), run, value);
+    }
+    return Status::OK();
+  };
+  // Inverts the zigzag delta-vs-k-back transform in place (wraparound
+  // arithmetic: corrupt deltas decode deterministically, never into UB).
+  auto undo_delta = [&](size_t k) {
+    for (size_t i = 0; i < values->size(); ++i) {
+      uint64_t prev = i >= k ? (*values)[i - k] : 0;
+      (*values)[i] =
+          prev + static_cast<uint64_t>(ZigzagDecode((*values)[i]));
+    }
+  };
+  uint8_t tag = 0;
+  HOLO_RETURN_NOT_OK(in->ReadU8(&tag));
+  switch (static_cast<IntEncoding>(tag)) {
+    case IntEncoding::kVarint: {
+      if (count > in->remaining()) {
+        return Status::ParseError("packed stream truncated");
+      }
+      values->resize(count);
+      for (uint64_t& v : *values) HOLO_RETURN_NOT_OK(ReadVarint(in, &v));
+      return Status::OK();
+    }
+    case IntEncoding::kDeltaVarint: {
+      if (count > in->remaining()) {
+        return Status::ParseError("packed stream truncated");
+      }
+      values->resize(count);
+      HOLO_RETURN_NOT_OK(ReadVarint(in, &(*values)[0]));
+      for (size_t i = 1; i < count; ++i) {
+        uint64_t d = 0;
+        HOLO_RETURN_NOT_OK(ReadVarint(in, &d));
+        (*values)[i] =
+            (*values)[i - 1] + static_cast<uint64_t>(ZigzagDecode(d));
+      }
+      return Status::OK();
+    }
+    case IntEncoding::kRle:
+      return read_rle();
+    case IntEncoding::kDeltaRle: {
+      HOLO_RETURN_NOT_OK(read_rle());
+      undo_delta(1);
+      return Status::OK();
+    }
+    case IntEncoding::kDelta2Varint: {
+      if (count > in->remaining()) {
+        return Status::ParseError("packed stream truncated");
+      }
+      values->resize(count);
+      for (uint64_t& v : *values) HOLO_RETURN_NOT_OK(ReadVarint(in, &v));
+      undo_delta(2);
+      return Status::OK();
+    }
+    case IntEncoding::kDelta2Rle: {
+      HOLO_RETURN_NOT_OK(read_rle());
+      undo_delta(2);
+      return Status::OK();
+    }
+    case IntEncoding::kDictionary: {
+      if (!allow_dictionary) {
+        return Status::ParseError("unknown packed stream encoding");
+      }
+      uint64_t table_size = 0;
+      HOLO_RETURN_NOT_OK(ReadVarint(in, &table_size));
+      if (table_size == 0 || table_size > in->remaining()) {
+        return Status::ParseError("packed stream truncated");
+      }
+      std::vector<uint64_t> table(table_size);
+      for (uint64_t& v : table) HOLO_RETURN_NOT_OK(ReadVarint(in, &v));
+      std::vector<uint64_t> indexes;
+      HOLO_RETURN_NOT_OK(
+          ReadU64StreamImpl(in, &indexes, /*allow_dictionary=*/false));
+      if (indexes.size() != count) {
+        return Status::ParseError("packed stream index count mismatch");
+      }
+      values->resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        if (indexes[i] >= table_size) {
+          return Status::ParseError("packed stream index out of range");
+        }
+        (*values)[i] = table[indexes[i]];
+      }
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("unknown packed stream encoding");
+}
+
+}  // namespace
+
+Status ReadU64Stream(BinaryReader* in, std::vector<uint64_t>* values) {
+  return ReadU64StreamImpl(in, values, /*allow_dictionary=*/true);
+}
+
+namespace {
+
+/// Shared dictionary-vs-plain chooser for the float streams: `Bits`/
+/// `WriteWord`/`ReadWord` abstract over the 32/64-bit width.
+template <typename Word, typename Value>
+void WriteFloatStream(BinaryWriter* out, const std::vector<Value>& values) {
+  WriteVarint(out, values.size());
+  if (values.empty()) return;
+
+  std::vector<Word> bits(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::memcpy(&bits[i], &values[i], sizeof(Word));
+  }
+
+  // Distinct patterns ordered most-frequent-first (ties by pattern) so the
+  // hottest values get one-byte indexes; the order is deterministic, which
+  // keeps snapshot bytes reproducible.
+  std::unordered_map<Word, uint64_t> counts;
+  for (Word b : bits) ++counts[b];
+  std::vector<std::pair<Word, uint64_t>> table(counts.begin(), counts.end());
+  std::sort(table.begin(), table.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::unordered_map<Word, uint64_t> index;
+  index.reserve(table.size());
+  for (size_t i = 0; i < table.size(); ++i) index.emplace(table[i].first, i);
+
+  BinaryWriter dict;
+  WriteVarint(&dict, table.size());
+  for (const auto& [word, count] : table) {
+    (void)count;
+    if constexpr (sizeof(Word) == 8) {
+      dict.WriteU64(word);
+    } else {
+      dict.WriteU32(word);
+    }
+  }
+  std::vector<uint64_t> indexes(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) indexes[i] = index.at(bits[i]);
+  WriteU64Stream(&dict, indexes);
+
+  size_t plain_size = values.size() * sizeof(Word);
+  if (dict.buffer().size() < plain_size) {
+    out->WriteU8(static_cast<uint8_t>(FloatEncoding::kDictionary));
+    out->WriteBytes(dict.buffer());
+  } else {
+    out->WriteU8(static_cast<uint8_t>(FloatEncoding::kPlain));
+    for (Word b : bits) {
+      if constexpr (sizeof(Word) == 8) {
+        out->WriteU64(b);
+      } else {
+        out->WriteU32(b);
+      }
+    }
+  }
+}
+
+template <typename Word, typename Value>
+Status ReadFloatStream(BinaryReader* in, std::vector<Value>* values) {
+  values->clear();
+  uint64_t count = 0;
+  HOLO_RETURN_NOT_OK(ReadVarint(in, &count));
+  if (count == 0) return Status::OK();
+  if (count > kMaxStreamElements) {
+    return Status::ParseError("packed stream count out of range");
+  }
+  uint8_t tag = 0;
+  HOLO_RETURN_NOT_OK(in->ReadU8(&tag));
+  auto read_word = [in](Word* word) -> Status {
+    if constexpr (sizeof(Word) == 8) {
+      uint64_t v = 0;
+      HOLO_RETURN_NOT_OK(in->ReadU64(&v));
+      *word = v;
+    } else {
+      uint32_t v = 0;
+      HOLO_RETURN_NOT_OK(in->ReadU32(&v));
+      *word = v;
+    }
+    return Status::OK();
+  };
+  switch (static_cast<FloatEncoding>(tag)) {
+    case FloatEncoding::kPlain: {
+      if (count > in->remaining() / sizeof(Word)) {
+        return Status::ParseError("packed stream truncated");
+      }
+      values->resize(count);
+      for (Value& v : *values) {
+        Word b = 0;
+        HOLO_RETURN_NOT_OK(read_word(&b));
+        std::memcpy(&v, &b, sizeof(Word));
+      }
+      return Status::OK();
+    }
+    case FloatEncoding::kDictionary: {
+      uint64_t table_size = 0;
+      HOLO_RETURN_NOT_OK(ReadVarint(in, &table_size));
+      if (table_size == 0 || table_size > in->remaining() / sizeof(Word)) {
+        return Status::ParseError("packed stream truncated");
+      }
+      std::vector<Word> table(table_size);
+      for (Word& b : table) HOLO_RETURN_NOT_OK(read_word(&b));
+      std::vector<uint64_t> indexes;
+      HOLO_RETURN_NOT_OK(ReadU64Stream(in, &indexes));
+      if (indexes.size() != count) {
+        return Status::ParseError("packed stream index count mismatch");
+      }
+      values->resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        if (indexes[i] >= table_size) {
+          return Status::ParseError("packed stream index out of range");
+        }
+        std::memcpy(&(*values)[i], &table[indexes[i]], sizeof(Word));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("unknown packed stream encoding");
+}
+
+}  // namespace
+
+void WriteF64Stream(BinaryWriter* out, const std::vector<double>& values) {
+  WriteFloatStream<uint64_t>(out, values);
+}
+
+Status ReadF64Stream(BinaryReader* in, std::vector<double>* values) {
+  return ReadFloatStream<uint64_t>(in, values);
+}
+
+void WriteF32Stream(BinaryWriter* out, const std::vector<float>& values) {
+  WriteFloatStream<uint32_t>(out, values);
+}
+
+Status ReadF32Stream(BinaryReader* in, std::vector<float>* values) {
+  return ReadFloatStream<uint32_t>(in, values);
+}
+
+}  // namespace holoclean

@@ -1,0 +1,115 @@
+#ifndef HOLOCLEAN_IO_CODEC_H_
+#define HOLOCLEAN_IO_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "holoclean/io/binary_io.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// How a snapshot section's bytes are encoded. Selected per section by the
+/// v2 writer and recorded in the section directory, so readers decode each
+/// section independently of the others.
+enum class SectionCodec : uint32_t {
+  /// Fixed-width little-endian encoding (the v1 wire format).
+  kRaw = 0,
+  /// Stream-transposed varint/delta/RLE/dictionary encoding (see below).
+  kPacked = 1,
+};
+
+/// Largest SectionCodec value a v2 directory entry may carry.
+inline constexpr uint32_t kMaxSectionCodec =
+    static_cast<uint32_t>(SectionCodec::kPacked);
+
+/// Upper bound on the element count of one packed stream. RLE expands far
+/// beyond the encoded bytes by design (a constant run of a million factor
+/// weights is a handful of bytes), so the usual bytes-remaining bound does
+/// not apply on read; this absolute cap keeps a corrupt count from
+/// triggering a multi-GiB allocation while sitting well above the
+/// paper-scale workloads (full Food grounds ~155M feature instances).
+/// Writers must not emit longer streams — the snapshot writer falls back
+/// to the raw codec (which has no cap) when a section would exceed it, so
+/// every snapshot that saves also restores.
+inline constexpr uint64_t kMaxStreamElements = uint64_t{1} << 28;
+
+// --- Varint primitives -----------------------------------------------------
+// LEB128: 7 value bits per byte, high bit = continuation. At most 10 bytes
+// for a u64. Zigzag maps signed deltas onto small unsigned values.
+
+void WriteVarint(BinaryWriter* out, uint64_t v);
+Status ReadVarint(BinaryReader* in, uint64_t* out);
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// --- Adaptive integer streams ----------------------------------------------
+// One logical vector of non-negative integers, encoded with whichever of
+// three schemes is smallest for this data (the chooser IS the compression:
+// sorted data picks delta, repetitive data picks RLE, small data picks
+// plain varints). Ties resolve to the lowest tag so the bytes are
+// deterministic. Layout: varint count, then (if count > 0) a one-byte
+// scheme tag and the payload.
+
+enum class IntEncoding : uint8_t {
+  /// One varint per element.
+  kVarint = 0,
+  /// First element as a varint, then zigzag varints of the deltas.
+  kDeltaVarint = 1,
+  /// (varint value, varint run length) pairs; run lengths must sum to the
+  /// element count exactly.
+  kRle = 2,
+  /// A table of the distinct values ordered by frequency (most frequent
+  /// first, ties by value) followed by a nested stream of table indexes.
+  /// Wins when a stream draws large values from a small set — e.g. the
+  /// fused (kind,p1,p2) feature-key field or context value ids — because
+  /// the hot values collapse to one-byte indexes. The nested index stream
+  /// never itself picks kDictionary, which bounds the recursion.
+  kDictionary = 3,
+  /// RLE over the zigzag delta-vs-previous transform (element 0 deltas
+  /// against 0). Wins for constant-step sequences: long arithmetic runs
+  /// collapse to one (delta, length) pair.
+  kDeltaRle = 4,
+  /// Zigzag delta against the element two back (the first two against 0),
+  /// one varint each. Wins for period-2 alternations, where the direct
+  /// delta oscillates but the 2-back delta is near zero — exactly the
+  /// co-occurrence/cond-prob feature interleaving of the factor graph.
+  kDelta2Varint = 5,
+  /// RLE over the 2-back transform: period-2 alternations whose 2-back
+  /// delta is constant (usually zero) collapse to a handful of runs.
+  kDelta2Rle = 6,
+};
+
+void WriteU64Stream(BinaryWriter* out, const std::vector<uint64_t>& values);
+Status ReadU64Stream(BinaryReader* in, std::vector<uint64_t>* values);
+
+// --- Adaptive floating-point streams ---------------------------------------
+// IEEE-754 bit patterns, either plain fixed-width or dictionary-encoded:
+// a table of the distinct bit patterns ordered by frequency (most frequent
+// first, ties by bit pattern) followed by a u64 stream of table indexes.
+// Snapshot float data is extremely repetitive — Gibbs marginals are ratios
+// of small sample counts and most feature activations are exactly 1.0f —
+// so the dictionary usually wins by 4-8x; high-entropy data falls back to
+// the plain form. Bit-pattern fidelity makes the round trip exact (NaNs
+// and signed zeros included).
+
+enum class FloatEncoding : uint8_t {
+  kPlain = 0,
+  kDictionary = 1,
+};
+
+void WriteF64Stream(BinaryWriter* out, const std::vector<double>& values);
+Status ReadF64Stream(BinaryReader* in, std::vector<double>* values);
+
+void WriteF32Stream(BinaryWriter* out, const std::vector<float>& values);
+Status ReadF32Stream(BinaryReader* in, std::vector<float>* values);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_IO_CODEC_H_

@@ -1,0 +1,37 @@
+#include "holoclean/io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace holoclean {
+
+Result<std::shared_ptr<MmapReader>> MmapReader::Map(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open snapshot: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat snapshot: " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("cannot mmap snapshot: " + path);
+    }
+  }
+  // The mapping survives the descriptor; closing early keeps the fd table
+  // clean for long-lived sessions holding many snapshots.
+  ::close(fd);
+  return std::shared_ptr<MmapReader>(new MmapReader(addr, size));
+}
+
+MmapReader::~MmapReader() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace holoclean

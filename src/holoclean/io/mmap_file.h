@@ -1,0 +1,45 @@
+#ifndef HOLOCLEAN_IO_MMAP_FILE_H_
+#define HOLOCLEAN_IO_MMAP_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// Read-only memory mapping of a file. The kernel pages bytes in on first
+/// touch, so a reader that only walks part of the file (e.g. a lazily
+/// restored snapshot that never materializes its factor-graph section)
+/// never pays I/O for the rest.
+///
+/// Returned as a shared_ptr so section views can keep the mapping alive
+/// past the load call that created it (a deferred section holds a
+/// string_view into the mapping until it materializes).
+class MmapReader {
+ public:
+  /// Maps `path` read-only. Fails with NotFound when the file is missing
+  /// and Internal when the mapping itself fails.
+  static Result<std::shared_ptr<MmapReader>> Map(const std::string& path);
+
+  MmapReader(const MmapReader&) = delete;
+  MmapReader& operator=(const MmapReader&) = delete;
+  ~MmapReader();
+
+  /// The mapped bytes. Valid for the lifetime of this object.
+  std::string_view data() const {
+    if (addr_ == nullptr) return std::string_view();
+    return std::string_view(static_cast<const char*>(addr_), size_);
+  }
+
+ private:
+  MmapReader(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_IO_MMAP_FILE_H_

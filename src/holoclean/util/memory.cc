@@ -1,0 +1,50 @@
+#include "holoclean/util/memory.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace holoclean {
+
+namespace {
+
+/// Reads a "VmXXX:  <kB> kB" field from /proc/self/status. Returns 0 when
+/// the file or the field is missing (non-procfs platforms).
+size_t ProcStatusKb(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &value) == 1) {
+        kb = static_cast<size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ProcStatusKb("VmRSS") * 1024; }
+
+size_t PeakRssBytes() {
+  size_t kb = ProcStatusKb("VmHWM");
+  if (kb != 0) return kb * 1024;
+  // Portable fallback: ru_maxrss is in kilobytes on Linux.
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    return static_cast<size_t>(usage.ru_maxrss) * 1024;
+  }
+  return 0;
+}
+
+}  // namespace holoclean

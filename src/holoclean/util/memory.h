@@ -1,0 +1,20 @@
+#ifndef HOLOCLEAN_UTIL_MEMORY_H_
+#define HOLOCLEAN_UTIL_MEMORY_H_
+
+#include <cstddef>
+
+namespace holoclean {
+
+/// Resident set size of the process right now, in bytes. 0 when the
+/// platform offers no cheap way to read it.
+size_t CurrentRssBytes();
+
+/// High-water mark of the process's resident set size, in bytes (Linux
+/// VmHWM, with a getrusage fallback). Monotone over the process lifetime:
+/// sampled after each pipeline stage, the increase over the previous
+/// sample is memory that stage newly touched. 0 when unavailable.
+size_t PeakRssBytes();
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_MEMORY_H_

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "holoclean/io/codec.h"
+#include "holoclean/util/rng.h"
+
+namespace holoclean {
+namespace {
+
+std::vector<uint64_t> RoundTripU64(const std::vector<uint64_t>& values) {
+  BinaryWriter w;
+  WriteU64Stream(&w, values);
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  EXPECT_TRUE(ReadU64Stream(&r, &out).ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  return out;
+}
+
+IntEncoding EncodingOf(const std::vector<uint64_t>& values) {
+  BinaryWriter w;
+  WriteU64Stream(&w, values);
+  // Layout: varint count, then the tag byte. All test streams have counts
+  // below 128, so the count is a single byte.
+  return static_cast<IntEncoding>(
+      static_cast<uint8_t>(w.buffer()[1]));
+}
+
+// ---------- Varints ----------
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  std::vector<uint64_t> values = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (uint64_t{1} << 56) - 1,
+                                  std::numeric_limits<uint64_t>::max()};
+  BinaryWriter w;
+  for (uint64_t v : values) WriteVarint(&w, v);
+  BinaryReader r(w.buffer());
+  for (uint64_t v : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(ReadVarint(&r, &decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+  // Eleven continuation bytes claim more than 64 bits.
+  BinaryWriter w;
+  for (int i = 0; i < 10; ++i) w.WriteU8(0x80);
+  w.WriteU8(0x01);
+  BinaryReader r(w.buffer());
+  uint64_t v = 0;
+  EXPECT_EQ(ReadVarint(&r, &v).code(), StatusCode::kParseError);
+}
+
+TEST(Varint, TruncatedFailsCleanly) {
+  BinaryWriter w;
+  w.WriteU8(0x80);  // Continuation bit set, then nothing.
+  BinaryReader r(w.buffer());
+  uint64_t v = 0;
+  EXPECT_EQ(ReadVarint(&r, &v).code(), StatusCode::kParseError);
+}
+
+TEST(Zigzag, IsInvolutionOnBoundaries) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{1} << 40,
+                    -(int64_t{1} << 40),
+                    std::numeric_limits<int64_t>::max(),
+                    std::numeric_limits<int64_t>::min()}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+// ---------- Integer streams ----------
+
+TEST(U64Stream, EmptyStream) {
+  EXPECT_TRUE(RoundTripU64({}).empty());
+}
+
+TEST(U64Stream, ChoosesVarintForSmallRandomValues) {
+  // Irregular small values: no delta, run, or dictionary structure.
+  std::vector<uint64_t> values = {3, 99, 14, 7, 120, 55, 0, 88, 17, 42,
+                                  63, 5,  91, 2, 76,  33, 8, 101, 29, 11};
+  EXPECT_EQ(EncodingOf(values), IntEncoding::kVarint);
+  EXPECT_EQ(RoundTripU64(values), values);
+}
+
+TEST(U64Stream, ChoosesDeltaForSortedValues) {
+  // Irregular strides: sorted (so deltas are small) but with no constant
+  // step for the delta-RLE form to exploit.
+  std::vector<uint64_t> values = {1'000'000'000};
+  uint64_t step = 1;
+  for (uint64_t i = 0; i < 64; ++i) {
+    step = step * 31 % 97 + 1;
+    values.push_back(values.back() + step);
+  }
+  EXPECT_EQ(EncodingOf(values), IntEncoding::kDeltaVarint);
+  EXPECT_EQ(RoundTripU64(values), values);
+}
+
+TEST(U64Stream, ChoosesDeltaRleForConstantStrideRamps) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 64; ++i) values.push_back(1'000'000'000 + i * 3);
+  EXPECT_EQ(EncodingOf(values), IntEncoding::kDeltaRle);
+  EXPECT_EQ(RoundTripU64(values), values);
+}
+
+TEST(U64Stream, ChoosesRleForConstantRuns) {
+  std::vector<uint64_t> values(100, 7);
+  values.resize(120, 1ULL << 40);
+  EXPECT_EQ(EncodingOf(values), IntEncoding::kRle);
+  EXPECT_EQ(RoundTripU64(values), values);
+}
+
+TEST(U64Stream, ChoosesDictionaryForLargeRepeatedValues) {
+  // Three huge values shuffled with no runs or monotone order: only the
+  // dictionary collapses them.
+  std::vector<uint64_t> big = {0xDEADBEEFCAFEBABEULL, 0x123456789ABCDEFULL,
+                               0xFFFFFFFFFFFF0000ULL};
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 60; ++i) values.push_back(big[i % 3]);
+  EXPECT_EQ(EncodingOf(values), IntEncoding::kDictionary);
+  EXPECT_EQ(RoundTripU64(values), values);
+}
+
+TEST(U64Stream, ChoosesDelta2ForAlternatingSequences) {
+  // Period-2 alternation of two arithmetic ramps — the direct delta
+  // oscillates, the 2-back delta is constant.
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 50; ++i) {
+    values.push_back(1'000'000 + i);
+    values.push_back(9'000'000 + i);
+  }
+  IntEncoding enc = EncodingOf(values);
+  EXPECT_TRUE(enc == IntEncoding::kDelta2Rle ||
+              enc == IntEncoding::kDelta2Varint)
+      << static_cast<int>(enc);
+  EXPECT_EQ(RoundTripU64(values), values);
+}
+
+TEST(U64Stream, PropertyRandomStreamsRoundTrip) {
+  Rng rng(20260726);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = rng.Below(64);
+    std::vector<uint64_t> values(n);
+    // Vary the shape so every encoding gets exercised across trials.
+    uint64_t shape = rng.Below(5);
+    uint64_t base = rng.Below(1'000'000);
+    for (size_t i = 0; i < n; ++i) {
+      switch (shape) {
+        case 0: values[i] = rng.Below(256); break;
+        case 1: values[i] = base + i * rng.Below(16); break;
+        case 2: values[i] = base; break;
+        case 3: values[i] = (i % 2 == 0 ? base : base * 3 + 17) + i / 2;
+          break;
+        default:
+          values[i] = (static_cast<uint64_t>(rng.Below(1u << 30)) << 32) |
+                      rng.Below(1u << 30);
+      }
+    }
+    BinaryWriter w;
+    WriteU64Stream(&w, values);
+    BinaryReader r(w.buffer());
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(ReadU64Stream(&r, &out).ok()) << "trial " << trial;
+    ASSERT_EQ(out, values) << "trial " << trial;
+    ASSERT_EQ(r.remaining(), 0u) << "trial " << trial;
+  }
+}
+
+TEST(U64Stream, TruncatedStreamsFailCleanly) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 50; ++i) values.push_back(i * i);
+  BinaryWriter w;
+  WriteU64Stream(&w, values);
+  // Every truncation point fails with a Status — never a crash or a
+  // short silent result.
+  for (size_t keep = 0; keep < w.buffer().size(); ++keep) {
+    BinaryReader r(std::string_view(w.buffer()).substr(0, keep));
+    std::vector<uint64_t> out;
+    EXPECT_EQ(ReadU64Stream(&r, &out).code(), StatusCode::kParseError)
+        << "kept " << keep;
+  }
+}
+
+TEST(U64Stream, CorruptCountRejectedBeforeAllocation) {
+  BinaryWriter w;
+  WriteVarint(&w, uint64_t{1} << 40);  // Count far past the element cap.
+  w.WriteU8(static_cast<uint8_t>(IntEncoding::kRle));
+  WriteVarint(&w, 0);
+  WriteVarint(&w, uint64_t{1} << 40);
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(ReadU64Stream(&r, &out).code(), StatusCode::kParseError);
+}
+
+TEST(U64Stream, RleRunOverflowRejected) {
+  BinaryWriter w;
+  WriteVarint(&w, 10);  // Ten elements claimed...
+  w.WriteU8(static_cast<uint8_t>(IntEncoding::kRle));
+  WriteVarint(&w, 5);
+  WriteVarint(&w, 11);  // ...but a run of eleven.
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(ReadU64Stream(&r, &out).code(), StatusCode::kParseError);
+}
+
+TEST(U64Stream, UnknownEncodingRejected) {
+  BinaryWriter w;
+  WriteVarint(&w, 3);
+  w.WriteU8(250);
+  WriteVarint(&w, 1);
+  WriteVarint(&w, 2);
+  WriteVarint(&w, 3);
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(ReadU64Stream(&r, &out).code(), StatusCode::kParseError);
+}
+
+TEST(U64Stream, DictionaryIndexOutOfRangeRejected) {
+  BinaryWriter w;
+  WriteVarint(&w, 2);
+  w.WriteU8(static_cast<uint8_t>(IntEncoding::kDictionary));
+  WriteVarint(&w, 1);    // One table entry...
+  WriteVarint(&w, 42);
+  WriteVarint(&w, 2);    // Nested index stream: two elements,
+  w.WriteU8(static_cast<uint8_t>(IntEncoding::kVarint));
+  WriteVarint(&w, 0);
+  WriteVarint(&w, 7);    // ...the second indexes past the table.
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(ReadU64Stream(&r, &out).code(), StatusCode::kParseError);
+}
+
+TEST(U64Stream, NestedDictionaryRejected) {
+  // A dictionary's index stream claiming to itself be a dictionary would
+  // recurse; the reader treats the nested tag as unknown.
+  BinaryWriter w;
+  WriteVarint(&w, 1);
+  w.WriteU8(static_cast<uint8_t>(IntEncoding::kDictionary));
+  WriteVarint(&w, 1);
+  WriteVarint(&w, 42);
+  WriteVarint(&w, 1);  // Nested stream of one element...
+  w.WriteU8(static_cast<uint8_t>(IntEncoding::kDictionary));  // ...nested.
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(ReadU64Stream(&r, &out).code(), StatusCode::kParseError);
+}
+
+// ---------- Float streams ----------
+
+TEST(FloatStream, F64RoundTripsBitExactly) {
+  std::vector<double> values = {0.0,
+                                -0.0,
+                                1.0,
+                                -2.5,
+                                1e-300,
+                                std::numeric_limits<double>::infinity(),
+                                std::numeric_limits<double>::quiet_NaN()};
+  BinaryWriter w;
+  WriteF64Stream(&w, values);
+  BinaryReader r(w.buffer());
+  std::vector<double> out;
+  ASSERT_TRUE(ReadF64Stream(&r, &out).ok());
+  ASSERT_EQ(out.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    std::memcpy(&a, &values[i], 8);
+    std::memcpy(&b, &out[i], 8);
+    EXPECT_EQ(a, b) << "element " << i;  // Bit pattern, NaNs included.
+  }
+}
+
+TEST(FloatStream, DictionaryCompressesRepetitiveDoubles) {
+  // Gibbs-marginal-like data: thousands of entries, a handful of distinct
+  // values. The dictionary form must beat plain 8-byte encoding by a lot.
+  std::vector<double> values;
+  for (int i = 0; i < 4000; ++i) values.push_back((i % 5) / 40.0);
+  BinaryWriter w;
+  WriteF64Stream(&w, values);
+  EXPECT_LT(w.buffer().size(), values.size() * 2);
+  BinaryReader r(w.buffer());
+  std::vector<double> out;
+  ASSERT_TRUE(ReadF64Stream(&r, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(FloatStream, F32RoundTripsAndCompressesOnes) {
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(i % 3 == 0 ? 1.0f : 1.0f / static_cast<float>(i + 1));
+  }
+  BinaryWriter w;
+  WriteF32Stream(&w, values);
+  BinaryReader r(w.buffer());
+  std::vector<float> out;
+  ASSERT_TRUE(ReadF32Stream(&r, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(FloatStream, TruncatedFailsCleanly) {
+  std::vector<double> values(100, 0.125);
+  BinaryWriter w;
+  WriteF64Stream(&w, values);
+  for (size_t keep : {size_t{0}, size_t{1}, size_t{5},
+                      w.buffer().size() - 1}) {
+    BinaryReader r(std::string_view(w.buffer()).substr(0, keep));
+    std::vector<double> out;
+    EXPECT_EQ(ReadF64Stream(&r, &out).code(), StatusCode::kParseError)
+        << "kept " << keep;
+  }
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -318,6 +318,27 @@ TEST(Session, StageTimingsRecordedUniformly) {
   }
 }
 
+TEST(Session, PeakRssRecordedPerStage) {
+  PipelineFixture f;
+  auto opened = HoloClean(HoloCleanConfig{}).Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto report = session.Run();
+  ASSERT_TRUE(report.ok());
+  const auto& timings = report.value().stats.stage_timings;
+  ASSERT_EQ(timings.size(), static_cast<size_t>(kNumStages));
+  // The per-stage samples are process peak RSS at stage completion:
+  // non-zero (on platforms with procfs or getrusage) and monotone
+  // non-decreasing in stage order.
+  size_t previous = 0;
+  for (int i = 0; i < kNumStages; ++i) {
+    size_t rss = timings[static_cast<size_t>(i)].peak_rss_bytes;
+    EXPECT_GT(rss, 0u) << "stage " << i;
+    EXPECT_GE(rss, previous) << "stage " << i;
+    previous = rss;
+  }
+}
+
 TEST(Session, RerunFromInferReusesCachedGraph) {
   PipelineFixture f;
   HoloCleanConfig config;

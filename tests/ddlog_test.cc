@@ -102,7 +102,9 @@ TEST(Rules, RelaxedRuleHasSingleValueHead) {
 TEST(Program, PrintsOneRulePerLine) {
   std::vector<DenialConstraint> dcs = {ZipCityFd()};
   Program program;
-  program.rules.push_back({RuleKind::kRandomVariable});
+  InferenceRule random_var;
+  random_var.kind = RuleKind::kRandomVariable;
+  program.rules.push_back(random_var);
   InferenceRule feature;
   feature.kind = RuleKind::kFeature;
   program.rules.push_back(feature);

@@ -101,10 +101,10 @@ TEST(SnapshotCodec, FactorGraphRoundTripsExactly) {
   graph.AddDcFactor(f);
 
   BinaryWriter w;
-  SerializeFactorGraph(graph, &w);
+  SerializeFactorGraph(graph, SectionCodec::kRaw, &w);
   BinaryReader r(w.buffer());
   FactorGraph loaded;
-  ASSERT_TRUE(DeserializeFactorGraph(&r, &loaded).ok());
+  ASSERT_TRUE(DeserializeFactorGraph(&r, SectionCodec::kRaw, &loaded).ok());
 
   ASSERT_EQ(loaded.num_variables(), 2u);
   EXPECT_EQ(loaded.variable(0).domain, v1.domain);
@@ -139,7 +139,7 @@ TEST(SnapshotCodec, GraphIdsValidatedAgainstBounds) {
   f.var_ids = {0};
   graph.AddDcFactor(f);
   BinaryWriter w;
-  SerializeFactorGraph(graph, &w);
+  SerializeFactorGraph(graph, SectionCodec::kRaw, &w);
 
   // Domain value id 5 exceeds a 4-entry dictionary.
   {
@@ -147,7 +147,7 @@ TEST(SnapshotCodec, GraphIdsValidatedAgainstBounds) {
     FactorGraph loaded;
     FactorGraphBounds bounds;
     bounds.dict_size = 4;
-    EXPECT_EQ(DeserializeFactorGraph(&r, &loaded, bounds).code(),
+    EXPECT_EQ(DeserializeFactorGraph(&r, SectionCodec::kRaw, &loaded, bounds).code(),
               StatusCode::kParseError);
   }
   // dc_index 1 exceeds a 1-constraint set.
@@ -157,7 +157,7 @@ TEST(SnapshotCodec, GraphIdsValidatedAgainstBounds) {
     FactorGraphBounds bounds;
     bounds.dict_size = 6;
     bounds.num_dcs = 1;
-    EXPECT_EQ(DeserializeFactorGraph(&r, &loaded, bounds).code(),
+    EXPECT_EQ(DeserializeFactorGraph(&r, SectionCodec::kRaw, &loaded, bounds).code(),
               StatusCode::kParseError);
   }
   // Within bounds: loads.
@@ -167,7 +167,7 @@ TEST(SnapshotCodec, GraphIdsValidatedAgainstBounds) {
     FactorGraphBounds bounds;
     bounds.dict_size = 6;
     bounds.num_dcs = 2;
-    EXPECT_TRUE(DeserializeFactorGraph(&r, &loaded, bounds).ok());
+    EXPECT_TRUE(DeserializeFactorGraph(&r, SectionCodec::kRaw, &loaded, bounds).ok());
   }
 }
 
@@ -185,7 +185,7 @@ TEST(SnapshotCodec, MalformedGraphIsRejectedNotAborted) {
   w.WriteI32(3);  // var_ids = {3} — unknown variable.
   BinaryReader r(w.buffer());
   FactorGraph loaded;
-  EXPECT_EQ(DeserializeFactorGraph(&r, &loaded).code(),
+  EXPECT_EQ(DeserializeFactorGraph(&r, SectionCodec::kRaw, &loaded).code(),
             StatusCode::kParseError);
 }
 
@@ -196,10 +196,10 @@ TEST(SnapshotCodec, WeightStoreRoundTripsAndIsDeterministic) {
   weights.Set(0xFFFFFFFFFFFFULL, 1e-9);
 
   BinaryWriter w1;
-  SerializeWeightStore(weights, &w1);
+  SerializeWeightStore(weights, SectionCodec::kRaw, &w1);
   BinaryReader r(w1.buffer());
   WeightStore loaded;
-  ASSERT_TRUE(DeserializeWeightStore(&r, &loaded).ok());
+  ASSERT_TRUE(DeserializeWeightStore(&r, SectionCodec::kRaw, &loaded).ok());
   EXPECT_EQ(loaded.size(), 3u);
   EXPECT_DOUBLE_EQ(loaded.Get(17u), 0.5);
   EXPECT_DOUBLE_EQ(loaded.Get(3u), -1.25);
@@ -208,7 +208,7 @@ TEST(SnapshotCodec, WeightStoreRoundTripsAndIsDeterministic) {
   // Same logical content serializes to the same bytes (sorted by key),
   // regardless of hash-map iteration order.
   BinaryWriter w2;
-  SerializeWeightStore(loaded, &w2);
+  SerializeWeightStore(loaded, SectionCodec::kRaw, &w2);
   EXPECT_EQ(w1.buffer(), w2.buffer());
 }
 
@@ -217,10 +217,10 @@ TEST(SnapshotCodec, MarginalsRoundTrip) {
   m.probs()[0] = {0.25, 0.75};
   m.probs()[1] = {1.0};
   BinaryWriter w;
-  SerializeMarginals(m, &w);
+  SerializeMarginals(m, SectionCodec::kRaw, &w);
   BinaryReader r(w.buffer());
   Marginals loaded(0);
-  ASSERT_TRUE(DeserializeMarginals(&r, &loaded).ok());
+  ASSERT_TRUE(DeserializeMarginals(&r, SectionCodec::kRaw, &loaded).ok());
   EXPECT_EQ(loaded.Of(0), (std::vector<double>{0.25, 0.75}));
   EXPECT_EQ(loaded.Of(1), std::vector<double>{1.0});
   EXPECT_EQ(loaded.MapIndex(0), 1);
@@ -480,7 +480,11 @@ TEST(SessionSnapshot, FailedLoadLeavesDatasetUntouched) {
   Repair verified = first.value().repairs.front();
   session.PinCell(verified.cell, verified.new_value);
   ASSERT_TRUE(session.Run().ok());
-  ASSERT_TRUE(session.Save(f.path).ok());
+  // v1: its monolithic layout allows rebuilding a checksum-valid file, so
+  // the tamper below exercises the deepest possible failure point.
+  SnapshotSaveOptions v1;
+  v1.format_version = kSnapshotFormatV1;
+  ASSERT_TRUE(session.Save(f.path, v1).ok());
 
   // Tamper: append junk inside the payload and recompute the checksum, so
   // every validation passes and parsing fails only at the very end
@@ -496,7 +500,7 @@ TEST(SessionSnapshot, FailedLoadLeavesDatasetUntouched) {
   payload.append("junk");
   BinaryWriter tampered;
   tampered.WriteBytes(bytes.substr(0, 4));
-  tampered.WriteU32(kSnapshotFormatVersion);
+  tampered.WriteU32(kSnapshotFormatV1);
   tampered.WriteU64(payload.size());
   tampered.WriteBytes(payload);
   tampered.WriteU64(HashBytes(payload));
@@ -512,6 +516,45 @@ TEST(SessionSnapshot, FailedLoadLeavesDatasetUntouched) {
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   // The failed load committed nothing: no replayed pin, no interned values.
+  EXPECT_EQ(fresh.dataset.dirty().Get(verified.cell), before);
+  EXPECT_EQ(fresh.dataset.dirty().dict().size(), dict_before);
+}
+
+TEST(SessionSnapshot, CorruptSectionLeavesDatasetUntouched) {
+  // The v2 counterpart: a bit flip inside one section fails that section's
+  // checksum, and nothing is committed — the staged-load contract holds
+  // for the sectioned format too.
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto first = session.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().repairs.empty());
+  Repair verified = first.value().repairs.front();
+  session.PinCell(verified.cell, verified.new_value);
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[bytes.size() / 3] = static_cast<char>(bytes[bytes.size() / 3] ^ 0x10);
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  SnapshotFixture fresh;
+  ValueId before = fresh.dataset.dirty().Get(verified.cell);
+  size_t dict_before = fresh.dataset.dirty().dict().size();
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   EXPECT_EQ(fresh.dataset.dirty().Get(verified.cell), before);
   EXPECT_EQ(fresh.dataset.dirty().dict().size(), dict_before);
 }
@@ -599,6 +642,446 @@ TEST(SessionSnapshot, TruncatedAndCorruptSnapshotsFailCleanly) {
                 .status()
                 .code(),
             StatusCode::kNotFound);
+}
+
+TEST(SnapshotCodec, PackedFactorGraphRoundTripsExactly) {
+  FactorGraph graph;
+  Variable v1;
+  v1.cell = {3, 1};
+  v1.domain = {5, 9, 11};
+  v1.init_index = 1;
+  v1.is_evidence = false;
+  v1.prior_bias = {0.0, 1.0, 0.0};
+  v1.feat_begin = {0, 2, 2, 3};
+  v1.features = {{42u, 0.5f}, {43u, 1.0f}, {0xF00000000000BEEFULL, -2.0f}};
+  graph.AddVariable(v1);
+  Variable v2;
+  v2.cell = {4, 0};
+  v2.domain = {7};
+  v2.init_index = -1;
+  v2.is_evidence = true;
+  v2.prior_bias = {0.25};
+  v2.feat_begin = {0, 1};
+  v2.features = {{7u, 1.0f}};
+  graph.AddVariable(v2);
+  DcFactor f;
+  f.dc_index = 0;
+  f.t1 = 3;
+  f.t2 = 4;
+  f.weight = 4.0;
+  f.var_ids = {1, 0};  // Deliberately unsorted: order must survive.
+  graph.AddDcFactor(f);
+  DcFactor g;
+  g.dc_index = 1;
+  g.t1 = 4;
+  g.t2 = 3;
+  g.weight = 2.0;
+  g.var_ids = {};
+  graph.AddDcFactor(g);
+
+  BinaryWriter w;
+  SerializeFactorGraph(graph, SectionCodec::kPacked, &w);
+  BinaryReader r(w.buffer());
+  FactorGraph loaded;
+  ASSERT_TRUE(
+      DeserializeFactorGraph(&r, SectionCodec::kPacked, &loaded).ok());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  ASSERT_EQ(loaded.num_variables(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const Variable& a = graph.variable(static_cast<int>(i));
+    const Variable& b = loaded.variable(static_cast<int>(i));
+    EXPECT_EQ(a.cell, b.cell) << i;
+    EXPECT_EQ(a.domain, b.domain) << i;
+    EXPECT_EQ(a.init_index, b.init_index) << i;
+    EXPECT_EQ(a.is_evidence, b.is_evidence) << i;
+    EXPECT_EQ(a.prior_bias, b.prior_bias) << i;
+    EXPECT_EQ(a.feat_begin, b.feat_begin) << i;
+    ASSERT_EQ(a.features.size(), b.features.size()) << i;
+    for (size_t k = 0; k < a.features.size(); ++k) {
+      EXPECT_EQ(a.features[k].weight_key, b.features[k].weight_key);
+      EXPECT_EQ(a.features[k].activation, b.features[k].activation);
+    }
+  }
+  ASSERT_EQ(loaded.dc_factors().size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded.dc_factors()[i].dc_index,
+              graph.dc_factors()[i].dc_index);
+    EXPECT_EQ(loaded.dc_factors()[i].t1, graph.dc_factors()[i].t1);
+    EXPECT_EQ(loaded.dc_factors()[i].t2, graph.dc_factors()[i].t2);
+    EXPECT_EQ(loaded.dc_factors()[i].weight, graph.dc_factors()[i].weight);
+    EXPECT_EQ(loaded.dc_factors()[i].var_ids,
+              graph.dc_factors()[i].var_ids);
+  }
+  EXPECT_EQ(loaded.query_vars(), graph.query_vars());
+  EXPECT_EQ(loaded.evidence_vars(), graph.evidence_vars());
+}
+
+TEST(SnapshotCodec, PackedGraphIdsValidatedAgainstBounds) {
+  FactorGraph graph;
+  Variable v;
+  v.cell = {0, 0};
+  v.domain = {5};
+  v.init_index = 0;
+  v.prior_bias = {0.0};
+  v.feat_begin = {0, 0};
+  graph.AddVariable(v);
+  DcFactor f;
+  f.dc_index = 1;
+  f.var_ids = {0};
+  graph.AddDcFactor(f);
+  BinaryWriter w;
+  SerializeFactorGraph(graph, SectionCodec::kPacked, &w);
+
+  {
+    BinaryReader r(w.buffer());
+    FactorGraph loaded;
+    FactorGraphBounds bounds;
+    bounds.dict_size = 4;  // Domain value id 5 is out of range.
+    EXPECT_EQ(
+        DeserializeFactorGraph(&r, SectionCodec::kPacked, &loaded, bounds)
+            .code(),
+        StatusCode::kParseError);
+  }
+  {
+    BinaryReader r(w.buffer());
+    FactorGraph loaded;
+    FactorGraphBounds bounds;
+    bounds.dict_size = 6;
+    bounds.num_dcs = 1;  // dc_index 1 is out of range.
+    EXPECT_EQ(
+        DeserializeFactorGraph(&r, SectionCodec::kPacked, &loaded, bounds)
+            .code(),
+        StatusCode::kParseError);
+  }
+  {
+    BinaryReader r(w.buffer());
+    FactorGraph loaded;
+    FactorGraphBounds bounds;
+    bounds.dict_size = 6;
+    bounds.num_dcs = 2;
+    EXPECT_TRUE(
+        DeserializeFactorGraph(&r, SectionCodec::kPacked, &loaded, bounds)
+            .ok());
+  }
+}
+
+TEST(SessionSnapshot, RawAndPackedCodecsRestoreIdentically) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.Run().ok());
+  std::string raw_path = f.path + ".raw";
+  SnapshotSaveOptions raw;
+  raw.codec = SectionCodec::kRaw;
+  ASSERT_TRUE(session.Save(raw_path, raw).ok());
+  ASSERT_TRUE(session.Save(f.path).ok());  // Packed default.
+
+  SnapshotFixture fresh_raw;
+  SnapshotFixture fresh_packed;
+  auto from_raw = cleaner.Restore(raw_path, &fresh_raw.dataset,
+                                  fresh_raw.dcs);
+  auto from_packed =
+      cleaner.Restore(f.path, &fresh_packed.dataset, fresh_packed.dcs);
+  ASSERT_TRUE(from_raw.ok()) << from_raw.status();
+  ASSERT_TRUE(from_packed.ok()) << from_packed.status();
+
+  // Artifacts agree bit for bit across codecs.
+  const PipelineContext& a = from_raw.value().context();
+  const PipelineContext& b = from_packed.value().context();
+  ASSERT_EQ(a.graph.num_variables(), b.graph.num_variables());
+  for (size_t i = 0; i < a.graph.num_variables(); ++i) {
+    const Variable& va = a.graph.variable(static_cast<int>(i));
+    const Variable& vb = b.graph.variable(static_cast<int>(i));
+    ASSERT_EQ(va.features.size(), vb.features.size());
+    for (size_t k = 0; k < va.features.size(); ++k) {
+      ASSERT_EQ(va.features[k].weight_key, vb.features[k].weight_key);
+      ASSERT_EQ(va.features[k].activation, vb.features[k].activation);
+    }
+  }
+  ASSERT_EQ(a.marginals.probs(), b.marginals.probs());
+  ASSERT_EQ(a.report.repairs.size(), b.report.repairs.size());
+  std::remove(raw_path.c_str());
+}
+
+TEST(SessionSnapshot, V1WritePathStillRoundTrips) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
+  SnapshotSaveOptions v1;
+  v1.format_version = kSnapshotFormatV1;
+  ASSERT_TRUE(session.Save(f.path, v1).ok());
+
+  SnapshotFixture fresh;
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored.value().StageIsValid(StageId::kLearn));
+  auto finished = restored.value().Run();
+  ASSERT_TRUE(finished.ok());
+  EXPECT_FALSE(finished.value().repairs.empty());
+}
+
+// The format's back-compat contract, executable: a v1 snapshot written by
+// the PR 2 code (checked into tests/data/) must keep restoring — and
+// resuming bit-identically — under every later format revision.
+TEST(SessionSnapshot, GoldenV1SnapshotRestoresBitIdentically) {
+  std::string golden =
+      std::string(HOLOCLEAN_TEST_DATA_DIR) + "/golden_v1.snapshot";
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto restored = cleaner.Restore(golden, &f.dataset, f.dcs);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  Session resumed = std::move(restored).value();
+  EXPECT_TRUE(resumed.StageIsValid(StageId::kLearn));
+  EXPECT_FALSE(resumed.StageIsValid(StageId::kInfer));
+  auto finished = resumed.Run();
+  ASSERT_TRUE(finished.ok());
+
+  // Reference: the same pipeline run entirely in-process today.
+  SnapshotFixture ref;
+  auto ref_session = HoloClean(ref.config).Open(&ref.dataset, ref.dcs);
+  ASSERT_TRUE(ref_session.ok());
+  auto ref_report = ref_session.value().Run();
+  ASSERT_TRUE(ref_report.ok());
+
+  const Report& a = ref_report.value();
+  const Report& b = finished.value();
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_EQ(a.repairs[i].cell, b.repairs[i].cell);
+    EXPECT_EQ(a.repairs[i].new_value, b.repairs[i].new_value);
+    EXPECT_EQ(a.repairs[i].probability, b.repairs[i].probability);
+  }
+  const auto& ma = ref_session.value().context().marginals.probs();
+  const auto& mb = resumed.context().marginals.probs();
+  ASSERT_EQ(ma, mb);
+}
+
+TEST(SessionSnapshot, MmapRestoreMatchesEagerRestoreBitForBit) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  SnapshotFixture eager_fixture;
+  auto eager = cleaner.Restore(f.path, &eager_fixture.dataset,
+                               eager_fixture.dcs);
+  ASSERT_TRUE(eager.ok()) << eager.status();
+
+  SnapshotFixture lazy_fixture;
+  SnapshotLoadOptions lazy;
+  lazy.lazy_graph = true;
+  auto mapped = cleaner.Restore(f.path, &lazy_fixture.dataset,
+                                lazy_fixture.dcs, nullptr, nullptr, nullptr,
+                                lazy);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  Session lazy_session = std::move(mapped).value();
+
+  // The graph section is still on disk: nothing materialized yet, but the
+  // stage prefix is already valid.
+  EXPECT_NE(lazy_session.context().deferred_graph, nullptr);
+  EXPECT_EQ(lazy_session.context().graph.num_variables(), 0u);
+  EXPECT_TRUE(lazy_session.StageIsValid(StageId::kLearn));
+
+  auto eager_report = eager.value().Run();
+  auto lazy_report = lazy_session.Run();
+  ASSERT_TRUE(eager_report.ok());
+  ASSERT_TRUE(lazy_report.ok());
+  // First stage access materialized and dropped the source.
+  EXPECT_EQ(lazy_session.context().deferred_graph, nullptr);
+  EXPECT_GT(lazy_session.context().graph.num_variables(), 0u);
+
+  const Report& a = eager_report.value();
+  const Report& b = lazy_report.value();
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_EQ(a.repairs[i].cell, b.repairs[i].cell);
+    EXPECT_EQ(a.repairs[i].new_value, b.repairs[i].new_value);
+    EXPECT_EQ(a.repairs[i].probability, b.repairs[i].probability);
+  }
+  ASSERT_EQ(eager.value().context().marginals.probs(),
+            lazy_session.context().marginals.probs());
+}
+
+TEST(SessionSnapshot, MmapRestoreOfFullRunNeverTouchesGraph) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  auto report = session.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  SnapshotFixture fresh;
+  SnapshotLoadOptions lazy;
+  lazy.lazy_graph = true;
+  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs, nullptr,
+                                  nullptr, nullptr, lazy);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  Session resumed = std::move(restored).value();
+
+  // Every stage is cached: the cached-report lookup never needs the graph,
+  // so the section stays unmaterialized — the whole point of lazy restore.
+  auto cached = resumed.Run();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached.value().repairs.size(), report.value().repairs.size());
+  EXPECT_NE(resumed.context().deferred_graph, nullptr);
+
+  // Re-running a suffix that needs the graph materializes it on demand.
+  resumed.Invalidate(StageId::kRepair);
+  auto rerun = resumed.Run();
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(resumed.context().deferred_graph, nullptr);
+  EXPECT_EQ(rerun.value().repairs.size(), report.value().repairs.size());
+}
+
+TEST(SessionSnapshot, CorruptGraphSectionSurfacesAtFirstStageUnderMmap) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
+  ASSERT_TRUE(session.Save(f.path).ok());
+
+  // Locate the graph section via the directory (header: magic, u32
+  // version, u64 dir_offset; entries: u32 id, u32 codec, u64 offset,
+  // u64 size, u64 checksum) and flip one byte inside it.
+  std::string bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  BinaryReader header(std::string_view(bytes).substr(8, 8));
+  uint64_t dir_offset = 0;
+  ASSERT_TRUE(header.ReadU64(&dir_offset).ok());
+  BinaryReader dir(std::string_view(bytes).substr(
+      dir_offset, bytes.size() - dir_offset - 8));
+  uint64_t count = 0;
+  ASSERT_TRUE(dir.ReadU64(&count).ok());
+  uint64_t graph_offset = 0;
+  uint64_t graph_size = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t id = 0;
+    uint32_t codec = 0;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint64_t checksum = 0;
+    ASSERT_TRUE(dir.ReadU32(&id).ok());
+    ASSERT_TRUE(dir.ReadU32(&codec).ok());
+    ASSERT_TRUE(dir.ReadU64(&offset).ok());
+    ASSERT_TRUE(dir.ReadU64(&size).ok());
+    ASSERT_TRUE(dir.ReadU64(&checksum).ok());
+    if (id == 5) {  // kGraph
+      graph_offset = offset;
+      graph_size = size;
+    }
+  }
+  ASSERT_GT(graph_size, 0u);
+  size_t victim = graph_offset + graph_size / 2;
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x20);
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  // Eager restore checks every section up front and fails immediately.
+  SnapshotFixture eager_fixture;
+  auto eager = cleaner.Restore(f.path, &eager_fixture.dataset,
+                               eager_fixture.dcs);
+  ASSERT_FALSE(eager.ok());
+  EXPECT_EQ(eager.status().code(), StatusCode::kParseError);
+
+  // Lazy restore succeeds — the graph section was never read — and the
+  // corruption surfaces as a clean Status from the first stage that needs
+  // the graph. Retrying reports the same error instead of running on an
+  // empty graph.
+  SnapshotFixture lazy_fixture;
+  SnapshotLoadOptions lazy;
+  lazy.lazy_graph = true;
+  auto mapped = cleaner.Restore(f.path, &lazy_fixture.dataset,
+                                lazy_fixture.dcs, nullptr, nullptr, nullptr,
+                                lazy);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  Session resumed = std::move(mapped).value();
+  auto run = resumed.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kParseError);
+  auto retry = resumed.Run();
+  ASSERT_FALSE(retry.ok());
+  EXPECT_EQ(retry.status().code(), StatusCode::kParseError);
+
+  // Invalidating from compile discards the pending corrupt section (the
+  // graph will be rebuilt from scratch), so the session recovers: saving
+  // the shorter prefix must not touch the deferred bytes, and a fresh run
+  // regrounds and completes.
+  resumed.Invalidate(StageId::kCompile);
+  std::string prefix_path = f.path + ".prefix";
+  EXPECT_TRUE(resumed.Save(prefix_path, {}).ok());
+  std::remove(prefix_path.c_str());
+  auto rebuilt = resumed.Run();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(resumed.context().deferred_graph, nullptr);
+}
+
+TEST(SessionSnapshot, CorruptHeaderOffsetsFailCleanly) {
+  SnapshotFixture f;
+  HoloClean cleaner(f.config);
+
+  // v2 header whose directory offset sits near 2^64: the bounds check must
+  // fail cleanly instead of wrapping into an out-of-range substr.
+  {
+    BinaryWriter w;
+    w.WriteBytes("HCSS");
+    w.WriteU32(kSnapshotFormatVersion);
+    w.WriteU64(0xFFFFFFFFFFFFFFF0ULL);
+    w.WriteU64(0);  // Padding so the file passes the minimum-size check.
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << w.buffer();
+    out.close();
+    auto restored = cleaner.Restore(f.path, &f.dataset, f.dcs);
+    ASSERT_FALSE(restored.ok());
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  }
+
+  // v1 payload carrying a huge row count with a valid checksum: the column
+  // allocation must be bounded by the bytes present, not the claimed rows.
+  {
+    BinaryWriter payload;
+    payload.WriteU64(ConfigFingerprint(f.config));
+    payload.WriteU64(3);
+    payload.WriteString("Name");
+    payload.WriteString("Zip");
+    payload.WriteString("City");
+    payload.WriteU64(uint64_t{1} << 40);  // num_rows
+    payload.WriteU64(0);                  // dcs fingerprint (never reached)
+    payload.WriteU64(0);                  // extdata fingerprint
+    payload.WriteU64(1);                  // dictionary: one entry
+    payload.WriteString("a");
+    BinaryWriter file;
+    file.WriteBytes("HCSS");
+    file.WriteU32(kSnapshotFormatV1);
+    file.WriteU64(payload.buffer().size());
+    file.WriteBytes(payload.buffer());
+    file.WriteU64(HashBytes(payload.buffer()));
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << file.buffer();
+    out.close();
+    auto restored = cleaner.Restore(f.path, &f.dataset, f.dcs);
+    ASSERT_FALSE(restored.ok());
+    EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  }
 }
 
 TEST(SessionSnapshot, SavedPrefixesRestoreAtEveryStage) {

@@ -4,12 +4,12 @@
 // external dictionary CSV with matching dependencies, runs the HoloClean
 // pipeline, and writes the repaired table plus a per-repair report.
 //
-//   holoclean --data dirty.csv --constraints dcs.txt \
-//             [--dict listing.csv --mds mds.txt] \
-//             [--output repaired.csv] [--repairs repairs.csv] \
-//             [--ground-truth clean.csv] \
-//             [--tau 0.5] [--mode feats|factors|both] [--partitioning] \
-//             [--min-confidence 0.0] [--seed 42] [--threads 0] \
+//   holoclean --data dirty.csv --constraints dcs.txt
+//             [--dict listing.csv --mds mds.txt]
+//             [--output repaired.csv] [--repairs repairs.csv]
+//             [--ground-truth clean.csv]
+//             [--tau 0.5] [--mode feats|factors|both] [--partitioning]
+//             [--min-confidence 0.0] [--seed 42] [--threads 0]
 //             [--stages detect,compile] [--rerun-from infer]
 //
 // Constraint file: one denial constraint per line, e.g.
@@ -53,6 +53,11 @@ struct CliOptions {
   /// session from instead of a cold start (--load-session).
   std::string save_session_path;
   std::string load_session_path;
+  /// Section codec for --save-session (--snapshot-codec raw|packed).
+  SnapshotSaveOptions save_options;
+  /// --mmap-restore: map the snapshot and defer the factor-graph section
+  /// to first stage access instead of parsing it at restore time.
+  SnapshotLoadOptions load_options;
   /// True when --stages, --rerun-from, or the session-snapshot flags drive
   /// the staged session path.
   bool use_session = false;
@@ -103,7 +108,13 @@ void PrintUsage() {
       "  --load-session FILE   restore the session from a snapshot saved by\n"
       "                        --save-session (same data, constraints, and\n"
       "                        config) instead of starting cold; restored\n"
-      "                        stages are reused like an in-process rerun\n");
+      "                        stages are reused like an in-process rerun\n"
+      "  --snapshot-codec C    section codec for --save-session: packed\n"
+      "                        (varint/delta/RLE streams, the default) or\n"
+      "                        raw (fixed-width)\n"
+      "  --mmap-restore        mmap the --load-session snapshot and defer\n"
+      "                        the factor-graph section to first stage\n"
+      "                        access instead of parsing it up front\n");
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -127,6 +138,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     }
     if (arg == "--discover") {
       options.discover = true;
+      continue;
+    }
+    if (arg == "--mmap-restore") {
+      options.load_options.lazy_graph = true;
       continue;
     }
     HOLO_ASSIGN_OR_RETURN(value, need_value(i));
@@ -170,6 +185,14 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--load-session") {
       options.load_session_path = value;
       options.use_session = true;
+    } else if (arg == "--snapshot-codec") {
+      if (value == "raw") {
+        options.save_options.codec = SectionCodec::kRaw;
+      } else if (value == "packed") {
+        options.save_options.codec = SectionCodec::kPacked;
+      } else {
+        return Status::InvalidArgument("unknown --snapshot-codec: " + value);
+      }
     } else if (arg == "--mode") {
       if (value == "feats") {
         options.config.dc_mode = DcMode::kFeatures;
@@ -195,8 +218,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
 
 void PrintStageTimings(const RunStats& stats) {
   for (const StageTiming& t : stats.stage_timings) {
-    std::printf("  %-8s %8.3fs%s\n", t.name.c_str(), t.seconds,
-                t.cached ? "  (cached)" : "");
+    if (t.cached) {
+      std::printf("  %-8s %8.3fs  (cached)\n", t.name.c_str(), t.seconds);
+    } else if (t.peak_rss_bytes > 0) {
+      std::printf("  %-8s %8.3fs  peak rss %7.1f MiB\n", t.name.c_str(),
+                  t.seconds,
+                  static_cast<double>(t.peak_rss_bytes) / (1024.0 * 1024.0));
+    } else {
+      std::printf("  %-8s %8.3fs\n", t.name.c_str(), t.seconds);
+    }
   }
 }
 
@@ -295,7 +325,8 @@ Status RunCli(const CliOptions& options) {
         options.load_session_path.empty()
             ? cleaner.Open(&dataset, dcs, dicts_arg, mds_arg)
             : cleaner.Restore(options.load_session_path, &dataset, dcs,
-                              dicts_arg, mds_arg);
+                              dicts_arg, mds_arg, nullptr,
+                              options.load_options);
     if (!opened.ok()) return opened.status();
     Session session = std::move(opened).value();
     if (!options.load_session_path.empty()) {
@@ -323,7 +354,8 @@ Status RunCli(const CliOptions& options) {
       PrintStageTimings(report.stats);
     }
     if (!options.save_session_path.empty()) {
-      HOLO_RETURN_NOT_OK(session.Save(options.save_session_path));
+      HOLO_RETURN_NOT_OK(
+          session.Save(options.save_session_path, options.save_options));
       std::printf("saved session snapshot to %s\n",
                   options.save_session_path.c_str());
     }
