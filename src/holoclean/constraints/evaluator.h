@@ -51,13 +51,16 @@ class DcEvaluator {
   const Table& table() const { return *table_; }
   double sim_threshold() const { return sim_threshold_; }
 
- private:
-  ValueId CellValue(TupleId t1, TupleId t2, int role, AttrId attr,
-                    const std::vector<CellOverride>& overrides) const;
-
+  /// Single-operator comparisons over dictionary ids / strings. Public for
+  /// the compiled violation-table precompute, which resolves predicate
+  /// operands itself and must reproduce PredicateHolds verdicts exactly.
   bool Compare(Op op, ValueId lhs, ValueId rhs) const;
   bool CompareStrings(Op op, const std::string& ls,
                       const std::string& rs) const;
+
+ private:
+  ValueId CellValue(TupleId t1, TupleId t2, int role, AttrId attr,
+                    const std::vector<CellOverride>& overrides) const;
 
   const Table* table_;
   double sim_threshold_;

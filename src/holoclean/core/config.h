@@ -62,6 +62,20 @@ struct HoloCleanConfig {
   int gibbs_burn_in = 10;
   int gibbs_samples = 50;
 
+  /// Compiled inference kernel for the learn/infer stages: dense weight
+  /// ids, CSR feature arenas, and precomputed DC violation tables (see
+  /// model/compiled_graph.h). Bit-identical results to the reference
+  /// FactorGraph interpreter for any seed and thread count — this knob
+  /// only trades compile-once setup cost for much faster hot loops, so it
+  /// is deliberately excluded from the snapshot config fingerprint. Off
+  /// switches back to the reference path (A/B comparisons, debugging).
+  bool compiled_kernel = true;
+  /// Max candidate-combination entries precomputed per DC factor; factors
+  /// whose candidate cross-product exceeds the cap fall back to
+  /// evaluator-based scoring (bit-identical, just slower). Also excluded
+  /// from the config fingerprint.
+  size_t dc_table_cap = 4096;
+
   /// Master seed for every randomized component.
   uint64_t seed = 42;
 

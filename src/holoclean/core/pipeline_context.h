@@ -12,6 +12,7 @@
 #include "holoclean/extdata/matcher.h"
 #include "holoclean/extdata/matching_dependency.h"
 #include "holoclean/infer/marginals.h"
+#include "holoclean/model/compiled_graph.h"
 #include "holoclean/model/domain_pruning.h"
 #include "holoclean/model/factor_graph.h"
 #include "holoclean/model/grounding.h"
@@ -92,6 +93,12 @@ struct PipelineContext {
   /// (which rebuilds the graph from scratch).
   std::shared_ptr<DeferredGraphSource> deferred_graph;
   Grounder::Stats grounder_stats;
+  /// Compiled runtime view of `graph` (dense weight ids, CSR arenas,
+  /// violation tables), built on demand by EnsureCompiled when
+  /// config.compiled_kernel is on. Never serialized: it is a pure function
+  /// of the graph, table, and constraints, so restores and compile
+  /// executions just drop it and the next learn/infer run rebuilds it.
+  std::shared_ptr<const CompiledGraph> compiled;
   /// Number of grounding executions in this session. An incremental re-run
   /// from LearnStage or later reuses the cached graph and leaves this
   /// unchanged (asserted in tests).
@@ -115,6 +122,21 @@ struct PipelineContext {
     if (deferred_graph == nullptr) return Status::OK();
     HOLO_RETURN_NOT_OK(deferred_graph->Materialize(this));
     deferred_graph.reset();
+    return Status::OK();
+  }
+
+  /// Materializes the graph (if deferred) and builds the compiled runtime
+  /// view if it is not cached yet. Called by the learn/infer stages when
+  /// config.compiled_kernel is on; a rerun-from-infer against the cached
+  /// graph reuses the cached compiled view too.
+  Status EnsureCompiled() {
+    HOLO_RETURN_NOT_OK(EnsureGraph());
+    if (compiled == nullptr) {
+      CompiledGraphOptions copts;
+      copts.violation_table_cap = config.dc_table_cap;
+      compiled = std::make_shared<const CompiledGraph>(
+          CompiledGraph::Build(graph, dataset->dirty(), *dcs, copts));
+    }
     return Status::OK();
   }
 };

@@ -129,8 +129,10 @@ class CompileStage : public PipelineStage {
 
     // Compilation rebuilds the graph from scratch, so a pending lazily
     // restored graph section is dead weight — drop it (and its file
-    // mapping) instead of materializing it.
+    // mapping) instead of materializing it. The compiled runtime view of
+    // the old graph is stale for the same reason.
     ctx->deferred_graph.reset();
+    ctx->compiled.reset();
 
     ctx->cooc = CooccurrenceStats::Build(table, attrs);
 
@@ -252,7 +254,12 @@ class LearnStage : public PipelineStage {
     options.l2 = config.l2;
     options.seed = config.seed ^ 0x5851F42D4C957F2DULL;
     SgdLearner learner(&ctx->graph, options);
-    learner.Train(&ctx->weights);
+    if (config.compiled_kernel) {
+      HOLO_RETURN_NOT_OK(ctx->EnsureCompiled());
+      learner.Train(*ctx->compiled, &ctx->weights);
+    } else {
+      learner.Train(&ctx->weights);
+    }
     return Status::OK();
   }
 };
@@ -267,8 +274,16 @@ class InferStage : public PipelineStage {
   Status Run(PipelineContext* ctx) override {
     HOLO_RETURN_NOT_OK(ctx->EnsureGraph());
     const HoloCleanConfig& config = ctx->config;
+    const CompiledGraph* compiled = nullptr;
+    if (config.compiled_kernel) {
+      HOLO_RETURN_NOT_OK(ctx->EnsureCompiled());
+      compiled = ctx->compiled.get();
+    }
     if (ctx->graph.dc_factors().empty()) {
-      ctx->marginals = ExactIndependentMarginals(ctx->graph, ctx->weights);
+      ctx->marginals = compiled != nullptr
+                           ? ExactIndependentMarginals(*compiled, ctx->weights)
+                           : ExactIndependentMarginals(ctx->graph,
+                                                       ctx->weights);
     } else {
       GibbsOptions options;
       options.burn_in = config.gibbs_burn_in;
@@ -276,7 +291,7 @@ class InferStage : public PipelineStage {
       options.seed = config.seed ^ 0x2545F4914F6CDD1DULL;
       options.pool = ctx->pool;
       GibbsSampler sampler(&ctx->graph, &ctx->dataset->dirty(), ctx->dcs,
-                           &ctx->weights, options);
+                           &ctx->weights, options, compiled);
       ctx->marginals = sampler.Run();
     }
     return Status::OK();

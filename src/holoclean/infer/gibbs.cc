@@ -12,35 +12,51 @@ namespace holoclean {
 
 GibbsSampler::GibbsSampler(const FactorGraph* graph, const Table* table,
                            const std::vector<DenialConstraint>* dcs,
-                           const WeightStore* weights, GibbsOptions options)
+                           const WeightStore* weights, GibbsOptions options,
+                           const CompiledGraph* compiled)
     : graph_(graph),
       table_(table),
       dcs_(dcs),
       weights_(weights),
       options_(options),
-      evaluator_(table) {
+      compiled_(compiled),
+      // The fallback evaluator must score ≈ predicates exactly like the
+      // precomputed violation tables, so it adopts the compiled graph's
+      // recorded threshold (same 0.8 default on the reference path).
+      evaluator_(table, compiled != nullptr ? compiled->sim_threshold()
+                                            : 0.8) {
   assignment_.resize(graph_->num_variables());
   unary_scores_.resize(graph_->num_variables());
+  std::vector<double> dense;
+  if (compiled_ != nullptr) dense = compiled_->GatherWeights(*weights_);
   for (size_t v = 0; v < graph_->num_variables(); ++v) {
     const Variable& var = graph_->variable(static_cast<int>(v));
     assignment_[v] = var.init_index >= 0 ? var.init_index : 0;
     auto& scores = unary_scores_[v];
     scores.resize(var.NumCandidates());
+    // Evidence variables are never resampled, so the compiled kernel skips
+    // their unary scores (a large share of the feature arena on typical
+    // graphs). The reference path keeps the original behavior.
+    if (compiled_ != nullptr && var.is_evidence) continue;
     for (size_t k = 0; k < var.NumCandidates(); ++k) {
-      scores[k] = graph_->UnaryScore(static_cast<int>(v),
-                                     static_cast<int>(k), *weights_);
+      scores[k] =
+          compiled_ != nullptr
+              ? compiled_->UnaryScore(static_cast<int>(v),
+                                      static_cast<int>(k), dense)
+              : graph_->UnaryScore(static_cast<int>(v), static_cast<int>(k),
+                                   *weights_);
     }
   }
 }
 
-double GibbsSampler::FactorScore(int var_id, int candidate_index) {
+double GibbsSampler::FactorScore(int var_id, int candidate_index,
+                                 std::vector<CellOverride>* overrides) {
   const Variable& var = graph_->variable(var_id);
   double score = 0.0;
-  std::vector<CellOverride> overrides;
   for (int32_t fid : graph_->FactorsOfVar(var_id)) {
     const DcFactor& factor =
         graph_->dc_factors()[static_cast<size_t>(fid)];
-    overrides.clear();
+    overrides->clear();
     for (int32_t other : factor.var_ids) {
       const Variable& other_var = graph_->variable(other);
       ValueId value =
@@ -48,38 +64,113 @@ double GibbsSampler::FactorScore(int var_id, int candidate_index) {
               ? var.domain[static_cast<size_t>(candidate_index)]
               : other_var.domain[static_cast<size_t>(
                     assignment_[static_cast<size_t>(other)])];
-      overrides.push_back({other_var.cell, value});
+      overrides->push_back({other_var.cell, value});
     }
     const DenialConstraint& dc =
         (*dcs_)[static_cast<size_t>(factor.dc_index)];
-    if (evaluator_.ViolatesWith(dc, factor.t1, factor.t2, overrides)) {
+    if (evaluator_.ViolatesWith(dc, factor.t1, factor.t2, *overrides)) {
       score -= factor.weight;
     }
   }
   return score;
 }
 
+void GibbsSampler::FactorScoresCompiled(int var_id, size_t num_cand,
+                                        ChainScratch* scratch) {
+  // Accumulates every candidate's factor score into scratch->factor_acc in
+  // one pass over the variable's factors. For each tabled factor the
+  // lookup index is affine in the candidate (base + k * stride under the
+  // row-major table layout), so the per-candidate work is a single byte
+  // load. Contributions accumulate per candidate in factor order — the
+  // exact arithmetic sequence of the reference FactorScore — so the chain
+  // stays bit-identical.
+  const CompiledGraph& c = *compiled_;
+  const std::vector<int32_t>& fov = c.fov();
+  const std::vector<int32_t>& factor_vars = c.factor_vars();
+  auto& acc = scratch->factor_acc;
+  acc.assign(num_cand, 0.0);
+  for (int32_t fi = c.FovBegin(var_id); fi < c.FovEnd(var_id); ++fi) {
+    int fid = fov[static_cast<size_t>(fi)];
+    double weight = c.FactorWeight(fid);
+    if (c.HasViolationTable(fid)) {
+      size_t base = 0;
+      size_t stride = 0;
+      for (int32_t i = c.FactorVarBegin(fid); i < c.FactorVarEnd(fid); ++i) {
+        int32_t v = factor_vars[static_cast<size_t>(i)];
+        size_t n = static_cast<size_t>(c.NumCandidates(v));
+        if (v == var_id) {
+          base *= n;
+          stride = 1;
+        } else {
+          base = base * n +
+                 static_cast<size_t>(assignment_[static_cast<size_t>(v)]);
+          stride *= n;
+        }
+      }
+      const uint8_t* entry = c.ViolationTableEntry(fid, base);
+      for (size_t k = 0; k < num_cand; ++k) {
+        if (entry[k * stride] != 0) acc[k] -= weight;
+      }
+    } else {
+      // Fallback: the factor's candidate cross-product was above the table
+      // cap; evaluate it like the reference path (same override order, so
+      // the verdict — and the chain — is bit-identical).
+      const Variable& var = graph_->variable(var_id);
+      const DenialConstraint& dc =
+          (*dcs_)[static_cast<size_t>(c.FactorDcIndex(fid))];
+      for (size_t k = 0; k < num_cand; ++k) {
+        auto& overrides = scratch->overrides;
+        overrides.clear();
+        for (int32_t i = c.FactorVarBegin(fid); i < c.FactorVarEnd(fid);
+             ++i) {
+          int32_t other = factor_vars[static_cast<size_t>(i)];
+          const Variable& other_var = graph_->variable(other);
+          ValueId value =
+              other == var_id
+                  ? var.domain[k]
+                  : other_var.domain[static_cast<size_t>(
+                        assignment_[static_cast<size_t>(other)])];
+          overrides.push_back({other_var.cell, value});
+        }
+        if (evaluator_.ViolatesWith(dc, c.FactorT1(fid), c.FactorT2(fid),
+                                    overrides)) {
+          acc[k] -= weight;
+        }
+      }
+    }
+  }
+}
+
 void GibbsSampler::SampleVariable(int var_id, Rng* rng,
-                                  std::vector<double>* scratch) {
+                                  ChainScratch* scratch) {
   const Variable& var = graph_->variable(var_id);
   size_t num_cand = var.NumCandidates();
   if (num_cand == 1) {
     assignment_[static_cast<size_t>(var_id)] = 0;
     return;
   }
-  auto& scores = *scratch;
+  auto& scores = scratch->scores;
   scores.assign(num_cand, 0.0);
   const auto& unary = unary_scores_[static_cast<size_t>(var_id)];
   bool has_factors = !graph_->FactorsOfVar(var_id).empty();
-  for (size_t k = 0; k < num_cand; ++k) {
-    scores[k] = unary[k];
-    if (has_factors) {
-      scores[k] += FactorScore(var_id, static_cast<int>(k));
+  if (compiled_ != nullptr && has_factors) {
+    FactorScoresCompiled(var_id, num_cand, scratch);
+    const auto& acc = scratch->factor_acc;
+    for (size_t k = 0; k < num_cand; ++k) {
+      scores[k] = unary[k] + acc[k];
+    }
+  } else {
+    for (size_t k = 0; k < num_cand; ++k) {
+      scores[k] = unary[k];
+      if (has_factors) {
+        scores[k] += FactorScore(var_id, static_cast<int>(k),
+                                 &scratch->overrides);
+      }
     }
   }
-  std::vector<double> probs = Softmax(scores);
+  SoftmaxInPlace(&scores);  // `scores` now holds the probabilities.
   assignment_[static_cast<size_t>(var_id)] =
-      static_cast<int>(rng->Categorical(probs));
+      static_cast<int>(rng->Categorical(scores));
 }
 
 std::vector<std::vector<int32_t>> GibbsSampler::QueryComponents() const {
@@ -113,7 +204,7 @@ void GibbsSampler::RunComponent(
   // thread count or component ordering.
   Rng rng(options_.seed ^ Mix64(static_cast<uint64_t>(component[0]) + 1));
   std::vector<int32_t> order(component);
-  std::vector<double> scratch;
+  ChainScratch scratch;
   int total_sweeps = options_.burn_in + options_.samples;
   for (int sweep = 0; sweep < total_sweeps; ++sweep) {
     rng.Shuffle(&order);

@@ -5,6 +5,7 @@
 
 #include "holoclean/constraints/evaluator.h"
 #include "holoclean/infer/marginals.h"
+#include "holoclean/model/compiled_graph.h"
 #include "holoclean/model/factor_graph.h"
 #include "holoclean/util/rng.h"
 #include "holoclean/util/thread_pool.h"
@@ -35,11 +36,19 @@ struct GibbsOptions {
 /// fixed at their observed values. With no DC factors the chain's stationary
 /// distribution equals ExactIndependentMarginals and mixes in O(n log n)
 /// sweeps (the guarantee HoloClean's relaxation buys, §5.2).
+///
+/// With a CompiledGraph the sampler runs its compiled kernel: unary scores
+/// come from the dense weight vector and CSR feature arenas, and factor
+/// scoring is a precomputed violation-table lookup (falling back to the
+/// DcEvaluator only for factors whose candidate cross-product exceeded the
+/// table cap). Sweeps are allocation-free and the sampled chain is
+/// bit-identical to the reference path.
 class GibbsSampler {
  public:
   GibbsSampler(const FactorGraph* graph, const Table* table,
                const std::vector<DenialConstraint>* dcs,
-               const WeightStore* weights, GibbsOptions options);
+               const WeightStore* weights, GibbsOptions options,
+               const CompiledGraph* compiled = nullptr);
 
   /// Runs burn-in + sampling sweeps, returns estimated marginals.
   Marginals Run();
@@ -48,8 +57,24 @@ class GibbsSampler {
   const std::vector<int>& assignment() const { return assignment_; }
 
  private:
-  double FactorScore(int var_id, int candidate_index);
-  void SampleVariable(int var_id, Rng* rng, std::vector<double>* scratch);
+  /// Per-chain scratch buffers, owned by RunComponent so concurrent
+  /// component chains never share them. Reused across sweeps: after
+  /// warm-up, sampling performs no allocations.
+  struct ChainScratch {
+    std::vector<double> scores;
+    std::vector<double> factor_acc;
+    std::vector<CellOverride> overrides;
+  };
+
+  double FactorScore(int var_id, int candidate_index,
+                     std::vector<CellOverride>* overrides);
+  /// Compiled kernel: per-candidate factor scores for `var_id` into
+  /// scratch->factor_acc in one pass over its factors (affine
+  /// violation-table indexing; evaluator fallback above the table cap).
+  /// Accumulation order matches FactorScore bit for bit.
+  void FactorScoresCompiled(int var_id, size_t num_cand,
+                            ChainScratch* scratch);
+  void SampleVariable(int var_id, Rng* rng, ChainScratch* scratch);
   /// Runs the full chain for one connected component of query variables,
   /// accumulating marginal counts (disjoint from other components).
   void RunComponent(const std::vector<int32_t>& component,
@@ -63,6 +88,8 @@ class GibbsSampler {
   const std::vector<DenialConstraint>* dcs_;
   const WeightStore* weights_;
   GibbsOptions options_;
+  /// Compiled kernel, or null for the reference interpreter.
+  const CompiledGraph* compiled_;
   DcEvaluator evaluator_;
   std::vector<int> assignment_;
   /// Unary scores are assignment-independent; precomputed once.

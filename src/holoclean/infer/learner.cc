@@ -7,15 +7,20 @@
 
 namespace holoclean {
 
-std::vector<double> Softmax(const std::vector<double>& scores) {
-  std::vector<double> probs(scores.size());
-  double max_score = *std::max_element(scores.begin(), scores.end());
+void SoftmaxInPlace(std::vector<double>* scores) {
+  if (scores->empty()) return;
+  double max_score = *std::max_element(scores->begin(), scores->end());
   double total = 0.0;
-  for (size_t i = 0; i < scores.size(); ++i) {
-    probs[i] = std::exp(scores[i] - max_score);
-    total += probs[i];
+  for (double& s : *scores) {
+    s = std::exp(s - max_score);
+    total += s;
   }
-  for (double& p : probs) p /= total;
+  for (double& s : *scores) s /= total;
+}
+
+std::vector<double> Softmax(const std::vector<double>& scores) {
+  std::vector<double> probs(scores);
+  SoftmaxInPlace(&probs);
   return probs;
 }
 
@@ -41,12 +46,12 @@ std::vector<double> SgdLearner::Train(WeightStore* weights) const {
       for (size_t k = 0; k < num_cand; ++k) {
         scores[k] = graph_->UnaryScore(var_id, static_cast<int>(k), *weights);
       }
-      std::vector<double> probs = Softmax(scores);
+      SoftmaxInPlace(&scores);  // `scores` now holds the probabilities.
       size_t label = static_cast<size_t>(var.init_index);
-      nll -= std::log(std::max(probs[label], 1e-12));
+      nll -= std::log(std::max(scores[label], 1e-12));
 
       for (size_t k = 0; k < num_cand; ++k) {
-        double coef = (k == label ? 1.0 : 0.0) - probs[k];
+        double coef = (k == label ? 1.0 : 0.0) - scores[k];
         if (coef == 0.0) continue;
         for (int32_t i = var.feat_begin[k]; i < var.feat_begin[k + 1]; ++i) {
           const FeatureInstance& f = var.features[static_cast<size_t>(i)];
@@ -60,6 +65,58 @@ std::vector<double> SgdLearner::Train(WeightStore* weights) const {
     epoch_nll.push_back(nll / static_cast<double>(order.size()));
     lr *= options_.lr_decay;
   }
+  return epoch_nll;
+}
+
+std::vector<double> SgdLearner::Train(const CompiledGraph& compiled,
+                                      WeightStore* weights) const {
+  std::vector<int32_t> order(graph_->evidence_vars());
+  std::vector<double> epoch_nll;
+  if (order.empty()) return epoch_nll;
+
+  // Dense working copy of the parameters; written back at the end. Only
+  // weights the reference loop would have Set (coef != 0 at least once)
+  // are scattered, so the sparse store's entry set stays bit-compatible.
+  std::vector<double> dense = compiled.GatherWeights(*weights);
+  std::vector<uint8_t> touched(dense.size(), 0);
+  const std::vector<int32_t>& feat_weight = compiled.feat_weight();
+  const std::vector<float>& feat_act = compiled.feat_act();
+
+  Rng rng(options_.seed);
+  double lr = options_.learning_rate;
+  std::vector<double> scores;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double nll = 0.0;
+    for (int32_t var_id : order) {
+      size_t num_cand = static_cast<size_t>(compiled.NumCandidates(var_id));
+      scores.resize(num_cand);
+      for (size_t k = 0; k < num_cand; ++k) {
+        scores[k] = compiled.UnaryScore(var_id, static_cast<int>(k), dense);
+      }
+      SoftmaxInPlace(&scores);
+      size_t label = static_cast<size_t>(compiled.InitIndex(var_id));
+      nll -= std::log(std::max(scores[label], 1e-12));
+
+      for (size_t k = 0; k < num_cand; ++k) {
+        double coef = (k == label ? 1.0 : 0.0) - scores[k];
+        if (coef == 0.0) continue;
+        int64_t end = compiled.FeatEnd(var_id, static_cast<int>(k));
+        for (int64_t i = compiled.FeatBegin(var_id, static_cast<int>(k));
+             i < end; ++i) {
+          size_t wid = static_cast<size_t>(feat_weight[static_cast<size_t>(i)]);
+          double w = dense[wid];
+          dense[wid] = w * (1.0 - lr * options_.l2) +
+                       lr * coef * feat_act[static_cast<size_t>(i)];
+          touched[wid] = 1;
+        }
+      }
+    }
+    epoch_nll.push_back(nll / static_cast<double>(order.size()));
+    lr *= options_.lr_decay;
+  }
+  compiled.ScatterWeights(dense, touched, weights);
   return epoch_nll;
 }
 

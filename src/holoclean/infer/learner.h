@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "holoclean/model/compiled_graph.h"
 #include "holoclean/model/factor_graph.h"
 
 namespace holoclean {
@@ -18,8 +19,14 @@ struct LearnerOptions {
   uint64_t seed = 17;
 };
 
-/// Numerically stable softmax.
+/// Numerically stable softmax. Empty input yields an empty result.
 std::vector<double> Softmax(const std::vector<double>& scores);
+
+/// In-place variant: replaces `scores` with its softmax, allocation-free.
+/// Produces exactly the values Softmax would; the learn/infer hot loops
+/// (SGD, Gibbs sweeps, marginal estimation) use this on reused scratch
+/// buffers. No-op on empty input.
+void SoftmaxInPlace(std::vector<double>* scores);
 
 /// Empirical-risk minimization over the evidence variables (paper §2.2):
 /// each evidence cell is a multinomial logistic example whose label is its
@@ -33,6 +40,15 @@ class SgdLearner {
   /// Trains `weights` in place; returns the average negative log-likelihood
   /// per epoch (for convergence monitoring/tests).
   std::vector<double> Train(WeightStore* weights) const;
+
+  /// Compiled-kernel variant: gathers the store into a dense parameter
+  /// vector, runs the same SGD over the compiled CSR feature arenas, and
+  /// scatters the touched weights back. Bit-identical to Train(weights) —
+  /// same shuffles, same arithmetic order, same store entry set — just
+  /// without a hash lookup per feature activation. `compiled` must have
+  /// been built from this learner's graph.
+  std::vector<double> Train(const CompiledGraph& compiled,
+                            WeightStore* weights) const;
 
  private:
   const FactorGraph* graph_;

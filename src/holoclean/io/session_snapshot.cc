@@ -171,7 +171,13 @@ uint64_t ConfigFingerprint(const HoloCleanConfig& c) {
   // This assert trips when HoloCleanConfig gains (or loses) a field, as a
   // reminder to update the fingerprint and bump kSnapshotFormatVersion if
   // the default changed behavior. (x86-64/AArch64 SysV layout.)
-  static_assert(sizeof(HoloCleanConfig) == 160,
+  //
+  // compiled_kernel and dc_table_cap are deliberately NOT mixed in: the
+  // compiled kernel is bit-identical to the reference path (enforced by
+  // the differential tests), so snapshots interchange freely between the
+  // two — including pre-existing snapshots written before the knobs
+  // existed.
+  static_assert(sizeof(HoloCleanConfig) == 176,
                 "HoloCleanConfig changed: update ConfigFingerprint");
   uint64_t h = HashBytes("holoclean-config-v1");
   auto mix_u = [&h](uint64_t v) { h = HashCombine(h, v); };
@@ -1377,8 +1383,10 @@ Status ValidateArtifactBounds(const StagedSnapshot& s,
 void CommitStaged(StagedSnapshot* s, PipelineContext* ctx) {
   Table& table = ctx->dataset->dirty();
   Dictionary& dict = table.dict();
-  // A fresh restore supersedes any lazy state a previous restore left.
+  // A fresh restore supersedes any lazy state a previous restore left, and
+  // invalidates any compiled view of the previous graph.
   ctx->deferred_graph.reset();
+  ctx->compiled.reset();
   for (size_t i = dict.size(); i < s->dict_size(); ++i) {
     dict.Intern(s->dict_values[i]);
   }

@@ -1,0 +1,357 @@
+#include "holoclean/model/compiled_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "holoclean/constraints/evaluator.h"
+#include "holoclean/util/hash.h"
+#include "holoclean/util/logging.h"
+
+namespace holoclean {
+
+namespace {
+
+/// Open-addressing key interner for the dense weight remap. Building the
+/// remap does one probe per feature activation — with millions of
+/// activations per graph, an unordered_map's bucket chasing dominated the
+/// whole Build; linear probing over a flat power-of-two table is ~4x
+/// cheaper. Keys get ids in insertion order; the caller re-sorts
+/// afterwards (so the final ids stay deterministic) and remaps with one
+/// linear pass.
+class KeyInterner {
+ public:
+  explicit KeyInterner(size_t expected) {
+    size_t capacity = 64;
+    while (capacity < expected * 2) capacity <<= 1;
+    slots_.assign(capacity, -1);
+    mask_ = capacity - 1;
+  }
+
+  int32_t InsertOrGet(uint64_t key) {
+    size_t i = Mix64(key) & mask_;
+    while (slots_[i] >= 0) {
+      if (keys_[static_cast<size_t>(slots_[i])] == key) return slots_[i];
+      i = (i + 1) & mask_;
+    }
+    int32_t id = static_cast<int32_t>(keys_.size());
+    keys_.push_back(key);
+    slots_[i] = id;
+    if (keys_.size() * 3 > slots_.size() * 2) Grow();
+    return id;
+  }
+
+  std::vector<uint64_t>& keys() { return keys_; }
+
+ private:
+  void Grow() {
+    size_t capacity = slots_.size() * 2;
+    slots_.assign(capacity, -1);
+    mask_ = capacity - 1;
+    for (size_t id = 0; id < keys_.size(); ++id) {
+      size_t i = Mix64(keys_[id]) & mask_;
+      while (slots_[i] >= 0) i = (i + 1) & mask_;
+      slots_[i] = static_cast<int32_t>(id);
+    }
+  }
+
+  std::vector<int32_t> slots_;
+  std::vector<uint64_t> keys_;
+  size_t mask_ = 0;
+};
+
+}  // namespace
+
+CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
+                                   const Table& table,
+                                   const std::vector<DenialConstraint>& dcs,
+                                   const CompiledGraphOptions& options) {
+  CompiledGraph out;
+  out.sim_threshold_ = options.sim_threshold;
+  const std::vector<Variable>& vars = graph.variables();
+  size_t num_vars = vars.size();
+
+  // --- Variable arenas.
+  size_t total_cands = 0;
+  size_t total_feats = 0;
+  for (const Variable& var : vars) {
+    total_cands += var.NumCandidates();
+    total_feats += var.features.size();
+  }
+  HOLO_CHECK(total_cands < static_cast<size_t>(INT32_MAX));
+  out.cand_begin_.reserve(num_vars + 1);
+  out.cand_begin_.push_back(0);
+  out.is_evidence_.reserve(num_vars);
+  out.init_index_.reserve(num_vars);
+  out.prior_bias_.reserve(total_cands);
+  out.feat_begin_.reserve(total_cands + 1);
+  out.feat_begin_.push_back(0);
+  out.feat_weight_.reserve(total_feats);
+  out.feat_act_.reserve(total_feats);
+  // Features are interned in one pass (insertion-order ids), then the key
+  // set is sorted and the per-instance ids remapped linearly — the dense
+  // id assignment is sorted-key order, independent of iteration order.
+  // Sizing the interner for one unique key per ~4 instances skips nearly
+  // every rehash without over-allocating on feature-heavy graphs.
+  KeyInterner interner(/*expected=*/total_feats / 4 + 64);
+  for (const Variable& var : vars) {
+    out.is_evidence_.push_back(var.is_evidence ? 1 : 0);
+    out.init_index_.push_back(var.init_index);
+    out.cand_begin_.push_back(out.cand_begin_.back() +
+                              static_cast<int32_t>(var.NumCandidates()));
+    for (size_t k = 0; k < var.NumCandidates(); ++k) {
+      out.prior_bias_.push_back(var.prior_bias[k]);
+      for (int32_t i = var.feat_begin[k]; i < var.feat_begin[k + 1]; ++i) {
+        const FeatureInstance& f = var.features[static_cast<size_t>(i)];
+        out.feat_weight_.push_back(interner.InsertOrGet(f.weight_key));
+        out.feat_act_.push_back(f.activation);
+      }
+      out.feat_begin_.push_back(
+          static_cast<int64_t>(out.feat_weight_.size()));
+    }
+  }
+  const std::vector<uint64_t>& interned = interner.keys();
+  std::vector<std::pair<uint64_t, int32_t>> by_key(interned.size());
+  for (size_t id = 0; id < interned.size(); ++id) {
+    by_key[id] = {interned[id], static_cast<int32_t>(id)};
+  }
+  std::sort(by_key.begin(), by_key.end());  // Keys are unique.
+  out.weight_keys_.resize(interned.size());
+  std::vector<int32_t> dense_id(interned.size());
+  for (size_t i = 0; i < by_key.size(); ++i) {
+    out.weight_keys_[i] = by_key[i].first;
+    dense_id[static_cast<size_t>(by_key[i].second)] = static_cast<int32_t>(i);
+  }
+  for (int32_t& wid : out.feat_weight_) {
+    wid = dense_id[static_cast<size_t>(wid)];
+  }
+
+  // --- Factors-of-variable adjacency, preserving FactorsOfVar order.
+  const std::vector<DcFactor>& factors = graph.dc_factors();
+  size_t num_factors = factors.size();
+  size_t total_adjacency = 0;
+  for (const DcFactor& factor : factors) {
+    total_adjacency += factor.var_ids.size();
+  }
+  out.fov_begin_.reserve(num_vars + 1);
+  out.fov_begin_.push_back(0);
+  out.fov_.reserve(total_adjacency);
+  for (size_t v = 0; v < num_vars; ++v) {
+    const auto& fids = graph.FactorsOfVar(static_cast<int>(v));
+    out.fov_.insert(out.fov_.end(), fids.begin(), fids.end());
+    out.fov_begin_.push_back(static_cast<int32_t>(out.fov_.size()));
+  }
+
+  // --- Factor arenas and violation tables.
+  out.factor_var_begin_.reserve(num_factors + 1);
+  out.factor_var_begin_.push_back(0);
+  out.factor_vars_.reserve(total_adjacency);
+  out.factor_weight_.reserve(num_factors);
+  out.factor_dc_.reserve(num_factors);
+  out.factor_t1_.reserve(num_factors);
+  out.factor_t2_.reserve(num_factors);
+  out.table_begin_.reserve(num_factors);
+
+  // The table precompute reproduces DcEvaluator::ViolatesWith verdicts
+  // without paying a full evaluator call per candidate combination: each
+  // predicate's operands are resolved once per factor to either a fixed
+  // ValueId (an evidence cell of the factor's tuples) or a position in the
+  // factor's query-variable list. Predicates with no dynamic operand are
+  // evaluated once; with one, per candidate of that variable; only
+  // predicates joining two query variables are evaluated per combination.
+  // Verdict equivalence with the evaluator is pinned by an exhaustive
+  // differential test.
+  DcEvaluator evaluator(&table, options.sim_threshold);
+  const Dictionary& dict = table.dict();
+
+  // Mirrors the tail of DcEvaluator::PredicateHolds once the operands are
+  // resolved: NULLs never hold; constants compare as strings.
+  auto pred_holds = [&](const Predicate& p, ValueId lhs,
+                        ValueId rhs) -> bool {
+    if (lhs == Dictionary::kNull) return false;
+    if (p.rhs_is_constant) {
+      return evaluator.CompareStrings(p.op, dict.GetString(lhs), p.constant);
+    }
+    if (rhs == Dictionary::kNull) return false;
+    return evaluator.Compare(p.op, lhs, rhs);
+  };
+
+  struct DynamicPred {
+    const Predicate* p = nullptr;
+    int lhs_pos = -1;  ///< Position in the factor's var list, or -1 fixed.
+    int rhs_pos = -1;
+    ValueId lhs_fixed = 0;
+    ValueId rhs_fixed = 0;
+  };
+  std::vector<DynamicPred> two_dyn;
+  /// pred_by_cand[i][k]: conjunction of the single-dynamic predicates of
+  /// factor variable i at its candidate k; pred_used[i] marks positions
+  /// that have any. Buffers grow once and are reused across the (many)
+  /// factors — the per-factor work must stay allocation-free.
+  std::vector<std::vector<uint8_t>> pred_by_cand;
+  std::vector<uint8_t> pred_used;
+  std::vector<int> combo;
+  std::vector<ValueId> combo_value;
+
+  for (const DcFactor& factor : factors) {
+    out.factor_vars_.insert(out.factor_vars_.end(), factor.var_ids.begin(),
+                            factor.var_ids.end());
+    out.factor_var_begin_.push_back(
+        static_cast<int32_t>(out.factor_vars_.size()));
+    out.factor_weight_.push_back(factor.weight);
+    out.factor_dc_.push_back(factor.dc_index);
+    out.factor_t1_.push_back(factor.t1);
+    out.factor_t2_.push_back(factor.t2);
+
+    // Cross-product size, capped. The per-variable candidate counts are
+    // bounded by the pruning cap (default 64), so overflow is only a
+    // theoretical concern — still, bail out as soon as the running product
+    // passes the table cap.
+    size_t num_positions = factor.var_ids.size();
+    size_t entries = 1;
+    bool fits = num_positions > 0;
+    for (int32_t v : factor.var_ids) {
+      entries *= vars[static_cast<size_t>(v)].NumCandidates();
+      if (entries > options.violation_table_cap) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      out.table_begin_.push_back(-1);
+      ++out.stats_.num_fallback_factors;
+      continue;
+    }
+    out.table_begin_.push_back(
+        static_cast<int64_t>(out.violation_tables_.size()));
+    ++out.stats_.num_tabled_factors;
+    out.stats_.table_entries += entries;
+
+    const DenialConstraint& dc = dcs[static_cast<size_t>(factor.dc_index)];
+    bool never_violates = dc.IsTwoTuple() && factor.t1 == factor.t2;
+
+    // Resolve each predicate. `fixed_hold` accumulates the predicates with
+    // no dynamic operand; if any fails, no combination violates.
+    two_dyn.clear();
+    if (pred_by_cand.size() < num_positions) {
+      pred_by_cand.resize(num_positions);
+    }
+    pred_used.assign(num_positions, 0);
+    bool fixed_hold = true;
+    if (!never_violates) {
+      for (const Predicate& p : dc.preds) {
+        DynamicPred d;
+        d.p = &p;
+        TupleId lhs_t = p.lhs_tuple == 0 ? factor.t1 : factor.t2;
+        for (size_t i = 0; i < num_positions; ++i) {
+          const Variable& var = vars[static_cast<size_t>(factor.var_ids[i])];
+          if (var.cell.tid == lhs_t && var.cell.attr == p.lhs_attr) {
+            d.lhs_pos = static_cast<int>(i);
+            break;
+          }
+        }
+        if (d.lhs_pos < 0) d.lhs_fixed = table.Get(lhs_t, p.lhs_attr);
+        if (!p.rhs_is_constant) {
+          TupleId rhs_t = p.rhs_tuple == 0 ? factor.t1 : factor.t2;
+          for (size_t i = 0; i < num_positions; ++i) {
+            const Variable& var =
+                vars[static_cast<size_t>(factor.var_ids[i])];
+            if (var.cell.tid == rhs_t && var.cell.attr == p.rhs_attr) {
+              d.rhs_pos = static_cast<int>(i);
+              break;
+            }
+          }
+          if (d.rhs_pos < 0) d.rhs_fixed = table.Get(rhs_t, p.rhs_attr);
+        }
+
+        if (d.lhs_pos < 0 && d.rhs_pos < 0) {
+          if (!pred_holds(p, d.lhs_fixed, d.rhs_fixed)) {
+            fixed_hold = false;
+            break;
+          }
+        } else if (d.lhs_pos >= 0 && d.rhs_pos >= 0) {
+          two_dyn.push_back(d);
+        } else {
+          // One dynamic operand: fold the predicate into that variable's
+          // per-candidate conjunction.
+          int pos = d.lhs_pos >= 0 ? d.lhs_pos : d.rhs_pos;
+          const Variable& var =
+              vars[static_cast<size_t>(factor.var_ids[pos])];
+          auto& holds = pred_by_cand[static_cast<size_t>(pos)];
+          if (pred_used[static_cast<size_t>(pos)] == 0) {
+            pred_used[static_cast<size_t>(pos)] = 1;
+            holds.assign(var.NumCandidates(), 1);
+          }
+          for (size_t k = 0; k < var.NumCandidates(); ++k) {
+            if (holds[k] == 0) continue;
+            ValueId lhs = d.lhs_pos >= 0 ? var.domain[k] : d.lhs_fixed;
+            ValueId rhs = d.rhs_pos >= 0 ? var.domain[k] : d.rhs_fixed;
+            if (!pred_holds(p, lhs, rhs)) holds[k] = 0;
+          }
+        }
+      }
+    }
+
+    if (never_violates || !fixed_hold) {
+      out.violation_tables_.resize(out.violation_tables_.size() + entries,
+                                   0);
+      continue;
+    }
+
+    // Enumerate the combinations in row-major order (last variable
+    // fastest), mirroring TableViolated's index computation.
+    combo.assign(num_positions, 0);
+    combo_value.resize(num_positions);
+    for (size_t i = 0; i < num_positions; ++i) {
+      combo_value[i] = vars[static_cast<size_t>(factor.var_ids[i])].domain[0];
+    }
+    for (size_t e = 0; e < entries; ++e) {
+      bool violated = true;
+      for (size_t i = 0; i < num_positions && violated; ++i) {
+        if (pred_used[i] != 0 &&
+            pred_by_cand[i][static_cast<size_t>(combo[i])] == 0) {
+          violated = false;
+        }
+      }
+      for (const DynamicPred& d : two_dyn) {
+        if (!violated) break;
+        violated = pred_holds(*d.p,
+                              combo_value[static_cast<size_t>(d.lhs_pos)],
+                              combo_value[static_cast<size_t>(d.rhs_pos)]);
+      }
+      out.violation_tables_.push_back(violated ? 1 : 0);
+      // Increment the mixed-radix counter (last position fastest).
+      for (size_t i = num_positions; i-- > 0;) {
+        const Variable& var = vars[static_cast<size_t>(factor.var_ids[i])];
+        if (++combo[i] < static_cast<int>(var.NumCandidates())) {
+          combo_value[i] = var.domain[static_cast<size_t>(combo[i])];
+          break;
+        }
+        combo[i] = 0;
+        combo_value[i] = var.domain[0];
+      }
+    }
+  }
+
+  return out;
+}
+
+std::vector<double> CompiledGraph::GatherWeights(
+    const WeightStore& sparse) const {
+  std::vector<double> dense(weight_keys_.size());
+  for (size_t i = 0; i < weight_keys_.size(); ++i) {
+    dense[i] = sparse.Get(weight_keys_[i]);
+  }
+  return dense;
+}
+
+void CompiledGraph::ScatterWeights(const std::vector<double>& dense,
+                                   const std::vector<uint8_t>& touched,
+                                   WeightStore* sparse) const {
+  HOLO_CHECK(dense.size() == weight_keys_.size());
+  HOLO_CHECK(touched.size() == weight_keys_.size());
+  for (size_t i = 0; i < weight_keys_.size(); ++i) {
+    if (touched[i]) sparse->Set(weight_keys_[i], dense[i]);
+  }
+}
+
+}  // namespace holoclean

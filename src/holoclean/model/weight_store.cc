@@ -13,12 +13,22 @@ std::vector<std::pair<uint64_t, double>> WeightStore::TopByMagnitude(
     size_t k) const {
   std::vector<std::pair<uint64_t, double>> all(weights_.begin(),
                                                weights_.end());
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+  // Equal magnitudes tie-break on the packed key: the comparator is a
+  // total order over the (unique-keyed) entries, so the result is
+  // independent of the unordered_map's iteration order.
+  auto by_magnitude = [](const auto& a, const auto& b) {
     double ma = std::abs(a.second);
     double mb = std::abs(b.second);
     return ma != mb ? ma > mb : a.first < b.first;
-  });
-  if (all.size() > k) all.resize(k);
+  };
+  if (all.size() > k) {
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<ptrdiff_t>(k), all.end(),
+                      by_magnitude);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), by_magnitude);
+  }
   return all;
 }
 

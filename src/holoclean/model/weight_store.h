@@ -30,7 +30,9 @@ class WeightStore {
 
   const std::unordered_map<uint64_t, double>& raw() const { return weights_; }
 
-  /// Largest-magnitude weights, for model introspection.
+  /// Largest-magnitude weights, for model introspection. Deterministic:
+  /// equal magnitudes tie-break on the packed key, so the output does not
+  /// depend on the map's iteration order.
   std::vector<std::pair<uint64_t, double>> TopByMagnitude(size_t k) const;
 
  private:

@@ -31,6 +31,24 @@ TEST(Softmax, UniformForEqualScores) {
   for (double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
 }
 
+TEST(Softmax, EmptyInputYieldsEmptyOutput) {
+  // Guarded: *std::max_element on an empty range would be UB.
+  EXPECT_TRUE(Softmax({}).empty());
+  std::vector<double> scores;
+  SoftmaxInPlace(&scores);
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(Softmax, InPlaceVariantMatchesBitForBit) {
+  std::vector<double> scores = {-3.5, 0.0, 1.25, 1000.0, 999.5};
+  std::vector<double> expected = Softmax(scores);
+  SoftmaxInPlace(&scores);
+  ASSERT_EQ(scores.size(), expected.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i], expected[i]);
+  }
+}
+
 // A tiny hand-built graph:
 //   feature keys: 1 ("f1"), 2 ("f2").
 //   Evidence variables expose a learnable pattern: label candidate carries

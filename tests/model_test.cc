@@ -76,6 +76,26 @@ TEST(WeightStore, TopByMagnitude) {
   EXPECT_EQ(top[1].first, 3u);
 }
 
+TEST(WeightStore, TopByMagnitudeDeterministicAcrossInsertionOrders) {
+  // Many equal-magnitude entries (including opposite signs) inserted in
+  // opposite orders: the ranking must tie-break on the packed key, never
+  // on the unordered_map's iteration order.
+  WeightStore forward, backward;
+  for (uint64_t k = 0; k < 64; ++k) {
+    forward.Set(k, k % 2 == 0 ? 1.5 : -1.5);
+  }
+  for (uint64_t k = 64; k-- > 0;) {
+    backward.Set(k, k % 2 == 0 ? 1.5 : -1.5);
+  }
+  auto top_fwd = forward.TopByMagnitude(10);
+  auto top_bwd = backward.TopByMagnitude(10);
+  ASSERT_EQ(top_fwd.size(), 10u);
+  ASSERT_EQ(top_fwd, top_bwd);
+  for (size_t i = 0; i < top_fwd.size(); ++i) {
+    EXPECT_EQ(top_fwd[i].first, i);  // Keys ascending within the tie.
+  }
+}
+
 // ---------- Domain pruning (Algorithm 2) ----------
 
 struct PruningFixture {

@@ -11,6 +11,7 @@
 //             [--tau 0.5] [--mode feats|factors|both] [--partitioning]
 //             [--min-confidence 0.0] [--seed 42] [--threads 0]
 //             [--stages detect,compile] [--rerun-from infer]
+//             [--compiled-kernel on|off] [--dc-table-cap 4096]
 //
 // Constraint file: one denial constraint per line, e.g.
 //   t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
@@ -114,7 +115,14 @@ void PrintUsage() {
       "                        raw (fixed-width)\n"
       "  --mmap-restore        mmap the --load-session snapshot and defer\n"
       "                        the factor-graph section to first stage\n"
-      "                        access instead of parsing it up front\n");
+      "                        access instead of parsing it up front\n"
+      "  --compiled-kernel V   on (default) runs learn/infer on the compiled\n"
+      "                        kernel (dense weights, CSR arenas, DC\n"
+      "                        violation tables); off uses the reference\n"
+      "                        interpreter — results are bit-identical\n"
+      "  --dc-table-cap N      max precomputed violation-table entries per\n"
+      "                        DC factor; larger factors fall back to the\n"
+      "                        evaluator (default 4096)\n");
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -193,6 +201,17 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       } else {
         return Status::InvalidArgument("unknown --snapshot-codec: " + value);
       }
+    } else if (arg == "--compiled-kernel") {
+      if (value == "on") {
+        options.config.compiled_kernel = true;
+      } else if (value == "off") {
+        options.config.compiled_kernel = false;
+      } else {
+        return Status::InvalidArgument("unknown --compiled-kernel: " + value +
+                                       " (expected on|off)");
+      }
+    } else if (arg == "--dc-table-cap") {
+      options.config.dc_table_cap = std::stoul(value);
     } else if (arg == "--mode") {
       if (value == "feats") {
         options.config.dc_mode = DcMode::kFeatures;
