@@ -2,14 +2,20 @@
 //
 // Builds the four-tuple Chicago food-inspections snippet, declares the
 // functional dependencies of Figure 1(B) and the address dictionary of
-// Figure 1(D), runs the pipeline, and prints the proposed repairs with
-// their marginal probabilities.
+// Figure 1(D), runs the pipeline through the Engine API, and prints the
+// proposed repairs with their marginal probabilities.
+//
+// The Engine call surface replaces the legacy five-positional-pointer
+// HoloClean::Run: inputs travel in one CleaningInputs bundle — here the
+// *owned* flavor, so the session keeps every input alive and the caller
+// never juggles lifetimes — and per-run knobs live in SessionOptions.
 
 #include <cstdio>
+#include <memory>
 
 #include "holoclean/constraints/parser.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
 
 using namespace holoclean;  // NOLINT — example brevity.
 
@@ -40,64 +46,79 @@ int main() {
       "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.State,t2.State)\n"
       "t1&t2&EQ(t1.City,t2.City)&EQ(t1.State,t2.State)&"
       "EQ(t1.Address,t2.Address)&IQ(t1.Zip,t2.Zip)\n";
-  auto dcs = ParseDenialConstraints(kConstraints, schema);
-  if (!dcs.ok()) {
+  auto parsed = ParseDenialConstraints(kConstraints, schema);
+  if (!parsed.ok()) {
     std::fprintf(stderr, "constraint parse error: %s\n",
-                 dcs.status().ToString().c_str());
+                 parsed.status().ToString().c_str());
     return 1;
   }
 
   // Figure 1(D): the external address listing, wired in through the
   // matching dependencies of Figure 1(C).
-  ExtDictCollection dicts;
+  auto dicts = std::make_shared<ExtDictCollection>();
   Table listing(Schema({"Ext_Address", "Ext_City", "Ext_State", "Ext_Zip"}),
                 std::make_shared<Dictionary>());
   listing.AppendRow({"3465 S Morgan ST", "Chicago", "IL", "60608"});
   listing.AppendRow({"1208 N Wells ST", "Chicago", "IL", "60610"});
   listing.AppendRow({"259 E Erie ST", "Chicago", "IL", "60611"});
   listing.AppendRow({"2806 W Cermak Rd", "Chicago", "IL", "60623"});
-  int k = dicts.Add("chicago-addresses", std::move(listing));
-  std::vector<MatchingDependency> mds;
-  mds.push_back({"m1: zip->city", k, {{"Zip", "Ext_Zip"}}, "City",
-                 "Ext_City"});
-  mds.push_back({"m2: zip->state", k, {{"Zip", "Ext_Zip"}}, "State",
-                 "Ext_State"});
-  mds.push_back({"m3: city,state,address->zip",
-                 k,
-                 {{"City", "Ext_City"},
-                  {"State", "Ext_State"},
-                  {"Address", "Ext_Address"}},
-                 "Zip",
-                 "Ext_Zip"});
+  int k = dicts->Add("chicago-addresses", std::move(listing));
+  auto mds = std::make_shared<std::vector<MatchingDependency>>();
+  mds->push_back({"m1: zip->city", k, {{"Zip", "Ext_Zip"}}, "City",
+                  "Ext_City"});
+  mds->push_back({"m2: zip->state", k, {{"Zip", "Ext_Zip"}}, "State",
+                  "Ext_State"});
+  mds->push_back({"m3: city,state,address->zip",
+                  k,
+                  {{"City", "Ext_City"},
+                   {"State", "Ext_State"},
+                   {"Address", "Ext_Address"}},
+                  "Zip",
+                  "Ext_Zip"});
 
-  Dataset dataset(std::move(dirty));
-  HoloCleanConfig config;
-  config.tau = 0.3;
-  config.max_training_cells = 1000;
+  // The owned input bundle: the session shares ownership, so these locals
+  // could go out of scope (or the job run asynchronously via
+  // Engine::Submit) without any lifetime bookkeeping.
+  auto dataset = std::make_shared<Dataset>(std::move(dirty));
+  auto dcs = std::make_shared<const std::vector<DenialConstraint>>(
+      std::move(parsed).value());
+  CleaningInputs inputs = CleaningInputs::Owned(dataset, dcs, dicts, mds);
+
+  SessionOptions options;
+  options.config.tau = 0.3;
+  options.config.max_training_cells = 1000;
   // On this tiny instance we can afford the full model: DC factors with
   // Gibbs sampling on top of the relaxed features, so the proposed zips
   // are consistent across the conflicting tuples.
-  config.dc_mode = DcMode::kBoth;
-  config.gibbs_burn_in = 100;
-  config.gibbs_samples = 400;
+  options.config.dc_mode = DcMode::kBoth;
+  options.config.gibbs_burn_in = 100;
+  options.config.gibbs_samples = 400;
   // Soft constraint weight: hard factors trap Gibbs in one mode (the
   // paper's §5.2 argument); a gentler weight lets the chain mix.
-  config.dc_factor_weight = 1.5;
+  options.config.dc_factor_weight = 1.5;
   // Trust the curated address listing more than the (tiny) statistics.
-  config.ext_dict_init = 6.0;
-  HoloClean cleaner(config);
-  auto report = cleaner.Run(&dataset, dcs.value(), &dicts, &mds);
+  options.config.ext_dict_init = 6.0;
+
+  Engine engine;
+  auto opened = engine.OpenSession(std::move(inputs), options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  Session session = std::move(opened).value();
+  auto report = session.Run();
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  report.status().ToString().c_str());
     return 1;
   }
 
-  const Table& table = dataset.dirty();
+  const Table& table = dataset->dirty();
   std::printf("Generated DDlog program:\n%s\n", report.value().ddlog.c_str());
-  std::printf("%zu noisy cells, %zu proposed repairs:\n",
+  std::printf("%zu noisy cells, %zu proposed repairs (%zu learned weights):\n",
               report.value().stats.num_noisy_cells,
-              report.value().repairs.size());
+              report.value().repairs.size(), session.weights().size());
   for (const Repair& r : report.value().repairs) {
     std::printf("  t%d.%-8s  %-18s -> %-18s  (p=%.2f)\n", r.cell.tid,
                 table.schema().name(r.cell.attr).c_str(),

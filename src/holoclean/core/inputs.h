@@ -1,0 +1,125 @@
+#ifndef HOLOCLEAN_CORE_INPUTS_H_
+#define HOLOCLEAN_CORE_INPUTS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/detect/error_detector.h"
+#include "holoclean/extdata/ext_dict.h"
+#include "holoclean/extdata/matching_dependency.h"
+#include "holoclean/storage/dataset.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// The value-typed input bundle of one cleaning instance: the dataset, its
+/// denial constraints, and the optional external-data signal (dictionaries
+/// + matching dependencies) and extra detectors. Replaces the legacy
+/// five-positional-raw-pointer calling convention of HoloClean::Run/Open.
+///
+/// Each input comes in a borrowed and an owned flavor:
+///  - Borrowed(...) wraps raw pointers; the caller guarantees they outlive
+///    every session/job built over the bundle (the legacy contract).
+///  - Owned(...) takes shared_ptrs; the bundle (and therefore the session
+///    or batch job holding it) keeps the inputs alive, so callers can fire
+///    an async job and let their own handles go out of scope.
+/// The two flavors can mix (e.g. an owned dataset with borrowed
+/// constraints); an owned pointer wins over a borrowed one for the same
+/// slot. Copies share ownership — a bundle is cheap to pass by value.
+///
+/// Only `dataset` is mutated by a run (dictionary interning, feedback
+/// pins); everything else is read-only. Concurrent jobs must not share a
+/// Dataset object (their dictionary interning would race) — give each job
+/// its own copy, or serialize them through one session.
+struct CleaningInputs {
+  // Borrowed (non-owning) inputs.
+  Dataset* dataset = nullptr;
+  const std::vector<DenialConstraint>* dcs = nullptr;
+  const ExtDictCollection* dicts = nullptr;
+  const std::vector<MatchingDependency>* mds = nullptr;
+  const DetectorSuite* extra_detectors = nullptr;
+
+  // Owned inputs; non-null takes precedence over the borrowed slot.
+  std::shared_ptr<Dataset> owned_dataset;
+  std::shared_ptr<const std::vector<DenialConstraint>> owned_dcs;
+  std::shared_ptr<const ExtDictCollection> owned_dicts;
+  std::shared_ptr<const std::vector<MatchingDependency>> owned_mds;
+  std::shared_ptr<const DetectorSuite> owned_detectors;
+
+  static CleaningInputs Borrowed(
+      Dataset* dataset, const std::vector<DenialConstraint>* dcs,
+      const ExtDictCollection* dicts = nullptr,
+      const std::vector<MatchingDependency>* mds = nullptr,
+      const DetectorSuite* extra_detectors = nullptr) {
+    CleaningInputs inputs;
+    inputs.dataset = dataset;
+    inputs.dcs = dcs;
+    inputs.dicts = dicts;
+    inputs.mds = mds;
+    inputs.extra_detectors = extra_detectors;
+    return inputs;
+  }
+
+  static CleaningInputs Owned(
+      std::shared_ptr<Dataset> dataset,
+      std::shared_ptr<const std::vector<DenialConstraint>> dcs,
+      std::shared_ptr<const ExtDictCollection> dicts = nullptr,
+      std::shared_ptr<const std::vector<MatchingDependency>> mds = nullptr,
+      std::shared_ptr<const DetectorSuite> extra_detectors = nullptr) {
+    CleaningInputs inputs;
+    inputs.owned_dataset = std::move(dataset);
+    inputs.owned_dcs = std::move(dcs);
+    inputs.owned_dicts = std::move(dicts);
+    inputs.owned_mds = std::move(mds);
+    inputs.owned_detectors = std::move(extra_detectors);
+    return inputs;
+  }
+
+  Dataset* dataset_ptr() const {
+    return owned_dataset != nullptr ? owned_dataset.get() : dataset;
+  }
+  const std::vector<DenialConstraint>* dcs_ptr() const {
+    return owned_dcs != nullptr ? owned_dcs.get() : dcs;
+  }
+  const ExtDictCollection* dicts_ptr() const {
+    return owned_dicts != nullptr ? owned_dicts.get() : dicts;
+  }
+  const std::vector<MatchingDependency>* mds_ptr() const {
+    return owned_mds != nullptr ? owned_mds.get() : mds;
+  }
+  const DetectorSuite* detectors_ptr() const {
+    return owned_detectors != nullptr ? owned_detectors.get()
+                                      : extra_detectors;
+  }
+
+  /// True when every input the bundle references is owned (no borrowed
+  /// raw pointer is load-bearing). Only fully owned bundles may outlive
+  /// their caller — e.g. be parked in an Engine's session LRU.
+  bool FullyOwned() const {
+    auto owned = [](const void* borrowed, const void* owner) {
+      return borrowed == nullptr || owner != nullptr;
+    };
+    return owned(dataset, owned_dataset.get()) &&
+           owned(dcs, owned_dcs.get()) && owned(dicts, owned_dicts.get()) &&
+           owned(mds, owned_mds.get()) &&
+           owned(extra_detectors, owned_detectors.get());
+  }
+
+  /// The dataset and the constraint set are mandatory; everything else is
+  /// optional signal.
+  Status Validate() const {
+    if (dataset_ptr() == nullptr) {
+      return Status::InvalidArgument("null dataset");
+    }
+    if (dcs_ptr() == nullptr) {
+      return Status::InvalidArgument("null denial-constraint set");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_CORE_INPUTS_H_

@@ -2,13 +2,24 @@
 
 namespace holoclean {
 
+SessionOptions HoloClean::MakeSessionOptions() const {
+  SessionOptions options;
+  options.config = config_;
+  // Facade sessions keep the legacy pool semantics: a private pool sized
+  // by config.num_threads (results are thread-count invariant, but tests
+  // and benches rely on num_threads == 1 meaning a fully sequential run).
+  options.private_pool = true;
+  return options;
+}
+
 Result<Session> HoloClean::Open(Dataset* dataset,
                                 const std::vector<DenialConstraint>& dcs,
                                 const ExtDictCollection* dicts,
                                 const std::vector<MatchingDependency>* mds,
                                 const DetectorSuite* extra_detectors) const {
-  if (dataset == nullptr) return Status::InvalidArgument("null dataset");
-  return Session(config_, dataset, &dcs, dicts, mds, extra_detectors);
+  return engine_->OpenSession(
+      CleaningInputs::Borrowed(dataset, &dcs, dicts, mds, extra_detectors),
+      MakeSessionOptions());
 }
 
 Result<Session> HoloClean::Restore(const std::string& snapshot_path,
@@ -18,10 +29,12 @@ Result<Session> HoloClean::Restore(const std::string& snapshot_path,
                                    const std::vector<MatchingDependency>* mds,
                                    const DetectorSuite* extra_detectors,
                                    const SnapshotLoadOptions& options) const {
-  HOLO_ASSIGN_OR_RETURN(session,
-                        Open(dataset, dcs, dicts, mds, extra_detectors));
-  HOLO_RETURN_NOT_OK(session.RestoreFrom(snapshot_path, options));
-  return session;
+  SessionOptions session_options = MakeSessionOptions();
+  session_options.snapshot_path = snapshot_path;
+  session_options.load_options = options;
+  return engine_->OpenSession(
+      CleaningInputs::Borrowed(dataset, &dcs, dicts, mds, extra_detectors),
+      std::move(session_options));
 }
 
 Result<Report> HoloClean::Run(Dataset* dataset,
@@ -32,8 +45,15 @@ Result<Report> HoloClean::Run(Dataset* dataset,
   HOLO_ASSIGN_OR_RETURN(session,
                         Open(dataset, dcs, dicts, mds, extra_detectors));
   HOLO_ASSIGN_OR_RETURN(report, session.Run());
-  weights_ = session.context().weights;
+  last_weights_ = std::make_shared<const WeightStore>(
+      session.context().weights);
+  report.learned_weights = last_weights_;
   return report;
+}
+
+const WeightStore& HoloClean::weights() const {
+  static const WeightStore kEmpty;
+  return last_weights_ != nullptr ? *last_weights_ : kEmpty;
 }
 
 }  // namespace holoclean

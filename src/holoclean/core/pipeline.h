@@ -1,9 +1,11 @@
 #ifndef HOLOCLEAN_CORE_PIPELINE_H_
 #define HOLOCLEAN_CORE_PIPELINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "holoclean/core/config.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/core/report.h"
 #include "holoclean/core/session.h"
 #include "holoclean/detect/error_detector.h"
@@ -14,31 +16,31 @@
 
 namespace holoclean {
 
-/// The end-to-end HoloClean system (paper Figure 2), built as a staged
-/// pipeline over a shared PipelineContext:
+/// Deprecated single-instance facade over the Engine API (paper Figure 2).
 ///
-///   1. DetectStage — DC violations, plus any extra detectors.
-///   2. CompileStage — co-occurrence statistics, domain pruning (Alg. 2),
-///      external-data matching, DDlog program generation, grounding
-///      (partition-parallel over the Alg. 3 tuple groups when configured).
-///   3. LearnStage — prior weights (WeightInitializer) refined by SGD on
-///      the evidence cells.
-///   4. InferStage — exact marginals (relaxed model) or Gibbs sampling
-///      (DC factors), one concurrent chain per graph component.
-///   5. RepairStage — MAP assignment and repairs with calibrated marginal
-///      probabilities.
+/// New code should use holoclean::Engine directly: it owns the shared
+/// worker pool and session LRU, takes value-typed CleaningInputs bundles
+/// (borrowed or owned) instead of five nullable raw pointers, and supports
+/// concurrent multi-dataset batch runs with per-job futures
+/// (Engine::Submit / Engine::SubmitBatch). Migration:
 ///
-/// Run() executes the full sequence. Open() returns a Session handle that
-/// caches every stage artifact and supports incremental re-runs: after
-/// feedback pins a cell or a config change touches only inference knobs,
-/// only the affected suffix of stages re-executes.
+///   HoloClean(cfg).Run(ds, dcs, ...)   -> engine.Submit(inputs, {cfg})
+///                                         or OpenSession(...)->Run()
+///   HoloClean::Open(ds, dcs, ...)      -> engine.OpenSession(inputs, {cfg})
+///   HoloClean::Restore(path, ds, ...)  -> engine.OpenSession(inputs,
+///                                         {cfg, .snapshot_path = path})
+///   HoloClean::weights()               -> Session::weights() or
+///                                         Report::learned_weights
 ///
-/// The pipeline mutates the dataset's dictionary (interning candidate
-/// values suggested by external dictionaries) but never the cell values;
-/// apply repairs explicitly with Report::Apply.
+/// The facade delegates to a private Engine with per-session pools (so a
+/// session honors config.num_threads exactly as it always did) and every
+/// existing call site compiles and behaves unchanged. It is not
+/// re-entrant: Run updates the weights() shim. Batch and multi-tenant
+/// deployments must use Engine.
 class HoloClean {
  public:
-  explicit HoloClean(HoloCleanConfig config) : config_(std::move(config)) {}
+  explicit HoloClean(HoloCleanConfig config)
+      : config_(std::move(config)), engine_(std::make_shared<Engine>()) {}
 
   /// Cleans `dataset` under constraints `dcs`. `dicts`/`mds` supply the
   /// external-data signal and may be null; `extra_detectors` augments the
@@ -76,14 +78,20 @@ class HoloClean {
                           const DetectorSuite* extra_detectors = nullptr,
                           const SnapshotLoadOptions& options = {}) const;
 
-  /// Learned weights of the last run (model introspection, tests).
-  const WeightStore& weights() const { return weights_; }
+  /// Deprecated: learned weights of this facade's last Run (model
+  /// introspection, tests). Prefer Session::weights() or
+  /// Report::learned_weights, which carry no cross-run mutable state.
+  const WeightStore& weights() const;
 
   const HoloCleanConfig& config() const { return config_; }
 
  private:
+  SessionOptions MakeSessionOptions() const;
+
   HoloCleanConfig config_;
-  WeightStore weights_;
+  std::shared_ptr<Engine> engine_;
+  /// weights() shim storage: the learned weights of the last Run.
+  std::shared_ptr<const WeightStore> last_weights_;
 };
 
 }  // namespace holoclean

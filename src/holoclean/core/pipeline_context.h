@@ -128,14 +128,16 @@ struct PipelineContext {
   /// Materializes the graph (if deferred) and builds the compiled runtime
   /// view if it is not cached yet. Called by the learn/infer stages when
   /// config.compiled_kernel is on; a rerun-from-infer against the cached
-  /// graph reuses the cached compiled view too.
+  /// graph reuses the cached compiled view too. The build's arena fill and
+  /// violation-table precompute run on the session's pool (byte-identical
+  /// for any pool size; see CompiledGraph::Build).
   Status EnsureCompiled() {
     HOLO_RETURN_NOT_OK(EnsureGraph());
     if (compiled == nullptr) {
       CompiledGraphOptions copts;
       copts.violation_table_cap = config.dc_table_cap;
       compiled = std::make_shared<const CompiledGraph>(
-          CompiledGraph::Build(graph, dataset->dirty(), *dcs, copts));
+          CompiledGraph::Build(graph, dataset->dirty(), *dcs, copts, pool));
     }
     return Status::OK();
   }

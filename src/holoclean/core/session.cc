@@ -1,6 +1,7 @@
 #include "holoclean/core/session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "holoclean/io/session_snapshot.h"
 #include "holoclean/util/memory.h"
@@ -8,17 +9,15 @@
 
 namespace holoclean {
 
-Session::Session(HoloCleanConfig config, Dataset* dataset,
-                 const std::vector<DenialConstraint>* dcs,
-                 const ExtDictCollection* dicts,
-                 const std::vector<MatchingDependency>* mds,
-                 const DetectorSuite* extra_detectors) {
+Session::Session(HoloCleanConfig config, CleaningInputs inputs,
+                 std::shared_ptr<ThreadPool> shared_pool)
+    : inputs_(std::move(inputs)), shared_pool_(std::move(shared_pool)) {
   ctx_.config = std::move(config);
-  ctx_.dataset = dataset;
-  ctx_.dcs = dcs;
-  ctx_.dicts = dicts;
-  ctx_.mds = mds;
-  ctx_.extra_detectors = extra_detectors;
+  ctx_.dataset = inputs_.dataset_ptr();
+  ctx_.dcs = inputs_.dcs_ptr();
+  ctx_.dicts = inputs_.dicts_ptr();
+  ctx_.mds = inputs_.mds_ptr();
+  ctx_.extra_detectors = inputs_.detectors_ptr();
   stages_ = MakeDefaultStages();
   auto& timings = ctx_.report.stats.stage_timings;
   timings.resize(stages_.size());
@@ -28,8 +27,55 @@ Session::Session(HoloCleanConfig config, Dataset* dataset,
   RebuildPool();
 }
 
+Session::Session(HoloCleanConfig config, Dataset* dataset,
+                 const std::vector<DenialConstraint>* dcs,
+                 const ExtDictCollection* dicts,
+                 const std::vector<MatchingDependency>* mds,
+                 const DetectorSuite* extra_detectors)
+    : Session(std::move(config),
+              CleaningInputs::Borrowed(dataset, dcs, dicts, mds,
+                                       extra_detectors)) {}
+
+Session::Session(Session&& other)
+    : inputs_(std::move(other.inputs_)),
+      shared_pool_(std::move(other.shared_pool_)),
+      pool_(std::move(other.pool_)),
+      stages_(std::move(other.stages_)),
+      ctx_(std::move(other.ctx_)),
+      valid_through_(other.valid_through_) {
+  // ctx_.pool already points at the (heap or shared) pool whose ownership
+  // just migrated here. The source's context still holds raw copies of
+  // every input and pool pointer — reset it so a moved-from session can
+  // never alias resources it no longer keeps alive.
+  other.ctx_ = PipelineContext();
+  other.valid_through_ = 0;
+}
+
+Session& Session::operator=(Session&& other) {
+  if (this == &other) return *this;
+  // Adopt the source's context before destroying our pool: the old
+  // context aliases the old pool, and dropping the alias first keeps the
+  // window where ctx_.pool dangles at zero. Destroying the old private
+  // pool joins its workers; stale TaskGroup helper tasks still queued
+  // there hold only self-contained heap state, so the teardown is safe
+  // even when a parallel section just finished.
+  ctx_ = std::move(other.ctx_);
+  stages_ = std::move(other.stages_);
+  inputs_ = std::move(other.inputs_);
+  valid_through_ = other.valid_through_;
+  pool_ = std::move(other.pool_);
+  shared_pool_ = std::move(other.shared_pool_);
+  other.ctx_ = PipelineContext();
+  other.valid_through_ = 0;
+  return *this;
+}
+
 void Session::RebuildPool() {
   pool_.reset();
+  if (shared_pool_ != nullptr) {
+    ctx_.pool = shared_pool_.get();
+    return;
+  }
   if (ctx_.config.num_threads != 1) {
     pool_ = std::make_unique<ThreadPool>(ctx_.config.num_threads);
   }
@@ -142,7 +188,10 @@ void Session::UpdateConfig(const HoloCleanConfig& config) {
   if (config.dc_table_cap != cur.dc_table_cap || !config.compiled_kernel) {
     ctx_.compiled.reset();
   }
-  bool pool_changed = config.num_threads != cur.num_threads;
+  // A shared pool is engine property: num_threads only governs private
+  // pools (results are thread-count invariant either way).
+  bool pool_changed =
+      shared_pool_ == nullptr && config.num_threads != cur.num_threads;
   ctx_.config = config;
   if (pool_changed) RebuildPool();
   if (invalid < kNumStages) Invalidate(static_cast<StageId>(invalid));

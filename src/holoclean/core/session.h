@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "holoclean/core/inputs.h"
 #include "holoclean/core/pipeline_context.h"
 #include "holoclean/core/stage.h"
 #include "holoclean/io/session_snapshot.h"
@@ -11,19 +12,20 @@
 namespace holoclean {
 
 /// A long-lived handle over one cleaning instance (obtained with
-/// HoloClean::Open) that supports incremental re-runs: the session caches
-/// every stage artifact in its PipelineContext and tracks which leading
-/// stages are still valid. Run() only executes the invalid suffix, so e.g.
-/// changing a Gibbs knob re-runs inference and repair extraction against
-/// the cached factor graph without re-detecting or re-grounding anything.
+/// Engine::OpenSession, or the deprecated HoloClean::Open) that supports
+/// incremental re-runs: the session caches every stage artifact in its
+/// PipelineContext and tracks which leading stages are still valid. Run()
+/// only executes the invalid suffix, so e.g. changing a Gibbs knob re-runs
+/// inference and repair extraction against the cached factor graph without
+/// re-detecting or re-grounding anything.
 ///
 /// Invalidation sources:
 ///  - Invalidate(stage): explicit, everything from `stage` on re-executes.
 ///  - UpdateConfig(config): diffs the configs and invalidates the earliest
 ///    stage any changed knob feeds into (e.g. tau -> compile, epochs ->
 ///    learn, gibbs_samples -> infer). Changing num_threads rebuilds the
-///    worker pool but invalidates nothing: results are thread-count
-///    invariant.
+///    private worker pool but invalidates nothing: results are
+///    thread-count invariant.
 ///  - PinCell(cell, value): writes a user-verified value into the dirty
 ///    table (the feedback loop of paper §2.2). When detection is cached,
 ///    the pinned cell is dropped from the noisy set and only compile and
@@ -35,19 +37,42 @@ namespace holoclean {
 ///    not detected, so those partners are not repaired until a full
 ///    re-detection. Call Invalidate(StageId::kDetect) for exact semantics.
 ///
-/// The session borrows the dataset and constraints passed to Open; they
-/// must outlive it. It mutates the dataset's dictionary (interning matched
-/// candidate values) and — only via PinCell — cell values.
+/// The session holds its CleaningInputs bundle: owned inputs stay alive
+/// for the session's lifetime, borrowed ones must outlive it. It mutates
+/// the dataset's dictionary (interning matched candidate values) and —
+/// only via PinCell — cell values.
+///
+/// Worker pool: a session either runs on a shared, externally owned pool
+/// (Engine sessions — the pool is shared by every concurrent session and
+/// batch job) or owns a private pool sized by config.num_threads (the
+/// legacy facade behavior). Results are bit-identical either way.
 class Session {
  public:
+  /// Opens a staged session over an input bundle. `shared_pool` non-null
+  /// wires the session onto that (engine-owned) pool; null gives the
+  /// session a private pool per config.num_threads.
+  Session(HoloCleanConfig config, CleaningInputs inputs,
+          std::shared_ptr<ThreadPool> shared_pool = nullptr);
+
+  /// Legacy borrowed-pointer constructor (the facade's calling
+  /// convention); equivalent to the bundle constructor with
+  /// CleaningInputs::Borrowed and a private pool.
   Session(HoloCleanConfig config, Dataset* dataset,
           const std::vector<DenialConstraint>* dcs,
           const ExtDictCollection* dicts,
           const std::vector<MatchingDependency>* mds,
           const DetectorSuite* extra_detectors);
 
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  /// Moves keep the context's pool pointer wired to the pool the
+  /// destination now owns (or shares) and leave the source inert: a
+  /// moved-from session holds no input pointers and no pool reference, so
+  /// destroying — or accidentally reusing — it can never touch resources
+  /// that migrated to the destination. Move-assignment first destroys the
+  /// destination's old private pool; any helper tasks a finished parallel
+  /// section left in a pool queue hold only self-contained heap state (see
+  /// TaskGroup), so the teardown is safe even right after a run.
+  Session(Session&& other);
+  Session& operator=(Session&& other);
 
   /// Executes all invalid stages through repair extraction and returns the
   /// report. When every stage is valid this is a cached-report lookup.
@@ -77,11 +102,12 @@ class Session {
   /// Serializes the cached stage artifacts (everything the valid stage
   /// prefix produced, plus the dirty table's current cell values and
   /// dictionary) into a versioned, checksummed SessionSnapshot at `path`.
-  /// A later process restores it with HoloClean::Restore (or RestoreFrom)
-  /// and re-runs from any cached stage exactly like an in-process rerun.
-  /// `options` select the section codec (packed by default) and, for
-  /// comparison benchmarks, the legacy v1 format. A lazily restored
-  /// session materializes its factor graph first.
+  /// A later process restores it with Engine::OpenSession (snapshot_path)
+  /// or the deprecated HoloClean::Restore and re-runs from any cached
+  /// stage exactly like an in-process rerun. `options` select the section
+  /// codec (packed by default) and, for comparison benchmarks, the legacy
+  /// v1 format. A lazily restored session materializes its factor graph
+  /// first.
   Status Save(const std::string& path, const SnapshotSaveOptions& options = {});
 
   /// Loads a snapshot saved by Save() into this session, replacing every
@@ -103,11 +129,25 @@ class Session {
   /// The report of the last (possibly partial) run.
   const Report& report() const { return ctx_.report; }
 
+  /// The learned weights (valid once the learn stage ran or was restored).
+  const WeightStore& weights() const { return ctx_.weights; }
+
   const HoloCleanConfig& config() const { return ctx_.config; }
+
+  /// The input bundle the session runs over.
+  const CleaningInputs& inputs() const { return inputs_; }
+
+  /// True when the session runs on a shared (engine-owned) pool rather
+  /// than a private one.
+  bool uses_shared_pool() const { return shared_pool_ != nullptr; }
 
  private:
   void RebuildPool();
 
+  CleaningInputs inputs_;
+  /// Engine-owned pool, shared with other sessions; null when the session
+  /// owns `pool_` instead.
+  std::shared_ptr<ThreadPool> shared_pool_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<PipelineStage>> stages_;
   PipelineContext ctx_;

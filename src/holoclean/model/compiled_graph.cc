@@ -59,56 +59,264 @@ class KeyInterner {
   size_t mask_ = 0;
 };
 
+/// Runs fn over disjoint chunks of [0, n): on the pool when one is given,
+/// inline otherwise. All Build fills write disjoint index ranges, so the
+/// output bytes are identical either way.
+void RunChunks(ThreadPool* pool, size_t n,
+               const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool != nullptr) {
+    pool->ParallelChunks(n, fn);
+  } else {
+    fn(0, n);
+  }
+}
+
+/// Fills one DC factor's precomputed violation table. One filler per
+/// worker chunk: it owns the evaluator and the scratch buffers, so the
+/// per-factor work stays allocation-free after warm-up exactly like the
+/// old sequential loop did.
+///
+/// The precompute reproduces DcEvaluator::ViolatesWith verdicts without
+/// paying a full evaluator call per candidate combination: each
+/// predicate's operands are resolved once per factor to either a fixed
+/// ValueId (an evidence cell of the factor's tuples) or a position in the
+/// factor's query-variable list. Predicates with no dynamic operand are
+/// evaluated once; with one, per candidate of that variable; only
+/// predicates joining two query variables are evaluated per combination.
+/// Verdict equivalence with the evaluator is pinned by an exhaustive
+/// differential test.
+class TableFiller {
+ public:
+  TableFiller(const std::vector<Variable>& vars, const Table& table,
+              const std::vector<DenialConstraint>& dcs, double sim_threshold)
+      : vars_(vars),
+        table_(table),
+        dcs_(dcs),
+        dict_(table.dict()),
+        evaluator_(&table, sim_threshold) {}
+
+  /// Writes `entries` bytes at `dst` (the factor's region of the shared
+  /// table arena, pre-zeroed by the caller's resize).
+  void Fill(const DcFactor& factor, uint8_t* dst, size_t entries) {
+    size_t num_positions = factor.var_ids.size();
+    const DenialConstraint& dc = dcs_[static_cast<size_t>(factor.dc_index)];
+    bool never_violates = dc.IsTwoTuple() && factor.t1 == factor.t2;
+
+    // Resolve each predicate. `fixed_hold` accumulates the predicates with
+    // no dynamic operand; if any fails, no combination violates.
+    two_dyn_.clear();
+    if (pred_by_cand_.size() < num_positions) {
+      pred_by_cand_.resize(num_positions);
+    }
+    pred_used_.assign(num_positions, 0);
+    bool fixed_hold = true;
+    if (!never_violates) {
+      for (const Predicate& p : dc.preds) {
+        DynamicPred d;
+        d.p = &p;
+        TupleId lhs_t = p.lhs_tuple == 0 ? factor.t1 : factor.t2;
+        for (size_t i = 0; i < num_positions; ++i) {
+          const Variable& var =
+              vars_[static_cast<size_t>(factor.var_ids[i])];
+          if (var.cell.tid == lhs_t && var.cell.attr == p.lhs_attr) {
+            d.lhs_pos = static_cast<int>(i);
+            break;
+          }
+        }
+        if (d.lhs_pos < 0) d.lhs_fixed = table_.Get(lhs_t, p.lhs_attr);
+        if (!p.rhs_is_constant) {
+          TupleId rhs_t = p.rhs_tuple == 0 ? factor.t1 : factor.t2;
+          for (size_t i = 0; i < num_positions; ++i) {
+            const Variable& var =
+                vars_[static_cast<size_t>(factor.var_ids[i])];
+            if (var.cell.tid == rhs_t && var.cell.attr == p.rhs_attr) {
+              d.rhs_pos = static_cast<int>(i);
+              break;
+            }
+          }
+          if (d.rhs_pos < 0) d.rhs_fixed = table_.Get(rhs_t, p.rhs_attr);
+        }
+
+        if (d.lhs_pos < 0 && d.rhs_pos < 0) {
+          if (!PredHolds(p, d.lhs_fixed, d.rhs_fixed)) {
+            fixed_hold = false;
+            break;
+          }
+        } else if (d.lhs_pos >= 0 && d.rhs_pos >= 0) {
+          two_dyn_.push_back(d);
+        } else {
+          // One dynamic operand: fold the predicate into that variable's
+          // per-candidate conjunction.
+          int pos = d.lhs_pos >= 0 ? d.lhs_pos : d.rhs_pos;
+          const Variable& var =
+              vars_[static_cast<size_t>(factor.var_ids[pos])];
+          auto& holds = pred_by_cand_[static_cast<size_t>(pos)];
+          if (pred_used_[static_cast<size_t>(pos)] == 0) {
+            pred_used_[static_cast<size_t>(pos)] = 1;
+            holds.assign(var.NumCandidates(), 1);
+          }
+          for (size_t k = 0; k < var.NumCandidates(); ++k) {
+            if (holds[k] == 0) continue;
+            ValueId lhs = d.lhs_pos >= 0 ? var.domain[k] : d.lhs_fixed;
+            ValueId rhs = d.rhs_pos >= 0 ? var.domain[k] : d.rhs_fixed;
+            if (!PredHolds(p, lhs, rhs)) holds[k] = 0;
+          }
+        }
+      }
+    }
+
+    // The arena region is pre-zeroed: a factor that can never violate
+    // keeps its all-zero table without writing a byte.
+    if (never_violates || !fixed_hold) return;
+
+    // Enumerate the combinations in row-major order (last variable
+    // fastest), mirroring TableViolated's index computation.
+    combo_.assign(num_positions, 0);
+    combo_value_.resize(num_positions);
+    for (size_t i = 0; i < num_positions; ++i) {
+      combo_value_[i] =
+          vars_[static_cast<size_t>(factor.var_ids[i])].domain[0];
+    }
+    for (size_t e = 0; e < entries; ++e) {
+      bool violated = true;
+      for (size_t i = 0; i < num_positions && violated; ++i) {
+        if (pred_used_[i] != 0 &&
+            pred_by_cand_[i][static_cast<size_t>(combo_[i])] == 0) {
+          violated = false;
+        }
+      }
+      for (const DynamicPred& d : two_dyn_) {
+        if (!violated) break;
+        violated = PredHolds(*d.p,
+                             combo_value_[static_cast<size_t>(d.lhs_pos)],
+                             combo_value_[static_cast<size_t>(d.rhs_pos)]);
+      }
+      dst[e] = violated ? 1 : 0;
+      // Increment the mixed-radix counter (last position fastest).
+      for (size_t i = num_positions; i-- > 0;) {
+        const Variable& var =
+            vars_[static_cast<size_t>(factor.var_ids[i])];
+        if (++combo_[i] < static_cast<int>(var.NumCandidates())) {
+          combo_value_[i] = var.domain[static_cast<size_t>(combo_[i])];
+          break;
+        }
+        combo_[i] = 0;
+        combo_value_[i] = var.domain[0];
+      }
+    }
+  }
+
+ private:
+  struct DynamicPred {
+    const Predicate* p = nullptr;
+    int lhs_pos = -1;  ///< Position in the factor's var list, or -1 fixed.
+    int rhs_pos = -1;
+    ValueId lhs_fixed = 0;
+    ValueId rhs_fixed = 0;
+  };
+
+  // Mirrors the tail of DcEvaluator::PredicateHolds once the operands are
+  // resolved: NULLs never hold; constants compare as strings.
+  bool PredHolds(const Predicate& p, ValueId lhs, ValueId rhs) const {
+    if (lhs == Dictionary::kNull) return false;
+    if (p.rhs_is_constant) {
+      return evaluator_.CompareStrings(p.op, dict_.GetString(lhs),
+                                       p.constant);
+    }
+    if (rhs == Dictionary::kNull) return false;
+    return evaluator_.Compare(p.op, lhs, rhs);
+  }
+
+  const std::vector<Variable>& vars_;
+  const Table& table_;
+  const std::vector<DenialConstraint>& dcs_;
+  const Dictionary& dict_;
+  DcEvaluator evaluator_;
+
+  /// Scratch, reused across the chunk's factors (allocation-free steady
+  /// state). pred_by_cand_[i][k]: conjunction of the single-dynamic
+  /// predicates of factor variable i at its candidate k; pred_used_[i]
+  /// marks positions that have any.
+  std::vector<DynamicPred> two_dyn_;
+  std::vector<std::vector<uint8_t>> pred_by_cand_;
+  std::vector<uint8_t> pred_used_;
+  std::vector<int> combo_;
+  std::vector<ValueId> combo_value_;
+};
+
 }  // namespace
 
 CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
                                    const Table& table,
                                    const std::vector<DenialConstraint>& dcs,
-                                   const CompiledGraphOptions& options) {
+                                   const CompiledGraphOptions& options,
+                                   ThreadPool* pool) {
   CompiledGraph out;
   out.sim_threshold_ = options.sim_threshold;
   const std::vector<Variable>& vars = graph.variables();
   size_t num_vars = vars.size();
 
-  // --- Variable arenas.
+  // --- Variable arenas: serial offset planning, parallel fill.
+  // Candidate and feature offsets per variable are cheap prefix sums; with
+  // them fixed, every variable writes disjoint ranges of the flat arrays.
   size_t total_cands = 0;
   size_t total_feats = 0;
-  for (const Variable& var : vars) {
-    total_cands += var.NumCandidates();
-    total_feats += var.features.size();
-  }
-  HOLO_CHECK(total_cands < static_cast<size_t>(INT32_MAX));
   out.cand_begin_.reserve(num_vars + 1);
   out.cand_begin_.push_back(0);
   out.is_evidence_.reserve(num_vars);
   out.init_index_.reserve(num_vars);
-  out.prior_bias_.reserve(total_cands);
-  out.feat_begin_.reserve(total_cands + 1);
-  out.feat_begin_.push_back(0);
-  out.feat_weight_.reserve(total_feats);
-  out.feat_act_.reserve(total_feats);
-  // Features are interned in one pass (insertion-order ids), then the key
-  // set is sorted and the per-instance ids remapped linearly — the dense
-  // id assignment is sorted-key order, independent of iteration order.
-  // Sizing the interner for one unique key per ~4 instances skips nearly
-  // every rehash without over-allocating on feature-heavy graphs.
-  KeyInterner interner(/*expected=*/total_feats / 4 + 64);
-  for (const Variable& var : vars) {
+  std::vector<int64_t> var_feat_begin(num_vars + 1);
+  var_feat_begin[0] = 0;
+  for (size_t v = 0; v < num_vars; ++v) {
+    const Variable& var = vars[v];
+    total_cands += var.NumCandidates();
+    total_feats += var.features.size();
+    out.cand_begin_.push_back(static_cast<int32_t>(total_cands));
     out.is_evidence_.push_back(var.is_evidence ? 1 : 0);
     out.init_index_.push_back(var.init_index);
-    out.cand_begin_.push_back(out.cand_begin_.back() +
-                              static_cast<int32_t>(var.NumCandidates()));
-    for (size_t k = 0; k < var.NumCandidates(); ++k) {
-      out.prior_bias_.push_back(var.prior_bias[k]);
-      for (int32_t i = var.feat_begin[k]; i < var.feat_begin[k + 1]; ++i) {
-        const FeatureInstance& f = var.features[static_cast<size_t>(i)];
-        out.feat_weight_.push_back(interner.InsertOrGet(f.weight_key));
-        out.feat_act_.push_back(f.activation);
-      }
-      out.feat_begin_.push_back(
-          static_cast<int64_t>(out.feat_weight_.size()));
-    }
+    var_feat_begin[v + 1] = static_cast<int64_t>(total_feats);
   }
+  HOLO_CHECK(total_cands < static_cast<size_t>(INT32_MAX));
+  out.prior_bias_.resize(total_cands);
+  out.feat_begin_.resize(total_cands + 1);
+  out.feat_begin_[0] = 0;
+  out.feat_act_.resize(total_feats);
+  out.feat_weight_.resize(total_feats);
+  // Raw 64-bit keys land in a temp arena first; interning stays a serial
+  // pass (the interner is shared state), but it is one probe per
+  // activation over a flat array — the copy work around it parallelizes.
+  std::vector<uint64_t> feat_key_raw(total_feats);
+  RunChunks(pool, num_vars, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const Variable& var = vars[v];
+      size_t cand = static_cast<size_t>(out.cand_begin_[v]);
+      size_t feat = static_cast<size_t>(var_feat_begin[v]);
+      for (size_t k = 0; k < var.NumCandidates(); ++k) {
+        out.prior_bias_[cand + k] = var.prior_bias[k];
+        for (int32_t i = var.feat_begin[k]; i < var.feat_begin[k + 1]; ++i) {
+          const FeatureInstance& f = var.features[static_cast<size_t>(i)];
+          feat_key_raw[feat] = f.weight_key;
+          out.feat_act_[feat] = f.activation;
+          ++feat;
+        }
+        out.feat_begin_[cand + k + 1] =
+            var_feat_begin[v] + static_cast<int64_t>(var.feat_begin[k + 1]);
+      }
+    }
+  });
+
+  // Features are interned in one pass (insertion-order ids), then the key
+  // set is sorted and the per-instance ids remapped in parallel — the
+  // dense id assignment is sorted-key order, independent of iteration
+  // order. Sizing the interner for one unique key per ~4 instances skips
+  // nearly every rehash without over-allocating on feature-heavy graphs.
+  KeyInterner interner(/*expected=*/total_feats / 4 + 64);
+  for (size_t i = 0; i < total_feats; ++i) {
+    out.feat_weight_[i] = interner.InsertOrGet(feat_key_raw[i]);
+  }
+  feat_key_raw.clear();
+  feat_key_raw.shrink_to_fit();
   const std::vector<uint64_t>& interned = interner.keys();
   std::vector<std::pair<uint64_t, int32_t>> by_key(interned.size());
   for (size_t id = 0; id < interned.size(); ++id) {
@@ -121,9 +329,12 @@ CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
     out.weight_keys_[i] = by_key[i].first;
     dense_id[static_cast<size_t>(by_key[i].second)] = static_cast<int32_t>(i);
   }
-  for (int32_t& wid : out.feat_weight_) {
-    wid = dense_id[static_cast<size_t>(wid)];
-  }
+  RunChunks(pool, total_feats, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out.feat_weight_[i] =
+          dense_id[static_cast<size_t>(out.feat_weight_[i])];
+    }
+  });
 
   // --- Factors-of-variable adjacency, preserving FactorsOfVar order.
   const std::vector<DcFactor>& factors = graph.dc_factors();
@@ -134,14 +345,22 @@ CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
   }
   out.fov_begin_.reserve(num_vars + 1);
   out.fov_begin_.push_back(0);
-  out.fov_.reserve(total_adjacency);
   for (size_t v = 0; v < num_vars; ++v) {
-    const auto& fids = graph.FactorsOfVar(static_cast<int>(v));
-    out.fov_.insert(out.fov_.end(), fids.begin(), fids.end());
-    out.fov_begin_.push_back(static_cast<int32_t>(out.fov_.size()));
+    out.fov_begin_.push_back(
+        out.fov_begin_.back() +
+        static_cast<int32_t>(graph.FactorsOfVar(static_cast<int>(v)).size()));
   }
+  out.fov_.resize(static_cast<size_t>(out.fov_begin_.back()));
+  RunChunks(pool, num_vars, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const auto& fids = graph.FactorsOfVar(static_cast<int>(v));
+      std::copy(fids.begin(), fids.end(),
+                out.fov_.begin() + out.fov_begin_[v]);
+    }
+  });
 
-  // --- Factor arenas and violation tables.
+  // --- Factor arenas and violation-table offsets (serial: cheap linear
+  // bookkeeping, and the stats must accumulate deterministically).
   out.factor_var_begin_.reserve(num_factors + 1);
   out.factor_var_begin_.push_back(0);
   out.factor_vars_.reserve(total_adjacency);
@@ -150,49 +369,10 @@ CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
   out.factor_t1_.reserve(num_factors);
   out.factor_t2_.reserve(num_factors);
   out.table_begin_.reserve(num_factors);
-
-  // The table precompute reproduces DcEvaluator::ViolatesWith verdicts
-  // without paying a full evaluator call per candidate combination: each
-  // predicate's operands are resolved once per factor to either a fixed
-  // ValueId (an evidence cell of the factor's tuples) or a position in the
-  // factor's query-variable list. Predicates with no dynamic operand are
-  // evaluated once; with one, per candidate of that variable; only
-  // predicates joining two query variables are evaluated per combination.
-  // Verdict equivalence with the evaluator is pinned by an exhaustive
-  // differential test.
-  DcEvaluator evaluator(&table, options.sim_threshold);
-  const Dictionary& dict = table.dict();
-
-  // Mirrors the tail of DcEvaluator::PredicateHolds once the operands are
-  // resolved: NULLs never hold; constants compare as strings.
-  auto pred_holds = [&](const Predicate& p, ValueId lhs,
-                        ValueId rhs) -> bool {
-    if (lhs == Dictionary::kNull) return false;
-    if (p.rhs_is_constant) {
-      return evaluator.CompareStrings(p.op, dict.GetString(lhs), p.constant);
-    }
-    if (rhs == Dictionary::kNull) return false;
-    return evaluator.Compare(p.op, lhs, rhs);
-  };
-
-  struct DynamicPred {
-    const Predicate* p = nullptr;
-    int lhs_pos = -1;  ///< Position in the factor's var list, or -1 fixed.
-    int rhs_pos = -1;
-    ValueId lhs_fixed = 0;
-    ValueId rhs_fixed = 0;
-  };
-  std::vector<DynamicPred> two_dyn;
-  /// pred_by_cand[i][k]: conjunction of the single-dynamic predicates of
-  /// factor variable i at its candidate k; pred_used[i] marks positions
-  /// that have any. Buffers grow once and are reused across the (many)
-  /// factors — the per-factor work must stay allocation-free.
-  std::vector<std::vector<uint8_t>> pred_by_cand;
-  std::vector<uint8_t> pred_used;
-  std::vector<int> combo;
-  std::vector<ValueId> combo_value;
-
-  for (const DcFactor& factor : factors) {
+  std::vector<size_t> table_entries(num_factors, 0);
+  size_t total_entries = 0;
+  for (size_t fid = 0; fid < num_factors; ++fid) {
+    const DcFactor& factor = factors[fid];
     out.factor_vars_.insert(out.factor_vars_.end(), factor.var_ids.begin(),
                             factor.var_ids.end());
     out.factor_var_begin_.push_back(
@@ -206,9 +386,8 @@ CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
     // bounded by the pruning cap (default 64), so overflow is only a
     // theoretical concern — still, bail out as soon as the running product
     // passes the table cap.
-    size_t num_positions = factor.var_ids.size();
     size_t entries = 1;
-    bool fits = num_positions > 0;
+    bool fits = !factor.var_ids.empty();
     for (int32_t v : factor.var_ids) {
       entries *= vars[static_cast<size_t>(v)].NumCandidates();
       if (entries > options.violation_table_cap) {
@@ -221,116 +400,26 @@ CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
       ++out.stats_.num_fallback_factors;
       continue;
     }
-    out.table_begin_.push_back(
-        static_cast<int64_t>(out.violation_tables_.size()));
+    out.table_begin_.push_back(static_cast<int64_t>(total_entries));
+    table_entries[fid] = entries;
+    total_entries += entries;
     ++out.stats_.num_tabled_factors;
     out.stats_.table_entries += entries;
-
-    const DenialConstraint& dc = dcs[static_cast<size_t>(factor.dc_index)];
-    bool never_violates = dc.IsTwoTuple() && factor.t1 == factor.t2;
-
-    // Resolve each predicate. `fixed_hold` accumulates the predicates with
-    // no dynamic operand; if any fails, no combination violates.
-    two_dyn.clear();
-    if (pred_by_cand.size() < num_positions) {
-      pred_by_cand.resize(num_positions);
-    }
-    pred_used.assign(num_positions, 0);
-    bool fixed_hold = true;
-    if (!never_violates) {
-      for (const Predicate& p : dc.preds) {
-        DynamicPred d;
-        d.p = &p;
-        TupleId lhs_t = p.lhs_tuple == 0 ? factor.t1 : factor.t2;
-        for (size_t i = 0; i < num_positions; ++i) {
-          const Variable& var = vars[static_cast<size_t>(factor.var_ids[i])];
-          if (var.cell.tid == lhs_t && var.cell.attr == p.lhs_attr) {
-            d.lhs_pos = static_cast<int>(i);
-            break;
-          }
-        }
-        if (d.lhs_pos < 0) d.lhs_fixed = table.Get(lhs_t, p.lhs_attr);
-        if (!p.rhs_is_constant) {
-          TupleId rhs_t = p.rhs_tuple == 0 ? factor.t1 : factor.t2;
-          for (size_t i = 0; i < num_positions; ++i) {
-            const Variable& var =
-                vars[static_cast<size_t>(factor.var_ids[i])];
-            if (var.cell.tid == rhs_t && var.cell.attr == p.rhs_attr) {
-              d.rhs_pos = static_cast<int>(i);
-              break;
-            }
-          }
-          if (d.rhs_pos < 0) d.rhs_fixed = table.Get(rhs_t, p.rhs_attr);
-        }
-
-        if (d.lhs_pos < 0 && d.rhs_pos < 0) {
-          if (!pred_holds(p, d.lhs_fixed, d.rhs_fixed)) {
-            fixed_hold = false;
-            break;
-          }
-        } else if (d.lhs_pos >= 0 && d.rhs_pos >= 0) {
-          two_dyn.push_back(d);
-        } else {
-          // One dynamic operand: fold the predicate into that variable's
-          // per-candidate conjunction.
-          int pos = d.lhs_pos >= 0 ? d.lhs_pos : d.rhs_pos;
-          const Variable& var =
-              vars[static_cast<size_t>(factor.var_ids[pos])];
-          auto& holds = pred_by_cand[static_cast<size_t>(pos)];
-          if (pred_used[static_cast<size_t>(pos)] == 0) {
-            pred_used[static_cast<size_t>(pos)] = 1;
-            holds.assign(var.NumCandidates(), 1);
-          }
-          for (size_t k = 0; k < var.NumCandidates(); ++k) {
-            if (holds[k] == 0) continue;
-            ValueId lhs = d.lhs_pos >= 0 ? var.domain[k] : d.lhs_fixed;
-            ValueId rhs = d.rhs_pos >= 0 ? var.domain[k] : d.rhs_fixed;
-            if (!pred_holds(p, lhs, rhs)) holds[k] = 0;
-          }
-        }
-      }
-    }
-
-    if (never_violates || !fixed_hold) {
-      out.violation_tables_.resize(out.violation_tables_.size() + entries,
-                                   0);
-      continue;
-    }
-
-    // Enumerate the combinations in row-major order (last variable
-    // fastest), mirroring TableViolated's index computation.
-    combo.assign(num_positions, 0);
-    combo_value.resize(num_positions);
-    for (size_t i = 0; i < num_positions; ++i) {
-      combo_value[i] = vars[static_cast<size_t>(factor.var_ids[i])].domain[0];
-    }
-    for (size_t e = 0; e < entries; ++e) {
-      bool violated = true;
-      for (size_t i = 0; i < num_positions && violated; ++i) {
-        if (pred_used[i] != 0 &&
-            pred_by_cand[i][static_cast<size_t>(combo[i])] == 0) {
-          violated = false;
-        }
-      }
-      for (const DynamicPred& d : two_dyn) {
-        if (!violated) break;
-        violated = pred_holds(*d.p,
-                              combo_value[static_cast<size_t>(d.lhs_pos)],
-                              combo_value[static_cast<size_t>(d.rhs_pos)]);
-      }
-      out.violation_tables_.push_back(violated ? 1 : 0);
-      // Increment the mixed-radix counter (last position fastest).
-      for (size_t i = num_positions; i-- > 0;) {
-        const Variable& var = vars[static_cast<size_t>(factor.var_ids[i])];
-        if (++combo[i] < static_cast<int>(var.NumCandidates())) {
-          combo_value[i] = var.domain[static_cast<size_t>(combo[i])];
-          break;
-        }
-        combo[i] = 0;
-        combo_value[i] = var.domain[0];
-      }
-    }
   }
+
+  // --- Violation-table fill: per-factor regions are disjoint, so factors
+  // precompute concurrently; each chunk owns its evaluator and scratch.
+  out.violation_tables_.assign(total_entries, 0);
+  RunChunks(pool, num_factors, [&](size_t begin, size_t end) {
+    TableFiller filler(vars, table, dcs, options.sim_threshold);
+    for (size_t fid = begin; fid < end; ++fid) {
+      if (out.table_begin_[fid] < 0) continue;
+      filler.Fill(factors[fid],
+                  out.violation_tables_.data() +
+                      static_cast<size_t>(out.table_begin_[fid]),
+                  table_entries[fid]);
+    }
+  });
 
   return out;
 }

@@ -8,6 +8,7 @@
 #include "holoclean/constraints/denial_constraint.h"
 #include "holoclean/model/factor_graph.h"
 #include "holoclean/model/weight_store.h"
+#include "holoclean/util/thread_pool.h"
 
 namespace holoclean {
 
@@ -67,10 +68,15 @@ class CompiledGraph {
 
   /// Compiles `graph` against the observed `table` and constraint set.
   /// `table` and `dcs` are only read during Build (violation-table
-  /// precompute); they are not retained.
+  /// precompute); they are not retained. `pool` parallelizes the arena
+  /// fill and the per-factor violation-table precompute (null = fully
+  /// sequential): every offset is planned in cheap serial passes first, so
+  /// the parallel fills write disjoint ranges and the built graph is
+  /// byte-identical for any pool size.
   static CompiledGraph Build(const FactorGraph& graph, const Table& table,
                              const std::vector<DenialConstraint>& dcs,
-                             const CompiledGraphOptions& options = {});
+                             const CompiledGraphOptions& options = {},
+                             ThreadPool* pool = nullptr);
 
   // --- Dense weight remap ---------------------------------------------------
 

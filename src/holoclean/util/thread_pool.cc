@@ -1,7 +1,6 @@
 #include "holoclean/util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace holoclean {
 
@@ -24,7 +23,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
@@ -49,6 +48,50 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->pending.empty()) return false;
+    task = std::move(state->pending.front());
+    state->pending.pop_front();
+    ++state->running;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    --state->running;
+    if (state->running == 0 && state->pending.empty()) {
+      state->done.notify_all();
+    }
+  }
+  return true;
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->pending.push_back(std::move(fn));
+  }
+  // One pool helper per task: each helper claims at most one pending task,
+  // so helpers left behind by a group the caller already drained find an
+  // empty list and exit without touching anything the caller owned.
+  pool_->Enqueue([state = state_] { RunOne(state); });
+}
+
+void TaskGroup::Wait() {
+  while (RunOne(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done.wait(lock, [this] {
+    return state_->running == 0 && state_->pending.empty();
+  });
+}
+
 void ThreadPool::ParallelChunks(
     size_t n, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
@@ -58,26 +101,12 @@ void ThreadPool::ParallelChunks(
     return;
   }
   size_t chunk = (n + workers - 1) / workers;
-  std::atomic<size_t> remaining{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  size_t launched = 0;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    ++launched;
-  }
-  remaining.store(launched);
+  TaskGroup group(this);
   for (size_t begin = 0; begin < n; begin += chunk) {
     size_t end = std::min(begin + chunk, n);
-    Submit([&, begin, end] {
-      fn(begin, end);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+    group.Submit([&fn, begin, end] { fn(begin, end); });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  group.Wait();
 }
 
 void ThreadPool::ParallelFor(size_t n,

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -442,6 +443,83 @@ TEST(CompiledKernel, SnapshotV2PackedBytesIdenticalAcrossKernels) {
 
 TEST(CompiledKernel, SnapshotV1BytesIdenticalAcrossKernels) {
   CheckSnapshotBytesIdentical(kSnapshotFormatV1, SectionCodec::kRaw);
+}
+
+// ---------- Parallel build ----------
+
+TEST(CompiledGraph, ParallelBuildByteIdenticalToSequential) {
+  // The pool-parallel arena fill and violation-table precompute must
+  // produce exactly the bytes the sequential build produces, for any pool
+  // size — including across the tabled/fallback boundary.
+  HospitalOptions options;
+  options.num_rows = 150;
+  GeneratedData fresh = MakeHospital(options);
+  auto opened = HoloClean(FactorConfig()).Open(&fresh.dataset, fresh.dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.RunThrough(StageId::kCompile).ok());
+  const FactorGraph& graph = session.context().graph;
+  const Table& table = fresh.dataset.dirty();
+
+  CompiledGraphOptions copts;
+  copts.violation_table_cap = 512;  // Keep some factors on the fallback.
+  CompiledGraph sequential =
+      CompiledGraph::Build(graph, table, fresh.dcs, copts, nullptr);
+  ASSERT_GT(sequential.stats().num_tabled_factors, 0u);
+
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    ThreadPool pool(threads);
+    CompiledGraph parallel =
+        CompiledGraph::Build(graph, table, fresh.dcs, copts, &pool);
+
+    EXPECT_EQ(parallel.weight_keys(), sequential.weight_keys());
+    EXPECT_EQ(parallel.feat_weight(), sequential.feat_weight());
+    EXPECT_EQ(parallel.feat_act(), sequential.feat_act());
+    EXPECT_EQ(parallel.fov(), sequential.fov());
+    EXPECT_EQ(parallel.factor_vars(), sequential.factor_vars());
+    EXPECT_EQ(parallel.stats().num_tabled_factors,
+              sequential.stats().num_tabled_factors);
+    EXPECT_EQ(parallel.stats().num_fallback_factors,
+              sequential.stats().num_fallback_factors);
+    EXPECT_EQ(parallel.stats().table_entries,
+              sequential.stats().table_entries);
+
+    ASSERT_EQ(parallel.num_variables(), sequential.num_variables());
+    for (size_t v = 0; v < sequential.num_variables(); ++v) {
+      int var = static_cast<int>(v);
+      ASSERT_EQ(parallel.NumCandidates(var), sequential.NumCandidates(var));
+      EXPECT_EQ(parallel.IsEvidence(var), sequential.IsEvidence(var));
+      EXPECT_EQ(parallel.InitIndex(var), sequential.InitIndex(var));
+      EXPECT_EQ(parallel.FovBegin(var), sequential.FovBegin(var));
+      for (int k = 0; k < sequential.NumCandidates(var); ++k) {
+        EXPECT_EQ(parallel.FeatBegin(var, k), sequential.FeatBegin(var, k));
+        EXPECT_EQ(parallel.FeatEnd(var, k), sequential.FeatEnd(var, k));
+      }
+    }
+
+    ASSERT_EQ(parallel.num_factors(), sequential.num_factors());
+    std::vector<double> zero(sequential.num_weights(), 0.0);
+    for (size_t f = 0; f < sequential.num_factors(); ++f) {
+      int fid = static_cast<int>(f);
+      EXPECT_DOUBLE_EQ(parallel.FactorWeight(fid),
+                       sequential.FactorWeight(fid));
+      EXPECT_EQ(parallel.FactorDcIndex(fid), sequential.FactorDcIndex(fid));
+      EXPECT_EQ(parallel.FactorT1(fid), sequential.FactorT1(fid));
+      EXPECT_EQ(parallel.FactorT2(fid), sequential.FactorT2(fid));
+      ASSERT_EQ(parallel.HasViolationTable(fid),
+                sequential.HasViolationTable(fid));
+      if (!sequential.HasViolationTable(fid)) continue;
+      size_t entries = 1;
+      for (int32_t i = sequential.FactorVarBegin(fid);
+           i < sequential.FactorVarEnd(fid); ++i) {
+        entries *= static_cast<size_t>(sequential.NumCandidates(
+            sequential.factor_vars()[static_cast<size_t>(i)]));
+      }
+      EXPECT_EQ(std::memcmp(parallel.ViolationTableEntry(fid, 0),
+                            sequential.ViolationTableEntry(fid, 0), entries),
+                0);
+    }
+  }
 }
 
 }  // namespace

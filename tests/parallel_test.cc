@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
 #include "holoclean/core/evaluation.h"
 #include "holoclean/core/pipeline.h"
@@ -57,6 +60,97 @@ TEST(ThreadPool, NestedUseFromResults) {
     });
   }
   EXPECT_EQ(total.load(), 5L * 19900L);
+}
+
+TEST(ThreadPool, EnqueueRunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Enqueue([&count] { count.fetch_add(1); });
+    }
+    // The destructor drains the queue, so all 100 ran exactly once.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskGroup, RunsAllTasksWithNullPoolInline) {
+  TaskGroup group(nullptr);
+  int sum = 0;  // Inline execution: no atomics needed.
+  for (int i = 0; i < 50; ++i) {
+    group.Submit([&sum, i] { sum += i; });
+  }
+  group.Wait();
+  EXPECT_EQ(sum, 1225);
+}
+
+TEST(TaskGroup, CallerDrainsGroupWhileWorkersAreBusy) {
+  // A single-worker pool whose worker is parked on a gate: the group's
+  // tasks can only complete because Wait() runs them on the calling
+  // thread. Without caller participation this test would deadlock.
+  ThreadPool pool(1);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  pool.Enqueue([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 20; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), 20);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+}
+
+TEST(TaskGroup, NestedGroupsFromPoolTasksComplete) {
+  // A pool task that opens its own parallel section (the batch-job shape:
+  // jobs run on workers and their stages fan out on the same pool).
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  TaskGroup outer(&pool);
+  for (int job = 0; job < 4; ++job) {
+    outer.Submit([&pool, &inner_total] {
+      pool.ParallelFor(100, [&inner_total](size_t) {
+        inner_total.fetch_add(1);
+      });
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_total.load(), 400);
+}
+
+TEST(ThreadPool, ConcurrentParallelSectionsFromManyThreads) {
+  // Several caller threads share one pool; every section's iterations
+  // must run exactly once despite interleaving on the shared queue.
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kIterations = 2000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kIterations);
+  }
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.ParallelFor(kIterations, [&hits, c](size_t i) {
+        hits[c][i].fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const auto& section : hits) {
+    for (const auto& h : section) EXPECT_EQ(h.load(), 1);
+  }
 }
 
 class ThreadCountSweep : public ::testing::TestWithParam<size_t> {};

@@ -12,28 +12,41 @@
 //             [--min-confidence 0.0] [--seed 42] [--threads 0]
 //             [--stages detect,compile] [--rerun-from infer]
 //             [--compiled-kernel on|off] [--dc-table-cap 4096]
+//   holoclean --batch manifest.txt [--threads 0] [shared config flags]
 //
 // Constraint file: one denial constraint per line, e.g.
 //   t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
 // Matching-dependency file: one per line, e.g.
 //   m1: dict=0 Zip=Ext_Zip -> City=Ext_City
+// Batch manifest: one dataset per line,
+//   dirty.csv,dcs.txt[,repaired.csv[,repairs.csv]]
+// ('#' starts a comment). All jobs run concurrently through one Engine
+// over a shared worker pool, each with the CLI's configuration.
 
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "holoclean/constraints/parser.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/core/evaluation.h"
 #include "holoclean/core/pipeline.h"
 #include "holoclean/discovery/fd_discovery.h"
 #include "holoclean/extdata/md_parser.h"
 #include "holoclean/util/csv.h"
+#include "holoclean/util/timer.h"
 
 namespace holoclean {
 namespace {
 
 struct CliOptions {
   std::string data_path;
+  /// Batch mode: a manifest of datasets run concurrently through one
+  /// Engine (--batch). Mutually exclusive with --data.
+  std::string batch_path;
   std::string constraints_path;
   std::string dict_path;
   std::string mds_path;
@@ -84,7 +97,13 @@ Result<StageId> ParseStagesFlag(const std::string& list) {
 void PrintUsage() {
   std::printf(
       "usage: holoclean --data FILE --constraints FILE [options]\n"
+      "       holoclean --batch MANIFEST [options]\n"
       "  --data FILE           dirty table (CSV with header)\n"
+      "  --batch FILE          manifest of jobs, one per line:\n"
+      "                        data.csv,dcs.txt[,output.csv[,repairs.csv]];\n"
+      "                        all jobs run concurrently through one Engine\n"
+      "                        (shared worker pool), each with this CLI\n"
+      "                        configuration\n"
       "  --constraints FILE    denial constraints, one per line\n"
       "  --discover            discover approximate FDs as constraints\n"
       "  --discover-max-error E  discovery error budget (default 0.1)\n"
@@ -156,6 +175,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     ++i;
     if (arg == "--data") {
       options.data_path = value;
+    } else if (arg == "--batch") {
+      options.batch_path = value;
     } else if (arg == "--constraints") {
       options.constraints_path = value;
     } else if (arg == "--dict") {
@@ -226,6 +247,28 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
   }
+  if (!options.batch_path.empty()) {
+    if (!options.data_path.empty()) {
+      return Status::InvalidArgument("--batch and --data are exclusive");
+    }
+    // Batch jobs are shaped entirely by the manifest plus the shared
+    // pipeline configuration; flags that name extra per-run inputs or
+    // outputs have no per-job meaning, so reject them loudly instead of
+    // silently running every job without their effect.
+    if (!options.constraints_path.empty() || options.discover ||
+        !options.dict_path.empty() || !options.mds_path.empty() ||
+        !options.output_path.empty() || !options.repairs_path.empty() ||
+        !options.ground_truth_path.empty() ||
+        !options.save_session_path.empty() ||
+        !options.load_session_path.empty() || options.use_session ||
+        options.min_confidence != 0.0) {
+      return Status::InvalidArgument(
+          "--batch supports only the pipeline-config flags; name "
+          "constraints and output files in the manifest "
+          "(data.csv,dcs.txt[,output.csv[,repairs.csv]])");
+    }
+    return options;
+  }
   if (options.data_path.empty() ||
       (options.constraints_path.empty() && !options.discover)) {
     return Status::InvalidArgument(
@@ -264,7 +307,177 @@ Result<std::string> ReadFileText(const std::string& path) {
   return out;
 }
 
+/// One parsed manifest line of --batch.
+struct BatchEntry {
+  std::string data_path;
+  std::string constraints_path;
+  std::string output_path;
+  std::string repairs_path;
+};
+
+Result<std::vector<BatchEntry>> ParseManifest(const std::string& text) {
+  std::vector<BatchEntry> entries;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+    BatchEntry entry;
+    std::string* fields[] = {&entry.data_path, &entry.constraints_path,
+                             &entry.output_path, &entry.repairs_path};
+    size_t field = 0;
+    size_t from = 0;
+    while (field < 4) {
+      size_t comma = line.find(',', from);
+      if (comma == std::string::npos) comma = line.size();
+      *fields[field++] = line.substr(from, comma - from);
+      if (comma == line.size()) break;
+      from = comma + 1;
+    }
+    if (entry.data_path.empty() || entry.constraints_path.empty()) {
+      return Status::InvalidArgument(
+          "manifest line needs data.csv,constraints.txt: " + line);
+    }
+    entries.push_back(std::move(entry));
+    if (end == text.size()) break;
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("batch manifest names no datasets");
+  }
+  return entries;
+}
+
+/// Batch mode: every manifest dataset becomes one Engine job with an owned
+/// input bundle; all jobs run concurrently over the engine's shared pool
+/// and report per-job status — one malformed dataset fails its own job
+/// without poisoning the siblings.
+Status RunBatchCli(const CliOptions& options) {
+  HOLO_ASSIGN_OR_RETURN(manifest_text, ReadFileText(options.batch_path));
+  HOLO_ASSIGN_OR_RETURN(entries, ParseManifest(manifest_text));
+
+  EngineOptions engine_options;
+  engine_options.num_threads = options.config.num_threads;
+  Engine engine(engine_options);
+
+  struct Job {
+    BatchEntry entry;
+    std::shared_ptr<Dataset> dataset;
+    Status load_status;
+    std::future<Result<Report>> future;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(entries.size());
+  Timer timer;
+  std::vector<Engine::BatchJob> batch;
+  for (BatchEntry& entry : entries) {
+    Job job;
+    job.entry = std::move(entry);
+    jobs.push_back(std::move(job));
+  }
+  // Load inputs up front (load failures are per-job, reported with the
+  // results) and submit every loadable job in one batch.
+  std::vector<size_t> submitted;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    Job& job = jobs[i];
+    auto loaded = [&]() -> Status {
+      HOLO_ASSIGN_OR_RETURN(doc, ReadCsvFile(job.entry.data_path));
+      HOLO_ASSIGN_OR_RETURN(table, Table::FromCsv(doc));
+      job.dataset = std::make_shared<Dataset>(std::move(table));
+      HOLO_ASSIGN_OR_RETURN(dc_text,
+                            ReadFileText(job.entry.constraints_path));
+      HOLO_ASSIGN_OR_RETURN(
+          dcs, ParseDenialConstraints(dc_text,
+                                      job.dataset->dirty().schema()));
+      Engine::BatchJob out;
+      out.inputs = CleaningInputs::Owned(
+          job.dataset,
+          std::make_shared<const std::vector<DenialConstraint>>(
+              std::move(dcs)));
+      out.options.config = options.config;
+      batch.push_back(std::move(out));
+      submitted.push_back(i);
+      return Status::OK();
+    }();
+    job.load_status = loaded;
+  }
+  std::vector<std::future<Result<Report>>> futures =
+      engine.SubmitBatch(std::move(batch));
+  for (size_t k = 0; k < submitted.size(); ++k) {
+    jobs[submitted[k]].future = std::move(futures[k]);
+  }
+
+  size_t succeeded = 0;
+  for (Job& job : jobs) {
+    if (!job.load_status.ok()) {
+      std::printf("%-32s FAILED (load): %s\n", job.entry.data_path.c_str(),
+                  job.load_status.ToString().c_str());
+      continue;
+    }
+    Result<Report> result = job.future.get();
+    if (!result.ok()) {
+      std::printf("%-32s FAILED: %s\n", job.entry.data_path.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const Report& report = result.value();
+    const Table& dirty = job.dataset->dirty();
+    // Output-file trouble is this job's failure, not the batch's: the
+    // remaining jobs still report (and write) their own results.
+    Status write_status = [&]() -> Status {
+      if (!job.entry.repairs_path.empty()) {
+        CsvDocument out;
+        out.header = {"tuple", "attribute", "old_value", "new_value",
+                      "probability"};
+        for (const Repair& r : report.repairs) {
+          out.rows.push_back({std::to_string(r.cell.tid),
+                              dirty.schema().name(r.cell.attr),
+                              dirty.dict().GetString(r.old_value),
+                              dirty.dict().GetString(r.new_value),
+                              std::to_string(r.probability)});
+        }
+        HOLO_RETURN_NOT_OK(WriteCsvFile(job.entry.repairs_path, out));
+      }
+      if (!job.entry.output_path.empty()) {
+        Table repaired = dirty.Clone();
+        report.Apply(&repaired);
+        HOLO_RETURN_NOT_OK(
+            WriteCsvFile(job.entry.output_path, repaired.ToCsv()));
+      }
+      return Status::OK();
+    }();
+    if (!write_status.ok()) {
+      std::printf("%-32s FAILED (write): %s\n", job.entry.data_path.c_str(),
+                  write_status.ToString().c_str());
+      continue;
+    }
+    ++succeeded;
+    std::printf("%-32s %6zu rows  %5zu noisy  %5zu repairs  %6.2fs\n",
+                job.entry.data_path.c_str(), job.dataset->dirty().num_rows(),
+                report.stats.num_noisy_cells, report.repairs.size(),
+                report.stats.TotalSeconds());
+  }
+  double seconds = timer.Seconds();
+  std::printf("batch: %zu/%zu jobs succeeded in %.2fs (%.2f datasets/sec)\n",
+              succeeded, jobs.size(), seconds,
+              seconds > 0 ? static_cast<double>(succeeded) / seconds : 0.0);
+  if (succeeded != jobs.size()) {
+    return Status::InvalidArgument("batch had failing jobs");
+  }
+  return Status::OK();
+}
+
 Status RunCli(const CliOptions& options) {
+  if (!options.batch_path.empty()) return RunBatchCli(options);
   // Load the dirty table.
   HOLO_ASSIGN_OR_RETURN(doc, ReadCsvFile(options.data_path));
   HOLO_ASSIGN_OR_RETURN(table, Table::FromCsv(doc));
