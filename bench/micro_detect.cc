@@ -1,0 +1,126 @@
+// Detect+compile wall time of the columnar scan paths vs the row reference
+// paths on generated Food at three sizes. Both paths run the full pipeline
+// on identical data, so the bench doubles as a bit-identity cross-check of
+// the noisy set and the repairs. CI pins the columnar-vs-row speedup at the
+// largest size against the committed BENCH_ci.json ratio.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "holoclean/data/food.h"
+
+using namespace holoclean;         // NOLINT
+using namespace holoclean::bench;  // NOLINT
+
+namespace {
+
+struct DetectRun {
+  bool ok = false;
+  double detect = 0.0;
+  double compile = 0.0;
+  double detect_compile = 0.0;
+  size_t num_violations = 0;
+  size_t num_noisy = 0;
+  std::vector<Repair> repairs;
+};
+
+DetectRun RunOnce(size_t rows, uint64_t seed, bool columnar) {
+  GeneratedData data = MakeFood({rows, 0.06, seed});
+  HoloCleanConfig config;
+  config.tau = 0.5;
+  config.columnar = columnar;
+  HoloClean cleaner(config);
+  auto session = cleaner.Open(&data.dataset, data.dcs);
+  if (!session.ok()) return {};
+  auto report = session.value().Run();
+  if (!report.ok()) return {};
+  DetectRun out;
+  out.ok = true;
+  out.detect = report.value().stats.detect_seconds;
+  out.compile = report.value().stats.compile_seconds;
+  out.detect_compile = out.detect + out.compile;
+  out.num_violations = report.value().stats.num_violations;
+  out.num_noisy = report.value().stats.num_noisy_cells;
+  out.repairs = report.value().repairs;
+  return out;
+}
+
+bool SameResults(const DetectRun& a, const DetectRun& b) {
+  if (a.num_violations != b.num_violations) return false;
+  if (a.num_noisy != b.num_noisy) return false;
+  if (a.repairs.size() != b.repairs.size()) return false;
+  for (size_t i = 0; i < a.repairs.size(); ++i) {
+    const Repair& x = a.repairs[i];
+    const Repair& y = b.repairs[i];
+    if (!(x.cell == y.cell) || x.old_value != y.old_value ||
+        x.new_value != y.new_value || x.probability != y.probability) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, size_t>> sizes = {
+      {"4k", 4000}, {"40k", 40000}, {"100k", 100000}};
+  std::printf("Detect+compile: columnar scans vs row reference "
+              "(generated Food)\n\n");
+
+  std::vector<int> widths = {6, 9, 13, 13, 13, 13, 12, 9};
+  PrintRule(widths);
+  PrintRow({"size", "rows", "det col (s)", "det row (s)", "cmp col (s)",
+            "cmp row (s)", "rows/s col", "speedup"},
+           widths);
+  PrintRule(widths);
+
+  double largest_speedup = 0.0;
+  for (const auto& [label, nominal] : sizes) {
+    size_t rows = static_cast<size_t>(static_cast<double>(nominal) *
+                                      BenchScale());
+    if (rows == 0) rows = 1;
+    DetectRun col = RunOnce(rows, 7, true);
+    DetectRun row = RunOnce(rows, 7, false);
+    if (!col.ok || !row.ok) {
+      std::fprintf(stderr, "run failed at %s\n", label.c_str());
+      return 1;
+    }
+    if (!SameResults(col, row)) {
+      std::fprintf(stderr,
+                   "columnar/row results diverge at %s "
+                   "(violations %zu vs %zu, noisy %zu vs %zu, repairs "
+                   "%zu vs %zu)\n",
+                   label.c_str(), col.num_violations, row.num_violations,
+                   col.num_noisy, row.num_noisy, col.repairs.size(),
+                   row.repairs.size());
+      return 1;
+    }
+    double speedup =
+        col.detect_compile > 0.0 ? row.detect_compile / col.detect_compile
+                                 : 0.0;
+    double rows_per_sec =
+        col.detect_compile > 0.0
+            ? static_cast<double>(rows) / col.detect_compile
+            : 0.0;
+    PrintRow({label, std::to_string(rows), Fmt(col.detect), Fmt(row.detect),
+              Fmt(col.compile), Fmt(row.compile), Fmt(rows_per_sec, 0),
+              Fmt(speedup, 2) + "x"},
+             widths);
+    AppendBenchMetric("micro_detect",
+                      "detect_compile_seconds_columnar_" + label,
+                      col.detect_compile);
+    AppendBenchMetric("micro_detect", "detect_compile_seconds_row_" + label,
+                      row.detect_compile);
+    AppendBenchMetric("micro_detect", "rows_per_sec_columnar_" + label,
+                      rows_per_sec);
+    largest_speedup = speedup;
+  }
+  PrintRule(widths);
+  std::printf("(noisy set and repairs bit-identical across paths at every "
+              "size)\n");
+  AppendBenchMetric("micro_detect", "speedup_100k", largest_speedup);
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "holoclean/constraints/evaluator.h"
 
+#include <algorithm>
+#include <numeric>
 #include <string_view>
 
 #include "holoclean/util/string_util.h"
@@ -7,7 +9,43 @@
 namespace holoclean {
 
 DcEvaluator::DcEvaluator(const Table* table, double sim_threshold)
-    : table_(table), sim_threshold_(sim_threshold) {}
+    : table_(table),
+      sim_threshold_(sim_threshold),
+      memo_mu_(std::make_shared<std::mutex>()),
+      memo_slot_(std::make_shared<std::shared_ptr<const OrderMemo>>()) {}
+
+std::shared_ptr<const DcEvaluator::OrderMemo> DcEvaluator::EnsureOrderMemo()
+    const {
+  {
+    std::lock_guard<std::mutex> lock(*memo_mu_);
+    if (*memo_slot_ != nullptr) return *memo_slot_;
+  }
+  const Dictionary& dict = table_->dict();
+  size_t n = dict.size();
+  auto memo = std::make_shared<OrderMemo>();
+  memo->is_numeric.resize(n, 0);
+  memo->numeric.resize(n, 0.0);
+  memo->lex_rank.resize(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    const std::string& s = dict.GetString(static_cast<ValueId>(v));
+    if (IsNumeric(s)) {
+      memo->is_numeric[v] = 1;
+      memo->numeric[v] = ParseDoubleOr(s, 0.0);
+    }
+  }
+  std::vector<ValueId> order(n);
+  std::iota(order.begin(), order.end(), ValueId{0});
+  std::sort(order.begin(), order.end(), [&](ValueId a, ValueId b) {
+    return dict.GetString(a) < dict.GetString(b);
+  });
+  for (size_t rank = 0; rank < n; ++rank) {
+    memo->lex_rank[static_cast<size_t>(order[rank])] =
+        static_cast<int32_t>(rank);
+  }
+  std::lock_guard<std::mutex> lock(*memo_mu_);
+  if (*memo_slot_ == nullptr) *memo_slot_ = std::move(memo);
+  return *memo_slot_;
+}
 
 ValueId DcEvaluator::CellValue(
     TupleId t1, TupleId t2, int role, AttrId attr,
@@ -29,6 +67,39 @@ bool DcEvaluator::Compare(Op op, ValueId lhs, ValueId rhs) const {
       return lhs != rhs;
     default:
       break;
+  }
+  if (op != Op::kSim) {
+    // Ordered comparisons resolve through the memo: numeric order when
+    // both sides parse as numbers, dictionary-wide lexicographic rank
+    // order otherwise — same verdicts as the string path, without
+    // re-parsing or re-walking strings per pair.
+    std::shared_ptr<const OrderMemo> memo = EnsureOrderMemo();
+    size_t l = static_cast<size_t>(lhs);
+    size_t r = static_cast<size_t>(rhs);
+    if (l < memo->is_numeric.size() && r < memo->is_numeric.size()) {
+      int cmp;
+      if (memo->is_numeric[l] && memo->is_numeric[r]) {
+        double ld = memo->numeric[l];
+        double rd = memo->numeric[r];
+        cmp = ld < rd ? -1 : (ld > rd ? 1 : 0);
+      } else {
+        cmp = memo->lex_rank[l] < memo->lex_rank[r]
+                  ? -1
+                  : (memo->lex_rank[l] > memo->lex_rank[r] ? 1 : 0);
+      }
+      switch (op) {
+        case Op::kLt:
+          return cmp < 0;
+        case Op::kGt:
+          return cmp > 0;
+        case Op::kLeq:
+          return cmp <= 0;
+        case Op::kGeq:
+          return cmp >= 0;
+        default:
+          return false;
+      }
+    }
   }
   return CompareStrings(op, table_->dict().GetString(lhs),
                         table_->dict().GetString(rhs));

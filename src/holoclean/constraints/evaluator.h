@@ -1,6 +1,9 @@
 #ifndef HOLOCLEAN_CONSTRAINTS_EVALUATOR_H_
 #define HOLOCLEAN_CONSTRAINTS_EVALUATOR_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -59,11 +62,32 @@ class DcEvaluator {
                       const std::string& rs) const;
 
  private:
+  /// Per-ValueId comparison metadata over the whole dictionary, built
+  /// lazily on the first ordered (<, >, <=, >=) comparison. `lex_rank` is
+  /// the rank of the value string in lexicographic order across all
+  /// interned values — sound as a total order stand-in because interned
+  /// strings are distinct, so rank comparison reproduces
+  /// std::string::compare's sign exactly.
+  struct OrderMemo {
+    std::vector<uint8_t> is_numeric;
+    std::vector<double> numeric;
+    std::vector<int32_t> lex_rank;
+  };
+
   ValueId CellValue(TupleId t1, TupleId t2, int role, AttrId attr,
                     const std::vector<CellOverride>& overrides) const;
 
+  /// Snapshot of the memo covering at least the ids interned when it was
+  /// built; ids beyond its range (dictionary grew since) fall back to the
+  /// string path in Compare.
+  std::shared_ptr<const OrderMemo> EnsureOrderMemo() const;
+
   const Table* table_;
   double sim_threshold_;
+  /// Shared across copies so the memo is built once per table; guarded by
+  /// the mutex for concurrent first use from pool workers.
+  mutable std::shared_ptr<std::mutex> memo_mu_;
+  mutable std::shared_ptr<std::shared_ptr<const OrderMemo>> memo_slot_;
 };
 
 }  // namespace holoclean

@@ -67,6 +67,13 @@ struct RunStats {
   size_t num_dc_factors = 0;
   size_t num_grounded_factors = 0;
 
+  /// Detection truncation: true when at least one constraint hit the
+  /// `max_fallback_pairs` budget and its violation set is incomplete
+  /// (detect also logs a warning per truncated constraint).
+  bool detect_truncated = false;
+  /// How many constraints were truncated.
+  size_t num_truncated_dcs = 0;
+
   double TotalSeconds() const {
     return detect_seconds + compile_seconds + learn_seconds + infer_seconds;
   }

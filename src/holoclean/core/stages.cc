@@ -98,14 +98,18 @@ class DetectStage : public PipelineStage {
     ViolationDetector::Options options;
     options.sim_threshold = ctx->config.sim_threshold;
     options.pool = ctx->pool;
+    options.columnar = ctx->config.columnar;
     ViolationDetector detector(&table, ctx->dcs, options);
-    ctx->violations = detector.Detect();
+    DetectResult result = detector.DetectAll();
+    ctx->violations = std::move(result.violations);
     ctx->noisy = ViolationDetector::NoisyFromViolations(ctx->violations);
     if (ctx->extra_detectors != nullptr) {
       ctx->noisy.Merge(ctx->extra_detectors->Detect(*ctx->dataset));
     }
     ctx->report.stats.num_violations = ctx->violations.size();
     ctx->report.stats.num_noisy_cells = ctx->noisy.size();
+    ctx->report.stats.detect_truncated = !result.truncated_dcs.empty();
+    ctx->report.stats.num_truncated_dcs = result.truncated_dcs.size();
     return Status::OK();
   }
 };
@@ -134,7 +138,9 @@ class CompileStage : public PipelineStage {
     ctx->deferred_graph.reset();
     ctx->compiled.reset();
 
-    ctx->cooc = CooccurrenceStats::Build(table, attrs);
+    ctx->cooc = config.columnar
+                    ? CooccurrenceStats::BuildColumnar(table, attrs, ctx->pool)
+                    : CooccurrenceStats::Build(table, attrs);
 
     // External data: evaluate matching dependencies, intern suggested
     // values so they can enter candidate domains.
@@ -170,8 +176,12 @@ class CompileStage : public PipelineStage {
     std::vector<CellRef> all_cells = ctx->query_cells;
     all_cells.insert(all_cells.end(), ctx->evidence_cells.begin(),
                      ctx->evidence_cells.end());
-    ctx->domains =
-        PruneDomains(table, all_cells, attrs, ctx->cooc, prune_options);
+    ctx->domains = config.columnar
+                       ? PruneDomainsColumnar(table, all_cells, attrs,
+                                              ctx->cooc, prune_options,
+                                              ctx->pool)
+                       : PruneDomains(table, all_cells, attrs, ctx->cooc,
+                                      prune_options);
 
     // Candidates suggested by external dictionaries join the domain of the
     // matched (noisy) cells.

@@ -18,6 +18,15 @@ struct Violation {
   std::vector<CellRef> cells;
 };
 
+/// Full detection output: the violations plus which constraints hit the
+/// brute-force pair budget (their violation lists may under-cover).
+struct DetectResult {
+  std::vector<Violation> violations;
+  /// Indices of DCs whose fallback pair scan exhausted `max_fallback_pairs`,
+  /// ascending.
+  std::vector<int> truncated_dcs;
+};
+
 /// Finds all denial-constraint violations in a table.
 ///
 /// Two-tuple constraints are evaluated with hash blocking on their cross-
@@ -25,6 +34,14 @@ struct Violation {
 /// within-block comparisons (the same trick DeepDive's grounding relies on;
 /// see paper Section 5.1.2). Constraints without an equality predicate fall
 /// back to the full pair scan, capped at `max_fallback_pairs`.
+///
+/// By default predicates are evaluated columnar: single-role predicates
+/// become per-tuple verdict masks computed by scanning the ColumnStore's
+/// code arrays (constant predicates resolve once per distinct code), and
+/// cross-tuple predicates become integer comparisons over the decoded id
+/// arrays. The output is bit-identical to the row-at-a-time path
+/// (`Options::columnar = false`), which is kept as the reference
+/// implementation for differential tests.
 class ViolationDetector {
  public:
   struct Options {
@@ -35,6 +52,9 @@ class ViolationDetector {
     /// Optional worker pool: constraints are detected in parallel (the
     /// result is identical to the sequential order).
     ThreadPool* pool = nullptr;
+    /// Evaluate predicates with vectorized scans over the column store
+    /// instead of row-at-a-time evaluator calls. Same output, faster.
+    bool columnar = true;
   };
 
   ViolationDetector(const Table* table,
@@ -47,6 +67,10 @@ class ViolationDetector {
   /// All violations, deduplicated on (constraint, unordered tuple pair).
   std::vector<Violation> Detect() const;
 
+  /// Like Detect(), also reporting which DCs were truncated by the
+  /// fallback pair budget.
+  DetectResult DetectAll() const;
+
   /// Violations of a single constraint.
   std::vector<Violation> DetectOne(int dc_index) const;
 
@@ -58,8 +82,12 @@ class ViolationDetector {
   const DcEvaluator& evaluator() const { return evaluator_; }
 
  private:
-  std::vector<Violation> DetectTwoTuple(int dc_index) const;
+  std::vector<Violation> DetectOneImpl(int dc_index, bool* truncated) const;
+  std::vector<Violation> DetectTwoTuple(int dc_index, bool* truncated) const;
   std::vector<Violation> DetectSingleTuple(int dc_index) const;
+  std::vector<Violation> DetectTwoTupleColumnar(int dc_index,
+                                                bool* truncated) const;
+  std::vector<Violation> DetectSingleTupleColumnar(int dc_index) const;
   Violation MakeViolation(int dc_index, TupleId t1, TupleId t2) const;
 
   const Table* table_;

@@ -43,6 +43,11 @@ enum class SectionId : uint32_t {
   kWeights = 6,
   kMarginals = 7,
   kReport = 8,
+  /// Per-column dictionary arrays + sorted prefixes of the ColumnStore,
+  /// so restores install codes wholesale instead of re-encoding cell by
+  /// cell. Always written by current saves; optional on load (v2 files
+  /// predating the section restore through the per-cell path).
+  kColumnStore = 9,
 };
 
 /// id (u32) + codec (u32) + offset (u64) + size (u64) + checksum (u64).
@@ -172,12 +177,12 @@ uint64_t ConfigFingerprint(const HoloCleanConfig& c) {
   // reminder to update the fingerprint and bump kSnapshotFormatVersion if
   // the default changed behavior. (x86-64/AArch64 SysV layout.)
   //
-  // compiled_kernel and dc_table_cap are deliberately NOT mixed in: the
-  // compiled kernel is bit-identical to the reference path (enforced by
-  // the differential tests), so snapshots interchange freely between the
-  // two — including pre-existing snapshots written before the knobs
-  // existed.
-  static_assert(sizeof(HoloCleanConfig) == 176,
+  // compiled_kernel, dc_table_cap, and columnar are deliberately NOT mixed
+  // in: the compiled kernel and the columnar scan paths are bit-identical
+  // to their reference paths (enforced by the differential tests), so
+  // snapshots interchange freely across those knobs — including
+  // pre-existing snapshots written before the knobs existed.
+  static_assert(sizeof(HoloCleanConfig) == 184,
                 "HoloCleanConfig changed: update ConfigFingerprint");
   uint64_t h = HashBytes("holoclean-config-v1");
   auto mix_u = [&h](uint64_t v) { h = HashCombine(h, v); };
@@ -1180,6 +1185,17 @@ struct StagedSnapshot {
   std::vector<std::vector<ValueId>> columns;
   int valid_through = 0;
   uint64_t counters[7] = {};
+  /// Detection-truncation flags appended to kMeta by newer saves; absent
+  /// (and defaulted) in older v2 files.
+  bool detect_truncated = false;
+  uint64_t num_truncated_dcs = 0;
+
+  /// Decoded kColumnStore section (optional): per-column code→value-id
+  /// dictionaries and their sorted prefixes. When present (and validated),
+  /// CommitStaged installs the table columns wholesale.
+  bool has_column_store = false;
+  std::vector<std::vector<ValueId>> col_dicts;
+  std::vector<uint64_t> sorted_prefixes;
 
   std::vector<AttrId> attrs;
   std::vector<Violation> violations;
@@ -1311,6 +1327,37 @@ Status ValidateMarginalsShape(const Marginals& marginals,
   return Status::OK();
 }
 
+/// The kColumnStore section feeds Table::InstallColumns, whose internal
+/// HOLO_CHECKs would abort the process on malformed input — so everything
+/// it assumes is validated here on the staging side: code 0 maps to NULL,
+/// dictionary entries are distinct and inside the string dictionary,
+/// sorted prefixes are in bounds, and every table cell's value id appears
+/// in its column's dictionary.
+Status ValidateColumnStoreSection(const StagedSnapshot& s) {
+  Status bad = Status::ParseError("snapshot column store inconsistent");
+  if (s.col_dicts.size() != s.num_attrs() ||
+      s.sorted_prefixes.size() != s.num_attrs() ||
+      s.columns.size() != s.num_attrs()) {
+    return bad;
+  }
+  for (size_t a = 0; a < s.num_attrs(); ++a) {
+    const std::vector<ValueId>& cdict = s.col_dicts[a];
+    if (cdict.empty() || cdict[0] != Dictionary::kNull) return bad;
+    if (s.sorted_prefixes[a] > cdict.size()) return bad;
+    std::unordered_set<ValueId> members;
+    for (ValueId v : cdict) {
+      if (v < 0 || static_cast<size_t>(v) >= s.dict_size() ||
+          !members.insert(v).second) {
+        return bad;
+      }
+    }
+    for (ValueId v : s.columns[a]) {
+      if (members.find(v) == members.end()) return bad;
+    }
+  }
+  return Status::OK();
+}
+
 /// Cross-artifact consistency: every cell, tuple, constraint, and value id
 /// the staged artifacts carry must stay inside the session's bounds, so a
 /// checksum-valid but internally inconsistent snapshot can never make a
@@ -1390,10 +1437,17 @@ void CommitStaged(StagedSnapshot* s, PipelineContext* ctx) {
   for (size_t i = dict.size(); i < s->dict_size(); ++i) {
     dict.Intern(s->dict_values[i]);
   }
-  for (size_t a = 0; a < s->num_attrs(); ++a) {
-    for (size_t t = 0; t < s->num_rows; ++t) {
-      table.Set(static_cast<TupleId>(t), static_cast<AttrId>(a),
-                s->columns[a][t]);
+  if (s->has_column_store) {
+    // The section carries the per-column dictionaries, so the codes install
+    // wholesale — no per-cell re-encoding. Validated at parse time.
+    table.InstallColumns(std::move(s->columns), std::move(s->col_dicts),
+                         s->sorted_prefixes);
+  } else {
+    for (size_t a = 0; a < s->num_attrs(); ++a) {
+      for (size_t t = 0; t < s->num_rows; ++t) {
+        table.Set(static_cast<TupleId>(t), static_cast<AttrId>(a),
+                  s->columns[a][t]);
+      }
     }
   }
   RunStats& stats = ctx->report.stats;
@@ -1404,6 +1458,8 @@ void CommitStaged(StagedSnapshot* s, PipelineContext* ctx) {
   stats.num_candidates = s->counters[4];
   stats.num_dc_factors = s->counters[5];
   stats.num_grounded_factors = s->counters[6];
+  stats.detect_truncated = s->detect_truncated;
+  stats.num_truncated_dcs = s->num_truncated_dcs;
   if (s->valid_through > static_cast<int>(StageId::kDetect)) {
     ctx->attrs = std::move(s->attrs);
     ctx->violations = std::move(s->violations);
@@ -1685,6 +1741,9 @@ bool PackedStreamsFit(const PipelineContext& ctx, int valid_through) {
   const Table& table = ctx.dataset->dirty();
   uint64_t longest = table.num_rows();
   auto grow = [&longest](uint64_t n) { longest = std::max(longest, n); };
+  // kColumnStore streams one code→value array per column, each at most the
+  // dictionary's size.
+  grow(table.dict().size());
   if (valid_through > static_cast<int>(StageId::kDetect)) {
     grow(ctx.violations.size());
     uint64_t cells = 0;
@@ -1764,6 +1823,11 @@ Status SaveSessionSnapshotV2(const PipelineContext& ctx, int valid_through,
     w.WriteU64(stats.num_candidates);
     w.WriteU64(stats.num_dc_factors);
     w.WriteU64(stats.num_grounded_factors);
+    // Appended after the original seven counters; older readers that stop
+    // at the counters reject the extra bytes, so this rides the same
+    // format version as kColumnStore (newer readers tolerate absence).
+    w.WriteU64(stats.detect_truncated ? 1 : 0);
+    w.WriteU64(stats.num_truncated_dcs);
     add(SectionId::kMeta, SectionCodec::kRaw, &w);
   }
   {
@@ -1845,6 +1909,24 @@ Status SaveSessionSnapshotV2(const PipelineContext& ctx, int valid_through,
     SerializeRepairs(ctx.report.repairs, codec, &w);
     SerializePosteriors(ctx.report.posteriors, codec, &w);
     add(SectionId::kReport, codec, &w);
+  }
+  {
+    // ColumnStore dictionaries: per column, the code→value-id array and the
+    // sorted prefix, so restores install the code arrays wholesale instead
+    // of re-encoding every cell. Highest section id, hence always last.
+    BinaryWriter w;
+    for (size_t a = 0; a < schema.num_attrs(); ++a) {
+      const ColumnStore::Column& col = table.store().column(a);
+      if (codec == SectionCodec::kPacked) {
+        std::vector<uint64_t> vals(col.code_to_value.begin(),
+                                   col.code_to_value.end());
+        WriteU64Stream(&w, vals);
+      } else {
+        WriteI32Vec(&w, col.code_to_value);
+      }
+      w.WriteU64(col.sorted_prefix);
+    }
+    add(SectionId::kColumnStore, codec, &w);
   }
 
   uint64_t offset = kHeaderBytes;
@@ -1984,7 +2066,7 @@ Result<int> LoadV2(std::string_view bytes,
     HOLO_RETURN_NOT_OK(dir.ReadU64(&size));
     HOLO_RETURN_NOT_OK(dir.ReadU64(&e.checksum));
     if (codec > kMaxSectionCodec ||
-        e.id > static_cast<uint32_t>(SectionId::kReport) ||
+        e.id > static_cast<uint32_t>(SectionId::kColumnStore) ||
         (i > 0 && e.id <= prev_id)) {
       return Status::ParseError("snapshot section directory is malformed");
     }
@@ -2030,12 +2112,31 @@ Result<int> LoadV2(std::string_view bytes,
       return Status::ParseError("snapshot valid_through out of range");
     }
     for (uint64_t& c : staged.counters) HOLO_RETURN_NOT_OK(r.ReadU64(&c));
+    // Newer saves append the detection-truncation flags; older v2 files
+    // end at the counters and keep the defaults.
+    if (r.remaining() != 0) {
+      uint64_t truncated = 0;
+      HOLO_RETURN_NOT_OK(r.ReadU64(&truncated));
+      if (truncated > 1) {
+        return Status::ParseError("snapshot meta flags out of range");
+      }
+      staged.detect_truncated = truncated != 0;
+      HOLO_RETURN_NOT_OK(r.ReadU64(&staged.num_truncated_dcs));
+    }
     if (r.remaining() != 0) {
       return Status::ParseError("snapshot has trailing bytes");
     }
   }
+  // kColumnStore (the highest id, hence always last) is optional: current
+  // saves always append it, but v2 files written before it existed must
+  // still restore — they just re-encode through the per-cell path.
   std::vector<SectionId> expected = ExpectedSections(staged.valid_through);
-  if (entries.size() != expected.size()) {
+  size_t required = entries.size();
+  if (required == expected.size() + 1 &&
+      entries.back().id == static_cast<uint32_t>(SectionId::kColumnStore)) {
+    required -= 1;
+  }
+  if (required != expected.size()) {
     return Status::ParseError("snapshot sections inconsistent");
   }
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -2187,6 +2288,33 @@ Result<int> LoadV2(std::string_view bytes,
             DeserializeRepairs(&r, e.codec, &staged.repairs));
         HOLO_RETURN_NOT_OK(
             DeserializePosteriors(&r, e.codec, &staged.posteriors));
+        break;
+      }
+      case SectionId::kColumnStore: {
+        // Ordered after kTable by id, so staged.columns is already parsed
+        // and the cross-check against the cell values can run here.
+        staged.col_dicts.resize(staged.num_attrs());
+        staged.sorted_prefixes.resize(staged.num_attrs());
+        for (size_t a = 0; a < staged.num_attrs(); ++a) {
+          std::vector<ValueId>& cdict = staged.col_dicts[a];
+          if (e.codec == SectionCodec::kPacked) {
+            std::vector<uint64_t> vals;
+            HOLO_RETURN_NOT_OK(ReadU64Stream(&r, &vals));
+            cdict.resize(vals.size());
+            for (size_t k = 0; k < vals.size(); ++k) {
+              if (!CastI32(vals[k], &cdict[k]) ||
+                  static_cast<size_t>(cdict[k]) >= staged.dict_size()) {
+                return Status::ParseError("snapshot value id out of range");
+              }
+            }
+          } else {
+            HOLO_RETURN_NOT_OK(
+                ReadValueIdVec(&r, staged.dict_size(), &cdict));
+          }
+          HOLO_RETURN_NOT_OK(r.ReadU64(&staged.sorted_prefixes[a]));
+        }
+        HOLO_RETURN_NOT_OK(ValidateColumnStoreSection(staged));
+        staged.has_column_store = true;
         break;
       }
       case SectionId::kMeta:

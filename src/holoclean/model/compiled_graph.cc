@@ -1,6 +1,7 @@
 #include "holoclean/model/compiled_graph.h"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "holoclean/constraints/evaluator.h"
@@ -306,35 +307,57 @@ CompiledGraph CompiledGraph::Build(const FactorGraph& graph,
     }
   });
 
-  // Features are interned in one pass (insertion-order ids), then the key
-  // set is sorted and the per-instance ids remapped in parallel — the
-  // dense id assignment is sorted-key order, independent of iteration
-  // order. Sizing the interner for one unique key per ~4 instances skips
-  // nearly every rehash without over-allocating on feature-heavy graphs.
-  KeyInterner interner(/*expected=*/total_feats / 4 + 64);
-  for (size_t i = 0; i < total_feats; ++i) {
-    out.feat_weight_[i] = interner.InsertOrGet(feat_key_raw[i]);
+  // Interning runs per chunk: each worker collects its chunk's unique keys
+  // in a private probe table, and the union is sorted and deduplicated
+  // (chunks can share keys). The dense id assignment is sorted-key order,
+  // so the result is exactly the serial pass's for ANY chunking — one
+  // chunk, the pool's, or none. Instances then remap in parallel through a
+  // read-only probe table over the sorted key set. Sizing the interners
+  // for one unique key per ~4 instances skips nearly every rehash without
+  // over-allocating on feature-heavy graphs.
+  std::vector<std::vector<uint64_t>> chunk_keys;
+  std::mutex chunk_mu;
+  RunChunks(pool, total_feats, [&](size_t begin, size_t end) {
+    KeyInterner local(/*expected=*/(end - begin) / 4 + 64);
+    for (size_t i = begin; i < end; ++i) local.InsertOrGet(feat_key_raw[i]);
+    std::lock_guard<std::mutex> lock(chunk_mu);
+    chunk_keys.push_back(std::move(local.keys()));
+  });
+  size_t total_keys = 0;
+  for (const auto& keys : chunk_keys) total_keys += keys.size();
+  out.weight_keys_.clear();
+  out.weight_keys_.reserve(total_keys);
+  for (const auto& keys : chunk_keys) {
+    out.weight_keys_.insert(out.weight_keys_.end(), keys.begin(), keys.end());
   }
-  feat_key_raw.clear();
-  feat_key_raw.shrink_to_fit();
-  const std::vector<uint64_t>& interned = interner.keys();
-  std::vector<std::pair<uint64_t, int32_t>> by_key(interned.size());
-  for (size_t id = 0; id < interned.size(); ++id) {
-    by_key[id] = {interned[id], static_cast<int32_t>(id)};
-  }
-  std::sort(by_key.begin(), by_key.end());  // Keys are unique.
-  out.weight_keys_.resize(interned.size());
-  std::vector<int32_t> dense_id(interned.size());
-  for (size_t i = 0; i < by_key.size(); ++i) {
-    out.weight_keys_[i] = by_key[i].first;
-    dense_id[static_cast<size_t>(by_key[i].second)] = static_cast<int32_t>(i);
+  std::sort(out.weight_keys_.begin(), out.weight_keys_.end());
+  out.weight_keys_.erase(
+      std::unique(out.weight_keys_.begin(), out.weight_keys_.end()),
+      out.weight_keys_.end());
+  // Read-only probe table: key -> rank in the sorted set. Lookups cannot
+  // miss (every instance key was interned), so the probe loop needs no
+  // empty-slot check.
+  size_t rank_capacity = 64;
+  while (rank_capacity < out.weight_keys_.size() * 2) rank_capacity <<= 1;
+  std::vector<int32_t> rank_slots(rank_capacity, -1);
+  const size_t rank_mask = rank_capacity - 1;
+  for (size_t r = 0; r < out.weight_keys_.size(); ++r) {
+    size_t i = Mix64(out.weight_keys_[r]) & rank_mask;
+    while (rank_slots[i] >= 0) i = (i + 1) & rank_mask;
+    rank_slots[i] = static_cast<int32_t>(r);
   }
   RunChunks(pool, total_feats, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      out.feat_weight_[i] =
-          dense_id[static_cast<size_t>(out.feat_weight_[i])];
+      uint64_t key = feat_key_raw[i];
+      size_t s = Mix64(key) & rank_mask;
+      while (out.weight_keys_[static_cast<size_t>(rank_slots[s])] != key) {
+        s = (s + 1) & rank_mask;
+      }
+      out.feat_weight_[i] = rank_slots[s];
     }
   });
+  feat_key_raw.clear();
+  feat_key_raw.shrink_to_fit();
 
   // --- Factors-of-variable adjacency, preserving FactorsOfVar order.
   const std::vector<DcFactor>& factors = graph.dc_factors();

@@ -50,6 +50,17 @@ PrunedDomains PruneDomains(const Table& table,
                            const CooccurrenceStats& cooc,
                            const DomainPruningOptions& options);
 
+/// Same candidate sets as PruneDomains (bit-identical per cell), produced
+/// the columnar way: cells fan out across the pool and per-cell scoring
+/// runs on flat (value, count) runs — sort + keep-max-per-value — instead
+/// of a hash map per cell.
+PrunedDomains PruneDomainsColumnar(const Table& table,
+                                   const std::vector<CellRef>& cells,
+                                   const std::vector<AttrId>& attrs,
+                                   const CooccurrenceStats& cooc,
+                                   const DomainPruningOptions& options,
+                                   ThreadPool* pool = nullptr);
+
 }  // namespace holoclean
 
 #endif  // HOLOCLEAN_MODEL_DOMAIN_PRUNING_H_

@@ -57,12 +57,18 @@ void Grounder::BuildDcIndexes() {
   const auto& dcs = *in_.dcs;
   dc_indexes_.resize(dcs.size());
   fd_target_attr_.assign(dcs.size(), -1);
+  cross_eqs_.resize(dcs.size());
+  role_attrs_[0].resize(dcs.size());
+  role_attrs_[1].resize(dcs.size());
   size_t n = in_.table->num_rows();
 
   for (size_t i = 0; i < dcs.size(); ++i) {
     const DenialConstraint& dc = dcs[i];
+    cross_eqs_[i] = dc.CrossEqualities();
+    role_attrs_[0][i] = dc.AttrsOfRole(0);
+    role_attrs_[1][i] = dc.AttrsOfRole(1);
     if (!dc.IsTwoTuple()) continue;
-    if (dc.CrossEqualities().empty()) continue;
+    if (cross_eqs_[i].empty()) continue;
     DcIndex& index = dc_indexes_[i];
     index.usable = true;
     for (size_t t = 0; t < n; ++t) {
@@ -101,9 +107,8 @@ void Grounder::BuildDcIndexes() {
 
 uint64_t Grounder::RoleKey(int dc_index, TupleId t, int role,
                            const std::vector<CellOverride>& overrides) const {
-  const DenialConstraint& dc = (*in_.dcs)[static_cast<size_t>(dc_index)];
   uint64_t h = 0x9E3779B97F4A7C15ULL;
-  for (const Predicate* p : dc.CrossEqualities()) {
+  for (const Predicate* p : cross_eqs_[static_cast<size_t>(dc_index)]) {
     AttrId attr;
     if (role == 0) {
       attr = p->lhs_tuple == 0 ? p->lhs_attr : p->rhs_attr;
@@ -126,7 +131,7 @@ int Grounder::CountViolations(int dc_index, const CellRef& cell,
   std::vector<CellOverride> overrides{{cell, candidate}};
 
   if (!dc.IsTwoTuple()) {
-    auto attrs = dc.AttrsOfRole(0);
+    const auto& attrs = role_attrs_[0][static_cast<size_t>(dc_index)];
     if (!std::binary_search(attrs.begin(), attrs.end(), cell.attr)) return 0;
     return evaluator_.ViolatesWith(dc, cell.tid, cell.tid, overrides) ? 1 : 0;
   }
@@ -137,7 +142,7 @@ int Grounder::CountViolations(int dc_index, const CellRef& cell,
   int count = 0;
   std::unordered_set<TupleId> counted;
   for (int role : {0, 1}) {
-    auto role_attrs = dc.AttrsOfRole(role);
+    const auto& role_attrs = role_attrs_[role][static_cast<size_t>(dc_index)];
     if (!std::binary_search(role_attrs.begin(), role_attrs.end(), cell.attr)) {
       continue;
     }
@@ -220,6 +225,34 @@ Result<Variable> Grounder::BuildVariable(const CellRef& cell,
   bool relax_dcs =
       opt_.dc_mode == DcMode::kFeatures || opt_.dc_mode == DcMode::kBoth;
 
+  // Columnar grounding resolves the tuple's context once per cell — the
+  // context value, its count, and the co-occurrence run for this attribute
+  // pair — so the per-candidate loop binary-searches an id-sorted run
+  // instead of hashing into the statistics per candidate. The emitted
+  // features (order and float values) are identical: the conditional
+  // probability is computed from the same numerator and denominator.
+  struct CtxRun {
+    AttrId a_ctx;
+    ValueId v_ctx;
+    int ctx_count;
+    const std::vector<std::pair<ValueId, int>>* run;
+  };
+  std::vector<CtxRun> contexts;
+  if (opt_.columnar) {
+    contexts.reserve(in_.attrs->size());
+    for (AttrId a_ctx : *in_.attrs) {
+      if (a_ctx == cell.attr) continue;
+      ValueId v_ctx = table.Get(cell.tid, a_ctx);
+      if (v_ctx == Dictionary::kNull) continue;
+      CtxRun ctx{a_ctx, v_ctx, 0, nullptr};
+      if (in_.cooc != nullptr) {
+        ctx.ctx_count = in_.cooc->Count(a_ctx, v_ctx);
+        ctx.run = &in_.cooc->CooccurringValues(cell.attr, a_ctx, v_ctx);
+      }
+      contexts.push_back(ctx);
+    }
+  }
+
   var.feat_begin.push_back(0);
   for (size_t k = 0; k < var.domain.size(); ++k) {
     ValueId d = var.domain[k];
@@ -230,22 +263,44 @@ Result<Variable> Grounder::BuildVariable(const CellRef& cell,
     // Two flavours per context: the paper's per-(d,f) indicator with weight
     // w(d,f), and a probability-valued feature shared per attribute pair so
     // the statistics signal generalizes where w(d,f) lacks training data.
-    for (AttrId a_ctx : *in_.attrs) {
-      if (a_ctx == cell.attr) continue;
-      ValueId v_ctx = table.Get(cell.tid, a_ctx);
-      if (v_ctx == Dictionary::kNull) continue;
-      var.features.push_back(
-          {WeightKeyCodec::Pack(FeatureKind::kCooccurrence, au,
-                                static_cast<uint32_t>(a_ctx),
-                                static_cast<uint32_t>(v_ctx), du),
-           1.0f});
-      if (in_.cooc != nullptr) {
-        double p = in_.cooc->CondProb(cell.attr, d, a_ctx, v_ctx);
-        if (p > 0.0) {
-          var.features.push_back(
-              {WeightKeyCodec::Pack(FeatureKind::kCondProb, au,
-                                    static_cast<uint32_t>(a_ctx), 0, 0),
-               static_cast<float>(p)});
+    if (opt_.columnar) {
+      for (const CtxRun& ctx : contexts) {
+        var.features.push_back(
+            {WeightKeyCodec::Pack(FeatureKind::kCooccurrence, au,
+                                  static_cast<uint32_t>(ctx.a_ctx),
+                                  static_cast<uint32_t>(ctx.v_ctx), du),
+             1.0f});
+        if (ctx.run != nullptr && ctx.ctx_count > 0) {
+          auto it = std::lower_bound(ctx.run->begin(), ctx.run->end(),
+                                     std::make_pair(d, 0));
+          if (it != ctx.run->end() && it->first == d) {
+            double p = static_cast<double>(it->second) /
+                       static_cast<double>(ctx.ctx_count);
+            var.features.push_back(
+                {WeightKeyCodec::Pack(FeatureKind::kCondProb, au,
+                                      static_cast<uint32_t>(ctx.a_ctx), 0, 0),
+                 static_cast<float>(p)});
+          }
+        }
+      }
+    } else {
+      for (AttrId a_ctx : *in_.attrs) {
+        if (a_ctx == cell.attr) continue;
+        ValueId v_ctx = table.Get(cell.tid, a_ctx);
+        if (v_ctx == Dictionary::kNull) continue;
+        var.features.push_back(
+            {WeightKeyCodec::Pack(FeatureKind::kCooccurrence, au,
+                                  static_cast<uint32_t>(a_ctx),
+                                  static_cast<uint32_t>(v_ctx), du),
+             1.0f});
+        if (in_.cooc != nullptr) {
+          double p = in_.cooc->CondProb(cell.attr, d, a_ctx, v_ctx);
+          if (p > 0.0) {
+            var.features.push_back(
+                {WeightKeyCodec::Pack(FeatureKind::kCondProb, au,
+                                      static_cast<uint32_t>(a_ctx), 0, 0),
+                 static_cast<float>(p)});
+          }
         }
       }
     }

@@ -54,6 +54,10 @@ struct GroundingOptions {
   /// Optional worker pool: variables are grounded in parallel (the result
   /// is identical to the sequential order).
   ThreadPool* pool = nullptr;
+  /// Ground from precomputed per-cell context runs (value-id lists shared
+  /// with the co-occurrence index) instead of per-candidate stat lookups.
+  /// Same factor graph bit-for-bit; the row path is kept as the reference.
+  bool columnar = true;
 };
 
 /// Everything the grounder reads. All pointers are borrowed and must
@@ -135,6 +139,11 @@ class Grounder {
   GroundingOptions opt_;
   DcEvaluator evaluator_;
   std::vector<DcIndex> dc_indexes_;
+  /// Per-DC caches of CrossEqualities() / AttrsOfRole(role), which would
+  /// otherwise be re-derived (with allocations) on every RoleKey /
+  /// CountViolations call in the per-candidate loops.
+  std::vector<std::vector<const Predicate*>> cross_eqs_;
+  std::vector<std::vector<AttrId>> role_attrs_[2];
   /// For FD-shaped constraints: the attribute their NEQ predicate targets
   /// (-1 when the constraint is not FD-shaped).
   std::vector<AttrId> fd_target_attr_;

@@ -9,17 +9,16 @@ namespace holoclean {
 namespace {
 constexpr uint64_t kValueBits = 24;
 constexpr uint64_t kValueMask = (1ULL << kValueBits) - 1;
-}  // namespace
 
-uint64_t CooccurrenceStats::PairKey(AttrId a, ValueId v, AttrId a_ctx,
-                                    ValueId v_ctx) const {
-  // Layout: [a:8][a_ctx:8][v:24][v_ctx:24]. Checked at build time.
+// Layout: [a:8][a_ctx:8][v:24][v_ctx:24]. Checked at build time.
+uint64_t PairKey(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 56) |
          (static_cast<uint64_t>(static_cast<uint32_t>(a_ctx)) << 48) |
          ((static_cast<uint64_t>(static_cast<uint32_t>(v)) & kValueMask)
           << kValueBits) |
          (static_cast<uint64_t>(static_cast<uint32_t>(v_ctx)) & kValueMask);
 }
+}  // namespace
 
 CooccurrenceStats CooccurrenceStats::Build(const Table& table,
                                            const std::vector<AttrId>& attrs) {
@@ -39,6 +38,7 @@ CooccurrenceStats CooccurrenceStats::Build(const Table& table,
     stats.domains_[static_cast<size_t>(a)] = table.ActiveDomain(a);
   }
 
+  std::unordered_map<uint64_t, int> pair_counts;
   for (size_t t = 0; t < table.num_rows(); ++t) {
     for (AttrId a : attrs) {
       ValueId v = table.Get(static_cast<TupleId>(t), a);
@@ -47,13 +47,13 @@ CooccurrenceStats CooccurrenceStats::Build(const Table& table,
         if (a_ctx == a) continue;
         ValueId v_ctx = table.Get(static_cast<TupleId>(t), a_ctx);
         if (v_ctx == Dictionary::kNull) continue;
-        ++stats.pair_counts_[stats.PairKey(a, v, a_ctx, v_ctx)];
+        ++pair_counts[PairKey(a, v, a_ctx, v_ctx)];
       }
     }
   }
 
   // Build the per-context index from the flat pair counts.
-  for (const auto& [key, count] : stats.pair_counts_) {
+  for (const auto& [key, count] : pair_counts) {
     AttrId a = static_cast<AttrId>(key >> 56);
     AttrId a_ctx = static_cast<AttrId>((key >> 48) & 0xFF);
     ValueId v = static_cast<ValueId>((key >> kValueBits) & kValueMask);
@@ -68,13 +68,110 @@ CooccurrenceStats CooccurrenceStats::Build(const Table& table,
       std::sort(values.begin(), values.end());
     }
   }
+  stats.num_pair_entries_ = pair_counts.size();
+  return stats;
+}
+
+CooccurrenceStats CooccurrenceStats::BuildColumnar(
+    const Table& table, const std::vector<AttrId>& attrs, ThreadPool* pool) {
+  CooccurrenceStats stats;
+  size_t num_attrs = table.schema().num_attrs();
+  stats.num_attrs_ = num_attrs;
+  HOLO_CHECK(num_attrs < 256);
+  HOLO_CHECK(table.dict().size() < (1ULL << kValueBits));
+  stats.pair_index_.resize(num_attrs * num_attrs);
+  stats.domains_.resize(num_attrs);
+
+  const ColumnStore& store = table.store();
+  const size_t n = store.num_rows();
+
+  for (AttrId a : attrs) {
+    const ColumnStore::Column& col = store.column(static_cast<size_t>(a));
+    for (size_t c = 1; c < col.num_codes(); ++c) {
+      if (col.code_counts[c] > 0) {
+        stats.value_counts_[KeyAV(a, col.code_to_value[c])] =
+            static_cast<int>(col.code_counts[c]);
+      }
+    }
+    stats.domains_[static_cast<size_t>(a)] = table.ActiveDomain(a);
+  }
+
+  // One task per ordered (target, context) attribute pair; each writes a
+  // disjoint pair_index_ slot, so pairs parallelize without coordination.
+  std::vector<std::pair<AttrId, AttrId>> tasks;
+  tasks.reserve(attrs.size() * attrs.size());
+  for (AttrId a : attrs) {
+    for (AttrId a_ctx : attrs) {
+      if (a_ctx != a) tasks.emplace_back(a, a_ctx);
+    }
+  }
+  std::vector<size_t> task_entries(tasks.size(), 0);
+
+  auto build_pair = [&](size_t task) {
+    const AttrId a = tasks[task].first;
+    const AttrId a_ctx = tasks[task].second;
+    const ColumnStore::Column& tcol = store.column(static_cast<size_t>(a));
+    const ColumnStore::Column& ccol =
+        store.column(static_cast<size_t>(a_ctx));
+    const size_t n_ctx = ccol.num_codes();
+    const size_t n_tgt = tcol.num_codes();
+
+    // Group the target codes of all rows by their context code with a
+    // prefix-sum scatter (the context column's occupancy counts are the
+    // bucket sizes), then count each group with a touched-list scratch.
+    std::vector<uint32_t> offsets(n_ctx + 1, 0);
+    for (size_t c = 1; c < n_ctx; ++c) {
+      offsets[c + 1] = offsets[c] + ccol.code_counts[c];
+    }
+    std::vector<Code> grouped(offsets[n_ctx]);
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t t = 0; t < n; ++t) {
+      Code cc = ccol.codes[t];
+      if (cc == 0) continue;
+      grouped[cursor[static_cast<size_t>(cc)]++] = tcol.codes[t];
+    }
+
+    std::vector<int> counts(n_tgt, 0);
+    std::vector<Code> touched;
+    auto& index = stats.pair_index_[static_cast<size_t>(a) * num_attrs +
+                                    static_cast<size_t>(a_ctx)];
+    size_t entries = 0;
+    for (size_t cc = 1; cc < n_ctx; ++cc) {
+      for (uint32_t u = offsets[cc]; u < offsets[cc + 1]; ++u) {
+        Code tc = grouped[u];
+        if (tc == 0) continue;
+        if (counts[static_cast<size_t>(tc)]++ == 0) touched.push_back(tc);
+      }
+      if (touched.empty()) continue;
+      auto& list = index.by_ctx[ccol.code_to_value[cc]];
+      list.reserve(touched.size());
+      for (Code tc : touched) {
+        list.emplace_back(tcol.code_to_value[static_cast<size_t>(tc)],
+                          counts[static_cast<size_t>(tc)]);
+        counts[static_cast<size_t>(tc)] = 0;
+      }
+      touched.clear();
+      // Ascending by value, matching the row build's deterministic order.
+      std::sort(list.begin(), list.end());
+      entries += list.size();
+    }
+    task_entries[task] = entries;
+  };
+
+  if (pool != nullptr && tasks.size() > 1) {
+    pool->ParallelFor(tasks.size(), build_pair);
+  } else {
+    for (size_t i = 0; i < tasks.size(); ++i) build_pair(i);
+  }
+  for (size_t e : task_entries) stats.num_pair_entries_ += e;
   return stats;
 }
 
 int CooccurrenceStats::PairCount(AttrId a, ValueId v, AttrId a_ctx,
                                  ValueId v_ctx) const {
-  auto it = pair_counts_.find(PairKey(a, v, a_ctx, v_ctx));
-  return it == pair_counts_.end() ? 0 : it->second;
+  const auto& list = CooccurringValues(a, a_ctx, v_ctx);
+  auto it = std::lower_bound(list.begin(), list.end(), std::make_pair(v, 0));
+  return (it != list.end() && it->first == v) ? it->second : 0;
 }
 
 int CooccurrenceStats::Count(AttrId a, ValueId v) const {

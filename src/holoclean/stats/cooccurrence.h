@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "holoclean/storage/table.h"
+#include "holoclean/util/thread_pool.h"
 
 namespace holoclean {
 
@@ -15,12 +16,25 @@ namespace holoclean {
 /// probability Pr[v | v'] = #(v, v' in the same tuple) / #v' drives both the
 /// domain-pruning strategy (Algorithm 2) and the co-occurrence features of
 /// the probabilistic model.
+///
+/// Two construction paths fill the same representation with identical
+/// contents: Build scans rows (the reference), BuildColumnar counts over
+/// the ColumnStore's per-column code arrays — grouping rows by context
+/// code with one prefix-sum scatter per attribute pair, so the hash work
+/// is per distinct value pair instead of per cell.
 class CooccurrenceStats {
  public:
   /// Counts co-occurrences across all ordered pairs of `attrs` in `table`.
   /// NULL cells are skipped.
   static CooccurrenceStats Build(const Table& table,
                                  const std::vector<AttrId>& attrs);
+
+  /// Same statistics, counted over dictionary codes. Attribute pairs are
+  /// processed in parallel when `pool` is given; the result is identical
+  /// either way.
+  static CooccurrenceStats BuildColumnar(const Table& table,
+                                         const std::vector<AttrId>& attrs,
+                                         ThreadPool* pool = nullptr);
 
   /// #(tuples where attribute a = v and attribute a_ctx = v_ctx).
   int PairCount(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
@@ -32,8 +46,9 @@ class CooccurrenceStats {
   double CondProb(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
 
   /// Values of attribute a that co-occur with (a_ctx = v_ctx) in >= 1 tuple,
-  /// with their pair counts. This is the candidate-generation primitive of
-  /// Algorithm 2: it avoids scanning the whole active domain of a.
+  /// with their pair counts, ascending by value. This is the
+  /// candidate-generation primitive of Algorithm 2: it avoids scanning the
+  /// whole active domain of a.
   const std::vector<std::pair<ValueId, int>>& CooccurringValues(
       AttrId a, AttrId a_ctx, ValueId v_ctx) const;
 
@@ -41,7 +56,7 @@ class CooccurrenceStats {
   const std::vector<ValueId>& Domain(AttrId a) const;
 
   /// Total number of (attr-pair, value-pair) entries; the memory footprint.
-  size_t num_pair_entries() const { return pair_counts_.size(); }
+  size_t num_pair_entries() const { return num_pair_entries_; }
 
  private:
   // Packs (a, v) into a 64-bit key. Requires v < 2^32.
@@ -51,17 +66,16 @@ class CooccurrenceStats {
   }
 
   std::unordered_map<uint64_t, int> value_counts_;  // (a,v) -> count
-  // (a,a_ctx) indexed by a*A+a_ctx -> map from (v_ctx) -> list of (v,count).
-  // Stored as: per attr-pair, map v_ctx -> vector<pair<v,count>>.
+  // (a,a_ctx) indexed by a*A+a_ctx -> map from (v_ctx) -> list of (v,count),
+  // each list ascending by v. PairCount binary-searches these lists, so no
+  // separate flat pair map is kept.
   struct PairIndex {
     std::unordered_map<ValueId, std::vector<std::pair<ValueId, int>>> by_ctx;
   };
-  std::vector<PairIndex> pair_index_;              // size A*A
-  std::unordered_map<uint64_t, int> pair_counts_;  // packed pair key -> count
-  std::vector<std::vector<ValueId>> domains_;      // per attribute
+  std::vector<PairIndex> pair_index_;          // size A*A
+  std::vector<std::vector<ValueId>> domains_;  // per attribute
+  size_t num_pair_entries_ = 0;
   size_t num_attrs_ = 0;
-
-  uint64_t PairKey(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
 };
 
 }  // namespace holoclean

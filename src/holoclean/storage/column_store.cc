@@ -1,0 +1,235 @@
+#include "holoclean/storage/column_store.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "holoclean/util/logging.h"
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+namespace {
+
+void InitColumn(ColumnStore::Column* col) {
+  col->code_to_value = {Dictionary::kNull};
+  col->value_to_code = {{Dictionary::kNull, 0}};
+  col->code_counts = {0};
+  col->sorted_prefix = 1;
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(size_t num_attrs) {
+  columns_.resize(num_attrs);
+  for (Column& col : columns_) InitColumn(&col);
+  meta_.resize(num_attrs);
+}
+
+ColumnStore::ColumnStore(const ColumnStore& other) {
+  std::lock_guard<std::mutex> lock(other.meta_mu_);
+  columns_ = other.columns_;
+  num_rows_ = other.num_rows_;
+  meta_ = other.meta_;
+}
+
+ColumnStore& ColumnStore::operator=(const ColumnStore& other) {
+  if (this != &other) {
+    ColumnStore tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+ColumnStore::ColumnStore(ColumnStore&& other) noexcept
+    : columns_(std::move(other.columns_)),
+      num_rows_(other.num_rows_),
+      meta_(std::move(other.meta_)) {}
+
+ColumnStore& ColumnStore::operator=(ColumnStore&& other) noexcept {
+  if (this != &other) {
+    columns_ = std::move(other.columns_);
+    num_rows_ = other.num_rows_;
+    meta_ = std::move(other.meta_);
+  }
+  return *this;
+}
+
+Code ColumnStore::InternCode(Column* col, ValueId v) {
+  auto it = col->value_to_code.find(v);
+  if (it != col->value_to_code.end()) return it->second;
+  Code c = static_cast<Code>(col->code_to_value.size());
+  col->code_to_value.push_back(v);
+  col->code_counts.push_back(0);
+  col->value_to_code.emplace(v, c);
+  return c;
+}
+
+void ColumnStore::Set(size_t a, size_t t, ValueId v) {
+  Column& col = columns_[a];
+  Code old_code = col.codes[t];
+  HOLO_CHECK(col.code_counts[static_cast<size_t>(old_code)] > 0);
+  --col.code_counts[static_cast<size_t>(old_code)];
+  Code c = InternCode(&col, v);
+  col.codes[t] = c;
+  ++col.code_counts[static_cast<size_t>(c)];
+  col.values[t] = v;
+  // A new code invalidates cached compare metadata for this column.
+  if (static_cast<size_t>(c) + 1 == col.num_codes()) {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    meta_[a].reset();
+  }
+}
+
+void ColumnStore::AppendRow(const std::vector<ValueId>& ids) {
+  HOLO_CHECK(ids.size() == columns_.size());
+  for (size_t a = 0; a < ids.size(); ++a) {
+    Column& col = columns_[a];
+    Code c = InternCode(&col, ids[a]);
+    col.codes.push_back(c);
+    ++col.code_counts[static_cast<size_t>(c)];
+    col.values.push_back(ids[a]);
+  }
+  ++num_rows_;
+}
+
+void ColumnStore::SortDictionaries(const Dictionary& dict) {
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    Column& col = columns_[a];
+    size_t n_codes = col.num_codes();
+    if (n_codes <= 2) {
+      col.sorted_prefix = n_codes;
+      continue;
+    }
+    // Order non-null codes by their value strings; NULL keeps code 0.
+    std::vector<Code> order(n_codes - 1);
+    std::iota(order.begin(), order.end(), Code{1});
+    std::sort(order.begin(), order.end(), [&](Code x, Code y) {
+      return dict.GetString(col.code_to_value[static_cast<size_t>(x)]) <
+             dict.GetString(col.code_to_value[static_cast<size_t>(y)]);
+    });
+    std::vector<Code> remap(n_codes);
+    std::vector<ValueId> new_c2v(n_codes);
+    std::vector<uint32_t> new_counts(n_codes);
+    new_c2v[0] = Dictionary::kNull;
+    new_counts[0] = col.code_counts[0];
+    for (size_t i = 0; i < order.size(); ++i) {
+      Code old_code = order[i];
+      Code new_code = static_cast<Code>(i + 1);
+      remap[static_cast<size_t>(old_code)] = new_code;
+      new_c2v[static_cast<size_t>(new_code)] =
+          col.code_to_value[static_cast<size_t>(old_code)];
+      new_counts[static_cast<size_t>(new_code)] =
+          col.code_counts[static_cast<size_t>(old_code)];
+    }
+    for (Code& c : col.codes) c = remap[static_cast<size_t>(c)];
+    col.code_to_value = std::move(new_c2v);
+    col.code_counts = std::move(new_counts);
+    for (size_t c = 0; c < n_codes; ++c) {
+      col.value_to_code[col.code_to_value[c]] = static_cast<Code>(c);
+    }
+    col.sorted_prefix = n_codes;
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (auto& m : meta_) m.reset();
+}
+
+void ColumnStore::Install(std::vector<std::vector<ValueId>> values,
+                          std::vector<std::vector<ValueId>> dicts,
+                          const std::vector<uint64_t>& sorted_prefixes) {
+  HOLO_CHECK(values.size() == columns_.size());
+  HOLO_CHECK(dicts.size() == columns_.size());
+  size_t rows = columns_.empty() ? 0 : values[0].size();
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    HOLO_CHECK(values[a].size() == rows);
+    Column& col = columns_[a];
+    col.code_to_value = std::move(dicts[a]);
+    size_t n_codes = col.num_codes();
+    HOLO_CHECK(n_codes >= 1 && col.code_to_value[0] == Dictionary::kNull);
+    // Dense reverse map over the global id range of this column's dict.
+    ValueId max_id = 0;
+    for (ValueId v : col.code_to_value) max_id = std::max(max_id, v);
+    std::vector<Code> reverse(static_cast<size_t>(max_id) + 1, Code{-1});
+    col.value_to_code.clear();
+    col.value_to_code.reserve(n_codes);
+    for (size_t c = 0; c < n_codes; ++c) {
+      ValueId v = col.code_to_value[c];
+      HOLO_CHECK(v >= 0 && reverse[static_cast<size_t>(v)] < 0);
+      reverse[static_cast<size_t>(v)] = static_cast<Code>(c);
+      col.value_to_code.emplace(v, static_cast<Code>(c));
+    }
+    col.codes.resize(rows);
+    col.code_counts.assign(n_codes, 0);
+    const std::vector<ValueId>& vals = values[a];
+    for (size_t t = 0; t < rows; ++t) {
+      ValueId v = vals[t];
+      HOLO_CHECK(v >= 0 && static_cast<size_t>(v) < reverse.size());
+      Code c = reverse[static_cast<size_t>(v)];
+      HOLO_CHECK(c >= 0);
+      col.codes[t] = c;
+      ++col.code_counts[static_cast<size_t>(c)];
+    }
+    col.values = std::move(values[a]);
+    col.sorted_prefix =
+        std::min(static_cast<size_t>(sorted_prefixes[a]), n_codes);
+  }
+  num_rows_ = rows;
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (auto& m : meta_) m.reset();
+}
+
+std::shared_ptr<const ColumnStore::CompareMeta> ColumnStore::EnsureCompareMeta(
+    size_t a, const Dictionary& dict) const {
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    if (meta_[a] != nullptr &&
+        meta_[a]->is_numeric.size() == columns_[a].num_codes()) {
+      return meta_[a];
+    }
+  }
+  const Column& col = columns_[a];
+  size_t n_codes = col.num_codes();
+  auto meta = std::make_shared<CompareMeta>();
+  meta->is_numeric.resize(n_codes, 0);
+  meta->numeric.resize(n_codes, 0.0);
+  meta->lex_rank.resize(n_codes, 0);
+  meta->all_lexicographic = true;
+  meta->all_numeric = true;
+  std::vector<Code> order(n_codes);
+  std::iota(order.begin(), order.end(), Code{0});
+  std::sort(order.begin(), order.end(), [&](Code x, Code y) {
+    return dict.GetString(col.code_to_value[static_cast<size_t>(x)]) <
+           dict.GetString(col.code_to_value[static_cast<size_t>(y)]);
+  });
+  for (size_t rank = 0; rank < n_codes; ++rank) {
+    meta->lex_rank[static_cast<size_t>(order[rank])] =
+        static_cast<int32_t>(rank);
+  }
+  for (size_t c = 0; c < n_codes; ++c) {
+    const std::string& s = dict.GetString(col.code_to_value[c]);
+    if (IsNumeric(s)) {
+      meta->is_numeric[c] = 1;
+      meta->numeric[c] = ParseDoubleOr(s, 0.0);
+      if (c != 0) meta->all_lexicographic = false;
+    } else if (c != 0) {
+      meta->all_numeric = false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  if (meta_[a] == nullptr || meta_[a]->is_numeric.size() != n_codes) {
+    meta_[a] = std::move(meta);
+  }
+  return meta_[a];
+}
+
+std::vector<ValueId> ColumnStore::ActiveDomain(size_t a) const {
+  const Column& col = columns_[a];
+  std::vector<ValueId> out;
+  out.reserve(col.num_codes());
+  for (size_t c = 1; c < col.num_codes(); ++c) {
+    if (col.code_counts[c] > 0) out.push_back(col.code_to_value[c]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace holoclean

@@ -1,0 +1,155 @@
+#ifndef HOLOCLEAN_STORAGE_COLUMN_STORE_H_
+#define HOLOCLEAN_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "holoclean/storage/dictionary.h"
+
+namespace holoclean {
+
+/// Per-column dictionary code: index into that column's code_to_value
+/// dictionary. Code 0 always maps to Dictionary::kNull.
+using Code = int32_t;
+
+/// Columnar dictionary-encoded cell storage (the hyrise dictionary-segment
+/// design, collapsed to one segment per column with logical chunk
+/// boundaries).
+///
+/// Each column holds a contiguous code array plus a per-column dictionary
+/// mapping dense codes to the table-wide ValueId space. The global
+/// Dictionary stays authoritative for string interning — every artifact
+/// the pipeline persists (violations, domains, weights, repairs)
+/// references global ValueIds — so per-column codes are a pure
+/// acceleration layer: equality scans compare codes or global ids as
+/// integers, and per-code metadata (occurrence counts, parsed-numeric
+/// values, lexicographic ranks) turns per-cell work into per-distinct-value
+/// work.
+///
+/// A decoded global-id mirror of every column is kept eagerly in sync: it
+/// is what Table's row-oriented accessors read, so hot consumers that were
+/// tuned against flat ValueId arrays (compiled kernel, Gibbs, grounding)
+/// keep their exact memory behaviour. Mutations go through Set/Append,
+/// which update codes, counts, and the mirror together.
+class ColumnStore {
+ public:
+  /// Logical rows per chunk. Chunks share one physical code array today —
+  /// the boundary exists so streaming/append work has a natural unit (and
+  /// scans a natural tile) without a later storage-format change.
+  static constexpr size_t kChunkRows = 1 << 16;
+
+  /// Lazily derived per-code comparison metadata of one column (built by
+  /// EnsureCompareMeta, immutable afterwards until the dictionary grows).
+  struct CompareMeta {
+    /// Per code: whether the value parses as a number (IsNumeric).
+    std::vector<uint8_t> is_numeric;
+    /// Per code: the parsed value (0.0 for non-numeric codes).
+    std::vector<double> numeric;
+    /// Per code: rank of the value string in lexicographic order over the
+    /// column's dictionary. Comparable across codes of the SAME column.
+    std::vector<int32_t> lex_rank;
+    /// True when no code (besides NULL) parses as numeric: every ordered
+    /// comparison inside the column takes the lexicographic branch, so
+    /// `lex_rank` alone decides <,>,<=,>=.
+    bool all_lexicographic = false;
+    /// True when every non-null code parses as numeric: every ordered
+    /// comparison inside the column is numeric.
+    bool all_numeric = false;
+  };
+
+  struct Column {
+    /// One code per row.
+    std::vector<Code> codes;
+    /// Dense code -> global ValueId. codes.size() distinct entries;
+    /// code_to_value[0] == Dictionary::kNull always.
+    std::vector<ValueId> code_to_value;
+    /// Reverse mapping for interning appends/writes.
+    std::unordered_map<ValueId, Code> value_to_code;
+    /// Occurrences of each code among the rows (kept exact under Set, so
+    /// active domains and frequency stats are O(#distinct), not O(rows)).
+    std::vector<uint32_t> code_counts;
+    /// Decoded global-id mirror, index is the row. Always in sync with
+    /// `codes` (Table's Column()/Get() read this).
+    std::vector<ValueId> values;
+    /// Codes below this bound are in lexicographic string order (set by
+    /// bulk sorted encoding; appends of new values grow an unsorted tail).
+    size_t sorted_prefix = 1;
+
+    size_t num_codes() const { return code_to_value.size(); }
+  };
+
+  explicit ColumnStore(size_t num_attrs);
+
+  // Explicit because of the metadata mutex (Table is cloned and moved
+  // through Result<Table>).
+  ColumnStore(const ColumnStore& other);
+  ColumnStore& operator=(const ColumnStore& other);
+  ColumnStore(ColumnStore&& other) noexcept;
+  ColumnStore& operator=(ColumnStore&& other) noexcept;
+
+  size_t num_attrs() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_chunks() const {
+    return num_rows_ == 0 ? 0 : (num_rows_ + kChunkRows - 1) / kChunkRows;
+  }
+
+  const Column& column(size_t a) const { return columns_[a]; }
+
+  ValueId Value(size_t a, size_t t) const { return columns_[a].values[t]; }
+
+  /// Decoded mirror of a column (index is the row).
+  const std::vector<ValueId>& Values(size_t a) const {
+    return columns_[a].values;
+  }
+
+  /// Overwrites one cell, keeping codes, counts, and the mirror in sync.
+  void Set(size_t a, size_t t, ValueId v);
+
+  /// Appends one row of global ids (one per column).
+  void AppendRow(const std::vector<ValueId>& ids);
+
+  /// Re-encodes every column so codes follow lexicographic string order
+  /// (code 0 stays NULL). Called after a bulk load; `dict` resolves the
+  /// strings. Resets sorted_prefix to the full dictionary.
+  void SortDictionaries(const Dictionary& dict);
+
+  /// Replaces the store contents wholesale (snapshot restore fast path).
+  /// `values` are the decoded columns, `dicts` the per-column
+  /// code_to_value arrays; codes and counts are derived here with O(1)
+  /// array mapping per cell — no per-cell hashing. Caller validated that
+  /// every value of column a appears in dicts[a] and dicts[a][0] is NULL.
+  void Install(std::vector<std::vector<ValueId>> values,
+               std::vector<std::vector<ValueId>> dicts,
+               const std::vector<uint64_t>& sorted_prefixes);
+
+  /// Comparison metadata of a column, built on first use (thread-safe —
+  /// detection fetches this concurrently from per-DC pool workers). `dict`
+  /// resolves code strings. The returned snapshot is immutable; it covers
+  /// the codes that existed when it was built, so callers that mutate the
+  /// table must re-fetch.
+  std::shared_ptr<const CompareMeta> EnsureCompareMeta(
+      size_t a, const Dictionary& dict) const;
+
+  /// Distinct non-null global ids currently present in column a, ascending.
+  std::vector<ValueId> ActiveDomain(size_t a) const;
+
+ private:
+  Code InternCode(Column* col, ValueId v);
+
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+
+  /// Lazy compare metadata, one slot per column. Guarded by meta_mu_ for
+  /// concurrent first-use from const scans (detection runs per-DC on the
+  /// pool); a shared_ptr is handed out so a rebuild after dictionary
+  /// growth never invalidates a reader mid-scan.
+  mutable std::mutex meta_mu_;
+  mutable std::vector<std::shared_ptr<CompareMeta>> meta_;
+};
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_STORAGE_COLUMN_STORE_H_

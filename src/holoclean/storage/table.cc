@@ -1,7 +1,6 @@
 #include "holoclean/storage/table.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "holoclean/util/logging.h"
 
@@ -18,42 +17,38 @@ AttrId Schema::IndexOf(std::string_view name) const {
 }
 
 Table::Table(Schema schema, std::shared_ptr<Dictionary> dict)
-    : schema_(std::move(schema)), dict_(std::move(dict)) {
+    : schema_(std::move(schema)),
+      dict_(std::move(dict)),
+      store_(schema_.num_attrs()) {
   HOLO_CHECK(dict_ != nullptr);
-  cols_.resize(schema_.num_attrs());
 }
 
 void Table::AppendRow(const std::vector<std::string>& values) {
   HOLO_CHECK(values.size() == schema_.num_attrs());
-  for (size_t a = 0; a < values.size(); ++a) {
-    cols_[a].push_back(dict_->Intern(values[a]));
-  }
-  ++num_rows_;
+  std::vector<ValueId> ids;
+  ids.reserve(values.size());
+  for (const std::string& v : values) ids.push_back(dict_->Intern(v));
+  store_.AppendRow(ids);
 }
 
 void Table::AppendRowIds(const std::vector<ValueId>& ids) {
   HOLO_CHECK(ids.size() == schema_.num_attrs());
-  for (size_t a = 0; a < ids.size(); ++a) {
-    cols_[a].push_back(ids[a]);
-  }
-  ++num_rows_;
+  store_.AppendRow(ids);
 }
 
 std::vector<ValueId> Table::ActiveDomain(AttrId a) const {
-  std::unordered_set<ValueId> seen;
-  std::vector<ValueId> out;
-  for (ValueId v : cols_[static_cast<size_t>(a)]) {
-    if (v == Dictionary::kNull) continue;
-    if (seen.insert(v).second) out.push_back(v);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return store_.ActiveDomain(static_cast<size_t>(a));
+}
+
+void Table::InstallColumns(std::vector<std::vector<ValueId>> values,
+                           std::vector<std::vector<ValueId>> dicts,
+                           const std::vector<uint64_t>& sorted_prefixes) {
+  store_.Install(std::move(values), std::move(dicts), sorted_prefixes);
 }
 
 Table Table::Clone() const {
   Table copy(schema_, dict_);
-  copy.cols_ = cols_;
-  copy.num_rows_ = num_rows_;
+  copy.store_ = store_;
   return copy;
 }
 
@@ -68,18 +63,20 @@ Result<Table> Table::FromCsv(const CsvDocument& doc) {
     }
     table.AppendRow(row);
   }
+  table.store_.SortDictionaries(*table.dict_);
   return table;
 }
 
 CsvDocument Table::ToCsv() const {
   CsvDocument doc;
   doc.header = schema_.names();
-  doc.rows.reserve(num_rows_);
-  for (size_t t = 0; t < num_rows_; ++t) {
+  doc.rows.reserve(num_rows());
+  for (size_t t = 0; t < num_rows(); ++t) {
     std::vector<std::string> row;
     row.reserve(schema_.num_attrs());
     for (size_t a = 0; a < schema_.num_attrs(); ++a) {
-      row.push_back(dict_->GetString(cols_[a][t]));
+      row.push_back(dict_->GetString(Get(static_cast<TupleId>(t),
+                                         static_cast<AttrId>(a))));
     }
     doc.rows.push_back(std::move(row));
   }

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "holoclean/storage/column_store.h"
 #include "holoclean/storage/dictionary.h"
 #include "holoclean/util/csv.h"
 #include "holoclean/util/status.h"
@@ -57,9 +58,12 @@ class Schema {
   std::vector<std::string> names_;
 };
 
-/// In-memory columnar relation. Cells are dictionary-encoded ValueIds; the
-/// dictionary is shared across columns (and may be shared across tables,
-/// e.g. between a dirty table and its ground-truth clean version).
+/// In-memory columnar relation backed by a ColumnStore: each column is a
+/// dictionary-encoded segment (dense per-column codes plus a code -> global
+/// ValueId dictionary), with a decoded global-id mirror serving this
+/// row-oriented API. The global Dictionary is shared across columns (and
+/// may be shared across tables, e.g. between a dirty table and its
+/// ground-truth clean version).
 class Table {
  public:
   Table(Schema schema, std::shared_ptr<Dictionary> dict);
@@ -71,12 +75,12 @@ class Table {
   void AppendRowIds(const std::vector<ValueId>& ids);
 
   ValueId Get(TupleId t, AttrId a) const {
-    return cols_[static_cast<size_t>(a)][static_cast<size_t>(t)];
+    return store_.Value(static_cast<size_t>(a), static_cast<size_t>(t));
   }
   ValueId Get(const CellRef& c) const { return Get(c.tid, c.attr); }
 
   void Set(TupleId t, AttrId a, ValueId v) {
-    cols_[static_cast<size_t>(a)][static_cast<size_t>(t)] = v;
+    store_.Set(static_cast<size_t>(a), static_cast<size_t>(t), v);
   }
   void Set(const CellRef& c, ValueId v) { Set(c.tid, c.attr, v); }
 
@@ -93,16 +97,28 @@ class Table {
     Set(t, a, dict_->Intern(value));
   }
 
-  /// Full column; index is TupleId.
+  /// Full column as global ids; index is TupleId.
   const std::vector<ValueId>& Column(AttrId a) const {
-    return cols_[static_cast<size_t>(a)];
+    return store_.Values(static_cast<size_t>(a));
   }
 
   /// Distinct non-null values appearing in attribute `a` (its active domain).
   std::vector<ValueId> ActiveDomain(AttrId a) const;
 
-  size_t num_rows() const { return num_rows_; }
-  size_t num_cells() const { return num_rows_ * schema_.num_attrs(); }
+  /// The columnar backing store (code arrays, per-column dictionaries, and
+  /// compare metadata) for vectorized scans.
+  const ColumnStore& store() const { return store_; }
+
+  /// Replaces all cell contents and per-column dictionaries wholesale
+  /// (snapshot restore fast path — skips per-cell re-encoding). Row count
+  /// is taken from `values`; the caller validated the inputs against the
+  /// shared dictionary.
+  void InstallColumns(std::vector<std::vector<ValueId>> values,
+                      std::vector<std::vector<ValueId>> dicts,
+                      const std::vector<uint64_t>& sorted_prefixes);
+
+  size_t num_rows() const { return store_.num_rows(); }
+  size_t num_cells() const { return num_rows() * schema_.num_attrs(); }
   const Schema& schema() const { return schema_; }
   Dictionary& dict() { return *dict_; }
   const Dictionary& dict() const { return *dict_; }
@@ -112,6 +128,8 @@ class Table {
   Table Clone() const;
 
   /// Builds a table from a parsed CSV document using a fresh dictionary.
+  /// Per-column dictionaries are bulk-sorted after the load so codes start
+  /// out in lexicographic string order.
   static Result<Table> FromCsv(const CsvDocument& doc);
 
   /// Serializes to a CSV document.
@@ -120,8 +138,7 @@ class Table {
  private:
   Schema schema_;
   std::shared_ptr<Dictionary> dict_;
-  std::vector<std::vector<ValueId>> cols_;
-  size_t num_rows_ = 0;
+  ColumnStore store_;
 };
 
 }  // namespace holoclean
