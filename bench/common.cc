@@ -58,15 +58,18 @@ HoloCleanConfig PaperConfig(const std::string& name) {
   return config;
 }
 
-RunOutcome RunHoloClean(GeneratedData* data, const HoloCleanConfig& config,
-                        bool use_dicts) {
-  HoloClean cleaner(config);
-  auto report = use_dicts && !data->dicts.empty()
-                    ? cleaner.Run(&data->dataset, data->dcs, &data->dicts,
-                                  &data->mds)
-                    : cleaner.Run(&data->dataset, data->dcs);
+RunOutcome RunPipeline(GeneratedData* data, const HoloCleanConfig& config,
+                       bool use_dicts) {
+  SessionOptions options;
+  options.config = config;
+  bool with_dicts = use_dicts && !data->dicts.empty();
+  auto report = CleanOnce(
+      CleaningInputs::Borrowed(&data->dataset, &data->dcs,
+                               with_dicts ? &data->dicts : nullptr,
+                               with_dicts ? &data->mds : nullptr),
+      options);
   if (!report.ok()) {
-    std::fprintf(stderr, "HoloClean failed on %s: %s\n", data->name.c_str(),
+    std::fprintf(stderr, "pipeline failed on %s: %s\n", data->name.c_str(),
                  report.status().ToString().c_str());
     std::abort();
   }

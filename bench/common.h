@@ -6,8 +6,8 @@
 #include <vector>
 
 #include "holoclean/core/config.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
 #include "holoclean/data/generated_data.h"
 
 namespace holoclean::bench {
@@ -29,14 +29,15 @@ double PaperTau(const std::string& name);
 /// DC features, no partitioning, per-dataset tau).
 HoloCleanConfig PaperConfig(const std::string& name);
 
-/// Runs HoloClean on a dataset and returns (evaluation, report).
+/// Runs the full cleaning pipeline once (CleanOnce over a borrowed
+/// bundle) and returns (evaluation, report).
 struct RunOutcome {
   EvalResult eval;
   RunStats stats;
   std::vector<Repair> repairs;
 };
-RunOutcome RunHoloClean(GeneratedData* data, const HoloCleanConfig& config,
-                        bool use_dicts);
+RunOutcome RunPipeline(GeneratedData* data, const HoloCleanConfig& config,
+                       bool use_dicts);
 
 /// Prints a markdown-style table row.
 void PrintRule(const std::vector<int>& widths);

@@ -22,7 +22,7 @@ int main() {
       GeneratedData data = MakeDataset(name);
       HoloCleanConfig config = PaperConfig(name);
       config.tau = tau;
-      RunOutcome outcome = RunHoloClean(&data, config, false);
+      RunOutcome outcome = RunPipeline(&data, config, false);
       PrintRow({name, Fmt(tau, 1), Fmt(outcome.eval.precision),
                 Fmt(outcome.eval.recall), Fmt(outcome.eval.f1)},
                widths);

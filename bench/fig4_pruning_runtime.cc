@@ -24,7 +24,7 @@ int main() {
       GeneratedData data = MakeDataset(name);
       HoloCleanConfig config = PaperConfig(name);
       config.tau = tau;
-      RunOutcome outcome = RunHoloClean(&data, config, false);
+      RunOutcome outcome = RunPipeline(&data, config, false);
       PrintRow({name, Fmt(tau, 1), Fmt(outcome.stats.detect_seconds, 2),
                 Fmt(outcome.stats.compile_seconds, 2),
                 Fmt(outcome.stats.RepairSeconds(), 2),

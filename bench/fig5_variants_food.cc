@@ -47,7 +47,7 @@ int main() {
       config.tau = tau;
       config.dc_mode = variant.mode;
       config.partitioning = variant.partitioning;
-      RunOutcome outcome = RunHoloClean(&data, config, false);
+      RunOutcome outcome = RunPipeline(&data, config, false);
       PrintRow({variant.label, Fmt(tau, 1),
                 Fmt(outcome.stats.compile_seconds, 2),
                 Fmt(outcome.stats.RepairSeconds(), 2),

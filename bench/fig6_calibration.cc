@@ -27,7 +27,7 @@ int main() {
   std::vector<double> total_sum(5, 0.0);
   for (const std::string& name : AllDatasetNames()) {
     GeneratedData data = MakeDataset(name);
-    RunOutcome outcome = RunHoloClean(&data, PaperConfig(name), false);
+    RunOutcome outcome = RunPipeline(&data, PaperConfig(name), false);
     auto buckets = ComputeCalibration(data.dataset, outcome.repairs, edges);
     std::vector<std::string> row = {name};
     for (size_t i = 0; i < buckets.size(); ++i) {

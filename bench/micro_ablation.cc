@@ -59,7 +59,7 @@ int main() {
       GeneratedData data = MakeDataset(name);
       HoloCleanConfig config = PaperConfig(name);
       ablation.apply(&config);
-      RunOutcome outcome = RunHoloClean(&data, config, false);
+      RunOutcome outcome = RunPipeline(&data, config, false);
       row.push_back(Fmt(outcome.eval.f1));
     }
     PrintRow(row, widths);

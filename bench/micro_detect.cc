@@ -31,8 +31,8 @@ DetectRun RunOnce(size_t rows, uint64_t seed, bool columnar) {
   HoloCleanConfig config;
   config.tau = 0.5;
   config.columnar = columnar;
-  HoloClean cleaner(config);
-  auto session = cleaner.Open(&data.dataset, data.dcs);
+  auto session = OpenStandaloneSession(
+      CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   if (!session.ok()) return {};
   auto report = session.value().Run();
   if (!report.ok()) return {};

@@ -19,9 +19,9 @@ int main() {
   for (const std::string& name : AllDatasetNames()) {
     if (name == "flights") continue;  // No dictionary exists for Flights.
     GeneratedData without = MakeDataset(name);
-    RunOutcome base = RunHoloClean(&without, PaperConfig(name), false);
+    RunOutcome base = RunPipeline(&without, PaperConfig(name), false);
     GeneratedData with = MakeDataset(name);
-    RunOutcome dict = RunHoloClean(&with, PaperConfig(name), true);
+    RunOutcome dict = RunPipeline(&with, PaperConfig(name), true);
     PrintRow({name, Fmt(base.eval.f1), Fmt(dict.eval.f1),
               Fmt(dict.eval.f1 - base.eval.f1)},
              widths);

@@ -48,11 +48,11 @@ int main() {
     HoloCleanConfig config = PaperConfig(name);
     config.dc_mode = DcMode::kBoth;
     config.partitioning = false;
-    RunOutcome pruned = RunHoloClean(&data, config, false);
+    RunOutcome pruned = RunPipeline(&data, config, false);
 
     GeneratedData data2 = MakeDataset(name);
     config.partitioning = true;
-    RunOutcome part = RunHoloClean(&data2, config, false);
+    RunOutcome part = RunPipeline(&data2, config, false);
 
     double reduction =
         static_cast<double>(part.stats.num_grounded_factors) > 0

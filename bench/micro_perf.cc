@@ -231,7 +231,8 @@ StageRun RunFoodStages(const HoloCleanConfig& config) {
   FoodOptions options;
   options.num_rows = 4000;  // The acceptance workload; bench scale exempt.
   GeneratedData data = MakeFood(options);
-  auto opened = HoloClean(config).Open(&data.dataset, data.dcs);
+  auto opened = OpenStandaloneSession(
+      CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   if (!opened.ok()) {
     std::fprintf(stderr, "food open failed: %s\n",
                  opened.status().ToString().c_str());

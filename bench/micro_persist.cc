@@ -74,9 +74,9 @@ int main() {
 
   // Cold run: the baseline every restore competes against.
   GeneratedData cold_data = MakeFood({rows, 0.06, 7});
-  HoloClean cleaner(config);
   Timer timer;
-  auto cold_report = cleaner.Run(&cold_data.dataset, cold_data.dcs);
+  auto cold_report = CleanOnce(
+      CleaningInputs::Borrowed(&cold_data.dataset, &cold_data.dcs), {config});
   if (!cold_report.ok()) {
     std::fprintf(stderr, "cold run failed: %s\n",
                  cold_report.status().ToString().c_str());
@@ -87,7 +87,8 @@ int main() {
 
   // One session, saved after learn under each variant's options.
   GeneratedData save_data = MakeFood({rows, 0.06, 7});
-  auto opened = cleaner.Open(&save_data.dataset, save_data.dcs);
+  auto opened = OpenStandaloneSession(
+      CleaningInputs::Borrowed(&save_data.dataset, &save_data.dcs), {config});
   if (!opened.ok()) return 1;
   Session session = std::move(opened).value();
   if (!session.RunThrough(StageId::kLearn).ok()) return 1;
@@ -117,12 +118,14 @@ int main() {
     // Restore into a fresh dataset (as a new process would) and finish the
     // pipeline from inference.
     GeneratedData restore_data = MakeFood({rows, 0.06, 7});
-    SnapshotLoadOptions load;
-    load.lazy_graph = variant.mmap_restore;
+    SessionOptions restore_options;
+    restore_options.config = config;
+    restore_options.snapshot_path = kSnapshotPath;
+    restore_options.load_options.lazy_graph = variant.mmap_restore;
     timer.Reset();
-    auto restored = cleaner.Restore(kSnapshotPath, &restore_data.dataset,
-                                    restore_data.dcs, nullptr, nullptr,
-                                    nullptr, load);
+    auto restored = OpenStandaloneSession(
+        CleaningInputs::Borrowed(&restore_data.dataset, &restore_data.dcs),
+        restore_options);
     r.restore_seconds = timer.Seconds();
     if (!restored.ok()) {
       std::fprintf(stderr, "%s restore failed: %s\n", variant.name,

@@ -73,8 +73,9 @@ int main() {
     for (size_t i = 0; i < kFleet; ++i) {
       HoloCleanConfig job_config = config;
       job_config.seed = Engine::PerJobSeed(config.seed, i);
-      HoloClean cleaner(job_config);
-      auto report = cleaner.Run(&fleet[i]->dataset, fleet[i]->dcs);
+      auto report = CleanOnce(
+          CleaningInputs::Borrowed(&fleet[i]->dataset, &fleet[i]->dcs),
+          {job_config});
       if (!report.ok()) {
         std::fprintf(stderr, "standalone run %zu failed: %s\n", i,
                      report.status().ToString().c_str());

@@ -24,7 +24,7 @@ int main() {
     options.num_rows = rows;
     GeneratedData data = MakeFood(options);
     HoloCleanConfig config = PaperConfig("food");
-    RunOutcome outcome = RunHoloClean(&data, config, false);
+    RunOutcome outcome = RunPipeline(&data, config, false);
     PrintRow({std::to_string(rows), "all",
               Fmt(outcome.stats.detect_seconds, 2),
               Fmt(outcome.stats.compile_seconds, 2),
@@ -39,7 +39,7 @@ int main() {
     GeneratedData data = MakeFood(options);
     HoloCleanConfig config = PaperConfig("food");
     config.num_threads = threads;
-    RunOutcome outcome = RunHoloClean(&data, config, false);
+    RunOutcome outcome = RunPipeline(&data, config, false);
     PrintRow({"8000", std::to_string(threads),
               Fmt(outcome.stats.detect_seconds, 2),
               Fmt(outcome.stats.compile_seconds, 2),

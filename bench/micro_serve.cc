@@ -1,0 +1,243 @@
+// Serving-tier micro-bench: request throughput and latency of the
+// multi-tenant CleaningServer over three workloads, dispatched through
+// the exact code path the TCP front end uses (Handle(), minus socket
+// framing so the numbers isolate the serving stack, not loopback I/O).
+//
+//  - cold:  first-touch cleans, one per (tenant, dataset) slot — full
+//           pipeline runs behind a registry lookup + admission ticket.
+//  - warm:  repeat cleans over the parked sessions in the engine LRU —
+//           cached-report lookups, the steady-state serving hot path.
+//  - mixed: round-robin over more slots than the LRU holds with spill
+//           enabled, so requests alternate warm hits with
+//           restore-from-spill misses (the capacity-pressure regime).
+//
+// Warm responses are cross-checked byte-for-byte against the cold
+// responses of the same slot (the LRU trades nothing for correctness).
+//
+// Emits JSON-lines metrics via HOLOCLEAN_BENCH_JSON (aggregated into
+// BENCH_ci.json by CI): QPS per workload, p50/p99 latency, and the
+// warm-over-cold speedup the CI ratio gate holds at >= 1.5x.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "holoclean/data/food.h"
+#include "holoclean/serve/server.h"
+#include "holoclean/util/csv.h"
+#include "holoclean/util/timer.h"
+
+using namespace holoclean;         // NOLINT
+using namespace holoclean::bench;  // NOLINT
+
+namespace {
+
+constexpr size_t kSlots = 6;        // Distinct (tenant, dataset) pairs.
+constexpr size_t kWarmRounds = 25;  // Warm requests per slot.
+
+struct Payload {
+  std::string csv;
+  std::string dcs;
+};
+
+Payload MakePayload(size_t i, size_t rows) {
+  FoodOptions options;
+  options.num_rows = rows;
+  options.error_rate = 0.05 + 0.01 * static_cast<double>(i);
+  options.seed = 911 + i;
+  GeneratedData data = MakeFood(options);
+  Payload payload;
+  payload.csv = WriteCsv(data.dataset.dirty().ToCsv());
+  for (const DenialConstraint& dc : data.dcs) {
+    payload.dcs += dc.ToString(data.dataset.dirty().schema()) + "\n";
+  }
+  return payload;
+}
+
+JsonValue CleanFrame(size_t slot) {
+  JsonValue frame = JsonValue::Object();
+  frame.Set("op", JsonValue::String("clean"));
+  frame.Set("tenant", JsonValue::String("tenant" + std::to_string(slot)));
+  frame.Set("dataset", JsonValue::String("food"));
+  return frame;
+}
+
+std::string RepairsDump(const JsonValue& response) {
+  const JsonValue* report = response.Find("report");
+  const JsonValue* repairs =
+      report != nullptr ? report->Find("repairs") : nullptr;
+  return repairs != nullptr ? repairs->Dump() : "<missing>";
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  if (index >= samples.size()) index = samples.size() - 1;
+  return samples[index];
+}
+
+struct WorkloadStats {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+WorkloadStats Summarize(const std::vector<double>& latencies_ms,
+                        double total_seconds) {
+  WorkloadStats stats;
+  stats.qps = static_cast<double>(latencies_ms.size()) / total_seconds;
+  stats.p50_ms = Percentile(latencies_ms, 0.50);
+  stats.p99_ms = Percentile(latencies_ms, 0.99);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  size_t rows = static_cast<size_t>(800 * BenchScale());
+  if (rows < 150) rows = 150;
+
+  std::printf(
+      "Micro: serving-tier QPS/latency (Food profile, %zu slots, %zu rows "
+      "each, %zu warm rounds)\n\n",
+      kSlots, rows, kWarmRounds);
+
+  serve::ServerOptions options;
+  options.default_config = PaperConfig("food");
+  options.session_cache_capacity = kSlots;
+  options.admission.per_tenant_inflight = 2;
+  options.admission.global_inflight = 2 * kSlots;
+  serve::CleaningServer server(options);
+
+  for (size_t i = 0; i < kSlots; ++i) {
+    Payload payload = MakePayload(i, rows);
+    JsonValue frame = JsonValue::Object();
+    frame.Set("op", JsonValue::String("register_dataset"));
+    frame.Set("tenant", JsonValue::String("tenant" + std::to_string(i)));
+    frame.Set("dataset", JsonValue::String("food"));
+    frame.Set("csv", JsonValue::String(payload.csv));
+    frame.Set("constraints", JsonValue::String(payload.dcs));
+    JsonValue response = server.Handle(frame);
+    if (!response.GetBool("ok")) {
+      std::fprintf(stderr, "register %zu failed: %s\n", i,
+                   response.Dump().c_str());
+      return 1;
+    }
+  }
+
+  // --- Cold: first touch of every slot.
+  std::vector<std::string> cold_repairs(kSlots);
+  std::vector<double> cold_latencies;
+  Timer cold_timer;
+  for (size_t i = 0; i < kSlots; ++i) {
+    Timer request_timer;
+    JsonValue response = server.Handle(CleanFrame(i));
+    cold_latencies.push_back(request_timer.Millis());
+    if (!response.GetBool("ok") || response.GetBool("warm")) {
+      std::fprintf(stderr, "cold clean %zu failed: %s\n", i,
+                   response.Dump().c_str());
+      return 1;
+    }
+    cold_repairs[i] = RepairsDump(response);
+  }
+  WorkloadStats cold = Summarize(cold_latencies, cold_timer.Seconds());
+
+  // --- Warm: steady-state repeats over the parked sessions.
+  bool identical = true;
+  std::vector<double> warm_latencies;
+  Timer warm_timer;
+  for (size_t round = 0; round < kWarmRounds; ++round) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      Timer request_timer;
+      JsonValue response = server.Handle(CleanFrame(i));
+      warm_latencies.push_back(request_timer.Millis());
+      if (!response.GetBool("ok") || !response.GetBool("warm")) {
+        std::fprintf(stderr, "warm clean %zu failed: %s\n", i,
+                     response.Dump().c_str());
+        return 1;
+      }
+      identical = identical && RepairsDump(response) == cold_repairs[i];
+    }
+  }
+  WorkloadStats warm = Summarize(warm_latencies, warm_timer.Seconds());
+
+  // --- Mixed: capacity pressure. A second server holds an LRU of half
+  // the slots with spilling on, so the round-robin alternates warm hits
+  // and restore-from-spill misses.
+  serve::ServerOptions mixed_options = options;
+  mixed_options.session_cache_capacity = kSlots / 2;
+  mixed_options.spill_directory = "/tmp";
+  serve::CleaningServer mixed_server(mixed_options);
+  for (size_t i = 0; i < kSlots; ++i) {
+    Payload payload = MakePayload(i, rows);
+    JsonValue frame = JsonValue::Object();
+    frame.Set("op", JsonValue::String("register_dataset"));
+    frame.Set("tenant", JsonValue::String("tenant" + std::to_string(i)));
+    frame.Set("dataset", JsonValue::String("food"));
+    frame.Set("csv", JsonValue::String(payload.csv));
+    frame.Set("constraints", JsonValue::String(payload.dcs));
+    if (!mixed_server.Handle(frame).GetBool("ok")) {
+      std::fprintf(stderr, "mixed register %zu failed\n", i);
+      return 1;
+    }
+  }
+  std::vector<double> mixed_latencies;
+  Timer mixed_timer;
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      Timer request_timer;
+      JsonValue response = mixed_server.Handle(CleanFrame(i));
+      mixed_latencies.push_back(request_timer.Millis());
+      if (!response.GetBool("ok")) {
+        std::fprintf(stderr, "mixed clean %zu failed: %s\n", i,
+                     response.Dump().c_str());
+        return 1;
+      }
+      // Round 0 is the cold fill; later rounds must agree with round 0's
+      // repairs whether they came from the LRU or a spill restore.
+      if (round == 0) {
+        if (RepairsDump(response) != cold_repairs[i]) identical = false;
+      } else {
+        identical = identical && RepairsDump(response) == cold_repairs[i];
+      }
+    }
+  }
+  WorkloadStats mixed = Summarize(mixed_latencies, mixed_timer.Seconds());
+
+  double warm_speedup = warm.p50_ms > 0.0 ? cold.p50_ms / warm.p50_ms : 0.0;
+
+  std::vector<int> widths = {10, 12, 12, 12, 10};
+  PrintRule(widths);
+  PrintRow({"Workload", "Requests", "QPS", "p50 ms", "p99 ms"}, widths);
+  PrintRule(widths);
+  PrintRow({"cold", std::to_string(cold_latencies.size()), Fmt(cold.qps, 1),
+            Fmt(cold.p50_ms, 2), Fmt(cold.p99_ms, 2)},
+           widths);
+  PrintRow({"warm", std::to_string(warm_latencies.size()), Fmt(warm.qps, 1),
+            Fmt(warm.p50_ms, 2), Fmt(warm.p99_ms, 2)},
+           widths);
+  PrintRow({"mixed", std::to_string(mixed_latencies.size()),
+            Fmt(mixed.qps, 1), Fmt(mixed.p50_ms, 2), Fmt(mixed.p99_ms, 2)},
+           widths);
+  PrintRule(widths);
+  std::printf("\nwarm p50 speedup over cold: %sx, responses %s\n",
+              Fmt(warm_speedup, 1).c_str(),
+              identical ? "bit-identical" : "DIVERGED");
+
+  AppendBenchMetric("micro_serve", "cold_qps", cold.qps);
+  AppendBenchMetric("micro_serve", "cold_p50_ms", cold.p50_ms);
+  AppendBenchMetric("micro_serve", "cold_p99_ms", cold.p99_ms);
+  AppendBenchMetric("micro_serve", "warm_qps", warm.qps);
+  AppendBenchMetric("micro_serve", "warm_p50_ms", warm.p50_ms);
+  AppendBenchMetric("micro_serve", "warm_p99_ms", warm.p99_ms);
+  AppendBenchMetric("micro_serve", "mixed_qps", mixed.qps);
+  AppendBenchMetric("micro_serve", "mixed_p50_ms", mixed.p50_ms);
+  AppendBenchMetric("micro_serve", "mixed_p99_ms", mixed.p99_ms);
+  AppendBenchMetric("micro_serve", "warm_speedup", warm_speedup);
+  AppendBenchMetric("micro_serve", "identical", identical ? 1.0 : 0.0);
+
+  return identical ? 0 : 1;
+}

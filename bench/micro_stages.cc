@@ -30,8 +30,8 @@ StageRun RunStaged(size_t rows, size_t threads) {
   config.partitioning = true;
   config.gibbs_burn_in = 10;
   config.gibbs_samples = 40;
-  HoloClean cleaner(config);
-  auto session = cleaner.Open(&data.dataset, data.dcs);
+  auto session = OpenStandaloneSession(
+      CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   if (!session.ok()) return {};
   auto report = session.value().Run();
   if (!report.ok()) return {};
@@ -95,8 +95,8 @@ int main() {
   config.partitioning = true;
   config.gibbs_burn_in = 10;
   config.gibbs_samples = 40;
-  HoloClean cleaner(config);
-  auto session = cleaner.Open(&data.dataset, data.dcs);
+  auto session = OpenStandaloneSession(
+      CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   if (!session.ok()) {
     std::fprintf(stderr, "open failed\n");
     return 1;

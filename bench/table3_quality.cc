@@ -36,7 +36,7 @@ int main() {
   for (const std::string& name : AllDatasetNames()) {
     GeneratedData data = MakeDataset(name);
 
-    RunOutcome holo = RunHoloClean(&data, PaperConfig(name), false);
+    RunOutcome holo = RunPipeline(&data, PaperConfig(name), false);
 
     Holistic holistic;
     EvalResult holistic_eval =

@@ -26,7 +26,7 @@ int main() {
   for (const std::string& name : AllDatasetNames()) {
     GeneratedData data = MakeDataset(name);
 
-    RunOutcome holo = RunHoloClean(&data, PaperConfig(name), false);
+    RunOutcome holo = RunPipeline(&data, PaperConfig(name), false);
 
     Timer timer;
     Holistic holistic;

@@ -8,7 +8,7 @@
 
 #include "holoclean/baselines/holistic.h"
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/data/flights.h"
 #include "holoclean/stats/source_reliability.h"
 
@@ -29,8 +29,9 @@ int main() {
 
   HoloCleanConfig config;
   config.tau = 0.3;  // Paper Table 3 uses tau=0.3 for Flights.
-  HoloClean cleaner(config);
-  auto report = cleaner.Run(&data.dataset, data.dcs);
+  auto report = holoclean::CleanOnce(
+      holoclean::CleaningInputs::Borrowed(&data.dataset, &data.dcs),
+      {config});
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  report.status().ToString().c_str());

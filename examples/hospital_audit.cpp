@@ -7,7 +7,7 @@
 
 #include "holoclean/core/calibration.h"
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/data/hospital.h"
 
 using namespace holoclean;  // NOLINT — example brevity.
@@ -19,8 +19,10 @@ int main() {
 
   HoloCleanConfig config;
   config.tau = 0.5;
-  HoloClean cleaner(config);
-  auto report = cleaner.Run(&data.dataset, data.dcs, &data.dicts, &data.mds);
+  auto report = holoclean::CleanOnce(
+      holoclean::CleaningInputs::Borrowed(&data.dataset, &data.dcs,
+                                          &data.dicts, &data.mds),
+      {config});
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  report.status().ToString().c_str());

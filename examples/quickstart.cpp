@@ -6,7 +6,7 @@
 // proposed repairs with their marginal probabilities.
 //
 // The Engine call surface replaces the legacy five-positional-pointer
-// HoloClean::Run: inputs travel in one CleaningInputs bundle — here the
+// calling convention: inputs travel in one CleaningInputs bundle — here the
 // *owned* flavor, so the session keeps every input alive and the caller
 // never juggles lifetimes — and per-run knobs live in SessionOptions.
 

@@ -1,5 +1,6 @@
 #include "holoclean/core/engine.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "holoclean/io/session_snapshot.h"
@@ -42,12 +43,51 @@ Result<Session> Engine::OpenSession(CleaningInputs inputs,
   }
   std::shared_ptr<ThreadPool> pool =
       options.private_pool ? nullptr : shared_pool();
+  // Second-level warm path: a session evicted from the LRU may live on as
+  // a spilled snapshot. Restoring it replays every cached stage artifact
+  // bit-identically; any validation failure (e.g. a config fingerprint
+  // mismatch) falls back to the cold open below. An explicit
+  // snapshot_path outranks the spill (the caller asked for that state).
+  if (!options.cache_key.empty() && options.snapshot_path.empty()) {
+    std::optional<SpillEntry> spill =
+        TakeCompatibleSpill(options.cache_key, inputs);
+    if (spill.has_value()) {
+      Session session(options.config, inputs, pool);
+      Status restored = session.RestoreFrom(spill->path, options.load_options);
+      std::remove(spill->path.c_str());
+      if (restored.ok()) return session;
+    }
+  }
   Session session(options.config, std::move(inputs), std::move(pool));
   if (!options.snapshot_path.empty()) {
     HOLO_RETURN_NOT_OK(
         session.RestoreFrom(options.snapshot_path, options.load_options));
   }
   return session;
+}
+
+Result<Session> OpenStandaloneSession(CleaningInputs inputs,
+                                      SessionOptions options) {
+  HOLO_RETURN_NOT_OK(inputs.Validate());
+  Session session(options.config, std::move(inputs), nullptr);
+  if (!options.snapshot_path.empty()) {
+    HOLO_RETURN_NOT_OK(
+        session.RestoreFrom(options.snapshot_path, options.load_options));
+  }
+  return session;
+}
+
+Result<Report> CleanOnce(CleaningInputs inputs, SessionOptions options) {
+  Result<Session> opened =
+      OpenStandaloneSession(std::move(inputs), std::move(options));
+  if (!opened.ok()) return opened.status();
+  Session session = std::move(opened).value();
+  Result<Report> report = session.Run();
+  if (report.ok()) {
+    report.value().learned_weights =
+        std::make_shared<const WeightStore>(session.context().weights);
+  }
+  return report;
 }
 
 Result<Report> Engine::RunJob(CleaningInputs inputs, SessionOptions options) {
@@ -129,26 +169,71 @@ void Engine::CacheSession(const std::string& key, Session session) {
   uint64_t extdata_fp = ExternalDataFingerprint(
       inputs.dicts_ptr(), inputs.mds_ptr(), inputs.detectors_ptr());
   CacheEntry entry{key, dcs_fp, extdata_fp, dataset, std::move(session)};
-  // Sessions are destroyed outside the lock (their pool teardown and
-  // artifact frees have no business serializing other cache users).
-  std::optional<Session> evicted;
+  // Sessions are destroyed (or spilled) outside the lock: pool teardown,
+  // artifact frees, and snapshot writes have no business serializing
+  // other cache users.
+  std::optional<Session> replaced;
+  std::optional<CacheEntry> evicted;
+  std::string stale_spill_path;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = by_key_.find(key);
     if (it != by_key_.end()) {
-      evicted = std::move(it->second->session);
+      // Same-key replacement: the incoming session is strictly fresher,
+      // so the old one is destroyed, never spilled.
+      replaced = std::move(it->second->session);
       lru_.erase(it->second);
       by_key_.erase(it);
+    }
+    // The parked session also supersedes any spilled snapshot under the
+    // key (the spill predates it).
+    auto spill_it = spill_index_.find(key);
+    if (spill_it != spill_index_.end()) {
+      stale_spill_path = std::move(spill_it->second.path);
+      spill_index_.erase(spill_it);
     }
     lru_.push_front(std::move(entry));
     by_key_[key] = lru_.begin();
     if (lru_.size() > options_.session_cache_capacity) {
-      CacheEntry& last = lru_.back();
-      evicted = std::move(last.session);
-      by_key_.erase(last.key);
+      evicted = std::move(lru_.back());
+      by_key_.erase(evicted->key);
       lru_.pop_back();
     }
   }
+  if (!stale_spill_path.empty()) std::remove(stale_spill_path.c_str());
+  if (evicted.has_value() && !options_.spill_directory.empty()) {
+    SpillEvicted(std::move(*evicted));
+  }
+}
+
+void Engine::SpillEvicted(CacheEntry evicted) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path = options_.spill_directory + "/spill-" +
+           std::to_string(spill_seq_++) + ".snapshot";
+  }
+  // Packed-codec save (the SnapshotSaveOptions default): spilled state is
+  // cold by definition, so it pays the compact-on-disk trade.
+  Status saved = evicted.session.Save(path);
+  if (!saved.ok()) {
+    std::remove(path.c_str());
+    return;  // Dropping the session is the pre-spill eviction behavior.
+  }
+  SpillEntry entry{path, evicted.dcs_fp, evicted.extdata_fp, evicted.dataset};
+  std::string displaced_path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A concurrent job may have re-parked or re-spilled the key while we
+    // were saving; the newer state wins and this snapshot is discarded.
+    if (by_key_.count(evicted.key) > 0 ||
+        spill_index_.count(evicted.key) > 0) {
+      displaced_path = std::move(path);
+    } else {
+      spill_index_.emplace(evicted.key, std::move(entry));
+    }
+  }
+  if (!displaced_path.empty()) std::remove(displaced_path.c_str());
 }
 
 std::optional<Session> Engine::TakeCachedSession(const std::string& key) {
@@ -186,9 +271,57 @@ std::optional<Session> Engine::TakeCompatibleSession(
   return session;
 }
 
+std::optional<Engine::SpillEntry> Engine::TakeCompatibleSpill(
+    const std::string& key, const CleaningInputs& inputs) {
+  Dataset* dataset = inputs.dataset_ptr();
+  uint64_t dcs_fp =
+      DcsFingerprint(*inputs.dcs_ptr(), dataset->dirty().schema());
+  uint64_t extdata_fp = ExternalDataFingerprint(
+      inputs.dicts_ptr(), inputs.mds_ptr(), inputs.detectors_ptr());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spill_index_.find(key);
+  if (it == spill_index_.end()) return std::nullopt;
+  if (it->second.dataset != dataset || it->second.dcs_fp != dcs_fp ||
+      it->second.extdata_fp != extdata_fp) {
+    return std::nullopt;
+  }
+  SpillEntry entry = std::move(it->second);
+  spill_index_.erase(it);
+  return entry;
+}
+
 bool Engine::HasCachedSession(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return by_key_.count(key) > 0;
+}
+
+bool Engine::HasSpilledSession(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spill_index_.count(key) > 0;
+}
+
+std::vector<std::string> Engine::CachedSessionKeys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const CacheEntry& entry : lru_) keys.push_back(entry.key);
+  return keys;
+}
+
+std::vector<std::pair<std::string, Session>> Engine::TakeAllCachedSessions() {
+  std::list<CacheEntry> taken;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken = std::move(lru_);
+    lru_.clear();
+    by_key_.clear();
+  }
+  std::vector<std::pair<std::string, Session>> sessions;
+  sessions.reserve(taken.size());
+  for (CacheEntry& entry : taken) {
+    sessions.emplace_back(std::move(entry.key), std::move(entry.session));
+  }
+  return sessions;
 }
 
 size_t Engine::cached_sessions() const {

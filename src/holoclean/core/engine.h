@@ -26,6 +26,13 @@ struct EngineOptions {
   /// Capacity of the bounded LRU of parked sessions (restored or compiled
   /// state kept warm between jobs). 0 disables parking.
   size_t session_cache_capacity = 8;
+  /// When set, sessions evicted from a full LRU are saved to compressed
+  /// snapshots in this directory instead of being destroyed, and a later
+  /// OpenSession/job under the same cache_key (same dataset object, same
+  /// constraint/external-data fingerprints) restores the snapshot instead
+  /// of recomputing from scratch. A spilled snapshot is single-use; a
+  /// failed restore falls back to a cold open. Empty disables spilling.
+  std::string spill_directory;
 };
 
 /// Per-session/per-job options: the pipeline configuration plus how the
@@ -143,6 +150,19 @@ class Engine {
   bool HasCachedSession(const std::string& key) const;
   size_t cached_sessions() const;
 
+  /// Keys of every parked session, most recently used first. A consistent
+  /// snapshot of the LRU; entries may be taken by concurrent jobs before
+  /// the caller acts on them.
+  std::vector<std::string> CachedSessionKeys() const;
+
+  /// Removes and returns every parked session with its key (MRU first),
+  /// leaving the LRU empty. The drain primitive: a server saves each
+  /// returned session to a snapshot before shutting down.
+  std::vector<std::pair<std::string, Session>> TakeAllCachedSessions();
+
+  /// True when a spilled snapshot is indexed under `key` (testing hook).
+  bool HasSpilledSession(const std::string& key) const;
+
   // --- Shared dictionary arena ---------------------------------------------
 
   /// Merges a vocabulary into the engine's interned-dictionary arena (ids
@@ -170,6 +190,16 @@ class Engine {
     Session session;
   };
 
+  /// Index entry of one spilled (evicted-to-snapshot) session. The
+  /// fingerprints replay the same compatibility check the LRU uses; the
+  /// snapshot's own validation then re-checks everything on restore.
+  struct SpillEntry {
+    std::string path;
+    uint64_t dcs_fp = 0;
+    uint64_t extdata_fp = 0;
+    Dataset* dataset = nullptr;
+  };
+
   /// The body of one submitted job; runs on a pool worker.
   Result<Report> RunJob(CleaningInputs inputs, SessionOptions options);
 
@@ -178,6 +208,18 @@ class Engine {
   /// fingerprints); incompatible or absent entries are left alone.
   std::optional<Session> TakeCompatibleSession(const std::string& key,
                                                const CleaningInputs& inputs);
+
+  /// Takes the spill-index entry under `key` when it is compatible with
+  /// the bundle. The entry is removed either way the caller's restore
+  /// goes: spilled snapshots are single-use.
+  std::optional<SpillEntry> TakeCompatibleSpill(const std::string& key,
+                                                const CleaningInputs& inputs);
+
+  /// Saves an evicted cache entry to a spill snapshot and indexes it.
+  /// Called outside mutex_ (snapshot writes are expensive); on save
+  /// failure the session is simply dropped, which is the pre-spill
+  /// eviction behavior.
+  void SpillEvicted(CacheEntry evicted);
 
   EngineOptions options_;
   mutable std::mutex mutex_;
@@ -188,7 +230,26 @@ class Engine {
   /// LRU of parked sessions, most recent first, with an index by key.
   std::list<CacheEntry> lru_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> by_key_;
+  /// Spilled sessions by cache key; guarded by mutex_.
+  std::unordered_map<std::string, SpillEntry> spill_index_;
+  size_t spill_seq_ = 0;  ///< Uniquifies spill filenames; guarded by mutex_.
 };
+
+// --- Standalone (engine-free) entry points ---------------------------------
+
+/// Opens a self-contained session over the bundle: no Engine required, the
+/// session owns a private pool sized by options.config.num_threads.
+/// options.snapshot_path/load_options restore exactly as in
+/// Engine::OpenSession; cache_key and private_pool are ignored (there is
+/// no LRU, and the pool is always private). This is the one-shot
+/// replacement for the removed HoloClean facade's Open/Restore.
+Result<Session> OpenStandaloneSession(CleaningInputs inputs,
+                                      SessionOptions options = {});
+
+/// Opens a standalone session, runs the full pipeline once, and returns
+/// the report (with learned_weights filled). The replacement for the
+/// removed facade's Run.
+Result<Report> CleanOnce(CleaningInputs inputs, SessionOptions options = {});
 
 }  // namespace holoclean
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 
 namespace holoclean {
 
@@ -20,8 +20,8 @@ size_t FeedbackSession::AddLabel(const FeedbackLabel& label) {
 
 Result<Report> FeedbackSession::Run() {
   if (!session_) {
-    HoloClean cleaner(config_);
-    auto opened = cleaner.Open(dataset_, dcs_);
+    auto opened = OpenStandaloneSession(
+        CleaningInputs::Borrowed(dataset_, &dcs_), {config_});
     if (!opened.ok()) return opened.status();
     session_.emplace(std::move(opened).value());
   }

@@ -17,7 +17,7 @@ namespace holoclean {
 /// The value-typed input bundle of one cleaning instance: the dataset, its
 /// denial constraints, and the optional external-data signal (dictionaries
 /// + matching dependencies) and extra detectors. Replaces the legacy
-/// five-positional-raw-pointer calling convention of HoloClean::Run/Open.
+/// five-positional-raw-pointer calling convention of the removed facade.
 ///
 /// Each input comes in a borrowed and an owned flavor:
 ///  - Borrowed(...) wraps raw pointers; the caller guarantees they outlive

@@ -12,7 +12,7 @@
 namespace holoclean {
 
 /// A long-lived handle over one cleaning instance (obtained with
-/// Engine::OpenSession, or the deprecated HoloClean::Open) that supports
+/// Engine::OpenSession or OpenStandaloneSession) that supports
 /// incremental re-runs: the session caches every stage artifact in its
 /// PipelineContext and tracks which leading stages are still valid. Run()
 /// only executes the invalid suffix, so e.g. changing a Gibbs knob re-runs
@@ -102,8 +102,8 @@ class Session {
   /// Serializes the cached stage artifacts (everything the valid stage
   /// prefix produced, plus the dirty table's current cell values and
   /// dictionary) into a versioned, checksummed SessionSnapshot at `path`.
-  /// A later process restores it with Engine::OpenSession (snapshot_path)
-  /// or the deprecated HoloClean::Restore and re-runs from any cached
+  /// A later process restores it with Engine::OpenSession or
+  /// OpenStandaloneSession (snapshot_path) and re-runs from any cached
   /// stage exactly like an in-process rerun. `options` select the section
   /// codec (packed by default) and, for comparison benchmarks, the legacy
   /// v1 format. A lazily restored session materializes its factor graph

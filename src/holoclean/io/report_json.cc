@@ -1,0 +1,69 @@
+#include "holoclean/io/report_json.h"
+
+#include <utility>
+
+namespace holoclean {
+
+JsonValue RunStatsToJson(const RunStats& stats) {
+  JsonValue j = JsonValue::Object();
+  j.Set("detect_seconds", JsonValue::Number(stats.detect_seconds));
+  j.Set("compile_seconds", JsonValue::Number(stats.compile_seconds));
+  j.Set("learn_seconds", JsonValue::Number(stats.learn_seconds));
+  j.Set("infer_seconds", JsonValue::Number(stats.infer_seconds));
+  j.Set("total_seconds", JsonValue::Number(stats.TotalSeconds()));
+  JsonValue timings = JsonValue::Array();
+  for (const StageTiming& t : stats.stage_timings) {
+    JsonValue stage = JsonValue::Object();
+    stage.Set("name", JsonValue::String(t.name));
+    stage.Set("seconds", JsonValue::Number(t.seconds));
+    stage.Set("peak_rss_bytes",
+              JsonValue::Number(static_cast<uint64_t>(t.peak_rss_bytes)));
+    stage.Set("cached", JsonValue::Bool(t.cached));
+    timings.Append(std::move(stage));
+  }
+  j.Set("stage_timings", std::move(timings));
+  j.Set("num_violations",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_violations)));
+  j.Set("num_noisy_cells",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_noisy_cells)));
+  j.Set("num_query_vars",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_query_vars)));
+  j.Set("num_evidence_vars",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_evidence_vars)));
+  j.Set("num_candidates",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_candidates)));
+  j.Set("num_dc_factors",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_dc_factors)));
+  j.Set("num_grounded_factors",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_grounded_factors)));
+  j.Set("detect_truncated", JsonValue::Bool(stats.detect_truncated));
+  j.Set("num_truncated_dcs",
+        JsonValue::Number(static_cast<uint64_t>(stats.num_truncated_dcs)));
+  return j;
+}
+
+JsonValue ReportToJson(const Report& report, const Table& table) {
+  JsonValue j = JsonValue::Object();
+  j.Set("version", JsonValue::Number(kReportJsonVersion));
+  JsonValue repairs = JsonValue::Array();
+  for (const Repair& r : report.repairs) {
+    JsonValue repair = JsonValue::Object();
+    repair.Set("tid", JsonValue::Number(static_cast<uint64_t>(r.cell.tid)));
+    repair.Set("attr", JsonValue::String(table.schema().name(r.cell.attr)));
+    repair.Set("old", JsonValue::String(table.dict().GetString(r.old_value)));
+    repair.Set("new", JsonValue::String(table.dict().GetString(r.new_value)));
+    repair.Set("probability", JsonValue::Number(r.probability));
+    repairs.Append(std::move(repair));
+  }
+  j.Set("repairs", std::move(repairs));
+  j.Set("num_posteriors",
+        JsonValue::Number(static_cast<uint64_t>(report.posteriors.size())));
+  j.Set("stats", RunStatsToJson(report.stats));
+  return j;
+}
+
+std::string ReportJsonString(const Report& report, const Table& table) {
+  return ReportToJson(report, table).Dump();
+}
+
+}  // namespace holoclean

@@ -1,0 +1,45 @@
+#ifndef HOLOCLEAN_IO_REPORT_JSON_H_
+#define HOLOCLEAN_IO_REPORT_JSON_H_
+
+#include <string>
+
+#include "holoclean/core/report.h"
+#include "holoclean/util/json.h"
+
+namespace holoclean {
+
+/// Version of the report JSON schema. Bump only with an additive change;
+/// consumers (CLI --report-json, batch per-job status, serve responses)
+/// must keep reading older fields forever. The schema is pinned by the
+/// golden file tests/data/report_golden.json.
+inline constexpr int kReportJsonVersion = 1;
+
+/// The stable JSON rendering of one run's statistics:
+///   {"detect_seconds":..., "compile_seconds":..., "learn_seconds":...,
+///    "infer_seconds":..., "total_seconds":...,
+///    "stage_timings":[{"name":"detect","seconds":...,
+///                      "peak_rss_bytes":...,"cached":false}, ...],
+///    "num_violations":..., "num_noisy_cells":..., "num_query_vars":...,
+///    "num_evidence_vars":..., "num_candidates":..., "num_dc_factors":...,
+///    "num_grounded_factors":..., "detect_truncated":...,
+///    "num_truncated_dcs":...}
+JsonValue RunStatsToJson(const RunStats& stats);
+
+/// The stable JSON rendering of a whole report. Repairs and posteriors
+/// reference values as strings resolved through `table`'s dictionary (ids
+/// are process-local and meaningless on the wire):
+///   {"version":1,
+///    "repairs":[{"tid":...,"attr":"City","old":"Cicago","new":"Chicago",
+///                "probability":...}, ...],
+///    "num_posteriors":...,
+///    "stats":{...}}                    // RunStatsToJson
+/// Used identically by the CLI (--report-json), batch per-job status, and
+/// the serving tier's clean responses — one schema everywhere.
+JsonValue ReportToJson(const Report& report, const Table& table);
+
+/// ReportToJson serialized to its canonical compact byte form.
+std::string ReportJsonString(const Report& report, const Table& table);
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_IO_REPORT_JSON_H_

@@ -1,0 +1,50 @@
+#include "holoclean/serve/admission.h"
+
+namespace holoclean {
+namespace serve {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release(tenant_);
+  controller_ = nullptr;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ >= options_.global_inflight) {
+    return Status::OutOfRange("overloaded: " + std::to_string(total_) +
+                              " requests in flight (global limit)");
+  }
+  size_t& mine = per_tenant_[tenant];
+  if (mine >= options_.per_tenant_inflight) {
+    return Status::OutOfRange("overloaded: tenant \"" + tenant + "\" has " +
+                              std::to_string(mine) + " requests in flight");
+  }
+  ++mine;
+  ++total_;
+  return Ticket(this, tenant);
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end() && it->second > 0) {
+    if (--it->second == 0) per_tenant_.erase(it);
+  }
+  if (total_ > 0) --total_;
+}
+
+size_t AdmissionController::inflight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_tenant_.find(tenant);
+  return it == per_tenant_.end() ? 0 : it->second;
+}
+
+size_t AdmissionController::total_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace serve
+}  // namespace holoclean

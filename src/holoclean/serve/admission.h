@@ -1,0 +1,84 @@
+#ifndef HOLOCLEAN_SERVE_ADMISSION_H_
+#define HOLOCLEAN_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+namespace serve {
+
+/// Load-shedding bounds of the serving tier.
+struct AdmissionOptions {
+  /// Max cleaning requests one tenant may have in flight; beyond it the
+  /// tenant's own requests bounce with `overloaded` while every other
+  /// tenant keeps full service (per-tenant isolation).
+  size_t per_tenant_inflight = 4;
+  /// Max cleaning requests in flight across all tenants — the global
+  /// backpressure bound protecting the engine's pool and memory.
+  size_t global_inflight = 16;
+};
+
+/// Counting admission controller: requests take a Ticket up front and the
+/// slot frees when the Ticket dies (RAII, so an early error return can
+/// never leak a slot and slowly strangle a tenant).
+///
+/// Deliberately quota-only — there is no queue. A rejected request gets a
+/// clean `overloaded` response immediately and the client retries; queueing
+/// inside the daemon would just move the backlog somewhere the client
+/// cannot see or time out.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      tenant_ = std::move(other.tenant_);
+      other.controller_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, std::string tenant)
+        : controller_(controller), tenant_(std::move(tenant)) {}
+
+    AdmissionController* controller_ = nullptr;
+    std::string tenant_;
+  };
+
+  /// Admits one request for `tenant`, or rejects with kOutOfRange (the
+  /// wire's `overloaded`) naming the exhausted bound.
+  Result<Ticket> Admit(const std::string& tenant);
+
+  size_t inflight(const std::string& tenant) const;
+  size_t total_inflight() const;
+
+ private:
+  void Release(const std::string& tenant);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, size_t> per_tenant_;
+  size_t total_ = 0;
+};
+
+}  // namespace serve
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_SERVE_ADMISSION_H_

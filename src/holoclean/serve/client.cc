@@ -1,0 +1,53 @@
+#include "holoclean/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace holoclean {
+namespace serve {
+
+Result<Client> Client::Connect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Internal("connect to 127.0.0.1:" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<JsonValue> Client::Call(const Request& request) {
+  return CallRaw(request.ToJson());
+}
+
+Result<JsonValue> Client::CallRaw(const JsonValue& frame) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  HOLO_RETURN_NOT_OK(WriteFrame(fd_, frame));
+  return ReadFrame(fd_);
+}
+
+}  // namespace serve
+}  // namespace holoclean

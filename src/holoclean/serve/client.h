@@ -1,0 +1,53 @@
+#ifndef HOLOCLEAN_SERVE_CLIENT_H_
+#define HOLOCLEAN_SERVE_CLIENT_H_
+
+#include <string>
+#include <utility>
+
+#include "holoclean/serve/protocol.h"
+
+namespace holoclean {
+namespace serve {
+
+/// A blocking client over one connection to a CleaningServer: frames a
+/// Request, waits for the response frame, and hands it back parsed. Used
+/// by the CLI client tool, the serving tests, and the micro_serve
+/// benchmark — the same code path an external integration would write
+/// against serve/protocol.h.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  static Result<Client> Connect(int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends a request and blocks for its response frame. The returned
+  /// object is the full response envelope; "ok" false means the server
+  /// rejected the request (the transport itself succeeded).
+  Result<JsonValue> Call(const Request& request);
+
+  /// Sends a pre-built frame (protocol testing: malformed ops, etc.).
+  Result<JsonValue> CallRaw(const JsonValue& frame);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_SERVE_CLIENT_H_

@@ -1,0 +1,290 @@
+#include "holoclean/serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace holoclean {
+namespace serve {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kRegisterDataset:
+      return "register_dataset";
+    case Op::kDropDataset:
+      return "drop_dataset";
+    case Op::kListDatasets:
+      return "list_datasets";
+    case Op::kClean:
+      return "clean";
+    case Op::kFeedback:
+      return "feedback";
+    case Op::kExplainStatus:
+      return "explain_status";
+  }
+  return "unknown";
+}
+
+Result<Op> ParseOp(const std::string& name) {
+  if (name == "register_dataset") return Op::kRegisterDataset;
+  if (name == "drop_dataset") return Op::kDropDataset;
+  if (name == "list_datasets") return Op::kListDatasets;
+  if (name == "clean") return Op::kClean;
+  if (name == "feedback") return Op::kFeedback;
+  if (name == "explain_status") return Op::kExplainStatus;
+  return Status::InvalidArgument("unknown op \"" + name + "\"");
+}
+
+std::string ErrorCodeFor(const Status& status) {
+  // Load-shedding rejections travel as kOutOfRange; the message prefix
+  // distinguishes a draining server from a saturated tenant quota.
+  if (status.code() == StatusCode::kOutOfRange) {
+    if (status.message().rfind("draining", 0) == 0) return "draining";
+    return "overloaded";
+  }
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    default:
+      return "internal";
+  }
+}
+
+JsonValue Request::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("op", JsonValue::String(OpName(op)));
+  if (!tenant.empty()) json.Set("tenant", JsonValue::String(tenant));
+  if (!dataset.empty()) json.Set("dataset", JsonValue::String(dataset));
+  if (!csv_text.empty()) json.Set("csv", JsonValue::String(csv_text));
+  if (!dc_text.empty()) json.Set("constraints", JsonValue::String(dc_text));
+  if (cell_tid >= 0) {
+    JsonValue cell = JsonValue::Object();
+    cell.Set("tid", JsonValue::Number(static_cast<double>(cell_tid)));
+    cell.Set("attr", JsonValue::String(cell_attr));
+    cell.Set("value", JsonValue::String(cell_value));
+    json.Set("cell", std::move(cell));
+  }
+  if (config_overrides.is_object() && config_overrides.size() > 0) {
+    json.Set("config", config_overrides);
+  }
+  return json;
+}
+
+Result<Request> Request::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request frame is not a JSON object");
+  }
+  Request req;
+  const JsonValue* op = json.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("request has no string \"op\" field");
+  }
+  HOLO_ASSIGN_OR_RETURN(parsed_op, ParseOp(op->AsString()));
+  req.op = parsed_op;
+  req.tenant = json.GetString("tenant");
+  req.dataset = json.GetString("dataset");
+  req.csv_text = json.GetString("csv");
+  req.dc_text = json.GetString("constraints");
+  if (const JsonValue* cell = json.Find("cell")) {
+    if (!cell->is_object()) {
+      return Status::InvalidArgument("\"cell\" must be an object");
+    }
+    req.cell_tid = cell->GetInt("tid", -1);
+    req.cell_attr = cell->GetString("attr");
+    req.cell_value = cell->GetString("value");
+    if (req.cell_tid < 0 || req.cell_attr.empty()) {
+      return Status::InvalidArgument(
+          "\"cell\" needs a non-negative tid and an attr");
+    }
+  }
+  if (const JsonValue* config = json.Find("config")) {
+    if (!config->is_object()) {
+      return Status::InvalidArgument("\"config\" must be an object");
+    }
+    req.config_overrides = *config;
+  }
+  return req;
+}
+
+Status ApplyConfigOverrides(const JsonValue& overrides,
+                            HoloCleanConfig* config) {
+  if (!overrides.is_object()) {
+    return Status::InvalidArgument("config overrides must be an object");
+  }
+  for (const auto& [key, value] : overrides.members()) {
+    auto number = [&](double* out) -> Status {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("config." + key + " must be a number");
+      }
+      *out = value.AsDouble();
+      return Status::OK();
+    };
+    auto count = [&](size_t* out) -> Status {
+      if (!value.is_number() || value.AsDouble() < 0) {
+        return Status::InvalidArgument("config." + key +
+                                       " must be a non-negative number");
+      }
+      *out = static_cast<size_t>(value.AsInt());
+      return Status::OK();
+    };
+    auto integer = [&](int* out) -> Status {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("config." + key + " must be a number");
+      }
+      *out = static_cast<int>(value.AsInt());
+      return Status::OK();
+    };
+    auto boolean = [&](bool* out) -> Status {
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("config." + key + " must be a bool");
+      }
+      *out = value.AsBool();
+      return Status::OK();
+    };
+    if (key == "tau") {
+      HOLO_RETURN_NOT_OK(number(&config->tau));
+    } else if (key == "max_candidates") {
+      HOLO_RETURN_NOT_OK(count(&config->max_candidates));
+    } else if (key == "dc_factor_weight") {
+      HOLO_RETURN_NOT_OK(number(&config->dc_factor_weight));
+    } else if (key == "minimality_weight") {
+      HOLO_RETURN_NOT_OK(number(&config->minimality_weight));
+    } else if (key == "sim_threshold") {
+      HOLO_RETURN_NOT_OK(number(&config->sim_threshold));
+    } else if (key == "partitioning") {
+      HOLO_RETURN_NOT_OK(boolean(&config->partitioning));
+    } else if (key == "epochs") {
+      HOLO_RETURN_NOT_OK(integer(&config->epochs));
+    } else if (key == "learning_rate") {
+      HOLO_RETURN_NOT_OK(number(&config->learning_rate));
+    } else if (key == "lr_decay") {
+      HOLO_RETURN_NOT_OK(number(&config->lr_decay));
+    } else if (key == "l2") {
+      HOLO_RETURN_NOT_OK(number(&config->l2));
+    } else if (key == "max_training_cells") {
+      HOLO_RETURN_NOT_OK(count(&config->max_training_cells));
+    } else if (key == "gibbs_burn_in") {
+      HOLO_RETURN_NOT_OK(integer(&config->gibbs_burn_in));
+    } else if (key == "gibbs_samples") {
+      HOLO_RETURN_NOT_OK(integer(&config->gibbs_samples));
+    } else if (key == "compiled_kernel") {
+      HOLO_RETURN_NOT_OK(boolean(&config->compiled_kernel));
+    } else if (key == "columnar") {
+      HOLO_RETURN_NOT_OK(boolean(&config->columnar));
+    } else if (key == "seed") {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("config.seed must be a number");
+      }
+      config->seed = static_cast<uint64_t>(value.AsInt());
+    } else {
+      return Status::InvalidArgument("unknown config override \"" + key +
+                                     "\"");
+    }
+  }
+  return Status::OK();
+}
+
+JsonValue OkResponse() {
+  JsonValue json = JsonValue::Object();
+  json.Set("ok", JsonValue::Bool(true));
+  json.Set("protocol", JsonValue::Number(kProtocolVersion));
+  return json;
+}
+
+JsonValue ErrorResponse(const Status& status) {
+  JsonValue json = JsonValue::Object();
+  json.Set("ok", JsonValue::Bool(false));
+  json.Set("protocol", JsonValue::Number(kProtocolVersion));
+  json.Set("error", JsonValue::String(ErrorCodeFor(status)));
+  json.Set("message", JsonValue::String(status.message()));
+  return json;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes; returns bytes read (== n on success, short
+/// on EOF) or -1 with errno on socket error.
+ssize_t ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) break;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+void EncodeFrame(const JsonValue& json, std::string* out) {
+  std::string payload = json.Dump();
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>((len >> 24) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>(len & 0xff)};
+  out->append(prefix, 4);
+  out->append(payload);
+}
+
+Result<JsonValue> ReadFrame(int fd) {
+  char prefix[4];
+  ssize_t got = ReadFull(fd, prefix, 4);
+  if (got < 0) {
+    return Status::Internal(std::string("socket read: ") +
+                            std::strerror(errno));
+  }
+  if (got == 0) return Status::NotFound("connection closed");
+  if (got < 4) return Status::ParseError("truncated frame length prefix");
+  uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0]))
+                  << 24) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2]))
+                  << 8) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (len > kMaxFrameBytes) {
+    return Status::ParseError("frame of " + std::to_string(len) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxFrameBytes) + "-byte limit");
+  }
+  std::string payload(len, '\0');
+  got = ReadFull(fd, payload.data(), len);
+  if (got < 0) {
+    return Status::Internal(std::string("socket read: ") +
+                            std::strerror(errno));
+  }
+  if (static_cast<uint32_t>(got) < len) {
+    return Status::ParseError("connection closed mid-frame");
+  }
+  return JsonValue::Parse(payload);
+}
+
+Status WriteFrame(int fd, const JsonValue& json) {
+  std::string frame;
+  EncodeFrame(json, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket write: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace holoclean

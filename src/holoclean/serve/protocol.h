@@ -1,0 +1,106 @@
+#ifndef HOLOCLEAN_SERVE_PROTOCOL_H_
+#define HOLOCLEAN_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "holoclean/core/config.h"
+#include "holoclean/util/json.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+namespace serve {
+
+/// The wire protocol of holoclean_serve — the repo's first stable external
+/// API surface. One TCP connection carries a sequence of frames, each a
+/// 4-byte big-endian length prefix followed by that many bytes of JSON.
+/// Requests and responses alternate strictly (no pipelining).
+///
+/// Request object:
+///   {"op": "clean", "tenant": "acme", "dataset": "food",
+///    "config": {"tau": 0.5, ...},            // optional overrides
+///    "csv": "...", "constraints": "...",     // register_dataset only
+///    "cell": {"tid": 3, "attr": "City", "value": "Chicago"}}  // feedback
+///
+/// Response object:
+///   {"ok": true, "protocol": 1, ...op-specific payload...}
+///   {"ok": false, "protocol": 1, "error": "overloaded",
+///    "message": "tenant acme has 4 cleans in flight"}
+///
+/// Stability contract: fields are only ever added, never renamed or
+/// removed; unknown fields are ignored on read. kProtocolVersion bumps
+/// only when that contract has to break.
+inline constexpr int kProtocolVersion = 1;
+
+/// Frames larger than this are refused before allocation — a hostile or
+/// corrupt length prefix must not OOM the daemon. Registration payloads
+/// carry whole CSV files, so the bound is generous.
+inline constexpr uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+/// Operations a client can request.
+enum class Op {
+  kRegisterDataset,
+  kDropDataset,
+  kListDatasets,
+  kClean,
+  kFeedback,
+  kExplainStatus,
+};
+
+const char* OpName(Op op);
+Result<Op> ParseOp(const std::string& name);
+
+/// Machine-readable error codes carried in failed responses ("error").
+/// The human-oriented detail travels separately in "message".
+///   invalid_argument | not_found | already_exists | overloaded |
+///   draining | internal
+std::string ErrorCodeFor(const Status& status);
+
+/// One parsed request frame.
+struct Request {
+  Op op = Op::kListDatasets;
+  std::string tenant;
+  std::string dataset;
+  /// register_dataset payloads.
+  std::string csv_text;
+  std::string dc_text;
+  /// feedback payload: a user-verified cell value.
+  int64_t cell_tid = -1;
+  std::string cell_attr;
+  std::string cell_value;
+  /// Optional per-request config overrides (subset of HoloCleanConfig
+  /// knobs; absent fields keep the server defaults).
+  JsonValue config_overrides = JsonValue::Object();
+
+  JsonValue ToJson() const;
+  static Result<Request> FromJson(const JsonValue& json);
+};
+
+/// Applies the request's config overrides onto `config`. Unknown keys are
+/// an error (a misspelled knob silently ignored would be a debugging
+/// trap); unmentioned knobs keep their current values.
+Status ApplyConfigOverrides(const JsonValue& overrides,
+                            HoloCleanConfig* config);
+
+/// Builds the standard response envelopes.
+JsonValue OkResponse();
+JsonValue ErrorResponse(const Status& status);
+
+// --- Framing ---------------------------------------------------------------
+
+/// Serializes `json` into a length-prefixed frame appended to `out`.
+void EncodeFrame(const JsonValue& json, std::string* out);
+
+/// Reads one length-prefixed JSON frame from `fd` (blocking). Returns
+/// kNotFound on clean EOF before any byte of a frame, kParseError on a
+/// truncated/oversized/malformed frame, kInternal on socket errors.
+Result<JsonValue> ReadFrame(int fd);
+
+/// Writes one length-prefixed JSON frame to `fd` (blocking, handles short
+/// writes).
+Status WriteFrame(int fd, const JsonValue& json);
+
+}  // namespace serve
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_SERVE_PROTOCOL_H_

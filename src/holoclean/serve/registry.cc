@@ -1,0 +1,113 @@
+#include "holoclean/serve/registry.h"
+
+#include <mutex>
+
+#include "holoclean/constraints/parser.h"
+#include "holoclean/util/csv.h"
+
+namespace holoclean {
+namespace serve {
+
+Status ValidateName(const std::string& name, const char* what) {
+  if (name.empty()) {
+    return Status::InvalidArgument(std::string(what) + " must not be empty");
+  }
+  if (name.size() > 128) {
+    return Status::InvalidArgument(std::string(what) + " exceeds 128 bytes");
+  }
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(std::string(what) + " \"" + name +
+                                     "\" has characters outside [A-Za-z0-9._-]");
+    }
+  }
+  return Status::OK();
+}
+
+std::string RegistryKey(const std::string& tenant,
+                        const std::string& dataset) {
+  return tenant + "/" + dataset;
+}
+
+Status DatasetRegistry::Register(const std::string& tenant,
+                                 const std::string& dataset,
+                                 const std::string& csv_text,
+                                 const std::string& dc_text) {
+  HOLO_RETURN_NOT_OK(ValidateName(tenant, "tenant"));
+  HOLO_RETURN_NOT_OK(ValidateName(dataset, "dataset name"));
+
+  // Parse outside the lock: registration payloads can be large, and a slow
+  // parse must not stall concurrent lookups.
+  HOLO_ASSIGN_OR_RETURN(doc, ParseCsv(csv_text));
+  HOLO_ASSIGN_OR_RETURN(table, Table::FromCsv(doc));
+  HOLO_ASSIGN_OR_RETURN(dcs, ParseDenialConstraints(dc_text, table.schema()));
+  if (dcs.empty()) {
+    return Status::InvalidArgument(
+        "registration needs at least one denial constraint");
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->tenant = tenant;
+  entry->dataset = dataset;
+  entry->csv_text = csv_text;
+  entry->dc_text = dc_text;
+  entry->base = std::make_shared<const Table>(std::move(table));
+  entry->dcs =
+      std::make_shared<const std::vector<DenialConstraint>>(std::move(dcs));
+
+  const std::string key = RegistryKey(tenant, dataset);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (by_key_.count(key) > 0) {
+    return Status::AlreadyExists("dataset \"" + key +
+                                 "\" is already registered");
+  }
+  by_key_.emplace(key, entry);
+  ordered_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status DatasetRegistry::Drop(const std::string& tenant,
+                             const std::string& dataset) {
+  const std::string key = RegistryKey(tenant, dataset);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("dataset \"" + key + "\" is not registered");
+  }
+  const Entry* raw = it->second.get();
+  by_key_.erase(it);
+  for (auto ot = ordered_.begin(); ot != ordered_.end(); ++ot) {
+    if (ot->get() == raw) {
+      ordered_.erase(ot);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DatasetRegistry::Entry>> DatasetRegistry::Find(
+    const std::string& tenant, const std::string& dataset) const {
+  const std::string key = RegistryKey(tenant, dataset);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return Status::NotFound("dataset \"" + key + "\" is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<const DatasetRegistry::Entry>>
+DatasetRegistry::List() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ordered_;
+}
+
+size_t DatasetRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return by_key_.size();
+}
+
+}  // namespace serve
+}  // namespace holoclean

@@ -1,0 +1,85 @@
+#ifndef HOLOCLEAN_SERVE_REGISTRY_H_
+#define HOLOCLEAN_SERVE_REGISTRY_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "holoclean/constraints/denial_constraint.h"
+#include "holoclean/storage/table.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+namespace serve {
+
+/// Validates a tenant or dataset name for use in registry keys, cache
+/// keys, and spill/snapshot filenames: non-empty, at most 128 bytes, and
+/// drawn from [A-Za-z0-9._-] (no '/', which is the key separator).
+Status ValidateName(const std::string& name, const char* what);
+
+/// The composite key "tenant/dataset" used by the registry, the Engine
+/// session LRU, and drained-state filenames alike.
+std::string RegistryKey(const std::string& tenant, const std::string& dataset);
+
+/// The concurrent named-dataset catalog of the serving tier.
+///
+/// Each entry holds the immutable parse result of one registration: the
+/// base table (never mutated — per-tenant working copies are cloned off it
+/// with Table::CloneWithPrivateDictionary), the constraints parsed against
+/// its schema, and the verbatim registration payloads (re-persisted by
+/// drain so a restarted server re-parses the exact same bytes, which pins
+/// dictionary value ids).
+///
+/// Lookups take a shared lock; registration and drop take it exclusively.
+/// Entries are handed out as shared_ptr-to-const, so a drop never pulls
+/// the data out from under an in-flight clean that already resolved it.
+///
+/// Registration order is kept as an explicit manifest (`List` returns it)
+/// so every iteration — list_datasets responses, drain manifests, restart
+/// replay — sees one deterministic order regardless of hash-map layout.
+class DatasetRegistry {
+ public:
+  struct Entry {
+    std::string tenant;
+    std::string dataset;
+    /// Verbatim registration payloads (drain re-persists these).
+    std::string csv_text;
+    std::string dc_text;
+    /// Parsed, immutable base state.
+    std::shared_ptr<const Table> base;
+    std::shared_ptr<const std::vector<DenialConstraint>> dcs;
+  };
+
+  /// Parses and registers a dataset under (tenant, dataset). Returns
+  /// kAlreadyExists when the name is taken, kInvalidArgument /
+  /// kParseError on bad names or payloads. Parsing runs outside the lock.
+  Status Register(const std::string& tenant, const std::string& dataset,
+                  const std::string& csv_text, const std::string& dc_text);
+
+  /// Removes the entry; kNotFound when absent. In-flight requests holding
+  /// the entry keep it alive; new lookups miss immediately.
+  Status Drop(const std::string& tenant, const std::string& dataset);
+
+  /// Resolves an entry, or kNotFound.
+  Result<std::shared_ptr<const Entry>> Find(const std::string& tenant,
+                                            const std::string& dataset) const;
+
+  /// Every live entry in registration order.
+  std::vector<std::shared_ptr<const Entry>> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  /// Registration-ordered manifest; erased entries leave no hole.
+  std::vector<std::shared_ptr<const Entry>> ordered_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> by_key_;
+};
+
+}  // namespace serve
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_SERVE_REGISTRY_H_

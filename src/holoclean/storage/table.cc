@@ -52,6 +52,12 @@ Table Table::Clone() const {
   return copy;
 }
 
+Table Table::CloneWithPrivateDictionary() const {
+  Table copy(schema_, std::make_shared<Dictionary>(*dict_));
+  copy.store_ = store_;
+  return copy;
+}
+
 Result<Table> Table::FromCsv(const CsvDocument& doc) {
   if (doc.header.empty()) {
     return Status::InvalidArgument("CSV document has no header");

@@ -127,6 +127,14 @@ class Table {
   /// Deep copy sharing the same dictionary.
   Table Clone() const;
 
+  /// Deep copy with a private copy of the dictionary: value ids are
+  /// preserved (the copy starts from the same interned sequence), but
+  /// later interning on either table leaves the other untouched. The
+  /// isolation primitive for concurrent jobs over the same logical data —
+  /// a run mutates its dataset's dictionary, so tenants must not share
+  /// one.
+  Table CloneWithPrivateDictionary() const;
+
   /// Builds a table from a parsed CSV document using a fresh dictionary.
   /// Per-column dictionaries are bulk-sorted after the load so codes start
   /// out in lexicographic string order.

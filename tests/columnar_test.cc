@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "holoclean/constraints/parser.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/data/food.h"
 #include "holoclean/data/hospital.h"
 #include "holoclean/io/binary_io.h"
@@ -22,6 +22,8 @@
 #include "holoclean/stats/cooccurrence.h"
 #include "holoclean/util/hash.h"
 #include "holoclean/util/rng.h"
+
+#include "session_helpers.h"
 
 namespace holoclean {
 namespace {
@@ -32,7 +34,6 @@ namespace {
 /// session keeps the context alive.
 struct PipelineRun {
   std::unique_ptr<GeneratedData> data;
-  std::unique_ptr<HoloClean> cleaner;
   std::unique_ptr<Session> session;
   Report report;
 };
@@ -45,8 +46,8 @@ PipelineRun RunFood(size_t rows, uint64_t seed, bool columnar,
   config.tau = 0.5;
   config.columnar = columnar;
   config.num_threads = threads;
-  run.cleaner = std::make_unique<HoloClean>(config);
-  auto opened = run.cleaner->Open(&run.data->dataset, run.data->dcs);
+  auto opened = test_helpers::OpenSessionOver(config, &run.data->dataset,
+                                              run.data->dcs);
   EXPECT_TRUE(opened.ok());
   run.session = std::make_unique<Session>(std::move(opened).value());
   auto report = run.session->Run();
@@ -65,8 +66,8 @@ PipelineRun RunHospital(size_t rows, uint64_t seed, bool columnar,
   HoloCleanConfig config;
   config.columnar = columnar;
   config.num_threads = threads;
-  run.cleaner = std::make_unique<HoloClean>(config);
-  auto opened = run.cleaner->Open(&run.data->dataset, run.data->dcs);
+  auto opened = test_helpers::OpenSessionOver(config, &run.data->dataset,
+                                              run.data->dcs);
   EXPECT_TRUE(opened.ok());
   run.session = std::make_unique<Session>(std::move(opened).value());
   auto report = run.session->Run();
@@ -470,8 +471,7 @@ std::string DropColumnStoreSection(const std::string& bytes) {
 
 TEST(ColumnarSnapshot, V2WithoutColumnStoreSectionStillRestores) {
   SnapshotBackCompatFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto report = session.Run();
@@ -491,7 +491,7 @@ TEST(ColumnarSnapshot, V2WithoutColumnStoreSectionStillRestores) {
   // The stripped file restores through the per-cell path and yields the
   // same table contents and repairs as the original run.
   SnapshotBackCompatFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   Session resumed = std::move(restored).value();
   EXPECT_TRUE(resumed.StageIsValid(StageId::kRepair));
@@ -521,15 +521,14 @@ TEST(ColumnarSnapshot, RoundTripInstallsIdenticalColumns) {
   // store must match the save-time store exactly (codes, dictionaries,
   // counts, mirror, sorted prefixes).
   SnapshotBackCompatFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.Run().ok());
   ASSERT_TRUE(session.Save(f.path).ok());
 
   SnapshotBackCompatFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
 
   const ColumnStore& a = f.dataset.dirty().store();

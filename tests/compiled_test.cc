@@ -14,7 +14,7 @@
 #include <string>
 
 #include "holoclean/constraints/parser.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/data/hospital.h"
 #include "holoclean/infer/gibbs.h"
 #include "holoclean/infer/learner.h"
@@ -22,6 +22,8 @@
 #include "holoclean/io/session_snapshot.h"
 #include "holoclean/model/compiled_graph.h"
 #include "holoclean/util/rng.h"
+
+#include "session_helpers.h"
 
 namespace holoclean {
 namespace {
@@ -224,7 +226,7 @@ struct RunInstance {
           options.num_rows = 150;
           return MakeHospital(options);
         }()) {
-    auto opened = HoloClean(config).Open(&data.dataset, data.dcs);
+    auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
     EXPECT_TRUE(opened.ok()) << opened.status();
     if (!opened.ok()) return;
     session.emplace(std::move(opened).value());
@@ -307,7 +309,7 @@ TEST(CompiledKernel, ViolationTablesMatchEvaluatorExhaustively) {
   HospitalOptions options;
   options.num_rows = 150;
   GeneratedData fresh = MakeHospital(options);
-  auto opened = HoloClean(FactorConfig()).Open(&fresh.dataset, fresh.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&fresh.dataset, &fresh.dcs), {FactorConfig()});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.RunThrough(StageId::kCompile).ok());
@@ -402,8 +404,7 @@ void CheckSnapshotBytesIdentical(uint32_t format_version, SectionCodec codec) {
   ref_config.gibbs_samples = 6;
   ref_config.epochs = 3;
   ref_config.compiled_kernel = false;
-  auto ref_session = HoloClean(ref_config).Open(&ref_data.dataset,
-                                                ref_data.dcs);
+  auto ref_session = OpenStandaloneSession(CleaningInputs::Borrowed(&ref_data.dataset, &ref_data.dcs), {ref_config});
   ASSERT_TRUE(ref_session.ok());
   ASSERT_TRUE(ref_session.value().Run().ok());
   ASSERT_TRUE(ref_session.value().Save(paths.ref_path, save).ok());
@@ -411,8 +412,7 @@ void CheckSnapshotBytesIdentical(uint32_t format_version, SectionCodec codec) {
   GeneratedData comp_data = MakeHospital(options);
   HoloCleanConfig comp_config = ref_config;
   comp_config.compiled_kernel = true;
-  auto comp_session = HoloClean(comp_config).Open(&comp_data.dataset,
-                                                  comp_data.dcs);
+  auto comp_session = OpenStandaloneSession(CleaningInputs::Borrowed(&comp_data.dataset, &comp_data.dcs), {comp_config});
   ASSERT_TRUE(comp_session.ok());
   ASSERT_TRUE(comp_session.value().Run().ok());
   ASSERT_TRUE(comp_session.value().Save(paths.comp_path, save).ok());
@@ -426,7 +426,7 @@ void CheckSnapshotBytesIdentical(uint32_t format_version, SectionCodec codec) {
   // into a compiled-kernel session (the kernel knobs are excluded from the
   // config fingerprint) and re-runs from infer bit-identically.
   GeneratedData fresh = MakeHospital(options);
-  auto restored = HoloClean(comp_config).Restore(paths.ref_path,
+  auto restored = test_helpers::RestoreSessionOver(comp_config, paths.ref_path,
                                                  &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   Session resumed = std::move(restored).value();
@@ -454,7 +454,7 @@ TEST(CompiledGraph, ParallelBuildByteIdenticalToSequential) {
   HospitalOptions options;
   options.num_rows = 150;
   GeneratedData fresh = MakeHospital(options);
-  auto opened = HoloClean(FactorConfig()).Open(&fresh.dataset, fresh.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&fresh.dataset, &fresh.dcs), {FactorConfig()});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.RunThrough(StageId::kCompile).ok());

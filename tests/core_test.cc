@@ -3,7 +3,9 @@
 #include "holoclean/constraints/parser.h"
 #include "holoclean/core/calibration.h"
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
+
+#include "session_helpers.h"
 
 namespace holoclean {
 namespace {
@@ -144,8 +146,7 @@ TEST(Pipeline, RepairsInjectedErrors) {
   PipelineFixture f;
   HoloCleanConfig config;
   config.tau = 0.3;
-  HoloClean cleaner(config);
-  auto report = cleaner.Run(&f.dataset, f.dcs);
+  auto report = test_helpers::RunOnce(config, &f.dataset, f.dcs);
   ASSERT_TRUE(report.ok());
   EvalResult e = EvaluateRepairs(f.dataset, report.value().repairs);
   EXPECT_EQ(e.total_errors, 2u);
@@ -158,8 +159,7 @@ TEST(Pipeline, CleanDataYieldsNoRepairs) {
   PipelineFixture f;
   Dataset clean_ds(f.dataset.clean().Clone());
   clean_ds.set_clean(f.dataset.clean().Clone());
-  HoloClean cleaner(HoloCleanConfig{});
-  auto report = cleaner.Run(&clean_ds, f.dcs);
+  auto report = test_helpers::RunOnce(HoloCleanConfig{}, &clean_ds, f.dcs);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report.value().repairs.empty());
   EXPECT_EQ(report.value().stats.num_violations, 0u);
@@ -167,8 +167,7 @@ TEST(Pipeline, CleanDataYieldsNoRepairs) {
 
 TEST(Pipeline, ReportStatsPopulated) {
   PipelineFixture f;
-  HoloClean cleaner(HoloCleanConfig{});
-  auto report = cleaner.Run(&f.dataset, f.dcs);
+  auto report = test_helpers::RunOnce(HoloCleanConfig{}, &f.dataset, f.dcs);
   ASSERT_TRUE(report.ok());
   const RunStats& s = report.value().stats;
   EXPECT_GT(s.num_violations, 0u);
@@ -186,8 +185,8 @@ TEST(Pipeline, DeterministicForSeed) {
   PipelineFixture f2;
   HoloCleanConfig config;
   config.seed = 7;
-  auto r1 = HoloClean(config).Run(&f1.dataset, f1.dcs);
-  auto r2 = HoloClean(config).Run(&f2.dataset, f2.dcs);
+  auto r1 = CleanOnce(CleaningInputs::Borrowed(&f1.dataset, &f1.dcs), {config});
+  auto r2 = CleanOnce(CleaningInputs::Borrowed(&f2.dataset, &f2.dcs), {config});
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   ASSERT_EQ(r1.value().repairs.size(), r2.value().repairs.size());
@@ -208,8 +207,7 @@ TEST(Pipeline, GibbsModeAlsoRepairs) {
   config.partitioning = true;
   config.gibbs_burn_in = 20;
   config.gibbs_samples = 100;
-  HoloClean cleaner(config);
-  auto report = cleaner.Run(&f.dataset, f.dcs);
+  auto report = test_helpers::RunOnce(config, &f.dataset, f.dcs);
   ASSERT_TRUE(report.ok());
   EXPECT_GT(report.value().stats.num_dc_factors, 0u);
   EvalResult e = EvaluateRepairs(f.dataset, report.value().repairs);
@@ -218,8 +216,7 @@ TEST(Pipeline, GibbsModeAlsoRepairs) {
 
 TEST(Pipeline, RepairProbabilitiesAreValid) {
   PipelineFixture f;
-  HoloClean cleaner(HoloCleanConfig{});
-  auto report = cleaner.Run(&f.dataset, f.dcs);
+  auto report = test_helpers::RunOnce(HoloCleanConfig{}, &f.dataset, f.dcs);
   ASSERT_TRUE(report.ok());
   for (const Repair& r : report.value().repairs) {
     EXPECT_GT(r.probability, 0.0);
@@ -232,8 +229,7 @@ TEST(Pipeline, ApplyWritesRepairs) {
   PipelineFixture f;
   HoloCleanConfig config;
   config.tau = 0.3;
-  HoloClean cleaner(config);
-  auto report = cleaner.Run(&f.dataset, f.dcs);
+  auto report = test_helpers::RunOnce(config, &f.dataset, f.dcs);
   ASSERT_TRUE(report.ok());
   Table repaired = f.dataset.dirty().Clone();
   report.value().Apply(&repaired);
@@ -242,9 +238,8 @@ TEST(Pipeline, ApplyWritesRepairs) {
 }
 
 TEST(Pipeline, NullDatasetRejected) {
-  HoloClean cleaner(HoloCleanConfig{});
-  EXPECT_FALSE(cleaner.Run(nullptr, {}).ok());
-  EXPECT_FALSE(cleaner.Open(nullptr, {}).ok());
+  EXPECT_FALSE(test_helpers::RunOnce(HoloCleanConfig{}, nullptr, {}).ok());
+  EXPECT_FALSE(test_helpers::OpenSessionOver(HoloCleanConfig{}, nullptr, {}).ok());
 }
 
 // ---------- Staged session ----------
@@ -270,10 +265,10 @@ TEST(Session, StagedRunMatchesLegacyRunExactly) {
   config.gibbs_burn_in = 10;
   config.gibbs_samples = 40;
 
-  auto legacy = HoloClean(config).Run(&f1.dataset, f1.dcs);
+  auto legacy = CleanOnce(CleaningInputs::Borrowed(&f1.dataset, &f1.dcs), {config});
   ASSERT_TRUE(legacy.ok());
 
-  auto opened = HoloClean(config).Open(&f2.dataset, f2.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&f2.dataset, &f2.dcs), {config});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto staged = session.Run();
@@ -303,7 +298,7 @@ TEST(Session, StagedRunMatchesLegacyRunExactly) {
 
 TEST(Session, StageTimingsRecordedUniformly) {
   PipelineFixture f;
-  auto opened = HoloClean(HoloCleanConfig{}).Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(HoloCleanConfig{}, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto report = session.Run();
@@ -320,7 +315,7 @@ TEST(Session, StageTimingsRecordedUniformly) {
 
 TEST(Session, PeakRssRecordedPerStage) {
   PipelineFixture f;
-  auto opened = HoloClean(HoloCleanConfig{}).Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(HoloCleanConfig{}, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto report = session.Run();
@@ -347,7 +342,7 @@ TEST(Session, RerunFromInferReusesCachedGraph) {
   config.partitioning = true;
   config.gibbs_burn_in = 10;
   config.gibbs_samples = 40;
-  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&f.dataset, &f.dcs), {config});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
 
@@ -387,7 +382,7 @@ TEST(Session, RerunFromInferReusesCachedGraph) {
 
 TEST(Session, RunThroughCompileGroundsWithoutRepairing) {
   PipelineFixture f;
-  auto opened = HoloClean(HoloCleanConfig{}).Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(HoloCleanConfig{}, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto report = session.RunThrough(StageId::kCompile);
@@ -411,7 +406,7 @@ TEST(Session, UpdateConfigInvalidatesMinimalSuffix) {
   config.tau = 0.3;
   config.dc_mode = DcMode::kBoth;
   config.partitioning = true;
-  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&f.dataset, &f.dcs), {config});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.Run().ok());
@@ -446,7 +441,7 @@ TEST(Session, CachedStagesReportZeroLegacySeconds) {
   PipelineFixture f;
   HoloCleanConfig config;
   config.tau = 0.3;
-  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&f.dataset, &f.dcs), {config});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto first = session.Run();
@@ -482,7 +477,7 @@ TEST(Session, PinCellSkipsDetectionAndRemovesQueryVariable) {
   PipelineFixture f;
   HoloCleanConfig config;
   config.tau = 0.3;
-  auto opened = HoloClean(config).Open(&f.dataset, f.dcs);
+  auto opened = OpenStandaloneSession(CleaningInputs::Borrowed(&f.dataset, &f.dcs), {config});
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto first = session.Run();

@@ -12,8 +12,9 @@
 #include <vector>
 
 #include "holoclean/core/engine.h"
-#include "holoclean/core/pipeline.h"
 #include "holoclean/data/food.h"
+
+#include "session_helpers.h"
 
 namespace holoclean {
 namespace {
@@ -73,7 +74,7 @@ TEST(EngineBatch, BitIdenticalToSequentialStandaloneRunsAnyPoolSize) {
     auto data = MakeVariant(i);
     HoloCleanConfig job_config = config;
     job_config.seed = Engine::PerJobSeed(config.seed, i);
-    auto report = HoloClean(job_config).Run(&data->dataset, data->dcs);
+    auto report = CleanOnce(CleaningInputs::Borrowed(&data->dataset, &data->dcs), {job_config});
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     baseline.push_back(std::move(report).value());
   }
@@ -160,8 +161,7 @@ TEST(EngineSession, RestoreIntoPoolMatchesFacadeRestore) {
   std::string path = ::testing::TempDir() + "engine_restore.snapshot";
   Report original;
   {
-    HoloClean cleaner(config);
-    auto opened = cleaner.Open(&data->dataset, data->dcs);
+    auto opened = test_helpers::OpenSessionOver(config, &data->dataset, data->dcs);
     ASSERT_TRUE(opened.ok());
     Session session = std::move(opened).value();
     auto report = session.Run();
@@ -173,8 +173,7 @@ TEST(EngineSession, RestoreIntoPoolMatchesFacadeRestore) {
   // Facade restore (private pool).
   Report facade_report;
   {
-    HoloClean cleaner(config);
-    auto restored = cleaner.Restore(path, &data->dataset, data->dcs);
+    auto restored = test_helpers::RestoreSessionOver(config, path, &data->dataset, data->dcs);
     ASSERT_TRUE(restored.ok()) << restored.status().ToString();
     Session session = std::move(restored).value();
     ASSERT_TRUE(session.StageIsValid(StageId::kRepair));
@@ -320,8 +319,7 @@ TEST(EngineSession, MoveKeepsPoolWiringAndInertsTheSource) {
   // pool queue may still hold drained TaskGroup helpers) and keep using
   // the destination after the source is gone.
   {
-    HoloClean cleaner(config);
-    auto opened = cleaner.Open(&data->dataset, data->dcs);
+    auto opened = test_helpers::OpenSessionOver(config, &data->dataset, data->dcs);
     ASSERT_TRUE(opened.ok());
     Session session = std::move(opened).value();
     ASSERT_TRUE(session.RunThrough(StageId::kCompile).ok());
@@ -337,9 +335,8 @@ TEST(EngineSession, MoveKeepsPoolWiringAndInertsTheSource) {
   // old pool (and any stale helper tasks it still queues) must tear down
   // cleanly, and the adopted session must stay runnable.
   {
-    HoloClean cleaner(config);
-    auto first = cleaner.Open(&data->dataset, data->dcs);
-    auto second = cleaner.Open(&data->dataset, data->dcs);
+    auto first = test_helpers::OpenSessionOver(config, &data->dataset, data->dcs);
+    auto second = test_helpers::OpenSessionOver(config, &data->dataset, data->dcs);
     ASSERT_TRUE(first.ok() && second.ok());
     Session target = std::move(first).value();
     ASSERT_TRUE(target.Run().ok());
@@ -369,16 +366,23 @@ TEST(EngineSession, MoveKeepsPoolWiringAndInertsTheSource) {
   }
 }
 
-TEST(EngineFacade, WeightsShimMatchesSessionAndReport) {
+TEST(CleanOnce, ReportCarriesLearnedWeightsMatchingSession) {
   auto data = MakeVariant(0, 300);
   HoloCleanConfig config = TestConfig();
-  HoloClean cleaner(config);
-  EXPECT_EQ(cleaner.weights().size(), 0u);  // No run yet: empty store.
-  auto report = cleaner.Run(&data->dataset, data->dcs);
+  auto report = test_helpers::RunOnce(config, &data->dataset, data->dcs);
   ASSERT_TRUE(report.ok());
   ASSERT_NE(report.value().learned_weights, nullptr);
-  EXPECT_GT(cleaner.weights().size(), 0u);
-  EXPECT_EQ(cleaner.weights().raw(), report.value().learned_weights->raw());
+  EXPECT_GT(report.value().learned_weights->size(), 0u);
+
+  // The one-shot report's weights match a staged session's live store for
+  // the same inputs and seed.
+  auto fresh = MakeVariant(0, 300);
+  auto opened = test_helpers::OpenSessionOver(config, &fresh->dataset,
+                                              fresh->dcs);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  ASSERT_TRUE(session.Run().ok());
+  EXPECT_EQ(session.weights().raw(), report.value().learned_weights->raw());
 }
 
 TEST(EnginePerJobSeed, DeterministicAndDecorrelated) {
@@ -410,6 +414,129 @@ TEST(EngineDictionaryArena, StampedDictionariesShareTheIdPrefix) {
   ValueId in_a = a->Intern("Springfield");
   EXPECT_FALSE(b->Contains("Springfield"));
   EXPECT_EQ(a->GetString(in_a), "Springfield");
+}
+
+TEST(EngineSpill, CapacityEvictionSpillsAndTheNextJobRestores) {
+  EngineOptions options;
+  options.session_cache_capacity = 1;
+  options.spill_directory = ::testing::TempDir();
+  Engine engine(options);
+  auto data_a = MakeVariant(0, 200);
+  auto data_b = MakeVariant(1, 200);
+
+  SessionOptions opts_a;
+  opts_a.config = TestConfig();
+  opts_a.cache_key = "spill-a";
+  SessionOptions opts_b = opts_a;
+  opts_b.cache_key = "spill-b";
+
+  Result<Report> first = engine.Submit(InputsOf(data_a), opts_a).get();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(engine.HasCachedSession("spill-a"));
+  EXPECT_FALSE(engine.HasSpilledSession("spill-a"));
+
+  // b's job parks over capacity: a's session is evicted into a snapshot.
+  ASSERT_TRUE(engine.Submit(InputsOf(data_b), opts_b).get().ok());
+  EXPECT_FALSE(engine.HasCachedSession("spill-a"));
+  EXPECT_TRUE(engine.HasSpilledSession("spill-a"));
+
+  // a's next job restores from the spill instead of recomputing: every
+  // stage is served from the snapshot's cached artifacts, bit-identically.
+  Result<Report> restored = engine.Submit(InputsOf(data_a), opts_a).get();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const StageTiming& t : restored.value().stats.stage_timings) {
+    EXPECT_TRUE(t.cached) << t.name;
+  }
+  ExpectReportsEqual(first.value(), restored.value());
+  // Spilled snapshots are single-use; the session is parked again now.
+  EXPECT_FALSE(engine.HasSpilledSession("spill-a"));
+  EXPECT_TRUE(engine.HasCachedSession("spill-a"));
+}
+
+TEST(EngineSpill, MismatchedInputsIgnoreTheSpillAndOpenCold) {
+  EngineOptions options;
+  options.session_cache_capacity = 1;
+  options.spill_directory = ::testing::TempDir();
+  Engine engine(options);
+  auto data_a = MakeVariant(0, 200);
+  auto data_b = MakeVariant(1, 200);
+  auto data_c = MakeVariant(2, 200);
+
+  SessionOptions shared;
+  shared.config = TestConfig();
+  shared.cache_key = "contested-key";
+  ASSERT_TRUE(engine.Submit(InputsOf(data_a), shared).get().ok());
+  SessionOptions other = shared;
+  other.cache_key = "other-key";
+  ASSERT_TRUE(engine.Submit(InputsOf(data_c), other).get().ok());
+  ASSERT_TRUE(engine.HasSpilledSession("contested-key"));
+
+  // A different dataset under the spilled key must not restore a's state.
+  Result<Report> cold = engine.Submit(InputsOf(data_b), shared).get();
+  ASSERT_TRUE(cold.ok());
+  for (const StageTiming& t : cold.value().stats.stage_timings) {
+    EXPECT_FALSE(t.cached) << t.name;
+  }
+  // The incompatible spill entry was discarded (single-use either way).
+  EXPECT_FALSE(engine.HasSpilledSession("contested-key"));
+}
+
+TEST(EngineDrain, TakeAllCachedSessionsRoundTripsThroughSnapshots) {
+  std::vector<std::shared_ptr<GeneratedData>> fleet;
+  std::vector<Result<Report>> originals;
+  std::vector<std::pair<std::string, Session>> drained;
+
+  {
+    Engine engine;
+    SessionOptions session_options;
+    session_options.config = TestConfig();
+    for (size_t i = 0; i < 2; ++i) {
+      fleet.push_back(MakeVariant(i, 200));
+      session_options.cache_key = "drain-" + std::to_string(i);
+      originals.push_back(
+          engine.Submit(InputsOf(fleet[i]), session_options).get());
+      ASSERT_TRUE(originals[i].ok());
+    }
+    // MRU first: the most recently parked key leads.
+    std::vector<std::string> keys = engine.CachedSessionKeys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "drain-1");
+    EXPECT_EQ(keys[1], "drain-0");
+
+    drained = engine.TakeAllCachedSessions();
+    EXPECT_EQ(engine.cached_sessions(), 0u);
+    ASSERT_EQ(drained.size(), 2u);
+    for (auto& [key, session] : drained) {
+      ASSERT_TRUE(
+          session.Save(::testing::TempDir() + key + ".snapshot").ok());
+    }
+    drained.clear();  // Sessions die with the old engine: only disk survives.
+  }
+
+  // A fresh engine (fresh pool, empty LRU) restores each snapshot and
+  // serves the same reports from fully cached stages.
+  Engine reborn;
+  for (size_t i = 0; i < 2; ++i) {
+    const std::string key = "drain-" + std::to_string(i);
+    SessionOptions restore_options;
+    restore_options.config = TestConfig();
+    restore_options.snapshot_path = ::testing::TempDir() + key + ".snapshot";
+    auto session = reborn.OpenSession(InputsOf(fleet[i]), restore_options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    reborn.CacheSession(key, std::move(session).value());
+  }
+  SessionOptions session_options;
+  session_options.config = TestConfig();
+  for (size_t i = 0; i < 2; ++i) {
+    session_options.cache_key = "drain-" + std::to_string(i);
+    Result<Report> resumed =
+        reborn.Submit(InputsOf(fleet[i]), session_options).get();
+    ASSERT_TRUE(resumed.ok());
+    for (const StageTiming& t : resumed.value().stats.stage_timings) {
+      EXPECT_TRUE(t.cached) << t.name;
+    }
+    ExpectReportsEqual(originals[i].value(), resumed.value());
+  }
 }
 
 }  // namespace

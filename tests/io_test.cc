@@ -6,10 +6,12 @@
 #include <string>
 
 #include "holoclean/constraints/parser.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/io/binary_io.h"
 #include "holoclean/io/session_snapshot.h"
 #include "holoclean/util/hash.h"
+
+#include "session_helpers.h"
 
 namespace holoclean {
 namespace {
@@ -286,24 +288,23 @@ struct SnapshotFixture {
 // uninterrupted in-process run — repairs and marginals bit-identical.
 TEST(SessionSnapshot, SaveAfterLearnRestoreRerunFromInferIsBitIdentical) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
 
   // Uninterrupted reference run.
   SnapshotFixture ref;
-  auto ref_session = HoloClean(ref.config).Open(&ref.dataset, ref.dcs);
+  auto ref_session = test_helpers::OpenSessionOver(ref.config, &ref.dataset, ref.dcs);
   ASSERT_TRUE(ref_session.ok());
   auto ref_report = ref_session.value().Run();
   ASSERT_TRUE(ref_report.ok());
 
   // Interrupted run: stop after learn, save, "restart the process".
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
   ASSERT_TRUE(session.Save(f.path).ok());
 
   SnapshotFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   Session resumed = std::move(restored).value();
   EXPECT_TRUE(resumed.StageIsValid(StageId::kLearn));
@@ -338,8 +339,7 @@ TEST(SessionSnapshot, SaveAfterLearnRestoreRerunFromInferIsBitIdentical) {
 
 TEST(SessionSnapshot, FullRunRoundTripsEverything) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto report = session.Run();
@@ -347,7 +347,7 @@ TEST(SessionSnapshot, FullRunRoundTripsEverything) {
   ASSERT_TRUE(session.Save(f.path).ok());
 
   SnapshotFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   Session resumed = std::move(restored).value();
   EXPECT_TRUE(resumed.StageIsValid(StageId::kRepair));
@@ -369,8 +369,7 @@ TEST(SessionSnapshot, FullRunRoundTripsEverything) {
 
 TEST(SessionSnapshot, RestoreReplaysFeedbackPins) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto first = session.Run();
@@ -385,15 +384,14 @@ TEST(SessionSnapshot, RestoreReplaysFeedbackPins) {
   // replays the pinned value onto it.
   SnapshotFixture fresh;
   ASSERT_NE(fresh.dataset.dirty().Get(verified.cell), verified.new_value);
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   EXPECT_EQ(fresh.dataset.dirty().Get(verified.cell), verified.new_value);
 }
 
 TEST(SessionSnapshot, ConfigFingerprintMismatchRejected) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   ASSERT_TRUE(opened.value().RunThrough(StageId::kLearn).ok());
   ASSERT_TRUE(opened.value().Save(f.path).ok());
@@ -402,21 +400,20 @@ TEST(SessionSnapshot, ConfigFingerprintMismatchRejected) {
   HoloCleanConfig other = f.config;
   other.gibbs_samples += 1;
   auto restored =
-      HoloClean(other).Restore(f.path, &fresh.dataset, fresh.dcs);
+      test_helpers::RestoreSessionOver(other, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 
   // Thread count is not part of the fingerprint.
   HoloCleanConfig threads = f.config;
   threads.num_threads = 2;
-  auto ok = HoloClean(threads).Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto ok = test_helpers::RestoreSessionOver(threads, f.path, &fresh.dataset, fresh.dcs);
   EXPECT_TRUE(ok.ok()) << ok.status();
 }
 
 TEST(SessionSnapshot, DatasetAndConstraintMismatchRejected) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   ASSERT_TRUE(opened.value().RunThrough(StageId::kLearn).ok());
   ASSERT_TRUE(opened.value().Save(f.path).ok());
@@ -424,7 +421,7 @@ TEST(SessionSnapshot, DatasetAndConstraintMismatchRejected) {
   // Different constraint set.
   SnapshotFixture fresh1;
   std::vector<DenialConstraint> one_dc = {fresh1.dcs[0]};
-  auto bad_dcs = cleaner.Restore(f.path, &fresh1.dataset, one_dc);
+  auto bad_dcs = test_helpers::RestoreSessionOver(f.config, f.path, &fresh1.dataset, one_dc);
   ASSERT_FALSE(bad_dcs.ok());
   EXPECT_EQ(bad_dcs.status().code(), StatusCode::kInvalidArgument);
 
@@ -434,15 +431,14 @@ TEST(SessionSnapshot, DatasetAndConstraintMismatchRejected) {
               std::make_shared<Dictionary>());
   for (int i = 0; i < 12; ++i) other.AppendRow({"zzz", "10001", "Albany"});
   Dataset other_ds(std::move(other));
-  auto bad_data = cleaner.Restore(f.path, &other_ds, f.dcs);
+  auto bad_data = test_helpers::RestoreSessionOver(f.config, f.path, &other_ds, f.dcs);
   ASSERT_FALSE(bad_data.ok());
   EXPECT_EQ(bad_data.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SessionSnapshot, ExternalDataInputsMismatchRejected) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   ASSERT_TRUE(opened.value().RunThrough(StageId::kLearn).ok());
   ASSERT_TRUE(opened.value().Save(f.path).ok());
@@ -462,15 +458,14 @@ TEST(SessionSnapshot, ExternalDataInputsMismatchRejected) {
   mds[0].target_data_attr = "City";
   mds[0].target_ext_attr = "Ext_City";
   auto restored =
-      cleaner.Restore(f.path, &fresh.dataset, fresh.dcs, &dicts, &mds);
+      test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs, &dicts, &mds);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SessionSnapshot, FailedLoadLeavesDatasetUntouched) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto first = session.Run();
@@ -512,7 +507,7 @@ TEST(SessionSnapshot, FailedLoadLeavesDatasetUntouched) {
   SnapshotFixture fresh;
   ValueId before = fresh.dataset.dirty().Get(verified.cell);
   size_t dict_before = fresh.dataset.dirty().dict().size();
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   // The failed load committed nothing: no replayed pin, no interned values.
@@ -525,8 +520,7 @@ TEST(SessionSnapshot, CorruptSectionLeavesDatasetUntouched) {
   // checksum, and nothing is committed — the staged-load contract holds
   // for the sectioned format too.
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto first = session.Run();
@@ -552,7 +546,7 @@ TEST(SessionSnapshot, CorruptSectionLeavesDatasetUntouched) {
   SnapshotFixture fresh;
   ValueId before = fresh.dataset.dirty().Get(verified.cell);
   size_t dict_before = fresh.dataset.dirty().dict().size();
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   EXPECT_EQ(fresh.dataset.dirty().Get(verified.cell), before);
@@ -561,8 +555,7 @@ TEST(SessionSnapshot, CorruptSectionLeavesDatasetUntouched) {
 
 TEST(SessionSnapshot, VersionMismatchRejected) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   ASSERT_TRUE(opened.value().RunThrough(StageId::kDetect).ok());
   ASSERT_TRUE(opened.value().Save(f.path).ok());
@@ -581,15 +574,14 @@ TEST(SessionSnapshot, VersionMismatchRejected) {
     out << bytes;
   }
   SnapshotFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SessionSnapshot, TruncatedAndCorruptSnapshotsFailCleanly) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   auto report = opened.value().Run();
   ASSERT_TRUE(report.ok());
@@ -610,7 +602,7 @@ TEST(SessionSnapshot, TruncatedAndCorruptSnapshotsFailCleanly) {
     out << bytes.substr(0, keep);
     out.close();
     SnapshotFixture fresh;
-    auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+    auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
     ASSERT_FALSE(restored.ok()) << "kept " << keep << " bytes";
     EXPECT_EQ(restored.status().code(), StatusCode::kParseError)
         << "kept " << keep << " bytes";
@@ -625,7 +617,7 @@ TEST(SessionSnapshot, TruncatedAndCorruptSnapshotsFailCleanly) {
     out << corrupt;
   }
   SnapshotFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
 
@@ -634,10 +626,10 @@ TEST(SessionSnapshot, TruncatedAndCorruptSnapshotsFailCleanly) {
     std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
     out << "name,zip\njust,a csv\n";
   }
-  auto not_snapshot = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto not_snapshot = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_FALSE(not_snapshot.ok());
 
-  EXPECT_EQ(cleaner.Restore("/nonexistent/nope.snapshot", &fresh.dataset,
+  EXPECT_EQ(test_helpers::RestoreSessionOver(f.config, "/nonexistent/nope.snapshot", &fresh.dataset,
                             fresh.dcs)
                 .status()
                 .code(),
@@ -768,8 +760,7 @@ TEST(SnapshotCodec, PackedGraphIdsValidatedAgainstBounds) {
 
 TEST(SessionSnapshot, RawAndPackedCodecsRestoreIdentically) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.Run().ok());
@@ -781,10 +772,10 @@ TEST(SessionSnapshot, RawAndPackedCodecsRestoreIdentically) {
 
   SnapshotFixture fresh_raw;
   SnapshotFixture fresh_packed;
-  auto from_raw = cleaner.Restore(raw_path, &fresh_raw.dataset,
+  auto from_raw = test_helpers::RestoreSessionOver(f.config, raw_path, &fresh_raw.dataset,
                                   fresh_raw.dcs);
   auto from_packed =
-      cleaner.Restore(f.path, &fresh_packed.dataset, fresh_packed.dcs);
+      test_helpers::RestoreSessionOver(f.config, f.path, &fresh_packed.dataset, fresh_packed.dcs);
   ASSERT_TRUE(from_raw.ok()) << from_raw.status();
   ASSERT_TRUE(from_packed.ok()) << from_packed.status();
 
@@ -808,8 +799,7 @@ TEST(SessionSnapshot, RawAndPackedCodecsRestoreIdentically) {
 
 TEST(SessionSnapshot, V1WritePathStillRoundTrips) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
@@ -818,7 +808,7 @@ TEST(SessionSnapshot, V1WritePathStillRoundTrips) {
   ASSERT_TRUE(session.Save(f.path, v1).ok());
 
   SnapshotFixture fresh;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   EXPECT_TRUE(restored.value().StageIsValid(StageId::kLearn));
   auto finished = restored.value().Run();
@@ -833,8 +823,7 @@ TEST(SessionSnapshot, GoldenV1SnapshotRestoresBitIdentically) {
   std::string golden =
       std::string(HOLOCLEAN_TEST_DATA_DIR) + "/golden_v1.snapshot";
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto restored = cleaner.Restore(golden, &f.dataset, f.dcs);
+  auto restored = test_helpers::RestoreSessionOver(f.config, golden, &f.dataset, f.dcs);
   ASSERT_TRUE(restored.ok()) << restored.status();
   Session resumed = std::move(restored).value();
   EXPECT_TRUE(resumed.StageIsValid(StageId::kLearn));
@@ -844,7 +833,7 @@ TEST(SessionSnapshot, GoldenV1SnapshotRestoresBitIdentically) {
 
   // Reference: the same pipeline run entirely in-process today.
   SnapshotFixture ref;
-  auto ref_session = HoloClean(ref.config).Open(&ref.dataset, ref.dcs);
+  auto ref_session = test_helpers::OpenSessionOver(ref.config, &ref.dataset, ref.dcs);
   ASSERT_TRUE(ref_session.ok());
   auto ref_report = ref_session.value().Run();
   ASSERT_TRUE(ref_report.ok());
@@ -864,22 +853,21 @@ TEST(SessionSnapshot, GoldenV1SnapshotRestoresBitIdentically) {
 
 TEST(SessionSnapshot, MmapRestoreMatchesEagerRestoreBitForBit) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
   ASSERT_TRUE(session.Save(f.path).ok());
 
   SnapshotFixture eager_fixture;
-  auto eager = cleaner.Restore(f.path, &eager_fixture.dataset,
+  auto eager = test_helpers::RestoreSessionOver(f.config, f.path, &eager_fixture.dataset,
                                eager_fixture.dcs);
   ASSERT_TRUE(eager.ok()) << eager.status();
 
   SnapshotFixture lazy_fixture;
   SnapshotLoadOptions lazy;
   lazy.lazy_graph = true;
-  auto mapped = cleaner.Restore(f.path, &lazy_fixture.dataset,
+  auto mapped = test_helpers::RestoreSessionOver(f.config, f.path, &lazy_fixture.dataset,
                                 lazy_fixture.dcs, nullptr, nullptr, nullptr,
                                 lazy);
   ASSERT_TRUE(mapped.ok()) << mapped.status();
@@ -913,8 +901,7 @@ TEST(SessionSnapshot, MmapRestoreMatchesEagerRestoreBitForBit) {
 
 TEST(SessionSnapshot, MmapRestoreOfFullRunNeverTouchesGraph) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   auto report = session.Run();
@@ -924,7 +911,7 @@ TEST(SessionSnapshot, MmapRestoreOfFullRunNeverTouchesGraph) {
   SnapshotFixture fresh;
   SnapshotLoadOptions lazy;
   lazy.lazy_graph = true;
-  auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs, nullptr,
+  auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs, nullptr,
                                   nullptr, nullptr, lazy);
   ASSERT_TRUE(restored.ok()) << restored.status();
   Session resumed = std::move(restored).value();
@@ -946,8 +933,7 @@ TEST(SessionSnapshot, MmapRestoreOfFullRunNeverTouchesGraph) {
 
 TEST(SessionSnapshot, CorruptGraphSectionSurfacesAtFirstStageUnderMmap) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
-  auto opened = cleaner.Open(&f.dataset, f.dcs);
+  auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
   ASSERT_TRUE(opened.ok());
   Session session = std::move(opened).value();
   ASSERT_TRUE(session.RunThrough(StageId::kLearn).ok());
@@ -998,7 +984,7 @@ TEST(SessionSnapshot, CorruptGraphSectionSurfacesAtFirstStageUnderMmap) {
 
   // Eager restore checks every section up front and fails immediately.
   SnapshotFixture eager_fixture;
-  auto eager = cleaner.Restore(f.path, &eager_fixture.dataset,
+  auto eager = test_helpers::RestoreSessionOver(f.config, f.path, &eager_fixture.dataset,
                                eager_fixture.dcs);
   ASSERT_FALSE(eager.ok());
   EXPECT_EQ(eager.status().code(), StatusCode::kParseError);
@@ -1010,7 +996,7 @@ TEST(SessionSnapshot, CorruptGraphSectionSurfacesAtFirstStageUnderMmap) {
   SnapshotFixture lazy_fixture;
   SnapshotLoadOptions lazy;
   lazy.lazy_graph = true;
-  auto mapped = cleaner.Restore(f.path, &lazy_fixture.dataset,
+  auto mapped = test_helpers::RestoreSessionOver(f.config, f.path, &lazy_fixture.dataset,
                                 lazy_fixture.dcs, nullptr, nullptr, nullptr,
                                 lazy);
   ASSERT_TRUE(mapped.ok()) << mapped.status();
@@ -1037,7 +1023,6 @@ TEST(SessionSnapshot, CorruptGraphSectionSurfacesAtFirstStageUnderMmap) {
 
 TEST(SessionSnapshot, CorruptHeaderOffsetsFailCleanly) {
   SnapshotFixture f;
-  HoloClean cleaner(f.config);
 
   // v2 header whose directory offset sits near 2^64: the bounds check must
   // fail cleanly instead of wrapping into an out-of-range substr.
@@ -1050,7 +1035,7 @@ TEST(SessionSnapshot, CorruptHeaderOffsetsFailCleanly) {
     std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
     out << w.buffer();
     out.close();
-    auto restored = cleaner.Restore(f.path, &f.dataset, f.dcs);
+    auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &f.dataset, f.dcs);
     ASSERT_FALSE(restored.ok());
     EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   }
@@ -1078,7 +1063,7 @@ TEST(SessionSnapshot, CorruptHeaderOffsetsFailCleanly) {
     std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
     out << file.buffer();
     out.close();
-    auto restored = cleaner.Restore(f.path, &f.dataset, f.dcs);
+    auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &f.dataset, f.dcs);
     ASSERT_FALSE(restored.ok());
     EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
   }
@@ -1087,15 +1072,14 @@ TEST(SessionSnapshot, CorruptHeaderOffsetsFailCleanly) {
 TEST(SessionSnapshot, SavedPrefixesRestoreAtEveryStage) {
   for (int last = 0; last < kNumStages; ++last) {
     SnapshotFixture f;
-    HoloClean cleaner(f.config);
-    auto opened = cleaner.Open(&f.dataset, f.dcs);
+    auto opened = test_helpers::OpenSessionOver(f.config, &f.dataset, f.dcs);
     ASSERT_TRUE(opened.ok());
     ASSERT_TRUE(
         opened.value().RunThrough(static_cast<StageId>(last)).ok());
     ASSERT_TRUE(opened.value().Save(f.path).ok());
 
     SnapshotFixture fresh;
-    auto restored = cleaner.Restore(f.path, &fresh.dataset, fresh.dcs);
+    auto restored = test_helpers::RestoreSessionOver(f.config, f.path, &fresh.dataset, fresh.dcs);
     ASSERT_TRUE(restored.ok()) << "stage " << last << ": "
                                << restored.status();
     Session resumed = std::move(restored).value();

@@ -10,11 +10,13 @@
 #include <thread>
 
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/data/food.h"
 #include "holoclean/data/hospital.h"
 #include "holoclean/detect/violation_detector.h"
 #include "holoclean/util/thread_pool.h"
+
+#include "session_helpers.h"
 
 namespace holoclean {
 namespace {
@@ -182,7 +184,7 @@ TEST_P(ThreadCountSweep, PipelineRepairsIdentical) {
     config.partitioning = true;
     config.gibbs_burn_in = 5;
     config.gibbs_samples = 20;
-    auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+    auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
     EXPECT_TRUE(report.ok());
     return report.value().repairs;
   };
@@ -209,8 +211,7 @@ TEST_P(ThreadCountSweep, PartitionParallelMarginalsMatchSequential) {
     config.partitioning = true;
     config.gibbs_burn_in = 5;
     config.gibbs_samples = 20;
-    HoloClean cleaner(config);
-    auto opened = cleaner.Open(&data.dataset, data.dcs);
+    auto opened = test_helpers::OpenSessionOver(config, &data.dataset, data.dcs);
     EXPECT_TRUE(opened.ok());
     Session session = std::move(opened).value();
     EXPECT_TRUE(session.Run().ok());

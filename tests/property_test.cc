@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
+#include "holoclean/core/engine.h"
 #include "holoclean/data/food.h"
 #include "holoclean/data/hospital.h"
 #include "holoclean/detect/violation_detector.h"
@@ -44,7 +44,7 @@ TEST_P(TauSweep, PipelineProducesValidMarginals) {
   GeneratedData data = MakeHospital({300, 0.05, 62});
   HoloCleanConfig config;
   config.tau = GetParam();
-  auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+  auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   ASSERT_TRUE(report.ok());
   for (const CellPosterior& p : report.value().posteriors) {
     EXPECT_GT(p.map_prob, 0.0);
@@ -67,7 +67,7 @@ TEST(TauTradeoff, RecallDecreasesAcrossSweep) {
     GeneratedData data = MakeFood({1200, 0.06, 63});
     HoloCleanConfig config;
     config.tau = 0.3;
-    auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+    auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
     ASSERT_TRUE(report.ok());
     recall_low = EvaluateRepairs(data.dataset, report.value().repairs).recall;
   }
@@ -75,7 +75,7 @@ TEST(TauTradeoff, RecallDecreasesAcrossSweep) {
     GeneratedData data = MakeFood({1200, 0.06, 63});
     HoloCleanConfig config;
     config.tau = 0.9;
-    auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+    auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
     ASSERT_TRUE(report.ok());
     recall_high =
         EvaluateRepairs(data.dataset, report.value().repairs).recall;
@@ -91,7 +91,7 @@ TEST_P(ErrorRateSweep, PrecisionStaysHighOnHospital) {
   GeneratedData data = MakeHospital({400, GetParam(), 64});
   HoloCleanConfig config;
   config.tau = 0.5;
-  auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+  auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   ASSERT_TRUE(report.ok());
   EvalResult e = EvaluateRepairs(data.dataset, report.value().repairs);
   EXPECT_GT(e.precision, 0.8) << "error rate " << GetParam();
@@ -128,7 +128,7 @@ TEST_P(SeedSweep, RepairsOnlyTouchNoisyCells) {
   NoisyCells noisy =
       ViolationDetector::NoisyFromViolations(detector.Detect());
   HoloCleanConfig config;
-  auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+  auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   ASSERT_TRUE(report.ok());
   for (const Repair& r : report.value().repairs) {
     EXPECT_TRUE(noisy.Contains(r.cell));
@@ -138,7 +138,7 @@ TEST_P(SeedSweep, RepairsOnlyTouchNoisyCells) {
 TEST_P(SeedSweep, PosteriorsCoverEveryNoisyCell) {
   GeneratedData data = MakeHospital({200, 0.08, GetParam()});
   HoloCleanConfig config;
-  auto report = HoloClean(config).Run(&data.dataset, data.dcs);
+  auto report = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report.value().posteriors.size(),
             report.value().stats.num_noisy_cells);
@@ -153,10 +153,10 @@ TEST(Idempotence, SecondPassMakesFewRepairs) {
   GeneratedData data = MakeHospital({400, 0.05, 65});
   HoloCleanConfig config;
   config.tau = 0.5;
-  auto first = HoloClean(config).Run(&data.dataset, data.dcs);
+  auto first = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   ASSERT_TRUE(first.ok());
   first.value().Apply(&data.dataset.dirty());
-  auto second = HoloClean(config).Run(&data.dataset, data.dcs);
+  auto second = CleanOnce(CleaningInputs::Borrowed(&data.dataset, &data.dcs), {config});
   ASSERT_TRUE(second.ok());
   EXPECT_LT(second.value().repairs.size(),
             first.value().repairs.size() / 2 + 5);

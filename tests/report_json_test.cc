@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "holoclean/io/report_json.h"
+#include "holoclean/util/json.h"
+
+namespace holoclean {
+namespace {
+
+// ---------- JsonValue: serialization ----------
+
+TEST(Json, DumpScalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Number(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(-3.0).Dump(), "-3");
+  EXPECT_EQ(JsonValue::Number(0.5).Dump(), "0.5");
+  EXPECT_EQ(JsonValue::String("hi").Dump(), "\"hi\"");
+}
+
+TEST(Json, DumpEscapesControlAndQuotes) {
+  EXPECT_EQ(JsonValue::String("a\"b\\c\n\t").Dump(),
+            "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(JsonValue::String(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Number(1));
+  obj.Set("apple", JsonValue::Number(2));
+  obj.Set("zebra", JsonValue::Number(3));  // replace keeps first position
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":3,\"apple\":2}");
+}
+
+TEST(Json, ArrayAndNesting) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(1));
+  JsonValue inner = JsonValue::Object();
+  inner.Set("k", JsonValue::Null());
+  arr.Append(std::move(inner));
+  EXPECT_EQ(arr.Dump(), "[1,{\"k\":null}]");
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+}
+
+// ---------- JsonValue: parsing ----------
+
+TEST(Json, ParseRoundTripsDump) {
+  const std::string text =
+      "{\"a\":[1,2.5,-3],\"b\":{\"c\":true,\"d\":null},\"e\":\"x\\ny\"}";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Dump(), text);
+}
+
+TEST(Json, ParseWhitespaceAndAccessors) {
+  auto parsed = JsonValue::Parse(" { \"n\" : 7 , \"s\" : \"v\" , "
+                                 "\"f\" : false , \"x\" : 1.25 } ");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& v = parsed.value();
+  EXPECT_EQ(v.GetInt("n"), 7);
+  EXPECT_EQ(v.GetString("s"), "v");
+  EXPECT_FALSE(v.GetBool("f", true));
+  EXPECT_DOUBLE_EQ(v.GetDouble("x"), 1.25);
+  EXPECT_EQ(v.GetInt("missing", -9), -9);
+  EXPECT_EQ(v.Find("nope"), nullptr);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  auto parsed = JsonValue::Parse("\"\\u00e9\\u0041\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "\xC3\xA9"
+                                       "A");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("01a").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad \\q escape\"").ok());
+}
+
+TEST(Json, ParseRejectsHostileDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+// ---------- Report schema golden ----------
+
+// A synthetic report with hand-picked values: the golden file pins the
+// schema (field names, order, formatting), not pipeline behavior, so no
+// field may depend on wall time or machine specifics.
+Report MakeGoldenReport(Table* table) {
+  Report report;
+  Dictionary& dict = table->dict();
+  Repair r1;
+  r1.cell = {0, 1};
+  r1.old_value = dict.Intern("Cicago");
+  r1.new_value = dict.Intern("Chicago");
+  r1.probability = 0.9375;
+  Repair r2;
+  r2.cell = {2, 0};
+  r2.old_value = dict.Intern("60614");
+  r2.new_value = dict.Intern("60616");
+  r2.probability = 0.5;
+  report.repairs = {r1, r2};
+  report.posteriors.resize(3);
+
+  RunStats& s = report.stats;
+  s.detect_seconds = 0.25;
+  s.compile_seconds = 0.5;
+  s.learn_seconds = 1.0;
+  s.infer_seconds = 0.25;
+  s.stage_timings = {{"detect", 0.25, 1024, false},
+                     {"compile", 0.5, 2048, false},
+                     {"learn", 1.0, 4096, false},
+                     {"infer", 0.25, 4096, true},
+                     {"repair", 0.0, 4096, true}};
+  s.num_violations = 10;
+  s.num_noisy_cells = 4;
+  s.num_query_vars = 3;
+  s.num_evidence_vars = 9;
+  s.num_candidates = 12;
+  s.num_dc_factors = 2;
+  s.num_grounded_factors = 20;
+  s.detect_truncated = true;
+  s.num_truncated_dcs = 1;
+  return report;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ReportJson, GoldenSchemaIsPinned) {
+  Schema schema({"Zip", "City"});
+  Table table(schema, std::make_shared<Dictionary>());
+  Report report = MakeGoldenReport(&table);
+
+  std::string got = ReportJsonString(report, table);
+  std::string want =
+      ReadFile(std::string(HOLOCLEAN_TEST_DATA_DIR) + "/report_golden.json");
+  // The golden file is stored with a trailing newline for editor hygiene.
+  if (!want.empty() && want.back() == '\n') want.pop_back();
+  EXPECT_EQ(got, want)
+      << "report JSON schema drifted; if the change is intentional and "
+         "additive, bump kReportJsonVersion and regenerate the golden file";
+}
+
+TEST(ReportJson, OutputParsesBackAndAgreesWithReport) {
+  Schema schema({"Zip", "City"});
+  Table table(schema, std::make_shared<Dictionary>());
+  Report report = MakeGoldenReport(&table);
+
+  auto parsed = JsonValue::Parse(ReportJsonString(report, table));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& j = parsed.value();
+  EXPECT_EQ(j.GetInt("version"), kReportJsonVersion);
+  ASSERT_NE(j.Find("repairs"), nullptr);
+  const auto& repairs = j.Find("repairs")->items();
+  ASSERT_EQ(repairs.size(), 2u);
+  EXPECT_EQ(repairs[0].GetString("attr"), "City");
+  EXPECT_EQ(repairs[0].GetString("old"), "Cicago");
+  EXPECT_EQ(repairs[0].GetString("new"), "Chicago");
+  EXPECT_DOUBLE_EQ(repairs[0].GetDouble("probability"), 0.9375);
+  EXPECT_EQ(j.GetInt("num_posteriors"), 3);
+  const JsonValue* stats = j.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->GetInt("num_violations"), 10);
+  EXPECT_TRUE(stats->GetBool("detect_truncated"));
+  EXPECT_DOUBLE_EQ(stats->GetDouble("total_seconds"), 2.0);
+  ASSERT_NE(stats->Find("stage_timings"), nullptr);
+  EXPECT_EQ(stats->Find("stage_timings")->items().size(), 5u);
+  EXPECT_TRUE(stats->Find("stage_timings")->items()[4].GetBool("cached"));
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -1,0 +1,648 @@
+// Tests for the serving tier: wire framing, request parsing and config
+// overrides, the concurrent dataset registry, per-tenant admission
+// control, the in-process and TCP request paths of CleaningServer, and
+// the drain -> restart round trip (warm state survives a restart with
+// bit-identical repairs).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "holoclean/data/food.h"
+#include "holoclean/serve/admission.h"
+#include "holoclean/serve/client.h"
+#include "holoclean/serve/protocol.h"
+#include "holoclean/serve/registry.h"
+#include "holoclean/serve/server.h"
+#include "holoclean/util/csv.h"
+
+namespace holoclean {
+namespace {
+
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::CleaningServer;
+using serve::Client;
+using serve::DatasetRegistry;
+using serve::Op;
+using serve::Request;
+using serve::ServerOptions;
+
+/// Raw registration payloads for a small generated Food instance.
+struct Payload {
+  std::string csv;
+  std::string dcs;
+};
+
+Payload MakePayload(size_t i, size_t rows = 120) {
+  FoodOptions options;
+  options.num_rows = rows;
+  options.error_rate = 0.05 + 0.01 * static_cast<double>(i);
+  options.seed = 9200 + i;
+  GeneratedData data = MakeFood(options);
+  Payload payload;
+  payload.csv = WriteCsv(data.dataset.dirty().ToCsv());
+  for (const DenialConstraint& dc : data.dcs) {
+    payload.dcs += dc.ToString(data.dataset.dirty().schema()) + "\n";
+  }
+  return payload;
+}
+
+JsonValue RegisterFrame(const std::string& tenant, const std::string& dataset,
+                        const Payload& payload) {
+  Request req;
+  req.op = Op::kRegisterDataset;
+  req.tenant = tenant;
+  req.dataset = dataset;
+  req.csv_text = payload.csv;
+  req.dc_text = payload.dcs;
+  return req.ToJson();
+}
+
+JsonValue CleanFrame(const std::string& tenant, const std::string& dataset) {
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = tenant;
+  req.dataset = dataset;
+  return req.ToJson();
+}
+
+/// A fast pipeline config for serving tests.
+HoloCleanConfig FastConfig() {
+  HoloCleanConfig config;
+  config.epochs = 5;
+  config.gibbs_burn_in = 3;
+  config.gibbs_samples = 10;
+  return config;
+}
+
+ServerOptions FastServerOptions() {
+  ServerOptions options;
+  options.default_config = FastConfig();
+  options.engine_threads = 2;
+  return options;
+}
+
+/// A fresh empty directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "holoclean_serve_" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+std::string RepairsDump(const JsonValue& response) {
+  const JsonValue* report = response.Find("report");
+  EXPECT_NE(report, nullptr);
+  const JsonValue* repairs =
+      report != nullptr ? report->Find("repairs") : nullptr;
+  EXPECT_NE(repairs, nullptr);
+  return repairs != nullptr ? repairs->Dump() : "";
+}
+
+// --- Protocol ----------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTripOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  JsonValue obj = JsonValue::Object();
+  obj.Set("op", JsonValue::String("list_datasets"));
+  obj.Set("n", JsonValue::Number(42));
+  ASSERT_TRUE(serve::WriteFrame(fds[1], obj).ok());
+  ::close(fds[1]);
+
+  Result<JsonValue> read = serve::ReadFrame(fds[0]);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read.value().Dump(), obj.Dump());
+
+  // The pipe is now at EOF: a clean close reads as kNotFound.
+  Result<JsonValue> eof = serve::ReadFrame(fds[0]);
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  ::close(fds[0]);
+}
+
+TEST(ServeProtocol, HostileAndTruncatedFramesAreRejected) {
+  {
+    // Length prefix past the frame bound must be refused pre-allocation.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::write(fds[1], huge, 4), 4);
+    ::close(fds[1]);
+    Result<JsonValue> r = serve::ReadFrame(fds[0]);
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    ::close(fds[0]);
+  }
+  {
+    // Connection dying mid-prefix.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], "\x00\x00", 2), 2);
+    ::close(fds[1]);
+    Result<JsonValue> r = serve::ReadFrame(fds[0]);
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    ::close(fds[0]);
+  }
+  {
+    // Connection dying mid-payload.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    unsigned char prefix[4] = {0, 0, 0, 10};
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+    ASSERT_EQ(::write(fds[1], "{\"a\"", 4), 4);
+    ::close(fds[1]);
+    Result<JsonValue> r = serve::ReadFrame(fds[0]);
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    ::close(fds[0]);
+  }
+}
+
+TEST(ServeProtocol, RequestRoundTripsThroughJson) {
+  Request req;
+  req.op = Op::kFeedback;
+  req.tenant = "acme";
+  req.dataset = "food";
+  req.cell_tid = 7;
+  req.cell_attr = "City";
+  req.cell_value = "Chicago";
+  req.config_overrides.Set("epochs", JsonValue::Number(3));
+
+  Result<Request> parsed = Request::FromJson(req.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().op, Op::kFeedback);
+  EXPECT_EQ(parsed.value().tenant, "acme");
+  EXPECT_EQ(parsed.value().dataset, "food");
+  EXPECT_EQ(parsed.value().cell_tid, 7);
+  EXPECT_EQ(parsed.value().cell_attr, "City");
+  EXPECT_EQ(parsed.value().cell_value, "Chicago");
+  EXPECT_EQ(parsed.value().config_overrides.GetInt("epochs"), 3);
+}
+
+TEST(ServeProtocol, MalformedRequestsAreRejected) {
+  EXPECT_FALSE(Request::FromJson(JsonValue::Array()).ok());
+  EXPECT_FALSE(Request::FromJson(JsonValue::Object()).ok());  // No op.
+
+  JsonValue bad_op = JsonValue::Object();
+  bad_op.Set("op", JsonValue::String("explode"));
+  EXPECT_FALSE(Request::FromJson(bad_op).ok());
+
+  JsonValue bad_cell = JsonValue::Object();
+  bad_cell.Set("op", JsonValue::String("feedback"));
+  bad_cell.Set("cell", JsonValue::String("not an object"));
+  EXPECT_FALSE(Request::FromJson(bad_cell).ok());
+}
+
+TEST(ServeProtocol, ConfigOverridesApplyAndRejectUnknownKeys) {
+  HoloCleanConfig config;
+  JsonValue overrides = JsonValue::Object();
+  overrides.Set("tau", JsonValue::Number(0.7));
+  overrides.Set("epochs", JsonValue::Number(3));
+  overrides.Set("compiled_kernel", JsonValue::Bool(false));
+  overrides.Set("seed", JsonValue::Number(99));
+  ASSERT_TRUE(serve::ApplyConfigOverrides(overrides, &config).ok());
+  EXPECT_DOUBLE_EQ(config.tau, 0.7);
+  EXPECT_EQ(config.epochs, 3);
+  EXPECT_FALSE(config.compiled_kernel);
+  EXPECT_EQ(config.seed, 99u);
+  // Untouched knobs keep their defaults.
+  EXPECT_EQ(config.gibbs_samples, HoloCleanConfig().gibbs_samples);
+
+  JsonValue unknown = JsonValue::Object();
+  unknown.Set("tao", JsonValue::Number(0.7));  // Typo must not pass silently.
+  Status st = serve::ApplyConfigOverrides(unknown, &config);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  JsonValue wrong_type = JsonValue::Object();
+  wrong_type.Set("epochs", JsonValue::String("three"));
+  EXPECT_FALSE(serve::ApplyConfigOverrides(wrong_type, &config).ok());
+}
+
+TEST(ServeProtocol, ErrorCodesDistinguishOverloadFromDraining) {
+  EXPECT_EQ(serve::ErrorCodeFor(Status::OutOfRange("overloaded: busy")),
+            "overloaded");
+  EXPECT_EQ(serve::ErrorCodeFor(Status::OutOfRange("draining: bye")),
+            "draining");
+  EXPECT_EQ(serve::ErrorCodeFor(Status::NotFound("x")), "not_found");
+  EXPECT_EQ(serve::ErrorCodeFor(Status::AlreadyExists("x")), "already_exists");
+  EXPECT_EQ(serve::ErrorCodeFor(Status::Internal("x")), "internal");
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(ServeRegistry, RegisterFindDropLifecycle) {
+  DatasetRegistry registry;
+  Payload payload = MakePayload(0);
+
+  ASSERT_TRUE(registry.Register("acme", "food", payload.csv, payload.dcs).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Register("acme", "food", payload.csv, payload.dcs).code(),
+            StatusCode::kAlreadyExists);
+
+  auto found = registry.Find("acme", "food");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value()->base->num_rows(), 120u);
+  EXPECT_FALSE(found.value()->dcs->empty());
+
+  // Same dataset name under another tenant is a distinct entry.
+  ASSERT_TRUE(
+      registry.Register("globex", "food", payload.csv, payload.dcs).ok());
+  EXPECT_EQ(registry.size(), 2u);
+
+  ASSERT_TRUE(registry.Drop("acme", "food").ok());
+  EXPECT_EQ(registry.Drop("acme", "food").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Find("acme", "food").status().code(),
+            StatusCode::kNotFound);
+  // The handed-out entry stays alive for holders.
+  EXPECT_EQ(found.value()->base->num_rows(), 120u);
+}
+
+TEST(ServeRegistry, RejectsBadNamesAndPayloads) {
+  DatasetRegistry registry;
+  Payload payload = MakePayload(0);
+  EXPECT_FALSE(registry.Register("", "food", payload.csv, payload.dcs).ok());
+  EXPECT_FALSE(
+      registry.Register("a/b", "food", payload.csv, payload.dcs).ok());
+  EXPECT_FALSE(
+      registry.Register("acme", "fo od", payload.csv, payload.dcs).ok());
+  EXPECT_FALSE(registry.Register("acme", "food", "", payload.dcs).ok());
+  EXPECT_FALSE(registry.Register("acme", "food", payload.csv, "").ok());
+  EXPECT_FALSE(
+      registry.Register("acme", "food", "not,a\nvalid", payload.dcs).ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ServeRegistry, ConcurrentRegisterDropRacesStayConsistent) {
+  DatasetRegistry registry;
+  Payload payload = MakePayload(0, 40);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+
+  // Each thread hammers its own name while everyone also races for one
+  // contended name; listers iterate concurrently.
+  std::atomic<int> contended_wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string mine = "ds" + std::to_string(t);
+      for (int round = 0; round < kRounds; ++round) {
+        ASSERT_TRUE(
+            registry.Register("acme", mine, payload.csv, payload.dcs).ok());
+        auto found = registry.Find("acme", mine);
+        ASSERT_TRUE(found.ok());
+        EXPECT_EQ(found.value()->base->num_rows(), 40u);
+        if (registry.Register("acme", "contended", payload.csv, payload.dcs)
+                .ok()) {
+          contended_wins.fetch_add(1);
+          EXPECT_TRUE(registry.Drop("acme", "contended").ok());
+        }
+        for (const auto& entry : registry.List()) {
+          EXPECT_FALSE(entry->dataset.empty());
+        }
+        ASSERT_TRUE(registry.Drop("acme", mine).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_GT(contended_wins.load(), 0);
+}
+
+// --- Admission ---------------------------------------------------------------
+
+TEST(ServeAdmission, PerTenantQuotaIsolatesTenants) {
+  AdmissionOptions options;
+  options.per_tenant_inflight = 2;
+  options.global_inflight = 8;
+  AdmissionController admission(options);
+
+  auto a1 = admission.Admit("acme");
+  auto a2 = admission.Admit("acme");
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+
+  // Tenant quota exhausted: acme bounces, globex keeps full service.
+  auto a3 = admission.Admit("acme");
+  EXPECT_EQ(a3.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(serve::ErrorCodeFor(a3.status()), "overloaded");
+  auto b1 = admission.Admit("globex");
+  EXPECT_TRUE(b1.ok());
+
+  // Releasing a slot re-admits the tenant (RAII ticket).
+  a1.value().Release();
+  EXPECT_TRUE(admission.Admit("acme").ok());
+  EXPECT_EQ(admission.inflight("globex"), 1u);
+}
+
+TEST(ServeAdmission, GlobalBoundShedsEveryone) {
+  AdmissionOptions options;
+  options.per_tenant_inflight = 8;
+  options.global_inflight = 3;
+  AdmissionController admission(options);
+
+  std::vector<AdmissionController::Ticket> held;
+  for (int i = 0; i < 3; ++i) {
+    auto t = admission.Admit("tenant" + std::to_string(i));
+    ASSERT_TRUE(t.ok());
+    held.push_back(std::move(t).value());
+  }
+  EXPECT_EQ(admission.total_inflight(), 3u);
+  EXPECT_EQ(admission.Admit("anyone").status().code(),
+            StatusCode::kOutOfRange);
+  held.clear();  // RAII release.
+  EXPECT_EQ(admission.total_inflight(), 0u);
+  EXPECT_TRUE(admission.Admit("anyone").ok());
+}
+
+// --- Server (in-process) -----------------------------------------------------
+
+TEST(ServeServer, LifecycleAndWarmRepeatIsBitIdentical) {
+  CleaningServer server(FastServerOptions());
+  Payload payload = MakePayload(0);
+
+  JsonValue reg = server.Handle(RegisterFrame("acme", "food", payload));
+  ASSERT_TRUE(reg.GetBool("ok")) << reg.Dump();
+  EXPECT_EQ(reg.GetInt("rows"), 120);
+
+  // Registering the same name again fails cleanly.
+  JsonValue dup = server.Handle(RegisterFrame("acme", "food", payload));
+  EXPECT_FALSE(dup.GetBool("ok"));
+  EXPECT_EQ(dup.GetString("error"), "already_exists");
+
+  JsonValue cold = server.Handle(CleanFrame("acme", "food"));
+  ASSERT_TRUE(cold.GetBool("ok")) << cold.Dump();
+  EXPECT_FALSE(cold.GetBool("warm"));
+  ASSERT_GT(RepairsDump(cold).size(), 2u);
+
+  JsonValue warm = server.Handle(CleanFrame("acme", "food"));
+  ASSERT_TRUE(warm.GetBool("ok")) << warm.Dump();
+  EXPECT_TRUE(warm.GetBool("warm"));
+  EXPECT_EQ(RepairsDump(warm), RepairsDump(cold));
+
+  // Feedback pins a cell and re-cleans incrementally.
+  Request feedback;
+  feedback.op = Op::kFeedback;
+  feedback.tenant = "acme";
+  feedback.dataset = "food";
+  feedback.cell_tid = 0;
+  feedback.cell_attr = "City";
+  feedback.cell_value = "Chicago";
+  JsonValue fb = server.Handle(feedback.ToJson());
+  ASSERT_TRUE(fb.GetBool("ok")) << fb.Dump();
+
+  Request status;
+  status.op = Op::kExplainStatus;
+  status.tenant = "acme";
+  status.dataset = "food";
+  JsonValue st = server.Handle(status.ToJson());
+  ASSERT_TRUE(st.GetBool("ok"));
+  EXPECT_TRUE(st.GetBool("warm"));
+  EXPECT_TRUE(st.GetBool("has_run"));
+
+  Request drop;
+  drop.op = Op::kDropDataset;
+  drop.tenant = "acme";
+  drop.dataset = "food";
+  ASSERT_TRUE(server.Handle(drop.ToJson()).GetBool("ok"));
+  JsonValue gone = server.Handle(CleanFrame("acme", "food"));
+  EXPECT_FALSE(gone.GetBool("ok"));
+  EXPECT_EQ(gone.GetString("error"), "not_found");
+}
+
+TEST(ServeServer, TenantsAreIsolated) {
+  CleaningServer server(FastServerOptions());
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("globex", "food", payload)).GetBool("ok"));
+
+  // Both tenants clean "their" food dataset; identical registration bytes
+  // mean identical repairs, but through fully separate working state.
+  JsonValue a = server.Handle(CleanFrame("acme", "food"));
+  JsonValue b = server.Handle(CleanFrame("globex", "food"));
+  ASSERT_TRUE(a.GetBool("ok"));
+  ASSERT_TRUE(b.GetBool("ok"));
+  EXPECT_EQ(RepairsDump(a), RepairsDump(b));
+
+  // Feedback by acme must not leak into globex's copy.
+  Request feedback;
+  feedback.op = Op::kFeedback;
+  feedback.tenant = "acme";
+  feedback.dataset = "food";
+  feedback.cell_tid = 1;
+  feedback.cell_attr = "City";
+  feedback.cell_value = "Springfield";
+  ASSERT_TRUE(server.Handle(feedback.ToJson()).GetBool("ok"));
+  JsonValue b2 = server.Handle(CleanFrame("globex", "food"));
+  ASSERT_TRUE(b2.GetBool("ok"));
+  EXPECT_EQ(RepairsDump(b2), RepairsDump(b));
+}
+
+TEST(ServeServer, OverloadedTenantDoesNotPoisonSiblings) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  CleaningServer server(options);
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("globex", "food", payload)).GetBool("ok"));
+
+  // Saturate acme's quota from the outside, as a stuck in-flight request
+  // would, then watch its next request bounce while globex sails through.
+  auto held = server.admission().Admit("acme");
+  ASSERT_TRUE(held.ok());
+
+  JsonValue shed = server.Handle(CleanFrame("acme", "food"));
+  EXPECT_FALSE(shed.GetBool("ok"));
+  EXPECT_EQ(shed.GetString("error"), "overloaded");
+
+  JsonValue fine = server.Handle(CleanFrame("globex", "food"));
+  EXPECT_TRUE(fine.GetBool("ok")) << fine.Dump();
+
+  held.value().Release();
+  JsonValue recovered = server.Handle(CleanFrame("acme", "food"));
+  EXPECT_TRUE(recovered.GetBool("ok")) << recovered.Dump();
+}
+
+TEST(ServeServer, DrainRejectsNewWorkAsDraining) {
+  CleaningServer server(FastServerOptions());  // No state dir.
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+  ASSERT_TRUE(server.Drain().ok());
+
+  JsonValue shed = server.Handle(CleanFrame("acme", "food"));
+  EXPECT_FALSE(shed.GetBool("ok"));
+  EXPECT_EQ(shed.GetString("error"), "draining");
+  JsonValue reg = server.Handle(RegisterFrame("acme", "more", payload));
+  EXPECT_FALSE(reg.GetBool("ok"));
+  EXPECT_EQ(reg.GetString("error"), "draining");
+}
+
+TEST(ServeServer, DrainThenRestartRestoresWarmStateBitIdentically) {
+  ServerOptions options = FastServerOptions();
+  options.state_directory = FreshDir("drain");
+  std::remove((options.state_directory + "/manifest.json").c_str());
+  Payload payload = MakePayload(0);
+
+  std::string warm_repairs;
+  {
+    CleaningServer first(options);
+    ASSERT_TRUE(
+        first.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+    JsonValue cold = first.Handle(CleanFrame("acme", "food"));
+    ASSERT_TRUE(cold.GetBool("ok")) << cold.Dump();
+    JsonValue warm = first.Handle(CleanFrame("acme", "food"));
+    ASSERT_TRUE(warm.GetBool("ok"));
+    ASSERT_TRUE(warm.GetBool("warm"));
+    warm_repairs = RepairsDump(warm);
+    ASSERT_TRUE(first.Drain().ok());
+  }
+
+  CleaningServer second(options);
+  ASSERT_TRUE(second.RestoreState().ok());
+
+  // The catalog and the parked session both came back.
+  Request status;
+  status.op = Op::kExplainStatus;
+  status.tenant = "acme";
+  status.dataset = "food";
+  JsonValue st = second.Handle(status.ToJson());
+  ASSERT_TRUE(st.GetBool("ok")) << st.Dump();
+  EXPECT_TRUE(st.GetBool("warm"));
+  EXPECT_TRUE(st.GetBool("has_run"));
+
+  JsonValue resumed = second.Handle(CleanFrame("acme", "food"));
+  ASSERT_TRUE(resumed.GetBool("ok")) << resumed.Dump();
+  EXPECT_TRUE(resumed.GetBool("warm"));
+  EXPECT_EQ(RepairsDump(resumed), warm_repairs);
+}
+
+TEST(ServeServer, LruEvictionSpillsAndRestoresThroughTheWire) {
+  ServerOptions options = FastServerOptions();
+  options.session_cache_capacity = 1;
+  options.spill_directory = FreshDir("spill");
+  CleaningServer server(options);
+  Payload payload_a = MakePayload(0, 80);
+  Payload payload_b = MakePayload(1, 80);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "a", payload_a)).GetBool("ok"));
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "b", payload_b)).GetBool("ok"));
+
+  JsonValue first_a = server.Handle(CleanFrame("acme", "a"));
+  ASSERT_TRUE(first_a.GetBool("ok"));
+  // Cleaning b evicts a's parked session into a spill snapshot.
+  ASSERT_TRUE(server.Handle(CleanFrame("acme", "b")).GetBool("ok"));
+  EXPECT_TRUE(server.engine().HasSpilledSession("acme/a"));
+
+  JsonValue again_a = server.Handle(CleanFrame("acme", "a"));
+  ASSERT_TRUE(again_a.GetBool("ok"));
+  EXPECT_FALSE(again_a.GetBool("warm"));
+  EXPECT_TRUE(again_a.GetBool("restored_from_spill"));
+  EXPECT_EQ(RepairsDump(again_a), RepairsDump(first_a));
+}
+
+// --- Server (TCP) ------------------------------------------------------------
+
+TEST(ServeServer, TcpRoundTripMatchesInProcessDispatch) {
+  CleaningServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  Payload payload = MakePayload(0);
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  Request reg;
+  reg.op = Op::kRegisterDataset;
+  reg.tenant = "acme";
+  reg.dataset = "food";
+  reg.csv_text = payload.csv;
+  reg.dc_text = payload.dcs;
+  auto reg_resp = client.value().Call(reg);
+  ASSERT_TRUE(reg_resp.ok()) << reg_resp.status();
+  EXPECT_TRUE(reg_resp.value().GetBool("ok")) << reg_resp.value().Dump();
+
+  Request clean;
+  clean.op = Op::kClean;
+  clean.tenant = "acme";
+  clean.dataset = "food";
+  auto tcp_clean = client.value().Call(clean);
+  ASSERT_TRUE(tcp_clean.ok()) << tcp_clean.status();
+  ASSERT_TRUE(tcp_clean.value().GetBool("ok")) << tcp_clean.value().Dump();
+
+  // The socket path and Handle() dispatch identically: the warm repeat
+  // through Handle() returns the same repairs the TCP clean produced.
+  JsonValue warm = server.Handle(CleanFrame("acme", "food"));
+  ASSERT_TRUE(warm.GetBool("ok"));
+  EXPECT_EQ(RepairsDump(warm), RepairsDump(tcp_clean.value()));
+
+  // An unknown op over the wire gets a clean protocol error, and the
+  // connection keeps serving afterwards.
+  JsonValue bogus = JsonValue::Object();
+  bogus.Set("op", JsonValue::String("explode"));
+  auto bad = client.value().CallRaw(bogus);
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_FALSE(bad.value().GetBool("ok"));
+  EXPECT_EQ(bad.value().GetString("error"), "invalid_argument");
+
+  Request list;
+  list.op = Op::kListDatasets;
+  auto listed = client.value().Call(list);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().Find("datasets")->size(), 1u);
+
+  client.value().Close();
+  server.Stop();
+}
+
+TEST(ServeServer, ConcurrentTcpClientsOverDistinctSlots) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 4;
+  options.admission.global_inflight = 8;
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Payload payload = MakePayload(0, 80);
+  for (const char* tenant : {"t0", "t1", "t2", "t3"}) {
+    ASSERT_TRUE(
+        server.Handle(RegisterFrame(tenant, "food", payload)).GetBool("ok"));
+  }
+
+  std::vector<std::string> repairs(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::Connect(server.port());
+      ASSERT_TRUE(client.ok());
+      Request clean;
+      clean.op = Op::kClean;
+      clean.tenant = "t" + std::to_string(t);
+      clean.dataset = "food";
+      auto resp = client.value().Call(clean);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp.value().GetBool("ok")) << resp.value().Dump();
+      repairs[static_cast<size_t>(t)] = RepairsDump(resp.value());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+
+  // Same registration bytes + same config => all four tenants, cleaned
+  // concurrently over the shared pool, repair identically.
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_EQ(repairs[static_cast<size_t>(t)], repairs[0]);
+  }
+}
+
+}  // namespace
+}  // namespace holoclean

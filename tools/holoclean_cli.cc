@@ -33,8 +33,8 @@
 #include "holoclean/constraints/parser.h"
 #include "holoclean/core/engine.h"
 #include "holoclean/core/evaluation.h"
-#include "holoclean/core/pipeline.h"
 #include "holoclean/discovery/fd_discovery.h"
+#include "holoclean/io/report_json.h"
 #include "holoclean/extdata/md_parser.h"
 #include "holoclean/util/csv.h"
 #include "holoclean/util/timer.h"
@@ -52,6 +52,9 @@ struct CliOptions {
   std::string mds_path;
   std::string output_path;
   std::string repairs_path;
+  /// Stable machine-readable report (io/report_json schema): the full
+  /// report in single-run mode, a per-job status array in batch mode.
+  std::string report_json_path;
   std::string ground_truth_path;
   double min_confidence = 0.0;
   bool discover = false;
@@ -111,6 +114,9 @@ void PrintUsage() {
       "  --mds FILE            matching dependencies, one per line\n"
       "  --output FILE         write the repaired table (CSV)\n"
       "  --repairs FILE        write the repair report (CSV)\n"
+      "  --report-json FILE    write the stable JSON report (the same\n"
+      "                        schema the serve tier returns); in batch\n"
+      "                        mode, a per-job status array\n"
       "  --ground-truth FILE   clean table for precision/recall scoring\n"
       "  --tau X               domain-pruning threshold (default 0.5)\n"
       "  --mode M              feats | factors | both (default feats)\n"
@@ -187,6 +193,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.output_path = value;
     } else if (arg == "--repairs") {
       options.repairs_path = value;
+    } else if (arg == "--report-json") {
+      options.report_json_path = value;
     } else if (arg == "--ground-truth") {
       options.ground_truth_path = value;
     } else if (arg == "--discover-max-error") {
@@ -307,6 +315,17 @@ Result<std::string> ReadFileText(const std::string& path) {
   return out;
 }
 
+Status WriteFileText(const std::string& path, const std::string& text) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::InvalidArgument("cannot write " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
 /// One parsed manifest line of --batch.
 struct BatchEntry {
   std::string data_path;
@@ -417,16 +436,29 @@ Status RunBatchCli(const CliOptions& options) {
   }
 
   size_t succeeded = 0;
+  // Per-job status in the stable report_json schema (--report-json): the
+  // same bytes a serve-tier clean response would carry for the job.
+  JsonValue job_statuses = JsonValue::Array();
+  auto append_failure = [&job_statuses](const std::string& data_path,
+                                        const Status& status) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("data", JsonValue::String(data_path));
+    entry.Set("ok", JsonValue::Bool(false));
+    entry.Set("error", JsonValue::String(status.ToString()));
+    job_statuses.Append(std::move(entry));
+  };
   for (Job& job : jobs) {
     if (!job.load_status.ok()) {
       std::printf("%-32s FAILED (load): %s\n", job.entry.data_path.c_str(),
                   job.load_status.ToString().c_str());
+      append_failure(job.entry.data_path, job.load_status);
       continue;
     }
     Result<Report> result = job.future.get();
     if (!result.ok()) {
       std::printf("%-32s FAILED: %s\n", job.entry.data_path.c_str(),
                   result.status().ToString().c_str());
+      append_failure(job.entry.data_path, result.status());
       continue;
     }
     const Report& report = result.value();
@@ -458,13 +490,25 @@ Status RunBatchCli(const CliOptions& options) {
     if (!write_status.ok()) {
       std::printf("%-32s FAILED (write): %s\n", job.entry.data_path.c_str(),
                   write_status.ToString().c_str());
+      append_failure(job.entry.data_path, write_status);
       continue;
     }
     ++succeeded;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("data", JsonValue::String(job.entry.data_path));
+    entry.Set("ok", JsonValue::Bool(true));
+    entry.Set("report", ReportToJson(report, dirty));
+    job_statuses.Append(std::move(entry));
     std::printf("%-32s %6zu rows  %5zu noisy  %5zu repairs  %6.2fs\n",
                 job.entry.data_path.c_str(), job.dataset->dirty().num_rows(),
                 report.stats.num_noisy_cells, report.repairs.size(),
                 report.stats.TotalSeconds());
+  }
+  if (!options.report_json_path.empty()) {
+    HOLO_RETURN_NOT_OK(WriteFileText(options.report_json_path,
+                                     job_statuses.Dump() + "\n"));
+    std::printf("wrote JSON job statuses to %s\n",
+                options.report_json_path.c_str());
   }
   double seconds = timer.Seconds();
   std::printf("batch: %zu/%zu jobs succeeded in %.2fs (%.2f datasets/sec)\n",
@@ -541,24 +585,22 @@ Status RunCli(const CliOptions& options) {
 
   // Run: the plain path uses the one-shot wrapper; --stages / --rerun-from
   // drive the staged session directly.
-  HoloClean cleaner(options.config);
+  const ExtDictCollection* dicts_arg = dicts.empty() ? nullptr : &dicts;
+  const std::vector<MatchingDependency>* mds_arg =
+      mds.empty() ? nullptr : &mds;
+  CleaningInputs inputs =
+      CleaningInputs::Borrowed(&dataset, &dcs, dicts_arg, mds_arg);
   Report report;
   if (!options.use_session) {
-    HOLO_ASSIGN_OR_RETURN(
-        full, cleaner.Run(&dataset, dcs, dicts.empty() ? nullptr : &dicts,
-                          mds.empty() ? nullptr : &mds));
+    HOLO_ASSIGN_OR_RETURN(full, CleanOnce(inputs, {options.config}));
     report = std::move(full);
   } else {
     StageId last = options.last_stage;
-    const ExtDictCollection* dicts_arg = dicts.empty() ? nullptr : &dicts;
-    const std::vector<MatchingDependency>* mds_arg =
-        mds.empty() ? nullptr : &mds;
-    Result<Session> opened =
-        options.load_session_path.empty()
-            ? cleaner.Open(&dataset, dcs, dicts_arg, mds_arg)
-            : cleaner.Restore(options.load_session_path, &dataset, dcs,
-                              dicts_arg, mds_arg, nullptr,
-                              options.load_options);
+    SessionOptions session_options;
+    session_options.config = options.config;
+    session_options.snapshot_path = options.load_session_path;
+    session_options.load_options = options.load_options;
+    Result<Session> opened = OpenStandaloneSession(inputs, session_options);
     if (!opened.ok()) return opened.status();
     Session session = std::move(opened).value();
     if (!options.load_session_path.empty()) {
@@ -627,6 +669,12 @@ Status RunCli(const CliOptions& options) {
     }
     HOLO_RETURN_NOT_OK(WriteCsvFile(options.repairs_path, out));
     std::printf("wrote repair report to %s\n", options.repairs_path.c_str());
+  }
+  if (!options.report_json_path.empty()) {
+    HOLO_RETURN_NOT_OK(WriteFileText(options.report_json_path,
+                                     ReportJsonString(report, dirty) + "\n"));
+    std::printf("wrote JSON report to %s\n",
+                options.report_json_path.c_str());
   }
   if (!options.output_path.empty()) {
     Table repaired = dirty.Clone();

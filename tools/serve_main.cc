@@ -1,0 +1,158 @@
+// holoclean_serve — the multi-tenant cleaning daemon.
+//
+// Listens on 127.0.0.1 (loopback only: the protocol has no auth), speaks
+// the length-prefixed JSON protocol of serve/protocol.h, and shuts down
+// gracefully on SIGTERM/SIGINT: in-flight requests finish, warm sessions
+// and the dataset catalog are persisted to --state-dir, and a restarted
+// daemon picks them back up bit-identically.
+//
+// Usage:
+//   holoclean_serve [--port N] [--state-dir DIR] [--spill-dir DIR]
+//                   [--threads N] [--cache-capacity N]
+//                   [--tenant-inflight N] [--global-inflight N]
+//
+// Prints "listening on port N" once ready (port 0 binds ephemerally and
+// reports the real port — how the CI smoke test finds it).
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "holoclean/serve/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler only writes one byte; all shutdown work
+// happens on the main thread, outside async-signal context.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  char byte = 1;
+  ssize_t ignored = ::write(g_shutdown_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+bool ParseSizeFlag(const char* value, size_t* out) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: holoclean_serve [--port N] [--state-dir DIR] [--spill-dir DIR]\n"
+      "                       [--threads N] [--cache-capacity N]\n"
+      "                       [--tenant-inflight N] [--global-inflight N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  holoclean::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    size_t parsed = 0;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--port") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed) ||
+          parsed > 65535) {
+        std::fprintf(stderr, "--port needs a value in [0, 65535]\n");
+        return 2;
+      }
+      options.port = static_cast<int>(parsed);
+    } else if (arg == "--state-dir") {
+      if ((value = next()) == nullptr) {
+        std::fprintf(stderr, "--state-dir needs a directory\n");
+        return 2;
+      }
+      options.state_directory = value;
+    } else if (arg == "--spill-dir") {
+      if ((value = next()) == nullptr) {
+        std::fprintf(stderr, "--spill-dir needs a directory\n");
+        return 2;
+      }
+      options.spill_directory = value;
+    } else if (arg == "--threads") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed)) {
+        std::fprintf(stderr, "--threads needs a number\n");
+        return 2;
+      }
+      options.engine_threads = parsed;
+    } else if (arg == "--cache-capacity") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed)) {
+        std::fprintf(stderr, "--cache-capacity needs a number\n");
+        return 2;
+      }
+      options.session_cache_capacity = parsed;
+    } else if (arg == "--tenant-inflight") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed) ||
+          parsed == 0) {
+        std::fprintf(stderr, "--tenant-inflight needs a positive number\n");
+        return 2;
+      }
+      options.admission.per_tenant_inflight = parsed;
+    } else if (arg == "--global-inflight") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed) ||
+          parsed == 0) {
+        std::fprintf(stderr, "--global-inflight needs a positive number\n");
+        return 2;
+      }
+      options.admission.global_inflight = parsed;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleShutdownSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // A dead client must not kill the daemon.
+
+  holoclean::serve::CleaningServer server(options);
+
+  holoclean::Status st = server.RestoreState();
+  if (!st.ok()) {
+    std::fprintf(stderr, "state restore failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  // Block until a shutdown signal arrives.
+  char byte;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  st = server.Drain();
+  if (!st.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("drained\n");
+  return 0;
+}
