@@ -10,23 +10,34 @@
 //  - mixed: round-robin over more slots than the LRU holds with spill
 //           enabled, so requests alternate warm hits with
 //           restore-from-spill misses (the capacity-pressure regime).
+//  - saturation: offered load beyond admission capacity (4 threads per
+//           single-inflight tenant, a deterministic per-request service
+//           hold via a failpoint delay), run twice — once with the
+//           deadline-aware request queue, once reject-only — to compare
+//           goodput and tail latency under overload.
 //
 // Warm responses are cross-checked byte-for-byte against the cold
-// responses of the same slot (the LRU trades nothing for correctness).
+// responses of the same slot (the LRU trades nothing for correctness),
+// and so are the responses answered under saturation.
 //
 // Emits JSON-lines metrics via HOLOCLEAN_BENCH_JSON (aggregated into
-// BENCH_ci.json by CI): QPS per workload, p50/p99 latency, and the
-// warm-over-cold speedup the CI ratio gate holds at >= 1.5x.
+// BENCH_ci.json by CI): QPS per workload, p50/p99 latency, the
+// warm-over-cold speedup the CI ratio gate holds at >= 1.5x, and the
+// saturation goodput gate (queueing must not lose work the reject-only
+// config would have answered).
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.h"
 #include "holoclean/data/food.h"
 #include "holoclean/serve/server.h"
 #include "holoclean/util/csv.h"
+#include "holoclean/util/failpoint.h"
 #include "holoclean/util/timer.h"
 
 using namespace holoclean;         // NOLINT
@@ -112,18 +123,23 @@ int main() {
   options.admission.global_inflight = 2 * kSlots;
   serve::CleaningServer server(options);
 
+  std::vector<Payload> payloads;
+  payloads.reserve(kSlots);
   for (size_t i = 0; i < kSlots; ++i) {
-    Payload payload = MakePayload(i, rows);
+    payloads.push_back(MakePayload(i, rows));
+  }
+  auto register_slot = [&](serve::CleaningServer& target, size_t i) {
     JsonValue frame = JsonValue::Object();
     frame.Set("op", JsonValue::String("register_dataset"));
     frame.Set("tenant", JsonValue::String("tenant" + std::to_string(i)));
     frame.Set("dataset", JsonValue::String("food"));
-    frame.Set("csv", JsonValue::String(payload.csv));
-    frame.Set("constraints", JsonValue::String(payload.dcs));
-    JsonValue response = server.Handle(frame);
-    if (!response.GetBool("ok")) {
-      std::fprintf(stderr, "register %zu failed: %s\n", i,
-                   response.Dump().c_str());
+    frame.Set("csv", JsonValue::String(payloads[i].csv));
+    frame.Set("constraints", JsonValue::String(payloads[i].dcs));
+    return target.Handle(frame).GetBool("ok");
+  };
+  for (size_t i = 0; i < kSlots; ++i) {
+    if (!register_slot(server, i)) {
+      std::fprintf(stderr, "register %zu failed\n", i);
       return 1;
     }
   }
@@ -172,14 +188,7 @@ int main() {
   mixed_options.spill_directory = "/tmp";
   serve::CleaningServer mixed_server(mixed_options);
   for (size_t i = 0; i < kSlots; ++i) {
-    Payload payload = MakePayload(i, rows);
-    JsonValue frame = JsonValue::Object();
-    frame.Set("op", JsonValue::String("register_dataset"));
-    frame.Set("tenant", JsonValue::String("tenant" + std::to_string(i)));
-    frame.Set("dataset", JsonValue::String("food"));
-    frame.Set("csv", JsonValue::String(payload.csv));
-    frame.Set("constraints", JsonValue::String(payload.dcs));
-    if (!mixed_server.Handle(frame).GetBool("ok")) {
+    if (!register_slot(mixed_server, i)) {
       std::fprintf(stderr, "mixed register %zu failed\n", i);
       return 1;
     }
@@ -207,6 +216,81 @@ int main() {
   }
   WorkloadStats mixed = Summarize(mixed_latencies, mixed_timer.Seconds());
 
+  // --- Saturation: offered load beyond admission capacity. Two tenants
+  // with one inflight slot each take 4 client threads apiece; a failpoint
+  // delay between queue grant and execution pins the per-request service
+  // time at 3ms so the overload is deterministic rather than a race. The
+  // queue-with-deadlines config parks the overflow and answers nearly
+  // everything; reject-only (queue depth 0, the pre-queue behavior)
+  // bounces whatever arrives while the slot is busy.
+  constexpr size_t kSatSlots = 2;
+  constexpr size_t kSatThreadsPerSlot = 4;
+  constexpr size_t kSatRequestsPerThread = 25;
+  auto run_saturation = [&](size_t queue_depth, WorkloadStats* stats,
+                            double* goodput) -> bool {
+    serve::ServerOptions sat_options = options;
+    sat_options.session_cache_capacity = kSatSlots;
+    sat_options.admission.per_tenant_inflight = 1;
+    sat_options.admission.global_inflight = kSatSlots;
+    sat_options.queue.max_depth = queue_depth;
+    serve::CleaningServer sat_server(sat_options);
+    for (size_t i = 0; i < kSatSlots; ++i) {
+      if (!register_slot(sat_server, i)) return false;
+      JsonValue warmup = sat_server.Handle(CleanFrame(i));
+      if (!warmup.GetBool("ok") ||
+          RepairsDump(warmup) != cold_repairs[i]) {
+        return false;
+      }
+    }
+    ScopedFailpoints hold("serve.queue.dispatch=always/delay:3");
+    std::mutex merge_mu;
+    std::vector<double> latencies;
+    size_t ok_count = 0;
+    bool responses_match = true;
+    std::vector<std::thread> threads;
+    Timer sat_timer;
+    for (size_t slot = 0; slot < kSatSlots; ++slot) {
+      for (size_t t = 0; t < kSatThreadsPerSlot; ++t) {
+        threads.emplace_back([&, slot] {
+          std::vector<double> local;
+          size_t local_ok = 0;
+          bool local_match = true;
+          for (size_t r = 0; r < kSatRequestsPerThread; ++r) {
+            JsonValue frame = CleanFrame(slot);
+            frame.Set("deadline_ms", JsonValue::Number(2000));
+            Timer request_timer;
+            JsonValue response = sat_server.Handle(frame);
+            local.push_back(request_timer.Millis());
+            if (response.GetBool("ok")) {
+              local_ok++;
+              local_match =
+                  local_match && RepairsDump(response) == cold_repairs[slot];
+            }
+          }
+          std::lock_guard<std::mutex> lock(merge_mu);
+          latencies.insert(latencies.end(), local.begin(), local.end());
+          ok_count += local_ok;
+          responses_match = responses_match && local_match;
+        });
+      }
+    }
+    for (std::thread& th : threads) th.join();
+    *stats = Summarize(latencies, sat_timer.Seconds());
+    *goodput =
+        static_cast<double>(ok_count) / static_cast<double>(latencies.size());
+    return responses_match;
+  };
+  WorkloadStats sat_queue, sat_reject;
+  double sat_queue_goodput = 0.0, sat_reject_goodput = 0.0;
+  if (!run_saturation(/*queue_depth=*/64, &sat_queue, &sat_queue_goodput)) {
+    std::fprintf(stderr, "saturation (queued) responses diverged\n");
+    return 1;
+  }
+  if (!run_saturation(/*queue_depth=*/0, &sat_reject, &sat_reject_goodput)) {
+    std::fprintf(stderr, "saturation (reject-only) responses diverged\n");
+    return 1;
+  }
+
   double warm_speedup = warm.p50_ms > 0.0 ? cold.p50_ms / warm.p50_ms : 0.0;
 
   std::vector<int> widths = {10, 12, 12, 12, 10};
@@ -227,6 +311,23 @@ int main() {
               Fmt(warm_speedup, 1).c_str(),
               identical ? "bit-identical" : "DIVERGED");
 
+  size_t sat_offered = kSatSlots * kSatThreadsPerSlot * kSatRequestsPerThread;
+  std::printf(
+      "\nSaturation (%zu offered, capacity 1 inflight/tenant, 3ms service "
+      "hold):\n",
+      sat_offered);
+  std::vector<int> sat_widths = {14, 10, 12, 12};
+  PrintRule(sat_widths);
+  PrintRow({"Config", "Goodput", "p50 ms", "p99 ms"}, sat_widths);
+  PrintRule(sat_widths);
+  PrintRow({"queue+deadline", Fmt(sat_queue_goodput, 3),
+            Fmt(sat_queue.p50_ms, 2), Fmt(sat_queue.p99_ms, 2)},
+           sat_widths);
+  PrintRow({"reject-only", Fmt(sat_reject_goodput, 3),
+            Fmt(sat_reject.p50_ms, 2), Fmt(sat_reject.p99_ms, 2)},
+           sat_widths);
+  PrintRule(sat_widths);
+
   AppendBenchMetric("micro_serve", "cold_qps", cold.qps);
   AppendBenchMetric("micro_serve", "cold_p50_ms", cold.p50_ms);
   AppendBenchMetric("micro_serve", "cold_p99_ms", cold.p99_ms);
@@ -238,6 +339,14 @@ int main() {
   AppendBenchMetric("micro_serve", "mixed_p99_ms", mixed.p99_ms);
   AppendBenchMetric("micro_serve", "warm_speedup", warm_speedup);
   AppendBenchMetric("micro_serve", "identical", identical ? 1.0 : 0.0);
+  AppendBenchMetric("micro_serve", "sat_offered",
+                    static_cast<double>(sat_offered));
+  AppendBenchMetric("micro_serve", "sat_queue_goodput", sat_queue_goodput);
+  AppendBenchMetric("micro_serve", "sat_queue_p50_ms", sat_queue.p50_ms);
+  AppendBenchMetric("micro_serve", "sat_queue_p99_ms", sat_queue.p99_ms);
+  AppendBenchMetric("micro_serve", "sat_reject_goodput", sat_reject_goodput);
+  AppendBenchMetric("micro_serve", "sat_reject_p50_ms", sat_reject.p50_ms);
+  AppendBenchMetric("micro_serve", "sat_reject_p99_ms", sat_reject.p99_ms);
 
   return identical ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "holoclean/io/session_snapshot.h"
+#include "holoclean/util/failpoint.h"
 #include "holoclean/util/hash.h"
 
 namespace holoclean {
@@ -53,7 +54,13 @@ Result<Session> Engine::OpenSession(CleaningInputs inputs,
         TakeCompatibleSpill(options.cache_key, inputs);
     if (spill.has_value()) {
       Session session(options.config, inputs, pool);
-      Status restored = session.RestoreFrom(spill->path, options.load_options);
+      // engine.spill.restore models a lost/corrupt spill file; injected or
+      // real, a failed restore costs warmth only — the cold open below
+      // recomputes from the registered inputs.
+      Status restored = HOLO_FAILPOINT("engine.spill.restore");
+      if (restored.ok()) {
+        restored = session.RestoreFrom(spill->path, options.load_options);
+      }
       std::remove(spill->path.c_str());
       if (restored.ok()) return session;
     }
@@ -91,6 +98,9 @@ Result<Report> CleanOnce(CleaningInputs inputs, SessionOptions options) {
 }
 
 Result<Report> Engine::RunJob(CleaningInputs inputs, SessionOptions options) {
+  // engine.job.run models a job failing (or stalling, with delay) on a
+  // pool worker before any pipeline stage starts.
+  HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("engine.job.run"));
   std::string cache_key = options.cache_key;
   Result<Session> opened = OpenSession(std::move(inputs), std::move(options));
   if (!opened.ok()) return opened.status();
@@ -215,7 +225,9 @@ void Engine::SpillEvicted(CacheEntry evicted) {
   }
   // Packed-codec save (the SnapshotSaveOptions default): spilled state is
   // cold by definition, so it pays the compact-on-disk trade.
-  Status saved = evicted.session.Save(path);
+  // engine.spill.save models a full/failed disk during the save.
+  Status saved = HOLO_FAILPOINT("engine.spill.save");
+  if (saved.ok()) saved = evicted.session.Save(path);
   if (!saved.ok()) {
     std::remove(path.c_str());
     return;  // Dropping the session is the pre-spill eviction behavior.

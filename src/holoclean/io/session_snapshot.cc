@@ -10,6 +10,8 @@
 #include <cstring>
 #include <fstream>
 #include <string_view>
+
+#include "holoclean/util/failpoint.h"
 #include <unordered_set>
 #include <utility>
 
@@ -2352,6 +2354,9 @@ Result<int> LoadV2(std::string_view bytes,
 Status SaveSessionSnapshot(const PipelineContext& ctx, int valid_through,
                            const std::string& path,
                            const SnapshotSaveOptions& options) {
+  // io.snapshot.save models the disk failing under any snapshot write —
+  // spill-on-evict, drain persistence, explicit Save() calls alike.
+  HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("io.snapshot.save"));
   if (ctx.dataset == nullptr || ctx.dcs == nullptr) {
     return Status::InvalidArgument("snapshot requires an opened session");
   }
@@ -2376,6 +2381,9 @@ Status SaveSessionSnapshot(const PipelineContext& ctx, int valid_through,
 
 Result<int> LoadSessionSnapshot(const std::string& path, PipelineContext* ctx,
                                 const SnapshotLoadOptions& options) {
+  // io.snapshot.load models an unreadable/corrupt snapshot file; every
+  // caller already treats a failed load as cold-start, never fatal.
+  HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("io.snapshot.load"));
   if (ctx == nullptr || ctx->dataset == nullptr || ctx->dcs == nullptr) {
     return Status::InvalidArgument("restore requires an opened session");
   }

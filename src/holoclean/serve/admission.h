@@ -27,10 +27,12 @@ struct AdmissionOptions {
 /// slot frees when the Ticket dies (RAII, so an early error return can
 /// never leak a slot and slowly strangle a tenant).
 ///
-/// Deliberately quota-only — there is no queue. A rejected request gets a
-/// clean `overloaded` response immediately and the client retries; queueing
-/// inside the daemon would just move the backlog somewhere the client
-/// cannot see or time out.
+/// Deliberately quota-only — this layer never queues. Bounded waiting with
+/// per-request deadlines lives one layer up in `RequestQueue`
+/// (serve/queue.h), which wraps Admit() so waiters time out visibly
+/// (`deadline_exceeded`) instead of backlogging invisibly; with the queue
+/// disabled a rejected request still gets a clean `overloaded` response
+/// immediately.
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionOptions options)
@@ -68,6 +70,7 @@ class AdmissionController {
 
   size_t inflight(const std::string& tenant) const;
   size_t total_inflight() const;
+  const AdmissionOptions& options() const { return options_; }
 
  private:
   void Release(const std::string& tenant);

@@ -1,17 +1,46 @@
 #include "holoclean/serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "holoclean/util/rng.h"
 
 namespace holoclean {
 namespace serve {
 
-Result<Client> Client::Connect(int port) {
+namespace {
+
+Status ConnectError(int port, const char* what) {
+  return Status::Internal("connect to 127.0.0.1:" + std::to_string(port) +
+                          ": " + what);
+}
+
+/// True for failures where no response byte ever arrived: a connect that
+/// never completed, a request frame whose send timed out, or a response
+/// wait that expired still at byte zero. These are the idempotent-safe
+/// transport retries. A timeout mid-response is NOT here — bytes arrived,
+/// so the server dispatched the request and may have done the work.
+bool RetriableTransport(const Status& status) {
+  if (status.code() != StatusCode::kInternal) return false;
+  const std::string& msg = status.message();
+  if (msg.rfind("connect to", 0) == 0) return true;
+  if (IsIdleTimeout(status)) return true;
+  return msg.rfind("timeout: socket write", 0) == 0;
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(int port, int timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -20,15 +49,70 @@ Result<Client> Client::Connect(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status st = Status::Internal("connect to 127.0.0.1:" +
-                                 std::to_string(port) + ": " +
-                                 std::strerror(errno));
+
+  // Non-blocking connect + poll: the one shape that both bounds the
+  // connect and survives EINTR. A blocking connect() interrupted by a
+  // signal keeps connecting in the kernel — calling connect() again then
+  // fails with EALREADY/EISCONN, so "retry on EINTR" is wrong there; here
+  // the interrupted poll() just resumes waiting on the same attempt.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
+    Status st = ConnectError(port, std::strerror(errno));
     ::close(fd);
     return st;
   }
+  if (rc < 0) {
+    auto give_up = std::chrono::steady_clock::time_point::max();
+    if (timeout_ms > 0) {
+      give_up = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms);
+    }
+    for (;;) {
+      int wait_ms = -1;
+      if (timeout_ms > 0) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            give_up - std::chrono::steady_clock::now());
+        wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        Status st = ConnectError(port, std::strerror(errno));
+        ::close(fd);
+        return st;
+      }
+      if (ready == 0) {
+        ::close(fd);
+        return ConnectError(port, "timed out");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      Status st = ConnectError(port, std::strerror(err != 0 ? err : errno));
+      ::close(fd);
+      return st;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
   Client client;
   client.fd_ = fd;
+  client.timeout_ms_ = timeout_ms;
   return client;
 }
 
@@ -47,6 +131,94 @@ Result<JsonValue> Client::CallRaw(const JsonValue& frame) {
   if (fd_ < 0) return Status::InvalidArgument("client is not connected");
   HOLO_RETURN_NOT_OK(WriteFrame(fd_, frame));
   return ReadFrame(fd_);
+}
+
+Result<RetryResult> Client::CallWithRetry(int port, const Request& request,
+                                          const RetryOptions& retry) {
+  using Clock = std::chrono::steady_clock;
+  auto give_up = Clock::time_point::max();
+  if (retry.overall_deadline_ms > 0) {
+    give_up = Clock::now() + std::chrono::milliseconds(
+                                 retry.overall_deadline_ms);
+  }
+  Rng jitter(retry.jitter_seed);
+  RetryResult result;
+  double backoff = static_cast<double>(retry.initial_backoff_ms);
+  Status last = Status::Internal("no attempts made");
+
+  int max_attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Jittered exponential backoff: scale by u ~ U[0.5, 1.0) so a burst
+      // of rejected clients spreads out instead of stampeding back in
+      // lockstep. The Rng seed makes a test's sleep pattern replayable.
+      double factor = 0.5 + 0.5 * jitter.Uniform();
+      int64_t sleep_ms = static_cast<int64_t>(backoff * factor);
+      backoff *= retry.backoff_multiplier;
+      if (backoff > static_cast<double>(retry.max_backoff_ms)) {
+        backoff = static_cast<double>(retry.max_backoff_ms);
+      }
+      if (give_up != Clock::time_point::max()) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        give_up - Clock::now())
+                        .count();
+        if (left <= 0) break;  // Out of budget: report the last failure.
+        if (sleep_ms > left) sleep_ms = left;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      result.backoff_ms += sleep_ms;
+    }
+    result.attempts = attempt + 1;
+
+    if (fd_ < 0) {
+      int connect_timeout = timeout_ms_;
+      Result<Client> fresh = Connect(port, connect_timeout);
+      if (!fresh.ok()) {
+        last = fresh.status();
+        continue;  // Connect failures are always retriable.
+      }
+      *this = std::move(fresh).value();
+    }
+
+    Request attempt_req = request;
+    attempt_req.attempt = attempt;
+    if (give_up != Clock::time_point::max()) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      give_up - Clock::now())
+                      .count();
+      if (left <= 0) {
+        last = DeadlineExceeded("client retry budget exhausted");
+        break;
+      }
+      // Tell the server how much patience is actually left, so it stops
+      // queueing work this client will have abandoned.
+      if (attempt_req.deadline_ms <= 0 || attempt_req.deadline_ms > left) {
+        attempt_req.deadline_ms = left;
+      }
+    }
+
+    Result<JsonValue> response = Call(attempt_req);
+    if (!response.ok()) {
+      last = response.status();
+      Close();  // The stream is unusable regardless of the failure kind.
+      if (RetriableTransport(last)) continue;
+      return last;  // Mid-response failures are final: work may be done.
+    }
+    const JsonValue& frame = response.value();
+    if (frame.GetBool("ok")) {
+      result.response = frame;
+      return result;
+    }
+    const std::string code = frame.GetString("error");
+    if (code == "overloaded" || code == "draining") {
+      last = Status::OutOfRange(code + ": " + frame.GetString("message"));
+      continue;  // The server refused before starting work: safe retry.
+    }
+    // Any other rejection is a real answer, not a transient.
+    result.response = frame;
+    return result;
+  }
+  return last;
 }
 
 }  // namespace serve

@@ -1,6 +1,7 @@
 #ifndef HOLOCLEAN_SERVE_CLIENT_H_
 #define HOLOCLEAN_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -8,6 +9,34 @@
 
 namespace holoclean {
 namespace serve {
+
+/// Retry policy of CallWithRetry. Only idempotent-safe outcomes are ever
+/// retried: an `overloaded` or `draining` rejection (the server said "not
+/// now" without starting work), a failed connect, or a timeout before any
+/// response byte arrived. A response that parsed — success or any other
+/// error — and a timeout mid-response both mean the server may have done
+/// the work, so they are final.
+struct RetryOptions {
+  int max_attempts = 4;
+  int initial_backoff_ms = 50;
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 2000;
+  /// Seed of the deterministic backoff jitter (each sleep is scaled by a
+  /// uniform factor in [0.5, 1.0] so synchronized clients desynchronize).
+  uint64_t jitter_seed = 1;
+  /// Budget for all attempts and backoffs together; 0 = unlimited. Also
+  /// forwarded per-attempt as the request's `deadline_ms` (min with any
+  /// deadline already on the request), so the server stops queueing work
+  /// the client has given up on.
+  int64_t overall_deadline_ms = 0;
+};
+
+/// Outcome of CallWithRetry, with enough telemetry to assert on.
+struct RetryResult {
+  JsonValue response;  ///< The final response frame (when status is OK).
+  int attempts = 0;    ///< Total attempts made (1 = no retry needed).
+  int64_t backoff_ms = 0;  ///< Total milliseconds slept between attempts.
+};
 
 /// A blocking client over one connection to a CleaningServer: frames a
 /// Request, waits for the response frame, and hands it back parsed. Used
@@ -23,14 +52,19 @@ class Client {
   Client& operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
+    timeout_ms_ = other.timeout_ms_;
     other.fd_ = -1;
     return *this;
   }
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to 127.0.0.1:port.
-  static Result<Client> Connect(int port);
+  /// Connects to 127.0.0.1:port. `timeout_ms` bounds the connect itself
+  /// and is then applied as the socket's read/write timeout (0 = fully
+  /// blocking, the legacy behavior). The connect is poll-driven, so an
+  /// EINTR mid-connect resumes instead of failing (connect(2) cannot
+  /// simply be retried — the kernel keeps connecting underneath).
+  static Result<Client> Connect(int port, int timeout_ms = 0);
 
   bool connected() const { return fd_ >= 0; }
   void Close();
@@ -43,8 +77,18 @@ class Client {
   /// Sends a pre-built frame (protocol testing: malformed ops, etc.).
   Result<JsonValue> CallRaw(const JsonValue& frame);
 
+  /// Call() with jittered-exponential-backoff retries of idempotent-safe
+  /// failures (see RetryOptions), reconnecting to `port` per attempt as
+  /// needed. Stamps each attempt's ordinal into the request's `attempt`
+  /// field and propagates the remaining overall deadline as its
+  /// `deadline_ms`. Uses this client's connection for the first attempt
+  /// when already connected.
+  Result<RetryResult> CallWithRetry(int port, const Request& request,
+                                    const RetryOptions& retry);
+
  private:
   int fd_ = -1;
+  int timeout_ms_ = 0;  ///< Socket timeout to re-apply on reconnects.
 };
 
 }  // namespace serve

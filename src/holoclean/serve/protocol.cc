@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "holoclean/util/failpoint.h"
+
 namespace holoclean {
 namespace serve {
 
@@ -37,12 +39,17 @@ Result<Op> ParseOp(const std::string& name) {
 }
 
 std::string ErrorCodeFor(const Status& status) {
-  // Load-shedding rejections travel as kOutOfRange; the message prefix
-  // distinguishes a draining server from a saturated tenant quota.
+  // Load-shedding and deadline rejections travel as kOutOfRange; the
+  // message prefix distinguishes a draining server, an expired deadline,
+  // and a saturated quota/queue.
   if (status.code() == StatusCode::kOutOfRange) {
     if (status.message().rfind("draining", 0) == 0) return "draining";
+    if (status.message().rfind("deadline_exceeded", 0) == 0) {
+      return "deadline_exceeded";
+    }
     return "overloaded";
   }
+  if (IsTimeout(status)) return "timeout";
   switch (status.code()) {
     case StatusCode::kInvalidArgument:
     case StatusCode::kParseError:
@@ -54,6 +61,37 @@ std::string ErrorCodeFor(const Status& status) {
     default:
       return "internal";
   }
+}
+
+Status DeadlineExceeded(const std::string& detail) {
+  return Status::OutOfRange("deadline_exceeded: " + detail);
+}
+
+namespace {
+
+constexpr char kTimeoutPrefix[] = "timeout:";
+constexpr char kIdleTimeoutPrefix[] = "timeout: idle";
+
+Status IdleTimeout() {
+  return Status::Internal(
+      "timeout: idle connection hit the socket read timeout");
+}
+
+Status MidFrameTimeout(const char* what) {
+  return Status::Internal(std::string("timeout: socket ") + what +
+                          " timed out mid-frame");
+}
+
+}  // namespace
+
+bool IsTimeout(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         status.message().rfind(kTimeoutPrefix, 0) == 0;
+}
+
+bool IsIdleTimeout(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         status.message().rfind(kIdleTimeoutPrefix, 0) == 0;
 }
 
 JsonValue Request::ToJson() const {
@@ -72,6 +110,15 @@ JsonValue Request::ToJson() const {
   }
   if (config_overrides.is_object() && config_overrides.size() > 0) {
     json.Set("config", config_overrides);
+  }
+  // Emitted only when set: a request built by a protocol-1 client that
+  // predates deadlines re-serializes byte-identically.
+  if (deadline_ms > 0) {
+    json.Set("deadline_ms",
+             JsonValue::Number(static_cast<double>(deadline_ms)));
+  }
+  if (attempt > 0) {
+    json.Set("attempt", JsonValue::Number(static_cast<double>(attempt)));
   }
   return json;
 }
@@ -109,6 +156,14 @@ Result<Request> Request::FromJson(const JsonValue& json) {
     }
     req.config_overrides = *config;
   }
+  if (const JsonValue* deadline = json.Find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->AsDouble() < 0) {
+      return Status::InvalidArgument(
+          "\"deadline_ms\" must be a non-negative number");
+    }
+    req.deadline_ms = deadline->AsInt();
+  }
+  req.attempt = static_cast<int>(json.GetInt("attempt", 0));
   return req;
 }
 
@@ -208,20 +263,57 @@ JsonValue ErrorResponse(const Status& status) {
 
 namespace {
 
-/// Reads exactly `n` bytes; returns bytes read (== n on success, short
-/// on EOF) or -1 with errno on socket error.
-ssize_t ReadFull(int fd, char* buf, size_t n) {
-  size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::read(fd, buf + got, n - got);
-    if (r == 0) break;
+enum class IoEnd { kDone, kEof, kTimeout, kError };
+
+/// Reads exactly `n` bytes, retrying EINTR and short reads. `*got` is
+/// always the byte count actually transferred (what distinguishes an
+/// idle timeout from a mid-frame one). kError leaves errno set.
+IoEnd ReadFull(int fd, char* buf, size_t n, size_t* got) {
+  *got = 0;
+  size_t cap = n;  // Per-syscall byte cap (failpoint short-read drill).
+  if (auto fire = HOLO_FAILPOINT_EVAL("serve.frame.read_slice")) {
+    if (fire->action == Failpoints::Action::kSlice) cap = fire->slice_bytes;
+  }
+  while (*got < n) {
+    if (HOLO_FAILPOINT_EVAL("serve.frame.read_eintr")) {
+      // Pretend the read was signal-interrupted: a correct loop retries
+      // without consuming or duplicating bytes.
+      continue;
+    }
+    size_t want = n - *got;
+    if (want > cap) want = cap;
+    ssize_t r = ::read(fd, buf + *got, want);
+    if (r == 0) return *got == n ? IoEnd::kDone : IoEnd::kEof;
     if (r < 0) {
       if (errno == EINTR) continue;
-      return -1;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoEnd::kTimeout;
+      return IoEnd::kError;
     }
-    got += static_cast<size_t>(r);
+    *got += static_cast<size_t>(r);
   }
-  return static_cast<ssize_t>(got);
+  return IoEnd::kDone;
+}
+
+/// Writes exactly `n` bytes, retrying EINTR and short writes.
+IoEnd WriteFull(int fd, const char* buf, size_t n) {
+  size_t sent = 0;
+  size_t cap = n;
+  if (auto fire = HOLO_FAILPOINT_EVAL("serve.frame.write_slice")) {
+    if (fire->action == Failpoints::Action::kSlice) cap = fire->slice_bytes;
+  }
+  while (sent < n) {
+    if (HOLO_FAILPOINT_EVAL("serve.frame.write_eintr")) continue;
+    size_t want = n - sent;
+    if (want > cap) want = cap;
+    ssize_t w = ::write(fd, buf + sent, want);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoEnd::kTimeout;
+      return IoEnd::kError;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return IoEnd::kDone;
 }
 
 }  // namespace
@@ -238,14 +330,23 @@ void EncodeFrame(const JsonValue& json, std::string* out) {
 }
 
 Result<JsonValue> ReadFrame(int fd) {
+  HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("serve.frame.read"));
   char prefix[4];
-  ssize_t got = ReadFull(fd, prefix, 4);
-  if (got < 0) {
-    return Status::Internal(std::string("socket read: ") +
-                            std::strerror(errno));
+  size_t got = 0;
+  switch (ReadFull(fd, prefix, 4, &got)) {
+    case IoEnd::kDone:
+      break;
+    case IoEnd::kEof:
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::ParseError("truncated frame length prefix");
+    case IoEnd::kTimeout:
+      // No bytes yet = an idle keepalive connection, not a stuck frame.
+      if (got == 0) return IdleTimeout();
+      return MidFrameTimeout("read");
+    case IoEnd::kError:
+      return Status::Internal(std::string("socket read: ") +
+                              std::strerror(errno));
   }
-  if (got == 0) return Status::NotFound("connection closed");
-  if (got < 4) return Status::ParseError("truncated frame length prefix");
   uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0]))
                   << 24) |
                  (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1]))
@@ -259,29 +360,49 @@ Result<JsonValue> ReadFrame(int fd) {
                               std::to_string(kMaxFrameBytes) + "-byte limit");
   }
   std::string payload(len, '\0');
-  got = ReadFull(fd, payload.data(), len);
-  if (got < 0) {
-    return Status::Internal(std::string("socket read: ") +
-                            std::strerror(errno));
-  }
-  if (static_cast<uint32_t>(got) < len) {
-    return Status::ParseError("connection closed mid-frame");
+  switch (ReadFull(fd, payload.data(), len, &got)) {
+    case IoEnd::kDone:
+      break;
+    case IoEnd::kEof:
+      return Status::ParseError("connection closed mid-frame");
+    case IoEnd::kTimeout:
+      return MidFrameTimeout("read");
+    case IoEnd::kError:
+      return Status::Internal(std::string("socket read: ") +
+                              std::strerror(errno));
   }
   return JsonValue::Parse(payload);
 }
 
 Status WriteFrame(int fd, const JsonValue& json) {
+  HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("serve.frame.write"));
   std::string frame;
   EncodeFrame(json, &frame);
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
-    if (w < 0) {
-      if (errno == EINTR) continue;
+  if (HOLO_FAILPOINT_EVAL("serve.frame.corrupt_write")) {
+    // Flip a spread of payload bytes (the length prefix stays intact, so
+    // the peer reads a full frame of garbage — the JSON-parse-failure
+    // flavor of corruption, not the truncation flavor).
+    for (size_t i = 4; i < frame.size(); i += 7) {
+      frame[i] = static_cast<char>(frame[i] ^ 0x5a);
+    }
+  }
+  if (HOLO_FAILPOINT_EVAL("serve.frame.truncate_write")) {
+    // Send half the frame, then abandon it: the peer sees a mid-frame
+    // hangup once we close.
+    (void)WriteFull(fd, frame.data(), frame.size() / 2);
+    return Status::Internal(
+        "injected truncation after " + std::to_string(frame.size() / 2) +
+        " of " + std::to_string(frame.size()) + " frame bytes");
+  }
+  switch (WriteFull(fd, frame.data(), frame.size())) {
+    case IoEnd::kDone:
+      return Status::OK();
+    case IoEnd::kTimeout:
+      return MidFrameTimeout("write");
+    case IoEnd::kEof:  // WriteFull never returns kEof; keep -Werror happy.
+    case IoEnd::kError:
       return Status::Internal(std::string("socket write: ") +
                               std::strerror(errno));
-    }
-    sent += static_cast<size_t>(w);
   }
   return Status::OK();
 }

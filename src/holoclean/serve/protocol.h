@@ -20,7 +20,10 @@ namespace serve {
 ///   {"op": "clean", "tenant": "acme", "dataset": "food",
 ///    "config": {"tau": 0.5, ...},            // optional overrides
 ///    "csv": "...", "constraints": "...",     // register_dataset only
-///    "cell": {"tid": 3, "attr": "City", "value": "Chicago"}}  // feedback
+///    "cell": {"tid": 3, "attr": "City", "value": "Chicago"},  // feedback
+///    "deadline_ms": 2000,   // optional: give up after this long (queue
+///                           // wait included); server clamps to its cap
+///    "attempt": 1}          // optional: client retry ordinal, 0-based
 ///
 /// Response object:
 ///   {"ok": true, "protocol": 1, ...op-specific payload...}
@@ -53,8 +56,21 @@ Result<Op> ParseOp(const std::string& name);
 /// Machine-readable error codes carried in failed responses ("error").
 /// The human-oriented detail travels separately in "message".
 ///   invalid_argument | not_found | already_exists | overloaded |
-///   draining | internal
+///   draining | deadline_exceeded | timeout | internal
 std::string ErrorCodeFor(const Status& status);
+
+/// Builds the kOutOfRange Status the wire maps to `deadline_exceeded`
+/// (same transport convention as `overloaded`/`draining`: the code rides
+/// in a message prefix, keeping the StatusCode enum closed).
+Status DeadlineExceeded(const std::string& detail);
+
+/// Socket-timeout classification for Statuses out of ReadFrame/WriteFrame
+/// when the fd has SO_RCVTIMEO/SO_SNDTIMEO set. Idle = the timer expired
+/// between frames (nothing lost — the server closes silently, the client
+/// may safely retry); mid-frame = it expired with a frame partly
+/// transferred (the stream is unrecoverable, close the connection).
+bool IsTimeout(const Status& status);
+bool IsIdleTimeout(const Status& status);
 
 /// One parsed request frame.
 struct Request {
@@ -71,6 +87,14 @@ struct Request {
   /// Optional per-request config overrides (subset of HoloCleanConfig
   /// knobs; absent fields keep the server defaults).
   JsonValue config_overrides = JsonValue::Object();
+  /// Optional deadline for the whole request, queue wait included; <= 0
+  /// means "not set" (the server applies its default). Serialized only
+  /// when set, so protocol-1 clients that never heard of deadlines
+  /// round-trip byte-identically.
+  int64_t deadline_ms = 0;
+  /// Retry ordinal stamped by CallWithRetry (0 = first attempt); lets the
+  /// server count retried requests. Serialized only when > 0.
+  int attempt = 0;
 
   JsonValue ToJson() const;
   static Result<Request> FromJson(const JsonValue& json);
@@ -93,11 +117,21 @@ void EncodeFrame(const JsonValue& json, std::string* out);
 
 /// Reads one length-prefixed JSON frame from `fd` (blocking). Returns
 /// kNotFound on clean EOF before any byte of a frame, kParseError on a
-/// truncated/oversized/malformed frame, kInternal on socket errors.
+/// truncated/oversized/malformed frame, kInternal on socket errors. When
+/// the fd carries SO_RCVTIMEO, a timer expiry maps to an idle-timeout or
+/// mid-frame-timeout Status (see IsIdleTimeout). Failpoint sites:
+/// serve.frame.read (error/delay before the read),
+/// serve.frame.read_eintr (pretend a syscall was signal-interrupted),
+/// serve.frame.read_slice (cap each syscall's bytes — short-read drill).
 Result<JsonValue> ReadFrame(int fd);
 
 /// Writes one length-prefixed JSON frame to `fd` (blocking, handles short
-/// writes).
+/// writes; SO_SNDTIMEO expiry maps to a timeout Status). Failpoint
+/// sites: serve.frame.write, serve.frame.write_eintr,
+/// serve.frame.write_slice (as for ReadFrame), plus
+/// serve.frame.corrupt_write (XOR-flips payload bytes — the peer sees a
+/// malformed frame) and serve.frame.truncate_write (sends half the
+/// frame, then fails — the peer sees a mid-frame hangup).
 Status WriteFrame(int fd, const JsonValue& json);
 
 }  // namespace serve

@@ -1,0 +1,182 @@
+#include "holoclean/serve/queue.h"
+
+#include "holoclean/serve/protocol.h"
+#include "holoclean/util/failpoint.h"
+
+namespace holoclean {
+namespace serve {
+
+RequestQueue::Clock::time_point RequestQueue::DeadlineFor(
+    int64_t requested_ms) const {
+  int64_t ms =
+      requested_ms > 0 ? requested_ms : options_.default_deadline_ms;
+  if (options_.max_deadline_ms > 0 && ms > options_.max_deadline_ms) {
+    ms = options_.max_deadline_ms;
+  }
+  return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+Result<AdmissionController::Ticket> RequestQueue::Acquire(
+    const std::string& tenant, Clock::time_point deadline) {
+  HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("serve.queue.acquire"));
+  std::unique_lock<std::mutex> lock(mu_);
+
+  if (Clock::now() >= deadline) {
+    return DeadlineExceeded("request deadline passed before admission");
+  }
+
+  // Direct admission path — skipped while this tenant already has parked
+  // waiters, else a late arrival would jump its tenant's FIFO lane.
+  auto lane = lanes_.find(tenant);
+  bool tenant_has_waiters = lane != lanes_.end() && !lane->second.empty();
+  if (!tenant_has_waiters) {
+    Result<AdmissionController::Ticket> direct = admission_->Admit(tenant);
+    if (direct.ok()) return direct;
+    if (direct.status().code() != StatusCode::kOutOfRange) return direct;
+    if (options_.max_depth == 0) {
+      // Reject-only mode: surface the controller's own `overloaded`
+      // message (naming the exhausted bound), exactly as before the
+      // queue existed.
+      return direct;
+    }
+    // `overloaded` falls through to the queue.
+  }
+
+  if (closed_) {
+    // Shutdown in progress: never park a thread Stop()/Drain() would have
+    // to wait on. tenant_has_waiters can't be true here (Close() empties
+    // every lane), so a direct Admit was already tried above.
+    return close_reason_;
+  }
+  if (options_.max_depth == 0 || depth_ >= options_.max_depth) {
+    stats_.rejected_full++;
+    return Status::OutOfRange(
+        "overloaded: request queue full (depth " + std::to_string(depth_) +
+        " of " + std::to_string(options_.max_depth) + ")");
+  }
+
+  Waiter waiter;
+  waiter.tenant = tenant;
+  waiter.deadline = deadline;
+  lanes_[tenant].push_back(&waiter);
+  depth_++;
+  stats_.enqueued++;
+  stats_.depth = depth_;
+
+  while (!waiter.granted && !waiter.failed) {
+    if (waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !waiter.granted && !waiter.failed) {
+      RemoveLocked(&waiter);
+      stats_.expired_in_queue++;
+      return DeadlineExceeded("request deadline passed while queued (" +
+                              std::to_string(stats_.depth) +
+                              " requests still waiting)");
+    }
+  }
+  if (waiter.failed) return waiter.status;
+  stats_.granted_after_wait++;
+  return std::move(waiter.ticket);
+}
+
+void RequestQueue::OnTicketReleased() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GrantNextLocked();
+}
+
+void RequestQueue::GrantNextLocked() {
+  if (depth_ == 0) return;
+  Clock::time_point now = Clock::now();
+
+  // Round-robin over tenant lanes starting after the cursor, expiring
+  // dead lane heads as they surface. One pass over the lanes; the freed
+  // slot goes to the first waiter whose tenant the controller accepts.
+  auto start = lanes_.upper_bound(cursor_);
+  size_t lane_count = lanes_.size();
+  auto it = start;
+  for (size_t scanned = 0; scanned < lane_count; ++scanned) {
+    if (it == lanes_.end()) it = lanes_.begin();
+    std::deque<Waiter*>& lane = it->second;
+    while (!lane.empty() && lane.front()->deadline <= now) {
+      Waiter* expired = lane.front();
+      lane.pop_front();
+      depth_--;
+      stats_.expired_in_queue++;
+      expired->failed = true;
+      expired->status =
+          DeadlineExceeded("request deadline passed while queued");
+      expired->cv.notify_one();
+    }
+    if (!lane.empty()) {
+      Waiter* head = lane.front();
+      Result<AdmissionController::Ticket> admitted =
+          admission_->Admit(head->tenant);
+      if (admitted.ok()) {
+        lane.pop_front();
+        depth_--;
+        cursor_ = it->first;
+        head->granted = true;
+        head->ticket = std::move(admitted).value();
+        head->cv.notify_one();
+        stats_.depth = depth_;
+        if (lane.empty()) lanes_.erase(it);
+        return;
+      }
+      // Tenant quota still exhausted — try the next lane.
+    }
+    if (it->second.empty()) {
+      it = lanes_.erase(it);  // Drop drained lanes so lanes_ stays bounded.
+    } else {
+      ++it;
+    }
+  }
+  stats_.depth = depth_;
+}
+
+void RequestQueue::RemoveLocked(Waiter* waiter) {
+  auto lane = lanes_.find(waiter->tenant);
+  if (lane == lanes_.end()) return;
+  for (auto it = lane->second.begin(); it != lane->second.end(); ++it) {
+    if (*it == waiter) {
+      lane->second.erase(it);
+      depth_--;
+      stats_.depth = depth_;
+      break;
+    }
+  }
+  if (lane->second.empty()) lanes_.erase(lane);
+}
+
+void RequestQueue::Close(Status reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  close_reason_ = std::move(reason);
+  for (auto& [tenant, lane] : lanes_) {
+    for (Waiter* waiter : lane) {
+      waiter->failed = true;
+      waiter->status = close_reason_;
+      waiter->cv.notify_one();
+      stats_.cancelled++;
+    }
+    lane.clear();
+  }
+  lanes_.clear();
+  depth_ = 0;
+  stats_.depth = 0;
+}
+
+RequestQueue::Stats RequestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueuedTicket::ReleaseNow() {
+  RequestQueue* queue = queue_;
+  queue_ = nullptr;
+  // Free the controller slot first, then let the queue hand it out.
+  ticket_ = AdmissionController::Ticket();
+  if (queue != nullptr) queue->OnTicketReleased();
+}
+
+}  // namespace serve
+}  // namespace holoclean

@@ -1,0 +1,160 @@
+#ifndef HOLOCLEAN_SERVE_QUEUE_H_
+#define HOLOCLEAN_SERVE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "holoclean/serve/admission.h"
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+namespace serve {
+
+/// Bounded waiting in front of AdmissionController.
+struct QueueOptions {
+  /// Max requests waiting for an admission slot across all tenants.
+  /// 0 restores the pre-queue reject-only behavior: a request that cannot
+  /// be admitted immediately bounces with `overloaded`.
+  size_t max_depth = 64;
+  /// Deadline applied when a request does not carry `deadline_ms`.
+  int64_t default_deadline_ms = 30000;
+  /// Server-side cap on client-supplied deadlines; a client asking for
+  /// more is clamped down (a queue is not a parking lot). 0 = no cap.
+  int64_t max_deadline_ms = 120000;
+};
+
+/// Deadline-aware bounded request queue wrapping AdmissionController.
+///
+/// Admission is still the only source of execution slots; the queue adds
+/// bounded, fair, deadline-bounded *waiting* for one. Acquire() first
+/// tries a direct Admit (skipped while the tenant already has waiters, so
+/// arrival order within a tenant is FIFO); on `overloaded` it parks the
+/// calling connection thread in a per-tenant FIFO lane. When a Ticket is
+/// released the queue hands the freed slot to the head of the next lane
+/// in round-robin tenant order — one busy tenant cannot starve the rest —
+/// skipping (and failing with `deadline_exceeded`) any waiter whose
+/// deadline passed while it was parked.
+///
+/// Deadline checks happen at every stage: before enqueue (an
+/// already-expired request never waits), while parked (wait_until the
+/// deadline), at grant time, and by the caller again after dequeue
+/// (post-dequeue expiry — the grant raced the deadline). A full queue is
+/// not a deadline problem, so it keeps today's `overloaded` contract.
+///
+/// Close() fails all parked waiters and makes later Acquire() calls
+/// non-blocking (direct Admit or reject), so Stop()/Drain() can join
+/// connection threads without a waiter deadlocking the shutdown.
+class RequestQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Counters for explain_status; a snapshot, not a transaction.
+  struct Stats {
+    uint64_t enqueued = 0;           ///< Requests that had to wait.
+    uint64_t granted_after_wait = 0; ///< Waiters that got a slot.
+    uint64_t rejected_full = 0;      ///< Bounced on queue depth.
+    uint64_t expired_in_queue = 0;   ///< Deadline passed while parked.
+    uint64_t cancelled = 0;          ///< Failed by Close().
+    size_t depth = 0;                ///< Waiters parked right now.
+  };
+
+  RequestQueue(QueueOptions options, AdmissionController* admission)
+      : options_(options), admission_(admission) {}
+
+  /// Resolves a request's wire-supplied deadline (`requested_ms`, <= 0
+  /// meaning "not set") against the default and cap into an absolute
+  /// deadline.
+  Clock::time_point DeadlineFor(int64_t requested_ms) const;
+
+  /// Blocks until an admission ticket for `tenant` is granted, the
+  /// deadline passes (`deadline_exceeded`), the queue is full at arrival
+  /// (`overloaded`), or the queue is closed (the Close reason). The
+  /// caller must re-check the deadline after any long post-dequeue step.
+  Result<AdmissionController::Ticket> Acquire(const std::string& tenant,
+                                              Clock::time_point deadline);
+
+  /// Fails every parked waiter with `reason` and disables waiting for
+  /// later arrivals (they fall back to direct Admit-or-reject). Called on
+  /// Drain()/Stop(); idempotent.
+  void Close(Status reason);
+
+  /// Called when a granted ticket is released: runs one grant pass so
+  /// the freed slot goes to a parked waiter instead of the next arrival.
+  void OnTicketReleased();
+
+  Stats stats() const;
+  const QueueOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    std::string tenant;
+    Clock::time_point deadline;
+    std::condition_variable cv;
+    bool granted = false;    ///< A released slot was handed to us.
+    bool failed = false;     ///< Expired or cancelled; `status` says why.
+    Status status;
+    AdmissionController::Ticket ticket;  ///< Valid when granted.
+  };
+
+  /// Hands the one freed admission slot to the first live waiter in
+  /// round-robin tenant order, expiring dead ones along the way.
+  /// Requires mu_ held.
+  void GrantNextLocked();
+
+  /// Removes `waiter` from its lane. Requires mu_ held.
+  void RemoveLocked(Waiter* waiter);
+
+  QueueOptions options_;
+  AdmissionController* admission_;
+
+  mutable std::mutex mu_;
+  /// Per-tenant FIFO lanes (ordered map: deterministic round-robin).
+  std::map<std::string, std::deque<Waiter*>> lanes_;
+  /// Tenant after which the round-robin scan resumes.
+  std::string cursor_;
+  size_t depth_ = 0;
+  bool closed_ = false;
+  Status close_reason_;
+  Stats stats_;
+};
+
+/// Scoped hook: the server wraps each granted Ticket so its release
+/// re-runs the queue's grant pass (the controller itself has no idea the
+/// queue exists).
+class QueuedTicket {
+ public:
+  QueuedTicket() = default;
+  QueuedTicket(AdmissionController::Ticket ticket, RequestQueue* queue)
+      : ticket_(std::move(ticket)), queue_(queue) {}
+  QueuedTicket(QueuedTicket&& other) noexcept { *this = std::move(other); }
+  QueuedTicket& operator=(QueuedTicket&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      ticket_ = std::move(other.ticket_);
+      queue_ = other.queue_;
+      other.queue_ = nullptr;
+    }
+    return *this;
+  }
+  QueuedTicket(const QueuedTicket&) = delete;
+  QueuedTicket& operator=(const QueuedTicket&) = delete;
+  ~QueuedTicket() { ReleaseNow(); }
+
+ private:
+  void ReleaseNow();
+
+  AdmissionController::Ticket ticket_;
+  RequestQueue* queue_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_SERVE_QUEUE_H_

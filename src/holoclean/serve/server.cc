@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,6 +12,7 @@
 #include <utility>
 
 #include "holoclean/io/report_json.h"
+#include "holoclean/util/failpoint.h"
 #include "holoclean/util/logging.h"
 
 namespace holoclean {
@@ -137,7 +139,15 @@ EngineOptions MakeEngineOptions(const ServerOptions& options) {
 CleaningServer::CleaningServer(ServerOptions options)
     : options_(std::move(options)),
       engine_(MakeEngineOptions(options_)),
-      admission_(options_.admission) {}
+      admission_(options_.admission),
+      queue_(options_.queue, &admission_) {
+  if (!options_.failpoint_profile.empty()) {
+    Status st = Failpoints::Global().Configure(options_.failpoint_profile);
+    if (!st.ok()) {
+      HOLO_LOG(kWarning) << "ignoring failpoint profile: " << st;
+    }
+  }
+}
 
 CleaningServer::~CleaningServer() { Stop(); }
 
@@ -172,21 +182,42 @@ JsonValue CleaningServer::Handle(const JsonValue& request_frame) {
 }
 
 JsonValue CleaningServer::Dispatch(const Request& req) {
-  switch (req.op) {
-    case Op::kRegisterDataset:
-      return DoRegister(req);
-    case Op::kDropDataset:
-      return DoDrop(req);
-    case Op::kListDatasets:
-      return DoList(req);
-    case Op::kClean:
-      return DoClean(req);
-    case Op::kFeedback:
-      return DoFeedback(req);
-    case Op::kExplainStatus:
-      return DoExplainStatus(req);
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (req.attempt > 0) {
+    retried_requests_.fetch_add(1, std::memory_order_relaxed);
   }
-  return ErrorResponse(Status::Internal("unhandled op"));
+  JsonValue response = [&] {
+    Status injected = HOLO_FAILPOINT("serve.dispatch");
+    if (!injected.ok()) return ErrorResponse(injected);
+    switch (req.op) {
+      case Op::kRegisterDataset:
+        return DoRegister(req);
+      case Op::kDropDataset:
+        return DoDrop(req);
+      case Op::kListDatasets:
+        return DoList(req);
+      case Op::kClean:
+        return DoClean(req);
+      case Op::kFeedback:
+        return DoFeedback(req);
+      case Op::kExplainStatus:
+        return DoExplainStatus(req);
+    }
+    return ErrorResponse(Status::Internal("unhandled op"));
+  }();
+  CountResponse(response);
+  return response;
+}
+
+void CleaningServer::CountResponse(const JsonValue& response) {
+  if (response.GetBool("ok")) {
+    ok_total_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::string code = response.GetString("error");
+  if (code.empty()) code = "internal";
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  error_counts_[code]++;
 }
 
 JsonValue CleaningServer::DoRegister(const Request& req) {
@@ -248,8 +279,14 @@ JsonValue CleaningServer::DoClean(const Request& req) {
   if (draining_.load()) {
     return ErrorResponse(Status::OutOfRange("draining: server is draining"));
   }
-  Result<AdmissionController::Ticket> ticket = admission_.Admit(req.tenant);
-  if (!ticket.ok()) return ErrorResponse(ticket.status());
+  const RequestQueue::Clock::time_point deadline =
+      queue_.DeadlineFor(req.deadline_ms);
+  Result<AdmissionController::Ticket> acquired =
+      queue_.Acquire(req.tenant, deadline);
+  if (!acquired.ok()) return ErrorResponse(acquired.status());
+  // Wrapping the ticket routes its release back through the queue, so the
+  // freed slot goes to the longest-parked waiter, not the next arrival.
+  QueuedTicket ticket(std::move(acquired).value(), &queue_);
 
   Result<std::shared_ptr<const DatasetRegistry::Entry>> entry =
       registry_.Find(req.tenant, req.dataset);
@@ -264,7 +301,19 @@ JsonValue CleaningServer::DoClean(const Request& req) {
 
   // One request at a time per (tenant, dataset): concurrent jobs must not
   // share a Dataset object. Distinct slots proceed concurrently.
+  // serve.queue.dispatch models anything slow between grant and execution
+  // (tests pin the post-dequeue expiry path with a delay here).
+  st = HOLO_FAILPOINT("serve.queue.dispatch");
+  if (!st.ok()) return ErrorResponse(st);
   std::lock_guard<std::mutex> slot_lock(slot->mu);
+  if (RequestQueue::Clock::now() >= deadline) {
+    // The deadline can pass after the queue granted a slot — the grant
+    // raced the timer, or the slot-serialization wait ate the rest of the
+    // budget. Reject before starting work nobody is waiting for.
+    return ErrorResponse(
+        DeadlineExceeded("request deadline passed after dequeue, before "
+                         "execution"));
+  }
   const bool was_warm = engine_.HasCachedSession(key);
   const bool was_spilled = engine_.HasSpilledSession(key);
 
@@ -295,8 +344,12 @@ JsonValue CleaningServer::DoFeedback(const Request& req) {
     return ErrorResponse(
         Status::InvalidArgument("feedback needs a \"cell\" object"));
   }
-  Result<AdmissionController::Ticket> ticket = admission_.Admit(req.tenant);
-  if (!ticket.ok()) return ErrorResponse(ticket.status());
+  const RequestQueue::Clock::time_point deadline =
+      queue_.DeadlineFor(req.deadline_ms);
+  Result<AdmissionController::Ticket> acquired =
+      queue_.Acquire(req.tenant, deadline);
+  if (!acquired.ok()) return ErrorResponse(acquired.status());
+  QueuedTicket ticket(std::move(acquired).value(), &queue_);
 
   Result<std::shared_ptr<const DatasetRegistry::Entry>> entry =
       registry_.Find(req.tenant, req.dataset);
@@ -304,7 +357,14 @@ JsonValue CleaningServer::DoFeedback(const Request& req) {
 
   const std::string key = RegistryKey(req.tenant, req.dataset);
   std::shared_ptr<TenantSlot> slot = GetOrCreateSlot(entry.value());
+  Status queue_st = HOLO_FAILPOINT("serve.queue.dispatch");
+  if (!queue_st.ok()) return ErrorResponse(queue_st);
   std::lock_guard<std::mutex> slot_lock(slot->mu);
+  if (RequestQueue::Clock::now() >= deadline) {
+    return ErrorResponse(
+        DeadlineExceeded("request deadline passed after dequeue, before "
+                         "execution"));
+  }
 
   Table& dirty = slot->dataset->dirty();
   AttrId attr = dirty.schema().IndexOf(req.cell_attr);
@@ -346,7 +406,52 @@ JsonValue CleaningServer::DoFeedback(const Request& req) {
   return resp;
 }
 
+JsonValue CleaningServer::ServerStatusJson() {
+  JsonValue server = JsonValue::Object();
+  server.Set("draining", JsonValue::Bool(draining_.load()));
+  server.Set("requests_total",
+             JsonValue::Number(requests_total_.load()));
+  server.Set("ok_total", JsonValue::Number(ok_total_.load()));
+  server.Set("retried_requests",
+             JsonValue::Number(retried_requests_.load()));
+  server.Set("socket_timeouts",
+             JsonValue::Number(socket_timeouts_.load()));
+  server.Set("global_inflight",
+             JsonValue::Number(
+                 static_cast<uint64_t>(admission_.total_inflight())));
+
+  RequestQueue::Stats qs = queue_.stats();
+  JsonValue queue = JsonValue::Object();
+  queue.Set("depth", JsonValue::Number(static_cast<uint64_t>(qs.depth)));
+  queue.Set("max_depth",
+            JsonValue::Number(
+                static_cast<uint64_t>(queue_.options().max_depth)));
+  queue.Set("enqueued", JsonValue::Number(qs.enqueued));
+  queue.Set("granted_after_wait", JsonValue::Number(qs.granted_after_wait));
+  queue.Set("rejected_full", JsonValue::Number(qs.rejected_full));
+  queue.Set("expired_in_queue", JsonValue::Number(qs.expired_in_queue));
+  queue.Set("cancelled", JsonValue::Number(qs.cancelled));
+  server.Set("queue", std::move(queue));
+
+  JsonValue errors = JsonValue::Object();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& [code, count] : error_counts_) {
+      errors.Set(code, JsonValue::Number(count));
+    }
+  }
+  server.Set("errors", std::move(errors));
+  return server;
+}
+
 JsonValue CleaningServer::DoExplainStatus(const Request& req) {
+  // Without a (tenant, dataset) target the op reports server-wide health
+  // only — the ops view a load balancer or smoke test polls.
+  if (req.tenant.empty() && req.dataset.empty()) {
+    JsonValue resp = OkResponse();
+    resp.Set("server", ServerStatusJson());
+    return resp;
+  }
   Result<std::shared_ptr<const DatasetRegistry::Entry>> entry =
       registry_.Find(req.tenant, req.dataset);
   if (!entry.ok()) return ErrorResponse(entry.status());
@@ -376,6 +481,7 @@ JsonValue CleaningServer::DoExplainStatus(const Request& req) {
     }
     resp.Set("has_run", JsonValue::Bool(has_run));
   }
+  resp.Set("server", ServerStatusJson());
   return resp;
 }
 
@@ -421,6 +527,19 @@ void CleaningServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // Listener shut down (or unrecoverable): stop accepting.
     }
+    if (!HOLO_FAILPOINT("serve.accept").ok()) {
+      // An injected accept failure drops this connection on the floor —
+      // the client sees a reset, the server keeps serving everyone else.
+      ::close(fd);
+      continue;
+    }
+    if (options_.socket_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.socket_timeout_ms / 1000;
+      tv.tv_usec = (options_.socket_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load()) {
       ::close(fd);
@@ -435,16 +554,28 @@ void CleaningServer::ServeConnection(int fd) {
   for (;;) {
     Result<JsonValue> frame = ReadFrame(fd);
     if (!frame.ok()) {
-      // Clean close (kNotFound) ends the connection silently; a framing
-      // or socket error gets one best-effort error frame first — the
-      // stream is out of sync, so the connection cannot continue.
-      if (frame.status().code() != StatusCode::kNotFound) {
+      if (IsTimeout(frame.status())) {
+        socket_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Clean close (kNotFound) and idle timeouts end the connection
+      // silently — nothing was in flight, the client may reconnect. A
+      // framing error, socket error, or mid-frame timeout gets one
+      // best-effort error frame first; the stream is out of sync, so the
+      // connection cannot continue either way.
+      if (frame.status().code() != StatusCode::kNotFound &&
+          !IsIdleTimeout(frame.status())) {
         WriteFrame(fd, ErrorResponse(frame.status()));
       }
       break;
     }
     JsonValue response = Handle(frame.value());
-    if (!WriteFrame(fd, response).ok()) break;
+    Status wrote = WriteFrame(fd, response);
+    if (!wrote.ok()) {
+      if (IsTimeout(wrote)) {
+        socket_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
   }
   ::shutdown(fd, SHUT_RDWR);
 }
@@ -453,6 +584,12 @@ void CleaningServer::Stop() {
   if (stopping_.exchange(true)) {
     // A second Stop still waits for threads the first one may be joining.
   }
+  // Fail queued waiters before joining connection threads: a request
+  // parked in the queue IS a blocked connection thread, and joining it
+  // without waking it would deadlock the shutdown.
+  queue_.Close(Status::OutOfRange(
+      draining_.load() ? "draining: server is draining"
+                       : "draining: server is stopping"));
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);  // Wakes the blocked accept().
   }

@@ -2,6 +2,8 @@
 #define HOLOCLEAN_SERVE_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +14,7 @@
 #include "holoclean/core/engine.h"
 #include "holoclean/serve/admission.h"
 #include "holoclean/serve/protocol.h"
+#include "holoclean/serve/queue.h"
 #include "holoclean/serve/registry.h"
 
 namespace holoclean {
@@ -39,6 +42,23 @@ struct ServerOptions {
 
   /// Load-shedding bounds (per-tenant and global in-flight caps).
   AdmissionOptions admission;
+
+  /// Deadline-aware waiting in front of admission: queue depth, default
+  /// deadline, and the server-side deadline cap. queue.max_depth = 0
+  /// restores reject-only admission.
+  QueueOptions queue;
+
+  /// SO_RCVTIMEO/SO_SNDTIMEO applied to every accepted connection, so a
+  /// slow-loris peer (a frame trickled byte-by-byte, or never finished)
+  /// cannot pin a connection thread forever. 0 disables.
+  int socket_timeout_ms = 30000;
+
+  /// Failpoint profile applied at construction (see util/failpoint.h);
+  /// merged semantics match HOLOCLEAN_FAILPOINTS, but scoped to server
+  /// startup so tests and the CI fault-smoke job can arm a fresh daemon
+  /// without touching the environment. Empty = leave the global profile
+  /// alone.
+  std::string failpoint_profile;
 
   /// Where Drain() persists server state (dataset manifest + parked
   /// session snapshots) and RestoreState() reads it back. Empty disables
@@ -113,6 +133,7 @@ class CleaningServer {
   Engine& engine() { return engine_; }
   DatasetRegistry& registry() { return registry_; }
   AdmissionController& admission() { return admission_; }
+  RequestQueue& queue() { return queue_; }
   bool draining() const { return draining_.load(); }
   const ServerOptions& options() const { return options_; }
 
@@ -141,6 +162,12 @@ class CleaningServer {
   JsonValue DoFeedback(const Request& req);
   JsonValue DoExplainStatus(const Request& req);
 
+  /// The "server" object of explain_status: queue depth and counters,
+  /// per-error-code response totals, socket timeouts, retried requests.
+  JsonValue ServerStatusJson();
+  /// Counts one finished response in the per-code counters.
+  void CountResponse(const JsonValue& response);
+
   void AcceptLoop();
   void ServeConnection(int fd);
 
@@ -148,8 +175,18 @@ class CleaningServer {
   Engine engine_;
   DatasetRegistry registry_;
   AdmissionController admission_;
+  RequestQueue queue_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
+
+  /// Observability counters surfaced by explain_status. `error_counts_`
+  /// is keyed by wire error code (the closed vocabulary in protocol.h).
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> ok_total_{0};
+  std::atomic<uint64_t> retried_requests_{0};
+  std::atomic<uint64_t> socket_timeouts_{0};
+  mutable std::mutex stats_mu_;
+  std::map<std::string, uint64_t> error_counts_;  ///< Guarded by stats_mu_.
 
   mutable std::mutex slots_mu_;
   std::unordered_map<std::string, std::shared_ptr<TenantSlot>> slots_;

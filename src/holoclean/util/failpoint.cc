@@ -1,0 +1,304 @@
+#include "holoclean/util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "holoclean/util/logging.h"
+#include "holoclean/util/rng.h"
+#include "holoclean/util/string_util.h"
+
+namespace holoclean {
+
+namespace {
+
+std::string Trim(std::string_view s) {
+  return std::string(StripWhitespace(s));
+}
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+enum class Trigger { kOn, kAfter, kProbability, kAlways };
+
+struct Config {
+  Trigger trigger = Trigger::kAlways;
+  uint64_t trigger_n = 0;    // on:N / after:N
+  double probability = 0.0;  // p:P:SEED
+  uint64_t seed = 0;
+  Failpoints::Action action = Failpoints::Action::kError;
+  std::string error_code;  // error:<code>
+  int delay_ms = 0;
+  size_t slice_bytes = 0;
+};
+
+Status InjectedError(const std::string& code, const std::string& site) {
+  const std::string at = " (injected at " + site + ")";
+  if (code.empty() || code == "internal") {
+    return Status::Internal("injected failure" + at);
+  }
+  if (code == "parse") return Status::ParseError("injected corruption" + at);
+  if (code == "not_found") return Status::NotFound("injected miss" + at);
+  // The serve-layer codes ride on kOutOfRange with the message prefixes
+  // protocol.cc keys its error-code mapping on.
+  if (code == "overloaded") {
+    return Status::OutOfRange("overloaded: injected" + at);
+  }
+  if (code == "draining") {
+    return Status::OutOfRange("draining: injected" + at);
+  }
+  if (code == "deadline") {
+    return Status::OutOfRange("deadline_exceeded: injected" + at);
+  }
+  return Status::Internal("injected failure (unknown code '" + code + "')" +
+                          at);
+}
+
+Status ParseCount(const std::string& text, uint64_t* out) {
+  if (text.empty()) return Status::ParseError("missing count");
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("bad count '" + text + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseEntry(const std::string& entry, std::string* site, Config* config) {
+  size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::ParseError("failpoint entry '" + entry +
+                              "' is not site=trigger/action");
+  }
+  *site = Trim(entry.substr(0, eq));
+  std::string rest = Trim(entry.substr(eq + 1));
+  size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return Status::ParseError("failpoint entry '" + entry +
+                              "' is missing the /action part");
+  }
+  std::string trigger = Trim(rest.substr(0, slash));
+  std::string action = Trim(rest.substr(slash + 1));
+
+  if (trigger == "always") {
+    config->trigger = Trigger::kAlways;
+  } else if (StartsWith(trigger, "on:")) {
+    config->trigger = Trigger::kOn;
+    HOLO_RETURN_NOT_OK(ParseCount(trigger.substr(3), &config->trigger_n));
+    if (config->trigger_n == 0) {
+      return Status::ParseError("on:N is 1-based; got on:0");
+    }
+  } else if (StartsWith(trigger, "after:")) {
+    config->trigger = Trigger::kAfter;
+    HOLO_RETURN_NOT_OK(ParseCount(trigger.substr(6), &config->trigger_n));
+  } else if (StartsWith(trigger, "p:")) {
+    config->trigger = Trigger::kProbability;
+    std::string spec = trigger.substr(2);
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("p trigger needs p:P:SEED; got '" + trigger +
+                                "'");
+    }
+    config->probability = ParseDoubleOr(spec.substr(0, colon), -1.0);
+    if (config->probability < 0.0 || config->probability > 1.0) {
+      return Status::ParseError("probability in '" + trigger +
+                                "' is not a number in [0,1]");
+    }
+    HOLO_RETURN_NOT_OK(ParseCount(spec.substr(colon + 1), &config->seed));
+  } else {
+    return Status::ParseError("unknown failpoint trigger '" + trigger + "'");
+  }
+
+  if (action == "error" || StartsWith(action, "error:")) {
+    config->action = Failpoints::Action::kError;
+    if (StartsWith(action, "error:")) config->error_code = action.substr(6);
+  } else if (StartsWith(action, "delay:")) {
+    config->action = Failpoints::Action::kDelay;
+    uint64_t ms = 0;
+    HOLO_RETURN_NOT_OK(ParseCount(action.substr(6), &ms));
+    config->delay_ms = static_cast<int>(ms);
+  } else if (StartsWith(action, "slice:")) {
+    config->action = Failpoints::Action::kSlice;
+    uint64_t bytes = 0;
+    HOLO_RETURN_NOT_OK(ParseCount(action.substr(6), &bytes));
+    if (bytes == 0) return Status::ParseError("slice:N needs N >= 1");
+    config->slice_bytes = static_cast<size_t>(bytes);
+  } else {
+    return Status::ParseError("unknown failpoint action '" + action + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct Failpoints::SiteState {
+  std::string site;
+  bool armed = false;
+  Config config;
+  Rng rng{0};          // p:P:SEED stream; reseeded on every Configure().
+  uint64_t hits = 0;   // Lifetime hits since Clear(), armed or not.
+  uint64_t fires = 0;  // Hits where the trigger fired.
+};
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = [] {
+    auto* fp = new Failpoints();
+    const char* env = std::getenv("HOLOCLEAN_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      Status status = fp->Configure(env);
+      if (!status.ok()) {
+        HOLO_LOG(kWarning) << "ignoring HOLOCLEAN_FAILPOINTS: "
+                           << status.ToString();
+      }
+    }
+    return fp;
+  }();
+  return *instance;
+}
+
+Failpoints::Failpoints() = default;
+
+Status Failpoints::Configure(const std::string& profile) {
+  // Parse the whole profile before touching live state, so a bad entry
+  // can't leave a half-applied mix of old and new sites.
+  std::vector<std::pair<std::string, Config>> parsed;
+  for (const std::string& raw : Split(profile, ';')) {
+    std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    std::string site;
+    Config config;
+    HOLO_RETURN_NOT_OK(ParseEntry(entry, &site, &config));
+    parsed.emplace_back(std::move(site), config);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& state : sites_) {
+    state->armed = false;
+    state->hits = 0;
+    state->fires = 0;
+  }
+  for (auto& [site, config] : parsed) {
+    SiteState* state = nullptr;
+    for (auto& existing : sites_) {
+      if (existing->site == site) {
+        state = existing.get();
+        break;
+      }
+    }
+    if (state == nullptr) {
+      sites_.push_back(std::make_unique<SiteState>());
+      state = sites_.back().get();
+      state->site = site;
+    }
+    state->armed = true;
+    state->config = config;
+    state->rng = Rng(config.seed);
+  }
+  active_sites_.store(parsed.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Failpoints::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  active_sites_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<Failpoints::Fire> Failpoints::Evaluate(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState* state = nullptr;
+  for (auto& existing : sites_) {
+    if (existing->site == site) {
+      state = existing.get();
+      break;
+    }
+  }
+  if (state == nullptr || !state->armed) return std::nullopt;
+  state->hits++;
+
+  bool fired = false;
+  switch (state->config.trigger) {
+    case Trigger::kOn:
+      fired = state->hits == state->config.trigger_n;
+      break;
+    case Trigger::kAfter:
+      fired = state->hits > state->config.trigger_n;
+      break;
+    case Trigger::kProbability:
+      fired = state->rng.Chance(state->config.probability);
+      break;
+    case Trigger::kAlways:
+      fired = true;
+      break;
+  }
+  if (!fired) return std::nullopt;
+  state->fires++;
+
+  Fire fire;
+  fire.action = state->config.action;
+  switch (state->config.action) {
+    case Action::kError:
+      fire.error = InjectedError(state->config.error_code, state->site);
+      break;
+    case Action::kDelay:
+      fire.delay_ms = state->config.delay_ms;
+      break;
+    case Action::kSlice:
+      fire.slice_bytes = state->config.slice_bytes;
+      break;
+  }
+  return fire;
+}
+
+Status Failpoints::Inject(const char* site) {
+  std::optional<Fire> fire = Evaluate(site);
+  if (!fire.has_value()) return Status::OK();
+  switch (fire->action) {
+    case Action::kError:
+      return fire->error;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fire->delay_ms));
+      return Status::OK();
+    case Action::kSlice:
+      return Status::OK();  // Only byte-loop sites interpret slicing.
+  }
+  return Status::OK();
+}
+
+Failpoints::SiteStats Failpoints::stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& state : sites_) {
+    if (state->site == site) {
+      return SiteStats{state->site, state->hits, state->fires};
+    }
+  }
+  return SiteStats{site, 0, 0};
+}
+
+std::vector<Failpoints::SiteStats> Failpoints::AllStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteStats> all;
+  all.reserve(sites_.size());
+  for (const auto& state : sites_) {
+    all.push_back(SiteStats{state->site, state->hits, state->fires});
+  }
+  return all;
+}
+
+ScopedFailpoints::ScopedFailpoints(const std::string& profile) {
+  Status status = Failpoints::Global().Configure(profile);
+  if (!status.ok()) {
+    HOLO_LOG(kError) << "bad failpoint profile '" << profile
+                     << "': " << status.ToString();
+  }
+  HOLO_CHECK(status.ok());
+}
+
+}  // namespace holoclean

@@ -1,0 +1,154 @@
+#ifndef HOLOCLEAN_UTIL_FAILPOINT_H_
+#define HOLOCLEAN_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "holoclean/util/status.h"
+
+namespace holoclean {
+
+/// Deterministic fault injection for the paths that can fail in
+/// production: frame I/O, accept/dispatch, snapshot save/restore,
+/// spill/restore, and job execution. Each such path declares a *named
+/// site* (HOLO_FAILPOINT / HOLO_FAILPOINT_EVAL); tests, the CI smoke
+/// flow, and ad-hoc debugging arm sites with a profile string, and the
+/// site then fires a configured fault on a configured trigger — so every
+/// "hope it never happens" branch gets a test that makes it happen, on
+/// demand, reproducibly.
+///
+/// Profile grammar (';'-separated entries):
+///
+///   site '=' trigger '/' action
+///
+///   trigger := 'on:' N          fire exactly on the Nth hit (1-based)
+///            | 'after:' N       fire on every hit past the Nth
+///            | 'p:' P ':' SEED  seeded per-hit Bernoulli(P) — the fire
+///                               pattern is a pure function of the seed
+///                               and the site's hit sequence
+///            | 'always'         fire on every hit
+///
+///   action  := 'error' [':' code]  return an injected Status; `code` is
+///                                  one of internal (default), parse,
+///                                  not_found, overloaded, draining,
+///                                  deadline — the latter four carry the
+///                                  wire protocol's message prefixes
+///            | 'delay:' MS         sleep MS milliseconds, then proceed
+///            | 'slice:' N          byte-slicing hint for I/O sites: the
+///                                  site caps each syscall at N bytes
+///                                  (exercises short-read/write loops)
+///
+/// Example:
+///   "engine.spill.save=always/error;serve.frame.corrupt_write=on:2/error"
+///
+/// When no site is armed — the production configuration — a site check is
+/// a single relaxed atomic load and branch; with HOLOCLEAN_NO_FAILPOINTS
+/// defined it compiles away entirely. All trigger state is deterministic:
+/// per-site hit counters and seeded RNG streams, never wall-clock or
+/// thread identity.
+class Failpoints {
+ public:
+  enum class Action { kError, kDelay, kSlice };
+
+  /// One firing of a site: what the site should do.
+  struct Fire {
+    Action action = Action::kError;
+    Status error;          ///< kError: the status to inject.
+    int delay_ms = 0;      ///< kDelay: how long to sleep.
+    size_t slice_bytes = 0;  ///< kSlice: per-syscall byte cap.
+  };
+
+  /// Counters of one site (for tests and explain_status).
+  struct SiteStats {
+    std::string site;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  /// The process-wide instance every HOLO_FAILPOINT site consults. On
+  /// first access it applies the HOLOCLEAN_FAILPOINTS environment
+  /// variable, so any binary in the repo can be fault-injected without a
+  /// code change (a parse error in the env profile is logged and
+  /// ignored).
+  static Failpoints& Global();
+
+  /// Replaces the active profile. An empty string clears everything.
+  /// On a parse error nothing is changed.
+  Status Configure(const std::string& profile);
+
+  /// Disarms every site and resets all counters.
+  void Clear();
+
+  /// True when at least one site is armed (the slow-path gate).
+  bool active() const {
+    return active_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Records a hit on `site` and returns the configured fault when the
+  /// site's trigger fires, nullopt otherwise. Delay actions are NOT
+  /// slept here — the caller decides (Inject() sleeps them).
+  std::optional<Fire> Evaluate(const char* site);
+
+  /// Convenience for error/delay sites: evaluates, sleeps delay actions,
+  /// and returns the injected Status for error actions (OK otherwise —
+  /// including for slice actions, which only I/O-loop sites interpret).
+  Status Inject(const char* site);
+
+  /// Counters for one site (zeros when the site was never hit).
+  SiteStats stats(const std::string& site) const;
+
+  /// Counters for every site hit or armed since the last Clear().
+  std::vector<SiteStats> AllStats() const;
+
+ private:
+  Failpoints();
+
+  struct SiteState;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SiteState>> sites_;  ///< Guarded by mu_.
+  std::atomic<uint64_t> active_sites_{0};
+};
+
+/// RAII profile for tests: arms the global instance on construction and
+/// fully clears it on destruction, so no test leaks armed sites into its
+/// neighbors. Aborts on a malformed profile (a test bug, not a data
+/// error).
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& profile);
+  ~ScopedFailpoints() { Failpoints::Global().Clear(); }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+};
+
+#ifndef HOLOCLEAN_NO_FAILPOINTS
+/// Injects a configured fault at `site`: evaluates the site only when any
+/// failpoint is armed, sleeps delay actions, and yields the injected
+/// Status for error actions. Use as:
+///   HOLO_RETURN_NOT_OK(HOLO_FAILPOINT("engine.spill.save"));
+#define HOLO_FAILPOINT(site)                                  \
+  (::holoclean::Failpoints::Global().active()                 \
+       ? ::holoclean::Failpoints::Global().Inject(site)       \
+       : ::holoclean::Status::OK())
+/// Full evaluation for sites that interpret the Fire themselves
+/// (corruption, truncation, byte slicing).
+#define HOLO_FAILPOINT_EVAL(site)                             \
+  (::holoclean::Failpoints::Global().active()                 \
+       ? ::holoclean::Failpoints::Global().Evaluate(site)     \
+       : std::optional<::holoclean::Failpoints::Fire>())
+#else
+#define HOLO_FAILPOINT(site) ::holoclean::Status::OK()
+#define HOLO_FAILPOINT_EVAL(site) \
+  std::optional<::holoclean::Failpoints::Fire>()
+#endif
+
+}  // namespace holoclean
+
+#endif  // HOLOCLEAN_UTIL_FAILPOINT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "holoclean/util/failpoint.h"
+
 namespace holoclean {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -44,6 +46,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    // pool.task is delay-only by convention: it stalls a worker between
+    // dequeue and execution (a starved/oversubscribed pool) without
+    // changing what runs — tasks here have no error channel to inject.
+    (void)HOLO_FAILPOINT("pool.task");
     task();
   }
 }

@@ -4,12 +4,16 @@
 // the drain -> restart round trip (warm state survives a restart with
 // bit-identical repairs).
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <unistd.h>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,9 +25,11 @@
 #include "holoclean/serve/admission.h"
 #include "holoclean/serve/client.h"
 #include "holoclean/serve/protocol.h"
+#include "holoclean/serve/queue.h"
 #include "holoclean/serve/registry.h"
 #include "holoclean/serve/server.h"
 #include "holoclean/util/csv.h"
+#include "holoclean/util/failpoint.h"
 
 namespace holoclean {
 namespace {
@@ -449,6 +455,10 @@ TEST(ServeServer, TenantsAreIsolated) {
 TEST(ServeServer, OverloadedTenantDoesNotPoisonSiblings) {
   ServerOptions options = FastServerOptions();
   options.admission.per_tenant_inflight = 1;
+  // Reject-only admission: this test pins the immediate-`overloaded`
+  // contract that queue.max_depth = 0 preserves (a queued server would
+  // park the request instead — covered by the queue tests).
+  options.queue.max_depth = 0;
   CleaningServer server(options);
   Payload payload = MakePayload(0);
   ASSERT_TRUE(
@@ -642,6 +652,517 @@ TEST(ServeServer, ConcurrentTcpClientsOverDistinctSlots) {
   for (int t = 1; t < 4; ++t) {
     EXPECT_EQ(repairs[static_cast<size_t>(t)], repairs[0]);
   }
+}
+
+// --- Robustness: deadlines, queueing, fault injection ------------------------
+
+TEST(ServeProtocol, DeadlineAndAttemptFieldsRoundTrip) {
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "food";
+  req.deadline_ms = 2500;
+  req.attempt = 2;
+  auto parsed = Request::FromJson(req.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().deadline_ms, 2500);
+  EXPECT_EQ(parsed.value().attempt, 2);
+
+  // Negative deadlines are a client bug, not a default.
+  JsonValue bad = CleanFrame("acme", "food");
+  bad.Set("deadline_ms", JsonValue::Number(-5));
+  EXPECT_FALSE(Request::FromJson(bad).ok());
+}
+
+TEST(ServeProtocol, LegacyRequestsWithoutDeadlineRoundTripUnchanged) {
+  // A protocol-1 frame that predates deadline_ms/attempt must parse to
+  // the defaults and re-serialize byte-identically — old clients see no
+  // difference.
+  JsonValue legacy = CleanFrame("acme", "food");
+  auto parsed = Request::FromJson(legacy);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().deadline_ms, 0);
+  EXPECT_EQ(parsed.value().attempt, 0);
+  EXPECT_EQ(parsed.value().ToJson().Dump(), legacy.Dump());
+}
+
+TEST(ServeProtocol, EintrAndShortReadsStillDeliverFramesIntact) {
+  // Regression for the frame I/O audit: injected signal interruptions
+  // plus a 3-byte syscall cap (forcing the short-read path on every
+  // transfer) must not lose, duplicate, or reorder a single byte.
+  ScopedFailpoints guard(
+      "serve.frame.read_eintr=on:2/error;serve.frame.read_slice="
+      "always/slice:3;serve.frame.write_eintr=on:1/error;"
+      "serve.frame.write_slice=always/slice:3");
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  JsonValue obj = JsonValue::Object();
+  obj.Set("op", JsonValue::String("list_datasets"));
+  obj.Set("blob", JsonValue::String(std::string(300, 'x') + "end"));
+  ASSERT_TRUE(serve::WriteFrame(fds[1], obj).ok());
+  ::close(fds[1]);
+  auto read = serve::ReadFrame(fds[0]);
+  ::close(fds[0]);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read.value().Dump(), obj.Dump());
+}
+
+TEST(ServeServer, QueueParksOverloadedRequestUntilSlotFrees) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  CleaningServer server(options);
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  auto held = server.admission().Admit("acme");
+  ASSERT_TRUE(held.ok());
+
+  // With the quota saturated the request parks instead of bouncing; it
+  // completes once the held ticket releases.
+  JsonValue queued_resp;
+  std::thread waiter([&] {
+    Request req;
+    req.op = Op::kClean;
+    req.tenant = "acme";
+    req.dataset = "food";
+    req.deadline_ms = 10000;
+    queued_resp = server.Handle(req.ToJson());
+  });
+  while (server.queue().stats().depth == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Raw tickets bypass QueuedTicket, so hand the freed slot to the queue
+  // the way the server's release path would.
+  held.value().Release();
+  server.queue().OnTicketReleased();
+  waiter.join();
+  EXPECT_TRUE(queued_resp.GetBool("ok")) << queued_resp.Dump();
+  EXPECT_GE(server.queue().stats().granted_after_wait, 1u);
+}
+
+TEST(ServeServer, DeadlineExceededWhileQueued) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  CleaningServer server(options);
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  auto held = server.admission().Admit("acme");
+  ASSERT_TRUE(held.ok());
+
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "food";
+  req.deadline_ms = 60;  // Expires while parked — nobody releases.
+  JsonValue resp = server.Handle(req.ToJson());
+  EXPECT_FALSE(resp.GetBool("ok"));
+  EXPECT_EQ(resp.GetString("error"), "deadline_exceeded") << resp.Dump();
+  EXPECT_GE(server.queue().stats().expired_in_queue, 1u);
+  held.value().Release();
+}
+
+TEST(ServeServer, DeadlineExceededAfterDequeueBeforeExecution) {
+  // The serve.queue.dispatch delay models a slow step between the queue
+  // grant and job submission; the post-dequeue re-check must catch the
+  // deadline that passed in between — deterministically, no contention
+  // required.
+  ScopedFailpoints guard("serve.queue.dispatch=always/delay:120");
+  CleaningServer server(FastServerOptions());
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "food";
+  req.deadline_ms = 50;
+  JsonValue resp = server.Handle(req.ToJson());
+  EXPECT_FALSE(resp.GetBool("ok"));
+  EXPECT_EQ(resp.GetString("error"), "deadline_exceeded") << resp.Dump();
+  EXPECT_NE(resp.GetString("message").find("after dequeue"),
+            std::string::npos)
+      << resp.Dump();
+}
+
+TEST(ServeServer, FullQueueFallsBackToOverloaded) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  options.queue.max_depth = 1;
+  CleaningServer server(options);
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  auto held = server.admission().Admit("acme");
+  ASSERT_TRUE(held.ok());
+
+  JsonValue parked_resp;
+  std::thread parked([&] {
+    Request req;
+    req.op = Op::kClean;
+    req.tenant = "acme";
+    req.dataset = "food";
+    req.deadline_ms = 10000;
+    parked_resp = server.Handle(req.ToJson());
+  });
+  while (server.queue().stats().depth == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Queue full is a capacity condition, not a deadline one: today's
+  // `overloaded` contract holds.
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "food";
+  req.deadline_ms = 10000;
+  JsonValue resp = server.Handle(req.ToJson());
+  EXPECT_FALSE(resp.GetBool("ok"));
+  EXPECT_EQ(resp.GetString("error"), "overloaded") << resp.Dump();
+  EXPECT_NE(resp.GetString("message").find("queue full"), std::string::npos);
+
+  held.value().Release();
+  server.queue().OnTicketReleased();
+  parked.join();
+  EXPECT_TRUE(parked_resp.GetBool("ok")) << parked_resp.Dump();
+}
+
+TEST(ServeServer, InjectedSpillSaveFailureFallsBackToColdRecompute) {
+  ServerOptions options = FastServerOptions();
+  options.session_cache_capacity = 1;
+  options.spill_directory = FreshDir("failspill");
+  CleaningServer server(options);
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "a", payload)).GetBool("ok"));
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "b", payload)).GetBool("ok"));
+
+  JsonValue first_a = server.Handle(CleanFrame("acme", "a"));
+  ASSERT_TRUE(first_a.GetBool("ok")) << first_a.Dump();
+
+  // Cleaning b evicts a's parked session; the injected save failure
+  // makes the spill vanish instead of persisting. Graceful degradation:
+  // nothing crashes, a's warmth is lost, correctness is not.
+  {
+    ScopedFailpoints guard("engine.spill.save=always/error");
+    ASSERT_TRUE(server.Handle(CleanFrame("acme", "b")).GetBool("ok"));
+  }
+  EXPECT_FALSE(server.engine().HasSpilledSession("acme/a"));
+
+  JsonValue again_a = server.Handle(CleanFrame("acme", "a"));
+  ASSERT_TRUE(again_a.GetBool("ok")) << again_a.Dump();
+  EXPECT_FALSE(again_a.GetBool("warm"));
+  EXPECT_FALSE(again_a.GetBool("restored_from_spill"));
+  EXPECT_EQ(RepairsDump(again_a), RepairsDump(first_a));
+}
+
+TEST(ServeServer, InjectedSpillRestoreFailureFallsBackToColdRecompute) {
+  ServerOptions options = FastServerOptions();
+  options.session_cache_capacity = 1;
+  options.spill_directory = FreshDir("failrestore");
+  CleaningServer server(options);
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "a", payload)).GetBool("ok"));
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "b", payload)).GetBool("ok"));
+
+  JsonValue first_a = server.Handle(CleanFrame("acme", "a"));
+  ASSERT_TRUE(first_a.GetBool("ok")) << first_a.Dump();
+  ASSERT_TRUE(server.Handle(CleanFrame("acme", "b")).GetBool("ok"));
+  ASSERT_TRUE(server.engine().HasSpilledSession("acme/a"));
+
+  // The spill snapshot exists but its restore fails (as a corrupt or
+  // truncated file would): the request recomputes cold and succeeds.
+  ScopedFailpoints guard("engine.spill.restore=always/error");
+  JsonValue again_a = server.Handle(CleanFrame("acme", "a"));
+  ASSERT_TRUE(again_a.GetBool("ok")) << again_a.Dump();
+  EXPECT_EQ(RepairsDump(again_a), RepairsDump(first_a));
+}
+
+TEST(ServeServer, MidFrameCorruptionClosesOnlyThatConnection) {
+  CleaningServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  auto victim = Client::Connect(server.port());
+  ASSERT_TRUE(victim.ok());
+  auto bystander = Client::Connect(server.port());
+  ASSERT_TRUE(bystander.ok());
+
+  {
+    // The corruption fires on the next frame written in this process —
+    // the victim's request below. The server reads a full frame of
+    // garbage, answers with a protocol error, and closes that
+    // connection only.
+    ScopedFailpoints guard("serve.frame.corrupt_write=on:1/error");
+    Request list;
+    list.op = Op::kListDatasets;
+    auto corrupted = victim.value().Call(list);
+    if (corrupted.ok()) {
+      EXPECT_FALSE(corrupted.value().GetBool("ok"));
+      EXPECT_EQ(corrupted.value().GetString("error"), "invalid_argument")
+          << corrupted.value().Dump();
+    }
+    // Either way the stream is dead now.
+    auto after = victim.value().Call(list);
+    EXPECT_FALSE(after.ok() && after.value().GetBool("ok"));
+  }
+
+  // The bystander's connection and the server itself are unaffected.
+  Request clean;
+  clean.op = Op::kClean;
+  clean.tenant = "acme";
+  clean.dataset = "food";
+  auto fine = bystander.value().Call(clean);
+  ASSERT_TRUE(fine.ok()) << fine.status();
+  EXPECT_TRUE(fine.value().GetBool("ok")) << fine.value().Dump();
+  server.Stop();
+}
+
+TEST(ServeServer, SlowLorisConnectionIsTimedOutAndClosed) {
+  ServerOptions options = FastServerOptions();
+  options.socket_timeout_ms = 100;
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A hostile client sends half a length prefix and stalls. The read
+  // timeout must reclaim the connection thread: the server sends a
+  // best-effort timeout error frame and closes.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  char half[2] = {0, 0};
+  ASSERT_EQ(::send(fd, half, 2, 0), 2);
+
+  // Drain whatever the server sends until it closes; this must complete
+  // quickly (the 100ms timeout), not hang for the test's lifetime.
+  auto start = std::chrono::steady_clock::now();
+  std::string received;
+  char buf[512];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<size_t>(n));
+  }
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  ::close(fd);
+  EXPECT_LT(elapsed_ms, 5000);
+  EXPECT_NE(received.find("timeout"), std::string::npos) << received;
+
+  // The listener survives slow-loris peers: a well-behaved request on a
+  // fresh connection still succeeds.
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  Request list;
+  list.op = Op::kListDatasets;
+  auto resp = client.value().Call(list);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_TRUE(resp.value().GetBool("ok"));
+
+  // explain_status surfaces the timeout in the server counters.
+  Request status;
+  status.op = Op::kExplainStatus;
+  auto st = client.value().Call(status);
+  ASSERT_TRUE(st.ok());
+  const JsonValue* srv = st.value().Find("server");
+  ASSERT_NE(srv, nullptr) << st.value().Dump();
+  EXPECT_GE(srv->GetInt("socket_timeouts", 0), 1);
+  server.Stop();
+}
+
+TEST(ServeServer, DrainUnderLoadAnswersEveryRequest) {
+  // Drain with one slow request in flight and more parked in the queue:
+  // the in-flight one completes, every queued one gets a `draining`
+  // response, nothing hangs, and no connection dies unanswered.
+  ScopedFailpoints guard("engine.job.run=always/delay:250");
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  options.admission.global_inflight = 1;
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> threads;
+  std::vector<JsonValue> responses(kClients);
+  std::vector<Status> transports(kClients, Status::OK());
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = Client::Connect(server.port());
+      ASSERT_TRUE(client.ok());
+      Request req;
+      req.op = Op::kClean;
+      req.tenant = "acme";
+      req.dataset = "food";
+      req.deadline_ms = 20000;
+      auto resp = client.value().Call(req);
+      if (resp.ok()) {
+        responses[static_cast<size_t>(i)] = resp.value();
+      } else {
+        transports[static_cast<size_t>(i)] = resp.status();
+      }
+    });
+  }
+  // Let one request reach the engine (delayed there) and the rest park.
+  while (server.queue().stats().depth < kClients - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(server.Drain().ok());
+  for (std::thread& t : threads) t.join();
+
+  int ok_count = 0, draining_count = 0;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(transports[static_cast<size_t>(i)].ok())
+        << "client " << i << " got no response: "
+        << transports[static_cast<size_t>(i)].ToString();
+    const JsonValue& resp = responses[static_cast<size_t>(i)];
+    if (resp.GetBool("ok")) {
+      ok_count++;
+    } else {
+      EXPECT_EQ(resp.GetString("error"), "draining") << resp.Dump();
+      draining_count++;
+    }
+  }
+  EXPECT_EQ(ok_count + draining_count, kClients);
+  EXPECT_GE(ok_count, 1);  // The in-flight request finished its work.
+}
+
+TEST(ServeClient, RetriesOverloadedWithBackoffUntilSlotFrees) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  options.queue.max_depth = 0;  // Reject-only: rejections are immediate.
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+
+  auto held = server.admission().Admit("acme");
+  ASSERT_TRUE(held.ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    held.value().Release();
+  });
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "food";
+  serve::RetryOptions retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff_ms = 40;
+  retry.jitter_seed = 7;
+  auto result = client.value().CallWithRetry(server.port(), req, retry);
+  releaser.join();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result.value().response.GetBool("ok"))
+      << result.value().response.Dump();
+  EXPECT_GE(result.value().attempts, 2);
+  EXPECT_GT(result.value().backoff_ms, 0);
+
+  // The server counted the retried attempts via the wire's `attempt`.
+  Request status;
+  status.op = Op::kExplainStatus;
+  auto st = client.value().Call(status);
+  ASSERT_TRUE(st.ok());
+  const JsonValue* srv = st.value().Find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_GE(srv->GetInt("retried_requests", 0), 1);
+  server.Stop();
+}
+
+TEST(ServeClient, DoesNotRetryNonIdempotentSafeOutcomes) {
+  CleaningServer server(FastServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "nope";  // not_found: a real answer, not a transient.
+  serve::RetryOptions retry;
+  retry.max_attempts = 5;
+  auto result = client.value().CallWithRetry(server.port(), req, retry);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().attempts, 1);
+  EXPECT_FALSE(result.value().response.GetBool("ok"));
+  EXPECT_EQ(result.value().response.GetString("error"), "not_found");
+  server.Stop();
+}
+
+TEST(ServeClient, RetryHonorsOverallDeadline) {
+  ServerOptions options = FastServerOptions();
+  options.admission.per_tenant_inflight = 1;
+  options.queue.max_depth = 0;
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Payload payload = MakePayload(0);
+  ASSERT_TRUE(
+      server.Handle(RegisterFrame("acme", "food", payload)).GetBool("ok"));
+  auto held = server.admission().Admit("acme");  // Never released.
+  ASSERT_TRUE(held.ok());
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  Request req;
+  req.op = Op::kClean;
+  req.tenant = "acme";
+  req.dataset = "food";
+  serve::RetryOptions retry;
+  retry.max_attempts = 100;
+  retry.initial_backoff_ms = 30;
+  retry.overall_deadline_ms = 250;
+  auto start = std::chrono::steady_clock::now();
+  auto result = client.value().CallWithRetry(server.port(), req, retry);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_FALSE(result.ok());  // Out of budget, not out of attempts.
+  EXPECT_LT(elapsed_ms, 2000);
+  held.value().Release();
+  server.Stop();
+}
+
+TEST(ServeServer, ExplainStatusReportsServerCountersGlobally) {
+  CleaningServer server(FastServerOptions());
+  // Provoke one counted error.
+  JsonValue missing = server.Handle(CleanFrame("acme", "nope"));
+  EXPECT_FALSE(missing.GetBool("ok"));
+
+  // Global status needs no (tenant, dataset) target.
+  Request status;
+  status.op = Op::kExplainStatus;
+  JsonValue resp = server.Handle(status.ToJson());
+  ASSERT_TRUE(resp.GetBool("ok")) << resp.Dump();
+  const JsonValue* srv = resp.Find("server");
+  ASSERT_NE(srv, nullptr);
+  EXPECT_GE(srv->GetInt("requests_total", 0), 1);
+  const JsonValue* errors = srv->Find("errors");
+  ASSERT_NE(errors, nullptr);
+  EXPECT_GE(errors->GetInt("not_found", 0), 1) << resp.Dump();
+  const JsonValue* queue = srv->Find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->GetInt("depth", -1), 0);
 }
 
 }  // namespace

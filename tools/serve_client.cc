@@ -11,10 +11,17 @@
 //   holoclean_serve_client --port N clean    <tenant> <dataset> [k=v ...]
 //   holoclean_serve_client --port N feedback <tenant> <dataset> <tid> <attr>
 //                                            <value>
-//   holoclean_serve_client --port N status   <tenant> <dataset>
+//   holoclean_serve_client --port N status   [tenant dataset]
 //
 // `clean` accepts config overrides as key=value pairs (tau=0.7
-// epochs=10 compiled_kernel=false ...).
+// epochs=10 compiled_kernel=false ...). `status` with no arguments asks
+// for the global server view (queue depth, error counters).
+//
+// Shared flags (before the op):
+//   --deadline-ms N    request deadline forwarded to the server queue
+//   --timeout-ms N     socket connect/read/write timeout
+//   --retries N        retry overloaded/draining/transport rejections with
+//                      jittered exponential backoff (N attempts total)
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,13 +42,15 @@ namespace serve = holoclean::serve;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: holoclean_serve_client --port N <op> [args...]\n"
+      "usage: holoclean_serve_client --port N [--deadline-ms N]\n"
+      "                              [--timeout-ms N] [--retries N]\n"
+      "                              <op> [args...]\n"
       "  register <tenant> <dataset> <csv-file> <dc-file>\n"
       "  drop     <tenant> <dataset>\n"
       "  list     [tenant]\n"
       "  clean    <tenant> <dataset> [key=value ...]\n"
       "  feedback <tenant> <dataset> <tid> <attr> <value>\n"
-      "  status   <tenant> <dataset>\n");
+      "  status   [tenant dataset]   (no args: global server counters)\n");
   return 2;
 }
 
@@ -88,15 +97,24 @@ Status AddOverride(const std::string& pair, JsonValue* overrides) {
 
 int main(int argc, char** argv) {
   int port = 0;
+  int deadline_ms = 0;
+  int timeout_ms = 0;
+  int retries = 1;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
     } else {
       args.emplace_back(argv[i]);
     }
   }
-  if (port <= 0 || args.empty()) return Usage();
+  if (port <= 0 || args.empty() || retries < 1) return Usage();
 
   serve::Request req;
   const std::string& op = args[0];
@@ -138,24 +156,46 @@ int main(int argc, char** argv) {
     req.cell_tid = std::atoll(args[3].c_str());
     req.cell_attr = args[4];
     req.cell_value = args[5];
-  } else if (op == "status" && args.size() == 3) {
+  } else if (op == "status" && (args.size() == 1 || args.size() == 3)) {
+    // With no target the server answers with its global counters only.
     req.op = serve::Op::kExplainStatus;
-    req.tenant = args[1];
-    req.dataset = args[2];
+    if (args.size() == 3) {
+      req.tenant = args[1];
+      req.dataset = args[2];
+    }
   } else {
     return Usage();
   }
+  req.deadline_ms = deadline_ms;
 
-  auto client = serve::Client::Connect(port);
+  auto client = serve::Client::Connect(port, timeout_ms);
   if (!client.ok()) {
     std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
     return 2;
   }
-  auto response = client.value().Call(req);
-  if (!response.ok()) {
-    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
-    return 2;
+
+  JsonValue response;
+  if (retries > 1) {
+    serve::RetryOptions retry;
+    retry.max_attempts = retries;
+    if (deadline_ms > 0) retry.overall_deadline_ms = deadline_ms;
+    auto result = client.value().CallWithRetry(port, req, retry);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      // Retries exhausted on a server rejection (overloaded/draining) is
+      // still a rejection, not a transport failure.
+      return result.status().code() == holoclean::StatusCode::kOutOfRange ? 1
+                                                                          : 2;
+    }
+    response = result.value().response;
+  } else {
+    auto direct = client.value().Call(req);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "%s\n", direct.status().ToString().c_str());
+      return 2;
+    }
+    response = direct.value();
   }
-  std::printf("%s\n", response.value().Dump().c_str());
-  return response.value().GetBool("ok") ? 0 : 1;
+  std::printf("%s\n", response.Dump().c_str());
+  return response.GetBool("ok") ? 0 : 1;
 }

@@ -10,9 +10,16 @@
 //   holoclean_serve [--port N] [--state-dir DIR] [--spill-dir DIR]
 //                   [--threads N] [--cache-capacity N]
 //                   [--tenant-inflight N] [--global-inflight N]
+//                   [--queue-depth N] [--default-deadline-ms N]
+//                   [--max-deadline-ms N] [--socket-timeout-ms N]
+//                   [--failpoints PROFILE]
 //
 // Prints "listening on port N" once ready (port 0 binds ephemerally and
 // reports the real port — how the CI smoke test finds it).
+//
+// --failpoints takes a util/failpoint.h profile string (equivalently the
+// HOLOCLEAN_FAILPOINTS env var) — the CI fault-injection smoke job uses
+// it to run the daemon under seeded spill/frame/overload faults.
 
 #include <signal.h>
 #include <unistd.h>
@@ -23,6 +30,7 @@
 #include <string>
 
 #include "holoclean/serve/server.h"
+#include "holoclean/util/failpoint.h"
 
 namespace {
 
@@ -49,7 +57,10 @@ void PrintUsage() {
       stderr,
       "usage: holoclean_serve [--port N] [--state-dir DIR] [--spill-dir DIR]\n"
       "                       [--threads N] [--cache-capacity N]\n"
-      "                       [--tenant-inflight N] [--global-inflight N]\n");
+      "                       [--tenant-inflight N] [--global-inflight N]\n"
+      "                       [--queue-depth N] [--default-deadline-ms N]\n"
+      "                       [--max-deadline-ms N] [--socket-timeout-ms N]\n"
+      "                       [--failpoints PROFILE]\n");
 }
 
 }  // namespace
@@ -111,6 +122,40 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.admission.global_inflight = parsed;
+    } else if (arg == "--queue-depth") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed)) {
+        std::fprintf(stderr,
+                     "--queue-depth needs a number (0 = reject-only)\n");
+        return 2;
+      }
+      options.queue.max_depth = parsed;
+    } else if (arg == "--default-deadline-ms") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed) ||
+          parsed == 0) {
+        std::fprintf(stderr, "--default-deadline-ms needs a positive number\n");
+        return 2;
+      }
+      options.queue.default_deadline_ms = static_cast<int64_t>(parsed);
+    } else if (arg == "--max-deadline-ms") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed)) {
+        std::fprintf(stderr,
+                     "--max-deadline-ms needs a number (0 = uncapped)\n");
+        return 2;
+      }
+      options.queue.max_deadline_ms = static_cast<int64_t>(parsed);
+    } else if (arg == "--socket-timeout-ms") {
+      if ((value = next()) == nullptr || !ParseSizeFlag(value, &parsed)) {
+        std::fprintf(stderr,
+                     "--socket-timeout-ms needs a number (0 = blocking)\n");
+        return 2;
+      }
+      options.socket_timeout_ms = static_cast<int>(parsed);
+    } else if (arg == "--failpoints") {
+      if ((value = next()) == nullptr) {
+        std::fprintf(stderr, "--failpoints needs a profile string\n");
+        return 2;
+      }
+      options.failpoint_profile = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       PrintUsage();
@@ -127,6 +172,17 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // A dead client must not kill the daemon.
+
+  if (!options.failpoint_profile.empty()) {
+    // Surface a typo'd profile as a startup error; the server constructor
+    // only warns (it must tolerate a bad HOLOCLEAN_FAILPOINTS env).
+    holoclean::Status fp =
+        holoclean::Failpoints::Global().Configure(options.failpoint_profile);
+    if (!fp.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", fp.ToString().c_str());
+      return 2;
+    }
+  }
 
   holoclean::serve::CleaningServer server(options);
 
