@@ -136,7 +136,10 @@ struct PipelineContext {
     if (compiled == nullptr) {
       CompiledGraphOptions copts;
       copts.violation_table_cap = config.dc_table_cap;
-      compiled = std::make_shared<const CompiledGraph>(
+      // Non-const make_shared: the streaming tier extends the arenas in
+      // place (CompiledGraph::AppendVariables) through a const_pointer_cast,
+      // which is only defined when the owned object is not actually const.
+      compiled = std::make_shared<CompiledGraph>(
           CompiledGraph::Build(graph, dataset->dirty(), *dcs, copts, pool));
     }
     return Status::OK();

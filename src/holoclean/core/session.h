@@ -28,14 +28,14 @@ namespace holoclean {
 ///    thread-count invariant.
 ///  - PinCell(cell, value): writes a user-verified value into the dirty
 ///    table (the feedback loop of paper §2.2). When detection is cached,
-///    the pinned cell is dropped from the noisy set and only compile and
-///    later re-run — the pin is ground truth, so re-detecting it is
-///    unnecessary. The cached detection is an approximation in both
-///    directions: cells flagged noisy only because of the pinned cell's
-///    old value stay query variables, and conflicts the pinned value newly
-///    exposes (partners now provably wrong against the verified truth) are
-///    not detected, so those partners are not repaired until a full
-///    re-detection. Call Invalidate(StageId::kDetect) for exact semantics.
+///    the pinned tuple is re-detected exactly with a block-limited delta
+///    scan (ViolationDetector::DetectForTuple) and merged over the cached
+///    violations, so the detect artifacts match a full re-detection bit
+///    for bit — cells flagged noisy only by the old value drop out, and
+///    conflicts the verified value newly exposes are detected — at the
+///    cost of the tuple's blocks rather than the table. The verified cell
+///    itself is then removed from the noisy set (it is ground truth) and
+///    compile and later stages re-run.
 ///
 /// The session holds its CleaningInputs bundle: owned inputs stay alive
 /// for the session's lifetime, borrowed ones must outlive it. It mutates

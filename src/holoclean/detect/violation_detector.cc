@@ -145,8 +145,13 @@ ColumnarPlan BuildPlan(const Table& table, const DenialConstraint& dc,
               p.op, dict.GetString(col.code_to_value[c]), p.constant);
         }
       }
-      for (size_t t = 0; t < n; ++t) {
-        ok[t] &= verdict[static_cast<size_t>(col.codes[t])];
+      size_t t = 0;
+      for (size_t ch = 0; ch < col.codes.num_chunks(); ++ch) {
+        const Code* codes = col.codes.chunk_data(ch);
+        const size_t m = col.codes.chunk_size(ch);
+        for (size_t i = 0; i < m; ++i, ++t) {
+          ok[t] &= verdict[static_cast<size_t>(codes[i])];
+        }
       }
     } else {
       const std::vector<ValueId>& lhs = table.Column(p.lhs_attr);
@@ -472,6 +477,278 @@ DetectResult ViolationDetector::DetectAll() const {
 
 std::vector<Violation> ViolationDetector::Detect() const {
   return DetectAll().violations;
+}
+
+// --- Block-limited delta detection ------------------------------------------
+//
+// A full blocked scan reports pairs in (outer tuple ascending, bucket
+// position ascending) order, buckets are filled by ascending tuple id, and
+// a pair's orientation is fixed by its first VIOLATING check — so every
+// per-DC violation list is sorted by (t1, t2), and the checks involving a
+// given tuple set form a contiguous-by-sort-key subsequence. The delta
+// paths below reproduce exactly that subsequence (same check order, same
+// dedup semantics), which makes cached + delta == full scan, including
+// order. Delta evaluation uses the row-path evaluator; its verdicts are
+// pinned bit-identical to the columnar plan by the existing differential
+// tests, and bucket masking in the columnar path only skips checks that
+// could never violate, so the violating-check sequence is the same.
+
+std::vector<Violation> ViolationDetector::DeltaTwoTupleAppended(
+    int dc_index, size_t old_rows) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  auto equalities = dc.CrossEqualities();
+  const size_t n = table_->num_rows();
+
+  auto key_for = [&](TupleId t, int role) -> uint64_t {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const Predicate* p : equalities) {
+      AttrId attr;
+      if (role == 0) {
+        attr = p->lhs_tuple == 0 ? p->lhs_attr : p->rhs_attr;
+      } else {
+        attr = p->lhs_tuple == 1 ? p->lhs_attr : p->rhs_attr;
+      }
+      ValueId v = table_->Get(t, attr);
+      if (v == Dictionary::kNull) return 0;  // NULL never matches.
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    }
+    return h;
+  };
+
+  std::vector<Violation> out;
+  PairSet reported;
+  auto check = [&](TupleId a, TupleId b) {
+    if (a == b) return;
+    if (!evaluator_.Violates(dc, a, b)) return;
+    uint64_t lo = static_cast<uint32_t>(std::min(a, b));
+    uint64_t hi = static_cast<uint32_t>(std::max(a, b));
+    if (reported.Insert((hi << 32) | lo)) {
+      out.push_back(MakeViolation(dc_index, a, b));
+    }
+  };
+
+  // Phase 1: old outer tuples whose role-1 bucket gained new partners. In
+  // the full scan these checks happen at outer a — after a's old partners
+  // (cached) and before any new outer — so evaluating them in (a, b) order
+  // slots them exactly where the full scan discovers them.
+  std::unordered_map<uint64_t, std::vector<TupleId>> old_role0;
+  old_role0.reserve(old_rows);
+  for (size_t t = 0; t < old_rows; ++t) {
+    uint64_t key = key_for(static_cast<TupleId>(t), 0);
+    if (key != 0) old_role0[key].push_back(static_cast<TupleId>(t));
+  }
+  std::vector<std::pair<TupleId, TupleId>> pairs;
+  for (size_t b = old_rows; b < n; ++b) {
+    uint64_t key = key_for(static_cast<TupleId>(b), 1);
+    if (key == 0) continue;
+    auto it = old_role0.find(key);
+    if (it == old_role0.end()) continue;
+    for (TupleId a : it->second) {
+      pairs.emplace_back(a, static_cast<TupleId>(b));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [a, b] : pairs) check(a, b);
+
+  // Phase 2: new outer tuples against the full role-1 buckets, ascending —
+  // the tail of the full scan's outer loop.
+  std::unordered_map<uint64_t, std::vector<TupleId>> t2_buckets;
+  t2_buckets.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    uint64_t key = key_for(static_cast<TupleId>(t), 1);
+    if (key != 0) t2_buckets[key].push_back(static_cast<TupleId>(t));
+  }
+  for (size_t a = old_rows; a < n; ++a) {
+    uint64_t key = key_for(static_cast<TupleId>(a), 0);
+    if (key == 0) continue;
+    auto it = t2_buckets.find(key);
+    if (it == t2_buckets.end()) continue;
+    for (TupleId b : it->second) check(static_cast<TupleId>(a), b);
+  }
+  return out;
+}
+
+std::vector<Violation> ViolationDetector::DeltaTwoTupleChanged(
+    int dc_index, TupleId changed) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  auto equalities = dc.CrossEqualities();
+  const size_t n = table_->num_rows();
+
+  auto key_for = [&](TupleId t, int role) -> uint64_t {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const Predicate* p : equalities) {
+      AttrId attr;
+      if (role == 0) {
+        attr = p->lhs_tuple == 0 ? p->lhs_attr : p->rhs_attr;
+      } else {
+        attr = p->lhs_tuple == 1 ? p->lhs_attr : p->rhs_attr;
+      }
+      ValueId v = table_->Get(t, attr);
+      if (v == Dictionary::kNull) return 0;
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    }
+    return h;
+  };
+
+  std::vector<Violation> out;
+  PairSet reported;
+  auto check = [&](TupleId a, TupleId b) {
+    if (a == b) return;
+    if (!evaluator_.Violates(dc, a, b)) return;
+    uint64_t lo = static_cast<uint32_t>(std::min(a, b));
+    uint64_t hi = static_cast<uint32_t>(std::max(a, b));
+    if (reported.Insert((hi << 32) | lo)) {
+      out.push_back(MakeViolation(dc_index, a, b));
+    }
+  };
+
+  // The full scan checks (a, changed) at every outer a whose role-0 key
+  // matches the changed tuple's role-1 key, and (changed, b) at outer
+  // `changed` against its role-0 key's bucket. Reproduce those checks in
+  // outer order: a < changed first, then the changed tuple's own outer
+  // block, then a > changed.
+  const uint64_t k1_changed = key_for(changed, 1);
+  const uint64_t k0_changed = key_for(changed, 0);
+  std::vector<TupleId> outers;    // a with key0(a) == key1(changed)
+  std::vector<TupleId> partners;  // b with key1(b) == key0(changed)
+  for (size_t t = 0; t < n; ++t) {
+    TupleId tid = static_cast<TupleId>(t);
+    if (tid == changed) continue;
+    if (k1_changed != 0 && key_for(tid, 0) == k1_changed) {
+      outers.push_back(tid);
+    }
+    if (k0_changed != 0 && key_for(tid, 1) == k0_changed) {
+      partners.push_back(tid);
+    }
+  }
+  size_t k = 0;
+  while (k < outers.size() && outers[k] < changed) {
+    check(outers[k], changed);
+    ++k;
+  }
+  for (TupleId b : partners) check(changed, b);
+  for (; k < outers.size(); ++k) check(outers[k], changed);
+  return out;
+}
+
+std::vector<Violation> ViolationDetector::DeltaOne(int dc_index,
+                                                   size_t old_rows,
+                                                   TupleId changed,
+                                                   bool* recomputed,
+                                                   bool* truncated) const {
+  const DenialConstraint& dc = (*dcs_)[static_cast<size_t>(dc_index)];
+  *recomputed = false;
+  if (!dc.IsTwoTuple()) {
+    std::vector<Violation> out;
+    if (changed >= 0) {
+      if (evaluator_.ViolatesSingle(dc, changed)) {
+        out.push_back(MakeViolation(dc_index, changed, changed));
+      }
+    } else {
+      for (size_t t = old_rows; t < table_->num_rows(); ++t) {
+        TupleId tid = static_cast<TupleId>(t);
+        if (evaluator_.ViolatesSingle(dc, tid)) {
+          out.push_back(MakeViolation(dc_index, tid, tid));
+        }
+      }
+    }
+    return out;
+  }
+  if (dc.CrossEqualities().empty()) {
+    *recomputed = true;
+    return DetectOneImpl(dc_index, truncated);
+  }
+  return changed >= 0 ? DeltaTwoTupleChanged(dc_index, changed)
+                      : DeltaTwoTupleAppended(dc_index, old_rows);
+}
+
+DeltaDetectResult ViolationDetector::DetectDeltaImpl(size_t old_rows,
+                                                     TupleId changed) const {
+  DeltaDetectResult result;
+  result.per_dc.resize(dcs_->size());
+  result.recomputed.assign(dcs_->size(), 0);
+  std::vector<uint8_t> truncated(dcs_->size(), 0);
+  auto run = [&](size_t i) {
+    bool rec = false;
+    bool tr = false;
+    result.per_dc[i] =
+        DeltaOne(static_cast<int>(i), old_rows, changed, &rec, &tr);
+    result.recomputed[i] = rec ? 1 : 0;
+    truncated[i] = tr ? 1 : 0;
+  };
+  if (options_.pool != nullptr && dcs_->size() > 1) {
+    options_.pool->ParallelFor(dcs_->size(), run);
+  } else {
+    for (size_t i = 0; i < dcs_->size(); ++i) run(i);
+  }
+  for (size_t i = 0; i < truncated.size(); ++i) {
+    if (truncated[i]) result.truncated_dcs.push_back(static_cast<int>(i));
+  }
+  return result;
+}
+
+DeltaDetectResult ViolationDetector::DetectAppended(size_t old_rows) const {
+  return DetectDeltaImpl(old_rows, -1);
+}
+
+DeltaDetectResult ViolationDetector::DetectForTuple(TupleId changed) const {
+  return DetectDeltaImpl(0, changed);
+}
+
+DetectResult ViolationDetector::MergeDeltaImpl(std::vector<Violation> cached,
+                                               TupleId changed,
+                                               size_t num_dcs,
+                                               DeltaDetectResult delta) {
+  std::vector<std::vector<Violation>> by_dc(num_dcs);
+  for (Violation& v : cached) {
+    by_dc[static_cast<size_t>(v.dc_index)].push_back(std::move(v));
+  }
+  DetectResult out;
+  size_t total = 0;
+  for (const auto& part : by_dc) total += part.size();
+  for (const auto& part : delta.per_dc) total += part.size();
+  out.violations.reserve(total);
+  for (size_t s = 0; s < num_dcs; ++s) {
+    std::vector<Violation>& old_list = by_dc[s];
+    std::vector<Violation>& add = delta.per_dc[s];
+    if (delta.recomputed[s]) {
+      for (Violation& v : add) out.violations.push_back(std::move(v));
+      continue;
+    }
+    // Both lists are (t1, t2)-sorted with disjoint keys (delta pairs all
+    // involve delta tuples; the kept cached pairs involve none).
+    size_t i = 0;
+    size_t j = 0;
+    auto before = [](const Violation& x, const Violation& y) {
+      return x.t1 != y.t1 ? x.t1 < y.t1 : x.t2 < y.t2;
+    };
+    while (i < old_list.size() || j < add.size()) {
+      if (i < old_list.size() && changed >= 0 &&
+          (old_list[i].t1 == changed || old_list[i].t2 == changed)) {
+        ++i;  // Stale: superseded by the delta re-detection.
+        continue;
+      }
+      bool take_old = j >= add.size() ||
+                      (i < old_list.size() && before(old_list[i], add[j]));
+      out.violations.push_back(std::move(take_old ? old_list[i++] : add[j++]));
+    }
+  }
+  out.truncated_dcs = std::move(delta.truncated_dcs);
+  return out;
+}
+
+DetectResult ViolationDetector::MergeAppendDelta(std::vector<Violation> cached,
+                                                 size_t num_dcs,
+                                                 DeltaDetectResult delta) {
+  return MergeDeltaImpl(std::move(cached), -1, num_dcs, std::move(delta));
+}
+
+DetectResult ViolationDetector::MergeTupleDelta(std::vector<Violation> cached,
+                                                TupleId changed,
+                                                size_t num_dcs,
+                                                DeltaDetectResult delta) {
+  return MergeDeltaImpl(std::move(cached), changed, num_dcs,
+                        std::move(delta));
 }
 
 NoisyCells ViolationDetector::NoisyFromViolations(

@@ -28,7 +28,12 @@ SgdLearner::SgdLearner(const FactorGraph* graph, LearnerOptions options)
     : graph_(graph), options_(options) {}
 
 std::vector<double> SgdLearner::Train(WeightStore* weights) const {
-  std::vector<int32_t> order(graph_->evidence_vars());
+  return TrainOn(graph_->evidence_vars(), weights);
+}
+
+std::vector<double> SgdLearner::TrainOn(
+    const std::vector<int32_t>& evidence_vars, WeightStore* weights) const {
+  std::vector<int32_t> order(evidence_vars);
   std::vector<double> epoch_nll;
   if (order.empty()) return epoch_nll;
 

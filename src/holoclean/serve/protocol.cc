@@ -24,6 +24,8 @@ const char* OpName(Op op) {
       return "feedback";
     case Op::kExplainStatus:
       return "explain_status";
+    case Op::kAppendRows:
+      return "append_rows";
   }
   return "unknown";
 }
@@ -35,6 +37,7 @@ Result<Op> ParseOp(const std::string& name) {
   if (name == "clean") return Op::kClean;
   if (name == "feedback") return Op::kFeedback;
   if (name == "explain_status") return Op::kExplainStatus;
+  if (name == "append_rows") return Op::kAppendRows;
   return Status::InvalidArgument("unknown op \"" + name + "\"");
 }
 
@@ -108,6 +111,17 @@ JsonValue Request::ToJson() const {
     cell.Set("value", JsonValue::String(cell_value));
     json.Set("cell", std::move(cell));
   }
+  if (!rows.empty()) {
+    JsonValue rows_json = JsonValue::Array();
+    for (const auto& row : rows) {
+      JsonValue row_json = JsonValue::Array();
+      for (const auto& value : row) {
+        row_json.Append(JsonValue::String(value));
+      }
+      rows_json.Append(std::move(row_json));
+    }
+    json.Set("rows", std::move(rows_json));
+  }
   if (config_overrides.is_object() && config_overrides.size() > 0) {
     json.Set("config", config_overrides);
   }
@@ -148,6 +162,24 @@ Result<Request> Request::FromJson(const JsonValue& json) {
     if (req.cell_tid < 0 || req.cell_attr.empty()) {
       return Status::InvalidArgument(
           "\"cell\" needs a non-negative tid and an attr");
+    }
+  }
+  if (const JsonValue* rows = json.Find("rows")) {
+    if (!rows->is_array()) {
+      return Status::InvalidArgument("\"rows\" must be an array of arrays");
+    }
+    for (const JsonValue& row : rows->items()) {
+      if (!row.is_array()) {
+        return Status::InvalidArgument("\"rows\" must be an array of arrays");
+      }
+      std::vector<std::string> values;
+      for (const JsonValue& value : row.items()) {
+        if (!value.is_string()) {
+          return Status::InvalidArgument("row values must be strings");
+        }
+        values.push_back(value.AsString());
+      }
+      req.rows.push_back(std::move(values));
     }
   }
   if (const JsonValue* config = json.Find("config")) {

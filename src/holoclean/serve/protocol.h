@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "holoclean/core/config.h"
 #include "holoclean/util/json.h"
@@ -21,19 +22,22 @@ namespace serve {
 ///    "config": {"tau": 0.5, ...},            // optional overrides
 ///    "csv": "...", "constraints": "...",     // register_dataset only
 ///    "cell": {"tid": 3, "attr": "City", "value": "Chicago"},  // feedback
+///    "rows": [["v1", "v2", ...], ...],       // append_rows only
 ///    "deadline_ms": 2000,   // optional: give up after this long (queue
 ///                           // wait included); server clamps to its cap
 ///    "attempt": 1}          // optional: client retry ordinal, 0-based
 ///
 /// Response object:
-///   {"ok": true, "protocol": 1, ...op-specific payload...}
-///   {"ok": false, "protocol": 1, "error": "overloaded",
+///   {"ok": true, "protocol": 2, ...op-specific payload...}
+///   {"ok": false, "protocol": 2, "error": "overloaded",
 ///    "message": "tenant acme has 4 cleans in flight"}
 ///
 /// Stability contract: fields are only ever added, never renamed or
 /// removed; unknown fields are ignored on read. kProtocolVersion bumps
-/// only when that contract has to break.
-inline constexpr int kProtocolVersion = 1;
+/// only when that contract has to break. Version 2 added the append_rows
+/// op (streaming ingestion) and the request's "rows" field; both are
+/// additive — a version-1 frame parses and re-serializes byte-identically.
+inline constexpr int kProtocolVersion = 2;
 
 /// Frames larger than this are refused before allocation — a hostile or
 /// corrupt length prefix must not OOM the daemon. Registration payloads
@@ -48,6 +52,9 @@ enum class Op {
   kClean,
   kFeedback,
   kExplainStatus,
+  /// Streaming ingestion (protocol 2): appends the request's "rows" to the
+  /// tenant's working copy and incrementally re-cleans it.
+  kAppendRows,
 };
 
 const char* OpName(Op op);
@@ -84,6 +91,9 @@ struct Request {
   int64_t cell_tid = -1;
   std::string cell_attr;
   std::string cell_value;
+  /// append_rows payload: raw string rows, schema arity each. Serialized
+  /// only when non-empty (protocol-1 frames round-trip byte-identically).
+  std::vector<std::vector<std::string>> rows;
   /// Optional per-request config overrides (subset of HoloCleanConfig
   /// knobs; absent fields keep the server defaults).
   JsonValue config_overrides = JsonValue::Object();

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "holoclean/io/report_json.h"
+#include "holoclean/stream/stream_session.h"
 #include "holoclean/util/failpoint.h"
 #include "holoclean/util/logging.h"
 
@@ -200,6 +201,8 @@ JsonValue CleaningServer::Dispatch(const Request& req) {
         return DoClean(req);
       case Op::kFeedback:
         return DoFeedback(req);
+      case Op::kAppendRows:
+        return DoAppendRows(req);
       case Op::kExplainStatus:
         return DoExplainStatus(req);
     }
@@ -406,6 +409,78 @@ JsonValue CleaningServer::DoFeedback(const Request& req) {
   return resp;
 }
 
+JsonValue CleaningServer::DoAppendRows(const Request& req) {
+  if (draining_.load()) {
+    return ErrorResponse(Status::OutOfRange("draining: server is draining"));
+  }
+  if (req.rows.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("append_rows needs a non-empty \"rows\""));
+  }
+  const RequestQueue::Clock::time_point deadline =
+      queue_.DeadlineFor(req.deadline_ms);
+  Result<AdmissionController::Ticket> acquired =
+      queue_.Acquire(req.tenant, deadline);
+  if (!acquired.ok()) return ErrorResponse(acquired.status());
+  QueuedTicket ticket(std::move(acquired).value(), &queue_);
+
+  Result<std::shared_ptr<const DatasetRegistry::Entry>> entry =
+      registry_.Find(req.tenant, req.dataset);
+  if (!entry.ok()) return ErrorResponse(entry.status());
+
+  const std::string key = RegistryKey(req.tenant, req.dataset);
+  std::shared_ptr<TenantSlot> slot = GetOrCreateSlot(entry.value());
+  Status queue_st = HOLO_FAILPOINT("serve.queue.dispatch");
+  if (!queue_st.ok()) return ErrorResponse(queue_st);
+  std::lock_guard<std::mutex> slot_lock(slot->mu);
+  if (RequestQueue::Clock::now() >= deadline) {
+    return ErrorResponse(
+        DeadlineExceeded("request deadline passed after dequeue, before "
+                         "execution"));
+  }
+
+  HoloCleanConfig config = slot->has_run ? slot->config
+                                         : options_.default_config;
+  Status st = ApplyConfigOverrides(req.config_overrides, &config);
+  if (!st.ok()) return ErrorResponse(st);
+
+  // Reuse the warm parked session (or its spilled snapshot) when there is
+  // one; open cold otherwise. The stream layer delta-detects only the
+  // blocks the new rows touch, then — serving exact mode — re-runs the
+  // model stages, so repairs are bit-identical to a from-scratch clean of
+  // the grown table.
+  SessionOptions session_options;
+  session_options.config = config;
+  session_options.cache_key = key;
+  Result<Session> session = engine_.OpenSession(
+      CleaningInputs::Owned(slot->dataset, slot->dcs), session_options);
+  if (!session.ok()) return ErrorResponse(session.status());
+
+  StreamOptions stream_options;
+  stream_options.mode = StreamMode::kExact;
+  StreamSession stream(&session.value(), stream_options);
+  Result<Report> report = stream.AppendRows(req.rows);
+  if (!report.ok()) return ErrorResponse(report.status());
+
+  const StreamStats& stats = stream.stats();
+  slot->stream_appended_rows += stats.appended_rows;
+  slot->stream_batches += stats.batches;
+  slot->stream_compactions += stats.compactions;
+  slot->stream_last_batch_seconds = stats.last_batch.total_seconds;
+
+  JsonValue resp = OkResponse();
+  resp.Set("appended", JsonValue::Number(
+                           static_cast<uint64_t>(stats.appended_rows)));
+  resp.Set("rows",
+           JsonValue::Number(
+               static_cast<uint64_t>(slot->dataset->dirty().num_rows())));
+  resp.Set("report", ReportToJson(report.value(), slot->dataset->dirty()));
+  slot->config = config;
+  slot->has_run = true;
+  engine_.CacheSession(key, std::move(session).value());
+  return resp;
+}
+
 JsonValue CleaningServer::ServerStatusJson() {
   JsonValue server = JsonValue::Object();
   server.Set("draining", JsonValue::Bool(draining_.load()));
@@ -475,11 +550,27 @@ JsonValue CleaningServer::DoExplainStatus(const Request& req) {
     std::lock_guard<std::mutex> lock(slots_mu_);
     auto it = slots_.find(key);
     bool has_run = false;
+    JsonValue stream = JsonValue::Object();
+    stream.Set("appended_rows", JsonValue::Number(uint64_t{0}));
+    stream.Set("batches", JsonValue::Number(uint64_t{0}));
+    stream.Set("compactions", JsonValue::Number(uint64_t{0}));
+    stream.Set("last_batch_seconds", JsonValue::Number(0.0));
     if (it != slots_.end()) {
       std::lock_guard<std::mutex> slot_lock(it->second->mu);
       has_run = it->second->has_run;
+      stream.Set("appended_rows",
+                 JsonValue::Number(static_cast<uint64_t>(
+                     it->second->stream_appended_rows)));
+      stream.Set("batches", JsonValue::Number(static_cast<uint64_t>(
+                                it->second->stream_batches)));
+      stream.Set("compactions",
+                 JsonValue::Number(static_cast<uint64_t>(
+                     it->second->stream_compactions)));
+      stream.Set("last_batch_seconds",
+                 JsonValue::Number(it->second->stream_last_batch_seconds));
     }
     resp.Set("has_run", JsonValue::Bool(has_run));
+    resp.Set("stream", std::move(stream));
   }
   resp.Set("server", ServerStatusJson());
   return resp;

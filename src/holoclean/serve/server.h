@@ -148,6 +148,12 @@ class CleaningServer {
     std::shared_ptr<const std::vector<DenialConstraint>> dcs;
     HoloCleanConfig config;  ///< Guarded by mu.
     bool has_run = false;    ///< Guarded by mu.
+    /// Streaming-ingestion counters (append_rows), all guarded by mu —
+    /// surfaced as explain_status's per-dataset "stream" object.
+    size_t stream_appended_rows = 0;
+    size_t stream_batches = 0;
+    size_t stream_compactions = 0;
+    double stream_last_batch_seconds = 0.0;
   };
 
   std::shared_ptr<TenantSlot> GetOrCreateSlot(
@@ -160,6 +166,7 @@ class CleaningServer {
   JsonValue DoList(const Request& req);
   JsonValue DoClean(const Request& req);
   JsonValue DoFeedback(const Request& req);
+  JsonValue DoAppendRows(const Request& req);
   JsonValue DoExplainStatus(const Request& req);
 
   /// The "server" object of explain_status: queue depth and counters,

@@ -83,7 +83,6 @@ CooccurrenceStats CooccurrenceStats::BuildColumnar(
   stats.domains_.resize(num_attrs);
 
   const ColumnStore& store = table.store();
-  const size_t n = store.num_rows();
 
   for (AttrId a : attrs) {
     const ColumnStore::Column& col = store.column(static_cast<size_t>(a));
@@ -125,10 +124,15 @@ CooccurrenceStats CooccurrenceStats::BuildColumnar(
     }
     std::vector<Code> grouped(offsets[n_ctx]);
     std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (size_t t = 0; t < n; ++t) {
-      Code cc = ccol.codes[t];
-      if (cc == 0) continue;
-      grouped[cursor[static_cast<size_t>(cc)]++] = tcol.codes[t];
+    for (size_t ch = 0; ch < ccol.codes.num_chunks(); ++ch) {
+      const Code* cc_data = ccol.codes.chunk_data(ch);
+      const Code* tc_data = tcol.codes.chunk_data(ch);
+      const size_t m = ccol.codes.chunk_size(ch);
+      for (size_t i = 0; i < m; ++i) {
+        Code cc = cc_data[i];
+        if (cc == 0) continue;
+        grouped[cursor[static_cast<size_t>(cc)]++] = tc_data[i];
+      }
     }
 
     std::vector<int> counts(n_tgt, 0);
@@ -165,6 +169,39 @@ CooccurrenceStats CooccurrenceStats::BuildColumnar(
   }
   for (size_t e : task_entries) stats.num_pair_entries_ += e;
   return stats;
+}
+
+void CooccurrenceStats::AppendRows(const Table& table,
+                                   const std::vector<AttrId>& attrs,
+                                   size_t first_row) {
+  HOLO_CHECK(table.schema().num_attrs() == num_attrs_);
+  HOLO_CHECK(table.dict().size() < (1ULL << kValueBits));
+  for (size_t t = first_row; t < table.num_rows(); ++t) {
+    for (AttrId a : attrs) {
+      ValueId v = table.Get(static_cast<TupleId>(t), a);
+      if (v == Dictionary::kNull) continue;
+      ++value_counts_[KeyAV(a, v)];
+      for (AttrId a_ctx : attrs) {
+        if (a_ctx == a) continue;
+        ValueId v_ctx = table.Get(static_cast<TupleId>(t), a_ctx);
+        if (v_ctx == Dictionary::kNull) continue;
+        auto& list = pair_index_[static_cast<size_t>(a) * num_attrs_ +
+                                 static_cast<size_t>(a_ctx)]
+                         .by_ctx[v_ctx];
+        auto it =
+            std::lower_bound(list.begin(), list.end(), std::make_pair(v, 0));
+        if (it != list.end() && it->first == v) {
+          ++it->second;
+        } else {
+          list.insert(it, {v, 1});
+          ++num_pair_entries_;
+        }
+      }
+    }
+  }
+  for (AttrId a : attrs) {
+    domains_[static_cast<size_t>(a)] = table.ActiveDomain(a);
+  }
 }
 
 int CooccurrenceStats::PairCount(AttrId a, ValueId v, AttrId a_ctx,

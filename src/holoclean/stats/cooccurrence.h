@@ -36,6 +36,15 @@ class CooccurrenceStats {
                                          const std::vector<AttrId>& attrs,
                                          ThreadPool* pool = nullptr);
 
+  /// Folds rows [first_row, table.num_rows()) into the statistics in place
+  /// (streaming append). Counts, pair lists, and domains end up with
+  /// exactly the contents a from-scratch Build over the grown table
+  /// produces — new pair entries are inserted at their sorted position —
+  /// so every consumer (pruning, features) sees bit-identical statistics.
+  /// Cost is O(new_rows * |attrs|^2 * log) — independent of the old rows.
+  void AppendRows(const Table& table, const std::vector<AttrId>& attrs,
+                  size_t first_row);
+
   /// #(tuples where attribute a = v and attribute a_ctx = v_ctx).
   int PairCount(AttrId a, ValueId v, AttrId a_ctx, ValueId v_ctx) const;
 

@@ -73,11 +73,9 @@ void ColumnStore::Set(size_t a, size_t t, ValueId v) {
   col.codes[t] = c;
   ++col.code_counts[static_cast<size_t>(c)];
   col.values[t] = v;
-  // A new code invalidates cached compare metadata for this column.
-  if (static_cast<size_t>(c) + 1 == col.num_codes()) {
-    std::lock_guard<std::mutex> lock(meta_mu_);
-    meta_[a].reset();
-  }
+  // A new code leaves the cached compare metadata in place: it is stale
+  // (detected by its code count), and EnsureCompareMeta extends it
+  // incrementally instead of rebuilding the column's metadata.
 }
 
 void ColumnStore::AppendRow(const std::vector<ValueId>& ids) {
@@ -90,6 +88,20 @@ void ColumnStore::AppendRow(const std::vector<ValueId>& ids) {
     col.values.push_back(ids[a]);
   }
   ++num_rows_;
+}
+
+void ColumnStore::Truncate(size_t new_rows) {
+  HOLO_CHECK(new_rows <= num_rows_);
+  for (Column& col : columns_) {
+    while (col.codes.size() > new_rows) {
+      Code c = col.codes.back();
+      col.codes.pop_back();
+      HOLO_CHECK(col.code_counts[static_cast<size_t>(c)] > 0);
+      --col.code_counts[static_cast<size_t>(c)];
+      col.values.pop_back();
+    }
+  }
+  num_rows_ = new_rows;
 }
 
 void ColumnStore::SortDictionaries(const Dictionary& dict) {
@@ -121,7 +133,13 @@ void ColumnStore::SortDictionaries(const Dictionary& dict) {
       new_counts[static_cast<size_t>(new_code)] =
           col.code_counts[static_cast<size_t>(old_code)];
     }
-    for (Code& c : col.codes) c = remap[static_cast<size_t>(c)];
+    for (size_t ch = 0; ch < col.codes.num_chunks(); ++ch) {
+      Code* codes = col.codes.chunk_data(ch);
+      const size_t m = col.codes.chunk_size(ch);
+      for (size_t i = 0; i < m; ++i) {
+        codes[i] = remap[static_cast<size_t>(codes[i])];
+      }
+    }
     col.code_to_value = std::move(new_c2v);
     col.code_counts = std::move(new_counts);
     for (size_t c = 0; c < n_codes; ++c) {
@@ -157,7 +175,7 @@ void ColumnStore::Install(std::vector<std::vector<ValueId>> values,
       reverse[static_cast<size_t>(v)] = static_cast<Code>(c);
       col.value_to_code.emplace(v, static_cast<Code>(c));
     }
-    col.codes.resize(rows);
+    col.codes.clear();
     col.code_counts.assign(n_codes, 0);
     const std::vector<ValueId>& vals = values[a];
     for (size_t t = 0; t < rows; ++t) {
@@ -165,7 +183,7 @@ void ColumnStore::Install(std::vector<std::vector<ValueId>> values,
       HOLO_CHECK(v >= 0 && static_cast<size_t>(v) < reverse.size());
       Code c = reverse[static_cast<size_t>(v)];
       HOLO_CHECK(c >= 0);
-      col.codes[t] = c;
+      col.codes.push_back(c);
       ++col.code_counts[static_cast<size_t>(c)];
     }
     col.values = std::move(values[a]);
@@ -179,32 +197,39 @@ void ColumnStore::Install(std::vector<std::vector<ValueId>> values,
 
 std::shared_ptr<const ColumnStore::CompareMeta> ColumnStore::EnsureCompareMeta(
     size_t a, const Dictionary& dict) const {
+  std::shared_ptr<const CompareMeta> base;
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
-    if (meta_[a] != nullptr &&
-        meta_[a]->is_numeric.size() == columns_[a].num_codes()) {
-      return meta_[a];
+    if (meta_[a] != nullptr) {
+      if (meta_[a]->is_numeric.size() == columns_[a].num_codes()) {
+        return meta_[a];
+      }
+      // Codes only ever grow in place between cache resets (the reorder
+      // paths — SortDictionaries, Install — drop the cache), so a smaller
+      // snapshot describes a prefix of today's dictionary and can be
+      // extended instead of rebuilt.
+      if (meta_[a]->is_numeric.size() < columns_[a].num_codes()) {
+        base = meta_[a];
+      }
     }
   }
   const Column& col = columns_[a];
-  size_t n_codes = col.num_codes();
+  const size_t n_codes = col.num_codes();
+  const size_t d_old = base == nullptr ? 0 : base->is_numeric.size();
   auto meta = std::make_shared<CompareMeta>();
   meta->is_numeric.resize(n_codes, 0);
   meta->numeric.resize(n_codes, 0.0);
   meta->lex_rank.resize(n_codes, 0);
-  meta->all_lexicographic = true;
-  meta->all_numeric = true;
-  std::vector<Code> order(n_codes);
-  std::iota(order.begin(), order.end(), Code{0});
-  std::sort(order.begin(), order.end(), [&](Code x, Code y) {
-    return dict.GetString(col.code_to_value[static_cast<size_t>(x)]) <
-           dict.GetString(col.code_to_value[static_cast<size_t>(y)]);
-  });
-  for (size_t rank = 0; rank < n_codes; ++rank) {
-    meta->lex_rank[static_cast<size_t>(order[rank])] =
-        static_cast<int32_t>(rank);
+  meta->all_lexicographic = base == nullptr || base->all_lexicographic;
+  meta->all_numeric = base == nullptr || base->all_numeric;
+  if (base != nullptr) {
+    std::copy(base->is_numeric.begin(), base->is_numeric.end(),
+              meta->is_numeric.begin());
+    std::copy(base->numeric.begin(), base->numeric.end(),
+              meta->numeric.begin());
   }
-  for (size_t c = 0; c < n_codes; ++c) {
+  // Per-code parsing runs only for codes the snapshot does not cover.
+  for (size_t c = d_old; c < n_codes; ++c) {
     const std::string& s = dict.GetString(col.code_to_value[c]);
     if (IsNumeric(s)) {
       meta->is_numeric[c] = 1;
@@ -213,6 +238,39 @@ std::shared_ptr<const ColumnStore::CompareMeta> ColumnStore::EnsureCompareMeta(
     } else if (c != 0) {
       meta->all_numeric = false;
     }
+  }
+  // Lexicographic ranks: merge the snapshot's rank order with the sorted
+  // new codes (strings are distinct per column, so the merge reproduces a
+  // full rebuild's std::sort order exactly). d_old == 0 degenerates into
+  // the full sort.
+  std::vector<Code> new_codes(n_codes - d_old);
+  std::iota(new_codes.begin(), new_codes.end(), static_cast<Code>(d_old));
+  std::sort(new_codes.begin(), new_codes.end(), [&](Code x, Code y) {
+    return dict.GetString(col.code_to_value[static_cast<size_t>(x)]) <
+           dict.GetString(col.code_to_value[static_cast<size_t>(y)]);
+  });
+  std::vector<Code> inv_old(d_old);
+  for (size_t c = 0; c < d_old; ++c) {
+    inv_old[static_cast<size_t>(base->lex_rank[c])] = static_cast<Code>(c);
+  }
+  size_t i = 0;
+  size_t j = 0;
+  int32_t rank = 0;
+  while (i < d_old || j < new_codes.size()) {
+    bool take_old;
+    if (i >= d_old) {
+      take_old = false;
+    } else if (j >= new_codes.size()) {
+      take_old = true;
+    } else {
+      take_old =
+          dict.GetString(
+              col.code_to_value[static_cast<size_t>(inv_old[i])]) <
+          dict.GetString(
+              col.code_to_value[static_cast<size_t>(new_codes[j])]);
+    }
+    Code c = take_old ? inv_old[i++] : new_codes[j++];
+    meta->lex_rank[static_cast<size_t>(c)] = rank++;
   }
   std::lock_guard<std::mutex> lock(meta_mu_);
   if (meta_[a] == nullptr || meta_[a]->is_numeric.size() != n_codes) {

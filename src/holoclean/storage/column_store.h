@@ -15,6 +15,68 @@ namespace holoclean {
 /// dictionary. Code 0 always maps to Dictionary::kNull.
 using Code = int32_t;
 
+/// Physically chunked code array: fixed-size segments of kRowsPerChunk
+/// codes each. Appends only ever touch the tail segment (full segments are
+/// never reallocated, so concurrent readers of sealed chunks see stable
+/// storage), and a truncation pops codes off the tail — the storage-level
+/// primitives streaming ingestion needs. Scans iterate per chunk via
+/// chunk_data()/chunk_size(); random access goes through operator[].
+class ChunkedCodes {
+ public:
+  static constexpr size_t kRowsPerChunk = 1 << 16;
+
+  Code operator[](size_t t) const {
+    return chunks_[t >> kShift][t & kMask];
+  }
+  Code& operator[](size_t t) { return chunks_[t >> kShift][t & kMask]; }
+
+  void push_back(Code c) {
+    if ((size_ & kMask) == 0) {
+      chunks_.emplace_back();
+      chunks_.back().reserve(kRowsPerChunk);
+    }
+    chunks_.back().push_back(c);
+    ++size_;
+  }
+
+  void pop_back() {
+    chunks_.back().pop_back();
+    --size_;
+    if (chunks_.back().empty()) chunks_.pop_back();
+  }
+
+  Code back() const { return chunks_.back().back(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t num_chunks() const { return chunks_.size(); }
+  const Code* chunk_data(size_t i) const { return chunks_[i].data(); }
+  Code* chunk_data(size_t i) { return chunks_[i].data(); }
+  size_t chunk_size(size_t i) const { return chunks_[i].size(); }
+
+  void clear() {
+    chunks_.clear();
+    size_ = 0;
+  }
+
+  /// Chunk layout is a pure function of size, so element equality is chunk
+  /// equality.
+  friend bool operator==(const ChunkedCodes& a, const ChunkedCodes& b) {
+    return a.chunks_ == b.chunks_;
+  }
+  friend bool operator!=(const ChunkedCodes& a, const ChunkedCodes& b) {
+    return !(a == b);
+  }
+
+ private:
+  static constexpr size_t kShift = 16;
+  static constexpr size_t kMask = kRowsPerChunk - 1;
+  static_assert(kRowsPerChunk == (size_t{1} << kShift), "shift mismatch");
+
+  std::vector<std::vector<Code>> chunks_;
+  size_t size_ = 0;
+};
+
 /// Columnar dictionary-encoded cell storage (the hyrise dictionary-segment
 /// design, collapsed to one segment per column with logical chunk
 /// boundaries).
@@ -36,10 +98,9 @@ using Code = int32_t;
 /// which update codes, counts, and the mirror together.
 class ColumnStore {
  public:
-  /// Logical rows per chunk. Chunks share one physical code array today —
-  /// the boundary exists so streaming/append work has a natural unit (and
-  /// scans a natural tile) without a later storage-format change.
-  static constexpr size_t kChunkRows = 1 << 16;
+  /// Rows per physical code segment: appends grow only the tail chunk,
+  /// sealed chunks are never reallocated, and scans tile per chunk.
+  static constexpr size_t kChunkRows = ChunkedCodes::kRowsPerChunk;
 
   /// Lazily derived per-code comparison metadata of one column (built by
   /// EnsureCompareMeta, immutable afterwards until the dictionary grows).
@@ -61,8 +122,8 @@ class ColumnStore {
   };
 
   struct Column {
-    /// One code per row.
-    std::vector<Code> codes;
+    /// One code per row, in physical kChunkRows segments.
+    ChunkedCodes codes;
     /// Dense code -> global ValueId. codes.size() distinct entries;
     /// code_to_value[0] == Dictionary::kNull always.
     std::vector<ValueId> code_to_value;
@@ -111,6 +172,12 @@ class ColumnStore {
   /// Appends one row of global ids (one per column).
   void AppendRow(const std::vector<ValueId>& ids);
 
+  /// Drops every row at index >= new_rows (streaming-append rollback).
+  /// Codes whose occurrence count drops to zero stay in the per-column
+  /// dictionaries (ActiveDomain and the stats passes skip count-0 codes),
+  /// so cached CompareMeta stays valid.
+  void Truncate(size_t new_rows);
+
   /// Re-encodes every column so codes follow lexicographic string order
   /// (code 0 stays NULL). Called after a bulk load; `dict` resolves the
   /// strings. Resets sorted_prefix to the full dictionary.
@@ -129,7 +196,11 @@ class ColumnStore {
   /// detection fetches this concurrently from per-DC pool workers). `dict`
   /// resolves code strings. The returned snapshot is immutable; it covers
   /// the codes that existed when it was built, so callers that mutate the
-  /// table must re-fetch.
+  /// table must re-fetch. When the dictionary only grew since the cached
+  /// snapshot (appends interning new values), the snapshot is extended
+  /// incrementally: per-code parsing runs only for the new codes and the
+  /// lexicographic ranks are merged, so append cost is proportional to the
+  /// new distinct values, never the whole column.
   std::shared_ptr<const CompareMeta> EnsureCompareMeta(
       size_t a, const Dictionary& dict) const;
 

@@ -25,6 +25,10 @@ class Dataset {
   void set_clean(Table clean) { clean_ = std::move(clean); }
   bool has_clean() const { return clean_.has_value(); }
   const Table& clean() const { return *clean_; }
+  /// Mutable access for streaming appends: the clean table's rows must
+  /// stay aligned with the dirty table's (TrueErrors indexes both by the
+  /// dirty row count).
+  Table& clean() { return *clean_; }
 
   /// Marks an attribute as the provenance/source column (e.g. which web
   /// source reported a Flights tuple). Source cells are never repaired but

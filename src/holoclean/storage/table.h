@@ -74,6 +74,12 @@ class Table {
   /// Appends a row of pre-interned ids.
   void AppendRowIds(const std::vector<ValueId>& ids);
 
+  /// Drops every row at index >= new_rows (streaming-append rollback).
+  /// Strings the dropped rows interned stay in the dictionary; per-column
+  /// dictionary codes whose count reaches zero stay allocated (harmless —
+  /// active domains and stats skip them).
+  void Truncate(size_t new_rows) { store_.Truncate(new_rows); }
+
   ValueId Get(TupleId t, AttrId a) const {
     return store_.Value(static_cast<size_t>(a), static_cast<size_t>(t));
   }

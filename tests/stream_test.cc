@@ -1,0 +1,618 @@
+// Tests for streaming ingestion (src/holoclean/stream): differential
+// equivalence of batched appends against cleaning the final table from
+// scratch (exact mode: bit-identical violations, domains, and repairs
+// across batch sizes, thread counts, and seeds), warm-mode guarantees
+// (exact violations, bounded repair-quality divergence, resync restoring
+// bit-identity), append-after-restore, failpoint-injected faults leaving
+// the session cleanly recoverable, the append_rows wire op on a warm
+// served session, and the storage/stats append primitives underneath
+// (Table::Truncate, CooccurrenceStats::AppendRows).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "holoclean/core/evaluation.h"
+#include "holoclean/data/hospital.h"
+#include "holoclean/serve/protocol.h"
+#include "holoclean/serve/server.h"
+#include "holoclean/stats/cooccurrence.h"
+#include "holoclean/stream/stream_session.h"
+#include "holoclean/util/csv.h"
+#include "holoclean/util/failpoint.h"
+#include "session_helpers.h"
+
+namespace holoclean {
+namespace {
+
+using test_helpers::OpenSessionOver;
+using test_helpers::RestoreSessionOver;
+
+/// The full generated table split into a base prefix and an append tail,
+/// both as raw string rows (the form rows arrive in over every streaming
+/// surface). The constraints are attribute-id based, so they apply to any
+/// table built from the same header.
+struct SplitData {
+  CsvDocument base;            ///< Header + first `base_rows` dirty rows.
+  CsvDocument full;            ///< Header + all dirty rows.
+  CsvDocument clean_base;      ///< Header + first `base_rows` clean rows.
+  std::vector<std::vector<std::string>> tail;        ///< Dirty tail rows.
+  std::vector<std::vector<std::string>> clean_tail;  ///< Ground-truth tail.
+  std::vector<DenialConstraint> dcs;
+  std::string dc_text;         ///< Re-parsable constraint listing (wire).
+};
+
+SplitData MakeSplit(size_t total_rows, size_t base_rows, uint64_t seed) {
+  HospitalOptions options;
+  options.num_rows = total_rows;
+  options.error_rate = 0.08;
+  options.seed = seed;
+  GeneratedData data = MakeHospital(options);
+  SplitData split;
+  split.full = data.dataset.dirty().ToCsv();
+  CsvDocument clean_doc = data.dataset.clean().ToCsv();
+  split.base.header = split.full.header;
+  split.clean_base.header = clean_doc.header;
+  for (size_t i = 0; i < split.full.rows.size(); ++i) {
+    if (i < base_rows) {
+      split.base.rows.push_back(split.full.rows[i]);
+      split.clean_base.rows.push_back(clean_doc.rows[i]);
+    } else {
+      split.tail.push_back(split.full.rows[i]);
+      split.clean_tail.push_back(clean_doc.rows[i]);
+    }
+  }
+  for (const DenialConstraint& dc : data.dcs) {
+    split.dc_text += dc.ToString(data.dataset.dirty().schema()) + "\n";
+  }
+  split.dcs = std::move(data.dcs);
+  return split;
+}
+
+/// The three artifacts the differential asserts on.
+struct Artifacts {
+  std::vector<Violation> violations;
+  std::unordered_map<CellRef, std::vector<ValueId>, CellRefHash> domains;
+  std::vector<Repair> repairs;
+};
+
+Artifacts Capture(const Session& session, const Report& report) {
+  Artifacts out;
+  out.violations = session.context().violations;
+  out.domains = session.context().domains.candidates;
+  out.repairs = report.repairs;
+  return out;
+}
+
+void ExpectViolationsEqual(const std::vector<Violation>& a,
+                           const std::vector<Violation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dc_index, b[i].dc_index) << "violation " << i;
+    EXPECT_EQ(a[i].t1, b[i].t1) << "violation " << i;
+    EXPECT_EQ(a[i].t2, b[i].t2) << "violation " << i;
+    ASSERT_EQ(a[i].cells.size(), b[i].cells.size()) << "violation " << i;
+    for (size_t c = 0; c < a[i].cells.size(); ++c) {
+      EXPECT_TRUE(a[i].cells[c] == b[i].cells[c]) << "violation " << i;
+    }
+  }
+}
+
+void ExpectRepairsBitIdentical(const std::vector<Repair>& a,
+                               const std::vector<Repair>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].cell == b[i].cell) << "repair " << i;
+    EXPECT_EQ(a[i].old_value, b[i].old_value) << "repair " << i;
+    EXPECT_EQ(a[i].new_value, b[i].new_value) << "repair " << i;
+    EXPECT_EQ(a[i].probability, b[i].probability) << "repair " << i;
+  }
+}
+
+HoloCleanConfig FastConfig() {
+  HoloCleanConfig config;
+  config.tau = 0.5;
+  config.epochs = 8;
+  config.gibbs_burn_in = 3;
+  config.gibbs_samples = 10;
+  return config;
+}
+
+/// From-scratch reference: clean the full table in one cold session.
+/// Both this and the streamed path intern values row-major from the same
+/// CSV rows, so every ValueId (and hence every artifact) is comparable.
+Artifacts RunScratch(const HoloCleanConfig& config, const SplitData& split) {
+  auto table = Table::FromCsv(split.full);
+  EXPECT_TRUE(table.ok()) << table.status();
+  Dataset dataset(std::move(table).value());
+  auto session = OpenSessionOver(config, &dataset, split.dcs);
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto report = session.value().RunThrough(StageId::kRepair);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return Capture(session.value(), report.value());
+}
+
+/// Streams the tail in `batch_rows`-sized batches over a warm base
+/// session and returns the final artifacts plus the stream stats.
+struct StreamOutcome {
+  Artifacts artifacts;
+  StreamStats stats;
+};
+
+StreamOutcome RunStreamed(const HoloCleanConfig& config,
+                          const SplitData& split, size_t batch_rows,
+                          StreamOptions stream_options) {
+  auto table = Table::FromCsv(split.base);
+  EXPECT_TRUE(table.ok()) << table.status();
+  Dataset dataset(std::move(table).value());
+  auto session = OpenSessionOver(config, &dataset, split.dcs);
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto initial = session.value().RunThrough(StageId::kRepair);
+  EXPECT_TRUE(initial.ok()) << initial.status();
+
+  StreamSession stream(&session.value(), stream_options);
+  Report report = initial.value();
+  for (size_t begin = 0; begin < split.tail.size(); begin += batch_rows) {
+    size_t end = begin + batch_rows < split.tail.size()
+                     ? begin + batch_rows
+                     : split.tail.size();
+    std::vector<std::vector<std::string>> batch(
+        split.tail.begin() + static_cast<std::ptrdiff_t>(begin),
+        split.tail.begin() + static_cast<std::ptrdiff_t>(end));
+    auto updated = stream.AppendRows(batch);
+    EXPECT_TRUE(updated.ok()) << updated.status();
+    if (!updated.ok()) break;
+    report = updated.value();
+  }
+  StreamOutcome out;
+  out.artifacts = Capture(session.value(), report);
+  out.stats = stream.stats();
+  return out;
+}
+
+// --- Exact-mode differential -------------------------------------------------
+
+TEST(Stream, ExactModeIsBitIdenticalAcrossBatchSizes) {
+  SplitData split = MakeSplit(168, 120, 4101);
+  HoloCleanConfig config = FastConfig();
+  Artifacts scratch = RunScratch(config, split);
+  ASSERT_FALSE(scratch.repairs.empty());
+
+  StreamOptions exact;
+  exact.mode = StreamMode::kExact;
+  for (size_t batch_rows : {size_t{1}, size_t{16}, size_t{64}}) {
+    SCOPED_TRACE("batch_rows=" + std::to_string(batch_rows));
+    StreamOutcome streamed = RunStreamed(config, split, batch_rows, exact);
+    ExpectViolationsEqual(scratch.violations, streamed.artifacts.violations);
+    EXPECT_EQ(scratch.domains, streamed.artifacts.domains);
+    ExpectRepairsBitIdentical(scratch.repairs, streamed.artifacts.repairs);
+    EXPECT_EQ(streamed.stats.appended_rows, split.tail.size());
+    // Exact mode recompiles per batch but never counts compactions.
+    EXPECT_EQ(streamed.stats.compactions, 0u);
+    EXPECT_EQ(streamed.stats.appended_since_resync, 0u);
+  }
+}
+
+TEST(Stream, ExactModeIsBitIdenticalAcrossThreadCountsAndSeeds) {
+  for (uint64_t seed : {uint64_t{42}, uint64_t{7}}) {
+    SplitData split = MakeSplit(160, 128, 5200 + seed);
+    for (size_t threads : {size_t{0}, size_t{2}}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      HoloCleanConfig config = FastConfig();
+      config.seed = seed;
+      config.num_threads = threads;
+      Artifacts scratch = RunScratch(config, split);
+      StreamOptions exact;
+      exact.mode = StreamMode::kExact;
+      StreamOutcome streamed = RunStreamed(config, split, 16, exact);
+      ExpectViolationsEqual(scratch.violations,
+                            streamed.artifacts.violations);
+      EXPECT_EQ(scratch.domains, streamed.artifacts.domains);
+      ExpectRepairsBitIdentical(scratch.repairs, streamed.artifacts.repairs);
+    }
+  }
+}
+
+TEST(Stream, AppendOnNeverRunSessionFallsBackToFullRun) {
+  SplitData split = MakeSplit(150, 120, 6300);
+  HoloCleanConfig config = FastConfig();
+  Artifacts scratch = RunScratch(config, split);
+
+  auto table = Table::FromCsv(split.base);
+  ASSERT_TRUE(table.ok());
+  Dataset dataset(std::move(table).value());
+  auto session = OpenSessionOver(config, &dataset, split.dcs);
+  ASSERT_TRUE(session.ok());
+  StreamSession stream(&session.value());  // No initial run.
+  auto report = stream.AppendRows(split.tail);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(stream.stats().last_batch.full_run);
+  Artifacts streamed = Capture(session.value(), report.value());
+  ExpectViolationsEqual(scratch.violations, streamed.violations);
+  EXPECT_EQ(scratch.domains, streamed.domains);
+  ExpectRepairsBitIdentical(scratch.repairs, streamed.repairs);
+}
+
+// --- Warm mode ---------------------------------------------------------------
+
+TEST(Stream, WarmModeViolationsExactAndQualityBounded) {
+  SplitData split = MakeSplit(180, 132, 7400);
+  HoloCleanConfig config = FastConfig();
+  Artifacts scratch = RunScratch(config, split);
+
+  // Threshold high enough that no batch triggers a resync: the model is
+  // maintained purely incrementally across the whole tail.
+  StreamOptions warm;
+  warm.mode = StreamMode::kWarm;
+  warm.compact_threshold = 10.0;
+
+  auto table = Table::FromCsv(split.base);
+  ASSERT_TRUE(table.ok());
+  Dataset dataset(std::move(table).value());
+  // Aligned ground truth so quality is scorable after the appends.
+  {
+    Table clean(dataset.dirty().schema(), dataset.dirty().dict_ptr());
+    for (const auto& row : split.clean_base.rows) clean.AppendRow(row);
+    dataset.set_clean(std::move(clean));
+  }
+  auto session = OpenSessionOver(config, &dataset, split.dcs);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().RunThrough(StageId::kRepair).ok());
+
+  StreamSession stream(&session.value(), warm);
+  Report report;
+  const size_t batch_rows = 16;
+  for (size_t begin = 0; begin < split.tail.size(); begin += batch_rows) {
+    size_t end = begin + batch_rows < split.tail.size()
+                     ? begin + batch_rows
+                     : split.tail.size();
+    std::vector<std::vector<std::string>> batch(
+        split.tail.begin() + static_cast<std::ptrdiff_t>(begin),
+        split.tail.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<std::vector<std::string>> clean_batch(
+        split.clean_tail.begin() + static_cast<std::ptrdiff_t>(begin),
+        split.clean_tail.begin() + static_cast<std::ptrdiff_t>(end));
+    auto updated = stream.AppendRows(batch, &clean_batch);
+    ASSERT_TRUE(updated.ok()) << updated.status();
+    EXPECT_FALSE(stream.stats().last_batch.resync);
+    report = updated.value();
+  }
+  EXPECT_EQ(stream.stats().compactions, 0u);
+  EXPECT_EQ(stream.stats().appended_since_resync, split.tail.size());
+
+  // Detection is exact in every mode: violations match scratch bit for
+  // bit even though the model was maintained incrementally.
+  ExpectViolationsEqual(scratch.violations,
+                        session.value().context().violations);
+
+  // Repairs may diverge (warm-started weights), but quality must stay in
+  // a bounded window of the from-scratch run.
+  EvalResult warm_eval = EvaluateRepairs(dataset, report.repairs);
+  auto scratch_table = Table::FromCsv(split.full);
+  ASSERT_TRUE(scratch_table.ok());
+  Dataset scratch_dataset(std::move(scratch_table).value());
+  {
+    Table clean(scratch_dataset.dirty().schema(),
+                scratch_dataset.dirty().dict_ptr());
+    for (const auto& row : split.clean_base.rows) clean.AppendRow(row);
+    for (const auto& row : split.clean_tail) clean.AppendRow(row);
+    scratch_dataset.set_clean(std::move(clean));
+  }
+  EvalResult scratch_eval =
+      EvaluateRepairs(scratch_dataset, scratch.repairs);
+  EXPECT_GE(warm_eval.f1, scratch_eval.f1 - 0.15)
+      << "warm f1 " << warm_eval.f1 << " vs scratch f1 " << scratch_eval.f1;
+
+  // An explicit resync compacts the appended arenas and restores
+  // bit-identity with a from-scratch clean. The reference dataset must
+  // replay the streamed dataset's exact interning order (base dirty,
+  // base clean, then per batch the dirty rows followed by their clean
+  // mirrors) so ValueIds line up — with a ground-truth table in play,
+  // "the final table" includes the clean rows' dictionary entries.
+  auto resynced = stream.Resync();
+  ASSERT_TRUE(resynced.ok()) << resynced.status();
+  EXPECT_EQ(stream.stats().compactions, 1u);
+  EXPECT_EQ(stream.stats().appended_since_resync, 0u);
+  Artifacts after = Capture(session.value(), resynced.value());
+
+  auto replay_table = Table::FromCsv(split.base);
+  ASSERT_TRUE(replay_table.ok());
+  Dataset replay(std::move(replay_table).value());
+  {
+    Table clean(replay.dirty().schema(), replay.dirty().dict_ptr());
+    for (const auto& row : split.clean_base.rows) clean.AppendRow(row);
+    replay.set_clean(std::move(clean));
+  }
+  for (size_t begin = 0; begin < split.tail.size(); begin += batch_rows) {
+    size_t end = begin + batch_rows < split.tail.size()
+                     ? begin + batch_rows
+                     : split.tail.size();
+    for (size_t i = begin; i < end; ++i) {
+      replay.dirty().AppendRow(split.tail[i]);
+    }
+    for (size_t i = begin; i < end; ++i) {
+      replay.clean().AppendRow(split.clean_tail[i]);
+    }
+  }
+  auto replay_session = OpenSessionOver(config, &replay, split.dcs);
+  ASSERT_TRUE(replay_session.ok());
+  auto replay_report = replay_session.value().RunThrough(StageId::kRepair);
+  ASSERT_TRUE(replay_report.ok());
+  Artifacts reference =
+      Capture(replay_session.value(), replay_report.value());
+  ExpectViolationsEqual(reference.violations, after.violations);
+  EXPECT_EQ(reference.domains, after.domains);
+  ExpectRepairsBitIdentical(reference.repairs, after.repairs);
+}
+
+TEST(Stream, WarmModeStalenessThresholdTriggersCompaction) {
+  SplitData split = MakeSplit(160, 100, 8500);
+  HoloCleanConfig config = FastConfig();
+  StreamOptions warm;
+  warm.mode = StreamMode::kWarm;
+  warm.compact_threshold = 0.25;  // 25 rows over a 100-row base.
+  StreamOutcome streamed = RunStreamed(config, split, 20, warm);
+  EXPECT_GE(streamed.stats.compactions, 1u);
+  // After compaction the streamed state equals the from-scratch clean if
+  // the last batch resynced; either way violations stay exact.
+  Artifacts scratch = RunScratch(config, split);
+  ExpectViolationsEqual(scratch.violations, streamed.artifacts.violations);
+}
+
+// --- Restore interplay -------------------------------------------------------
+
+TEST(Stream, AppendAfterSnapshotRestoreMatchesScratch) {
+  SplitData split = MakeSplit(150, 120, 9600);
+  HoloCleanConfig config = FastConfig();
+  Artifacts scratch = RunScratch(config, split);
+
+  std::string snapshot =
+      ::testing::TempDir() + "stream_restore_snapshot.hcsnap";
+  auto table = Table::FromCsv(split.base);
+  ASSERT_TRUE(table.ok());
+  Dataset dataset(std::move(table).value());
+  {
+    auto session = OpenSessionOver(config, &dataset, split.dcs);
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value().RunThrough(StageId::kRepair).ok());
+    ASSERT_TRUE(session.value().Save(snapshot, {}).ok());
+  }
+  auto restored = RestoreSessionOver(config, snapshot, &dataset, split.dcs);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  StreamOptions exact;
+  exact.mode = StreamMode::kExact;
+  StreamSession stream(&restored.value(), exact);
+  auto report = stream.AppendRows(split.tail);
+  ASSERT_TRUE(report.ok()) << report.status();
+  Artifacts streamed = Capture(restored.value(), report.value());
+  ExpectViolationsEqual(scratch.violations, streamed.violations);
+  EXPECT_EQ(scratch.domains, streamed.domains);
+  ExpectRepairsBitIdentical(scratch.repairs, streamed.repairs);
+  std::remove(snapshot.c_str());
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+struct FailpointCase {
+  const char* profile;
+  bool rows_rolled_back;
+};
+
+TEST(Stream, InjectedFaultsRollBackAndStayRecoverable) {
+  SplitData split = MakeSplit(140, 120, 1700);
+  HoloCleanConfig config = FastConfig();
+  Artifacts scratch = RunScratch(config, split);
+
+  for (FailpointCase fc : std::vector<FailpointCase>{
+           {"stream.append.intern=always/error", true},
+           {"stream.append.detect=always/error", true},
+           {"stream.append.commit=always/error", true}}) {
+    SCOPED_TRACE(fc.profile);
+    auto table = Table::FromCsv(split.base);
+    ASSERT_TRUE(table.ok());
+    Dataset dataset(std::move(table).value());
+    auto session = OpenSessionOver(config, &dataset, split.dcs);
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value().RunThrough(StageId::kRepair).ok());
+    const size_t base_rows = dataset.dirty().num_rows();
+    const size_t base_violations = session.value().context().violations.size();
+
+    StreamOptions exact;
+    exact.mode = StreamMode::kExact;
+    StreamSession stream(&session.value(), exact);
+    {
+      ScopedFailpoints armed(fc.profile);
+      auto failed = stream.AppendRows(split.tail);
+      EXPECT_FALSE(failed.ok());
+    }
+    // The fault left no trace: table and detect artifacts are pre-batch.
+    EXPECT_EQ(dataset.dirty().num_rows(), base_rows);
+    EXPECT_EQ(session.value().context().violations.size(), base_violations);
+    EXPECT_EQ(stream.stats().appended_rows, 0u);
+
+    // The session is cleanly recoverable: the same append now succeeds
+    // and the result matches the from-scratch clean exactly.
+    auto report = stream.AppendRows(split.tail);
+    ASSERT_TRUE(report.ok()) << report.status();
+    Artifacts streamed = Capture(session.value(), report.value());
+    ExpectViolationsEqual(scratch.violations, streamed.violations);
+    ExpectRepairsBitIdentical(scratch.repairs, streamed.repairs);
+  }
+}
+
+TEST(Stream, WarmIncrementalFaultDegradesToResyncNotCorruption) {
+  SplitData split = MakeSplit(140, 120, 2800);
+  HoloCleanConfig config = FastConfig();
+  Artifacts scratch = RunScratch(config, split);
+
+  auto table = Table::FromCsv(split.base);
+  ASSERT_TRUE(table.ok());
+  Dataset dataset(std::move(table).value());
+  auto session = OpenSessionOver(config, &dataset, split.dcs);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().RunThrough(StageId::kRepair).ok());
+
+  StreamOptions warm;
+  warm.mode = StreamMode::kWarm;
+  warm.compact_threshold = 10.0;
+  StreamSession stream(&session.value(), warm);
+  ScopedFailpoints armed("stream.append.ground=always/error");
+  auto report = stream.AppendRows(split.tail);
+  // The incremental step failed, but the batch itself succeeds by
+  // degrading to a full re-compile — which also restores bit-identity.
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(stream.stats().last_batch.resync);
+  EXPECT_EQ(stream.stats().compactions, 1u);
+  Artifacts streamed = Capture(session.value(), report.value());
+  ExpectViolationsEqual(scratch.violations, streamed.violations);
+  EXPECT_EQ(scratch.domains, streamed.domains);
+  ExpectRepairsBitIdentical(scratch.repairs, streamed.repairs);
+}
+
+// --- Wire surface ------------------------------------------------------------
+
+TEST(Stream, AppendRowsOverWireMatchesBatchBaseline) {
+  SplitData split = MakeSplit(150, 120, 3900);
+
+  serve::ServerOptions options;
+  options.default_config = FastConfig();
+  options.engine_threads = 2;
+  serve::CleaningServer server(std::move(options));
+
+  auto frame = [&](serve::Request req) { return server.Handle(req.ToJson()); };
+
+  // Register the base table for the streaming tenant and the full table
+  // as the batch baseline, then warm the streaming slot with a clean.
+  serve::Request reg;
+  reg.op = serve::Op::kRegisterDataset;
+  reg.tenant = "stream";
+  reg.dataset = "hospital";
+  reg.csv_text = WriteCsv(split.base);
+  reg.dc_text = split.dc_text;
+  ASSERT_TRUE(frame(reg).GetBool("ok"));
+  reg.tenant = "batch";
+  reg.csv_text = WriteCsv(split.full);
+  ASSERT_TRUE(frame(reg).GetBool("ok"));
+
+  serve::Request clean;
+  clean.op = serve::Op::kClean;
+  clean.tenant = "stream";
+  clean.dataset = "hospital";
+  JsonValue warm_clean = frame(clean);
+  ASSERT_TRUE(warm_clean.GetBool("ok")) << warm_clean.Dump();
+
+  // Append the tail through the wire op on the warm session.
+  serve::Request append;
+  append.op = serve::Op::kAppendRows;
+  append.tenant = "stream";
+  append.dataset = "hospital";
+  append.rows = split.tail;
+  JsonValue appended = frame(append);
+  ASSERT_TRUE(appended.GetBool("ok")) << appended.Dump();
+  EXPECT_EQ(appended.GetInt("appended"),
+            static_cast<int64_t>(split.tail.size()));
+  EXPECT_EQ(appended.GetInt("rows"),
+            static_cast<int64_t>(split.full.rows.size()));
+
+  // The serve tier streams in exact mode: its repairs are bit-identical
+  // to a batch clean of the full table.
+  clean.tenant = "batch";
+  JsonValue baseline = frame(clean);
+  ASSERT_TRUE(baseline.GetBool("ok")) << baseline.Dump();
+  const JsonValue* append_report = appended.Find("report");
+  const JsonValue* baseline_report = baseline.Find("report");
+  ASSERT_NE(append_report, nullptr);
+  ASSERT_NE(baseline_report, nullptr);
+  const JsonValue* append_repairs = append_report->Find("repairs");
+  const JsonValue* baseline_repairs = baseline_report->Find("repairs");
+  ASSERT_NE(append_repairs, nullptr);
+  ASSERT_NE(baseline_repairs, nullptr);
+  EXPECT_EQ(append_repairs->Dump(), baseline_repairs->Dump());
+
+  // explain_status surfaces the per-session stream counters.
+  serve::Request status;
+  status.op = serve::Op::kExplainStatus;
+  status.tenant = "stream";
+  status.dataset = "hospital";
+  JsonValue st = frame(status);
+  ASSERT_TRUE(st.GetBool("ok")) << st.Dump();
+  const JsonValue* stream_obj = st.Find("stream");
+  ASSERT_NE(stream_obj, nullptr);
+  EXPECT_EQ(stream_obj->GetInt("appended_rows"),
+            static_cast<int64_t>(split.tail.size()));
+  EXPECT_GE(stream_obj->GetInt("batches"), 1);
+
+  serve::Request bad;
+  bad.op = serve::Op::kAppendRows;
+  bad.tenant = "stream";
+  bad.dataset = "hospital";
+  JsonValue rejected = frame(bad);  // Empty rows are an error.
+  EXPECT_FALSE(rejected.GetBool("ok"));
+}
+
+// --- Append primitives -------------------------------------------------------
+
+TEST(Stream, TableTruncateRestoresExactPreAppendState) {
+  SplitData split = MakeSplit(130, 100, 1234);
+  auto table = Table::FromCsv(split.base);
+  ASSERT_TRUE(table.ok());
+  Table original = table.value().Clone();
+  Table& t = table.value();
+  for (const auto& row : split.tail) t.AppendRow(row);
+  ASSERT_EQ(t.num_rows(), split.full.rows.size());
+  t.Truncate(original.num_rows());
+  ASSERT_EQ(t.num_rows(), original.num_rows());
+  for (size_t tid = 0; tid < t.num_rows(); ++tid) {
+    for (AttrId a = 0; a < static_cast<AttrId>(t.schema().num_attrs()); ++a) {
+      CellRef cell{static_cast<TupleId>(tid), a};
+      EXPECT_EQ(t.Get(cell), original.Get(cell));
+    }
+  }
+  // The serialized form round-trips too (codes, counts, and the decoded
+  // mirror all rolled back together).
+  EXPECT_EQ(WriteCsv(t.ToCsv()), WriteCsv(original.ToCsv()));
+}
+
+TEST(Stream, CooccurrenceAppendMatchesFullRebuild) {
+  SplitData split = MakeSplit(140, 100, 4321);
+  auto table = Table::FromCsv(split.base);
+  ASSERT_TRUE(table.ok());
+  Table& t = table.value();
+  std::vector<AttrId> attrs;
+  for (AttrId a = 0; a < static_cast<AttrId>(t.schema().num_attrs()); ++a) {
+    attrs.push_back(a);
+  }
+  CooccurrenceStats incremental = CooccurrenceStats::BuildColumnar(t, attrs);
+  const size_t base_rows = t.num_rows();
+  for (const auto& row : split.tail) t.AppendRow(row);
+  incremental.AppendRows(t, attrs, base_rows);
+  CooccurrenceStats full = CooccurrenceStats::BuildColumnar(t, attrs);
+
+  EXPECT_EQ(incremental.num_pair_entries(), full.num_pair_entries());
+  for (AttrId a : attrs) {
+    EXPECT_EQ(incremental.Domain(a), full.Domain(a)) << "attr " << a;
+    for (ValueId v : full.Domain(a)) {
+      EXPECT_EQ(incremental.Count(a, v), full.Count(a, v));
+    }
+  }
+  for (AttrId a : attrs) {
+    for (AttrId a_ctx : attrs) {
+      if (a == a_ctx) continue;
+      for (ValueId v_ctx : full.Domain(a_ctx)) {
+        EXPECT_EQ(incremental.CooccurringValues(a, a_ctx, v_ctx),
+                  full.CooccurringValues(a, a_ctx, v_ctx))
+            << "a=" << a << " ctx=" << a_ctx << " v=" << v_ctx;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace holoclean

@@ -13,6 +13,10 @@
 //             [--stages detect,compile] [--rerun-from infer]
 //             [--compiled-kernel on|off] [--dc-table-cap 4096]
 //   holoclean --batch manifest.txt [--threads 0] [shared config flags]
+//   holoclean --data growing.csv --constraints dcs.txt --follow
+//             [--follow-batch-rows 64] [--follow-poll-ms 500]
+//             [--follow-max-batches N] [--follow-idle-polls N]
+//             [--follow-mode warm|exact]
 //
 // Constraint file: one denial constraint per line, e.g.
 //   t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
@@ -23,11 +27,13 @@
 // ('#' starts a comment). All jobs run concurrently through one Engine
 // over a shared worker pool, each with the CLI's configuration.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "holoclean/constraints/parser.h"
@@ -36,6 +42,7 @@
 #include "holoclean/discovery/fd_discovery.h"
 #include "holoclean/io/report_json.h"
 #include "holoclean/extdata/md_parser.h"
+#include "holoclean/stream/stream_session.h"
 #include "holoclean/util/csv.h"
 #include "holoclean/util/timer.h"
 
@@ -78,6 +85,16 @@ struct CliOptions {
   /// True when --stages, --rerun-from, or the session-snapshot flags drive
   /// the staged session path.
   bool use_session = false;
+  /// Streaming ingestion (--follow): after the initial clean, keep polling
+  /// --data for appended rows and incrementally re-clean each batch.
+  bool follow = false;
+  size_t follow_batch_rows = 64;
+  int follow_poll_ms = 500;
+  /// Stop conditions so scripted runs terminate: after this many batches
+  /// (0 = unlimited) or this many consecutive empty polls (0 = forever).
+  int follow_max_batches = 0;
+  int follow_idle_polls = 0;
+  StreamMode follow_mode = StreamMode::kWarm;
   HoloCleanConfig config;
   bool show_help = false;
 };
@@ -147,7 +164,18 @@ void PrintUsage() {
       "                        interpreter — results are bit-identical\n"
       "  --dc-table-cap N      max precomputed violation-table entries per\n"
       "                        DC factor; larger factors fall back to the\n"
-      "                        evaluator (default 4096)\n");
+      "                        evaluator (default 4096)\n"
+      "  --follow              after the initial clean, keep polling --data\n"
+      "                        for appended rows and incrementally re-clean\n"
+      "                        each batch (streaming ingestion)\n"
+      "  --follow-batch-rows N max rows ingested per batch (default 64)\n"
+      "  --follow-poll-ms N    poll interval in milliseconds (default 500)\n"
+      "  --follow-max-batches N  stop after N batches (0 = unlimited)\n"
+      "  --follow-idle-polls N stop after N consecutive empty polls\n"
+      "                        (0 = poll forever)\n"
+      "  --follow-mode M       warm (default) maintains the model\n"
+      "                        incrementally; exact re-compiles per batch\n"
+      "                        for bit-identical-to-scratch repairs\n");
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -175,6 +203,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     }
     if (arg == "--mmap-restore") {
       options.load_options.lazy_graph = true;
+      continue;
+    }
+    if (arg == "--follow") {
+      options.follow = true;
       continue;
     }
     HOLO_ASSIGN_OR_RETURN(value, need_value(i));
@@ -241,6 +273,26 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--dc-table-cap") {
       options.config.dc_table_cap = std::stoul(value);
+    } else if (arg == "--follow-batch-rows") {
+      options.follow_batch_rows = std::stoul(value);
+      if (options.follow_batch_rows == 0) {
+        return Status::InvalidArgument("--follow-batch-rows must be >= 1");
+      }
+    } else if (arg == "--follow-poll-ms") {
+      options.follow_poll_ms = std::atoi(value.c_str());
+    } else if (arg == "--follow-max-batches") {
+      options.follow_max_batches = std::atoi(value.c_str());
+    } else if (arg == "--follow-idle-polls") {
+      options.follow_idle_polls = std::atoi(value.c_str());
+    } else if (arg == "--follow-mode") {
+      if (value == "warm") {
+        options.follow_mode = StreamMode::kWarm;
+      } else if (value == "exact") {
+        options.follow_mode = StreamMode::kExact;
+      } else {
+        return Status::InvalidArgument("unknown --follow-mode: " + value +
+                                       " (expected warm|exact)");
+      }
     } else if (arg == "--mode") {
       if (value == "feats") {
         options.config.dc_mode = DcMode::kFeatures;
@@ -253,6 +305,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       }
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (options.follow) {
+    // --follow drives its own session loop; the staged-session demo flags
+    // and batch mode would fight it over who owns the pipeline.
+    if (!options.batch_path.empty() || options.use_session) {
+      return Status::InvalidArgument(
+          "--follow is incompatible with --batch, --stages, --rerun-from, "
+          "and the session-snapshot flags");
     }
   }
   if (!options.batch_path.empty()) {
@@ -520,8 +581,199 @@ Status RunBatchCli(const CliOptions& options) {
   return Status::OK();
 }
 
+/// Shared tail of the single-run and --follow paths: confidence filter,
+/// summary lines, optional ground-truth scoring, and the output files.
+Status FinishRun(const CliOptions& options, const Dataset& dataset,
+                 const Report& report) {
+  std::vector<Repair> applied;
+  for (const Repair& r : report.repairs) {
+    if (r.probability >= options.min_confidence) applied.push_back(r);
+  }
+  std::printf("%zu noisy cells, %zu repairs proposed, %zu above confidence "
+              "%.2f\n",
+              report.stats.num_noisy_cells, report.repairs.size(),
+              applied.size(), options.min_confidence);
+  std::printf("timing: detect %.2fs, compile %.2fs, learn %.2fs, infer "
+              "%.2fs\n",
+              report.stats.detect_seconds, report.stats.compile_seconds,
+              report.stats.learn_seconds, report.stats.infer_seconds);
+
+  if (dataset.has_clean()) {
+    EvalResult eval = EvaluateRepairs(dataset, applied);
+    std::printf("vs ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
+                eval.precision, eval.recall, eval.f1);
+  }
+
+  const Table& dirty = dataset.dirty();
+  if (!options.repairs_path.empty()) {
+    CsvDocument out;
+    out.header = {"tuple", "attribute", "old_value", "new_value",
+                  "probability"};
+    for (const Repair& r : applied) {
+      out.rows.push_back({std::to_string(r.cell.tid),
+                          dirty.schema().name(r.cell.attr),
+                          dirty.dict().GetString(r.old_value),
+                          dirty.dict().GetString(r.new_value),
+                          std::to_string(r.probability)});
+    }
+    HOLO_RETURN_NOT_OK(WriteCsvFile(options.repairs_path, out));
+    std::printf("wrote repair report to %s\n", options.repairs_path.c_str());
+  }
+  if (!options.report_json_path.empty()) {
+    HOLO_RETURN_NOT_OK(WriteFileText(options.report_json_path,
+                                     ReportJsonString(report, dirty) + "\n"));
+    std::printf("wrote JSON report to %s\n",
+                options.report_json_path.c_str());
+  }
+  if (!options.output_path.empty()) {
+    Table repaired = dirty.Clone();
+    for (const Repair& r : applied) repaired.Set(r.cell, r.new_value);
+    HOLO_RETURN_NOT_OK(
+        WriteCsvFile(options.output_path, repaired.ToCsv()));
+    std::printf("wrote repaired table to %s\n", options.output_path.c_str());
+  }
+  return Status::OK();
+}
+
+/// --follow: streaming ingestion. Cleans --data once, then keeps polling
+/// it for appended rows; each poll's delta is ingested in batches of at
+/// most --follow-batch-rows through StreamSession::AppendRows (delta
+/// detection + incremental re-clean). The whole CSV is re-read and
+/// re-parsed on every poll — robust to quoted newlines, which byte-offset
+/// tailing would split mid-record — and rows beyond the already-ingested
+/// count form the delta. Stops after --follow-max-batches batches or
+/// --follow-idle-polls consecutive empty polls; the output files are
+/// written from the final report.
+Status RunFollowCli(const CliOptions& options) {
+  HOLO_ASSIGN_OR_RETURN(doc, ReadCsvFile(options.data_path));
+  size_t ingested_rows = doc.rows.size();
+  HOLO_ASSIGN_OR_RETURN(table, Table::FromCsv(doc));
+  Dataset dataset(std::move(table));
+  std::printf("loaded %zu rows x %zu attributes from %s\n",
+              dataset.dirty().num_rows(),
+              dataset.dirty().schema().num_attrs(),
+              options.data_path.c_str());
+
+  std::vector<DenialConstraint> dcs;
+  if (!options.constraints_path.empty()) {
+    HOLO_ASSIGN_OR_RETURN(dc_text, ReadFileText(options.constraints_path));
+    HOLO_ASSIGN_OR_RETURN(
+        parsed, ParseDenialConstraints(dc_text, dataset.dirty().schema()));
+    dcs = std::move(parsed);
+    std::printf("parsed %zu denial constraints\n", dcs.size());
+  }
+  if (options.discover) {
+    FdDiscoveryOptions discover_options;
+    discover_options.max_error = options.discover_max_error;
+    auto fds = DiscoverFds(dataset.dirty(), discover_options);
+    auto discovered = ToDenialConstraints(dataset.dirty(), fds);
+    std::printf("discovered %zu approximate FDs\n", fds.size());
+    dcs.insert(dcs.end(), discovered.begin(), discovered.end());
+  }
+  if (dcs.empty()) {
+    return Status::InvalidArgument("no constraints given or discovered");
+  }
+
+  ExtDictCollection dicts;
+  std::vector<MatchingDependency> mds;
+  if (!options.dict_path.empty()) {
+    HOLO_ASSIGN_OR_RETURN(dict_doc, ReadCsvFile(options.dict_path));
+    HOLO_ASSIGN_OR_RETURN(dict_table, Table::FromCsv(dict_doc));
+    dicts.Add(options.dict_path, std::move(dict_table));
+    if (options.mds_path.empty()) {
+      return Status::InvalidArgument("--dict requires --mds");
+    }
+    HOLO_ASSIGN_OR_RETURN(md_text, ReadFileText(options.mds_path));
+    HOLO_ASSIGN_OR_RETURN(parsed_mds, ParseMatchingDependencies(md_text));
+    mds = std::move(parsed_mds);
+  }
+  if (!options.ground_truth_path.empty()) {
+    HOLO_ASSIGN_OR_RETURN(clean_doc,
+                          ReadCsvFile(options.ground_truth_path));
+    Table clean(dataset.dirty().schema(), dataset.dirty().dict_ptr());
+    for (const auto& row : clean_doc.rows) clean.AppendRow(row);
+    dataset.set_clean(std::move(clean));
+  }
+
+  const ExtDictCollection* dicts_arg = dicts.empty() ? nullptr : &dicts;
+  const std::vector<MatchingDependency>* mds_arg =
+      mds.empty() ? nullptr : &mds;
+  CleaningInputs inputs =
+      CleaningInputs::Borrowed(&dataset, &dcs, dicts_arg, mds_arg);
+  SessionOptions session_options;
+  session_options.config = options.config;
+  Result<Session> opened = OpenStandaloneSession(inputs, session_options);
+  if (!opened.ok()) return opened.status();
+  Session session = std::move(opened).value();
+
+  HOLO_ASSIGN_OR_RETURN(initial, session.RunThrough(StageId::kRepair));
+  Report report = std::move(initial);
+  std::printf("initial clean: %zu noisy cells, %zu repairs\n",
+              report.stats.num_noisy_cells, report.repairs.size());
+  PrintStageTimings(report.stats);
+
+  StreamOptions stream_options;
+  stream_options.mode = options.follow_mode;
+  StreamSession stream(&session, stream_options);
+
+  int batches = 0;
+  int idle_polls = 0;
+  bool stop = false;
+  while (!stop) {
+    if (options.follow_max_batches > 0 &&
+        batches >= options.follow_max_batches) {
+      break;
+    }
+    HOLO_ASSIGN_OR_RETURN(snapshot, ReadCsvFile(options.data_path));
+    if (snapshot.rows.size() <= ingested_rows) {
+      ++idle_polls;
+      if (options.follow_idle_polls > 0 &&
+          idle_polls >= options.follow_idle_polls) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.follow_poll_ms > 0
+                                        ? options.follow_poll_ms
+                                        : 0));
+      continue;
+    }
+    idle_polls = 0;
+    while (ingested_rows < snapshot.rows.size()) {
+      if (options.follow_max_batches > 0 &&
+          batches >= options.follow_max_batches) {
+        stop = true;
+        break;
+      }
+      size_t take = snapshot.rows.size() - ingested_rows;
+      if (take > options.follow_batch_rows) take = options.follow_batch_rows;
+      std::vector<std::vector<std::string>> chunk(
+          snapshot.rows.begin() + static_cast<std::ptrdiff_t>(ingested_rows),
+          snapshot.rows.begin() +
+              static_cast<std::ptrdiff_t>(ingested_rows + take));
+      HOLO_ASSIGN_OR_RETURN(updated, stream.AppendRows(chunk));
+      report = std::move(updated);
+      ingested_rows += take;
+      ++batches;
+      const StreamBatchStats& b = stream.stats().last_batch;
+      std::printf(
+          "batch %d: +%zu rows  %zu new violations  %zu repairs  %.3fs%s%s  "
+          "(%.0f tuples/sec)\n",
+          batches, b.rows, b.new_violations, report.repairs.size(),
+          b.total_seconds, b.resync ? "  [resync]" : "",
+          b.full_run ? "  [full run]" : "", stream.stats().tuples_per_sec);
+    }
+  }
+  std::printf(
+      "follow done: %zu rows in %zu batches (%zu compactions), %.2fs "
+      "streaming\n",
+      stream.stats().appended_rows, stream.stats().batches,
+      stream.stats().compactions, stream.stats().total_seconds);
+  return FinishRun(options, dataset, report);
+}
+
 Status RunCli(const CliOptions& options) {
   if (!options.batch_path.empty()) return RunBatchCli(options);
+  if (options.follow) return RunFollowCli(options);
   // Load the dirty table.
   HOLO_ASSIGN_OR_RETURN(doc, ReadCsvFile(options.data_path));
   HOLO_ASSIGN_OR_RETURN(table, Table::FromCsv(doc));
@@ -635,55 +887,7 @@ Status RunCli(const CliOptions& options) {
     }
   }
 
-  std::vector<Repair> applied;
-  for (const Repair& r : report.repairs) {
-    if (r.probability >= options.min_confidence) applied.push_back(r);
-  }
-  std::printf("%zu noisy cells, %zu repairs proposed, %zu above confidence "
-              "%.2f\n",
-              report.stats.num_noisy_cells, report.repairs.size(),
-              applied.size(), options.min_confidence);
-  std::printf("timing: detect %.2fs, compile %.2fs, learn %.2fs, infer "
-              "%.2fs\n",
-              report.stats.detect_seconds, report.stats.compile_seconds,
-              report.stats.learn_seconds, report.stats.infer_seconds);
-
-  if (dataset.has_clean()) {
-    EvalResult eval = EvaluateRepairs(dataset, applied);
-    std::printf("vs ground truth: precision %.3f, recall %.3f, F1 %.3f\n",
-                eval.precision, eval.recall, eval.f1);
-  }
-
-  // Write outputs.
-  const Table& dirty = dataset.dirty();
-  if (!options.repairs_path.empty()) {
-    CsvDocument out;
-    out.header = {"tuple", "attribute", "old_value", "new_value",
-                  "probability"};
-    for (const Repair& r : applied) {
-      out.rows.push_back({std::to_string(r.cell.tid),
-                          dirty.schema().name(r.cell.attr),
-                          dirty.dict().GetString(r.old_value),
-                          dirty.dict().GetString(r.new_value),
-                          std::to_string(r.probability)});
-    }
-    HOLO_RETURN_NOT_OK(WriteCsvFile(options.repairs_path, out));
-    std::printf("wrote repair report to %s\n", options.repairs_path.c_str());
-  }
-  if (!options.report_json_path.empty()) {
-    HOLO_RETURN_NOT_OK(WriteFileText(options.report_json_path,
-                                     ReportJsonString(report, dirty) + "\n"));
-    std::printf("wrote JSON report to %s\n",
-                options.report_json_path.c_str());
-  }
-  if (!options.output_path.empty()) {
-    Table repaired = dirty.Clone();
-    for (const Repair& r : applied) repaired.Set(r.cell, r.new_value);
-    HOLO_RETURN_NOT_OK(
-        WriteCsvFile(options.output_path, repaired.ToCsv()));
-    std::printf("wrote repaired table to %s\n", options.output_path.c_str());
-  }
-  return Status::OK();
+  return FinishRun(options, dataset, report);
 }
 
 }  // namespace

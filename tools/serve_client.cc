@@ -11,11 +11,14 @@
 //   holoclean_serve_client --port N clean    <tenant> <dataset> [k=v ...]
 //   holoclean_serve_client --port N feedback <tenant> <dataset> <tid> <attr>
 //                                            <value>
+//   holoclean_serve_client --port N append   <tenant> <dataset> <csv>
 //   holoclean_serve_client --port N status   [tenant dataset]
 //
 // `clean` accepts config overrides as key=value pairs (tau=0.7
 // epochs=10 compiled_kernel=false ...). `status` with no arguments asks
-// for the global server view (queue depth, error counters).
+// for the global server view (queue depth, error counters). `append`
+// streams the data rows of a headered CSV file into the tenant's working
+// copy (append_rows op) and prints the incremental re-clean's report.
 //
 // Shared flags (before the op):
 //   --deadline-ms N    request deadline forwarded to the server queue
@@ -50,6 +53,7 @@ int Usage() {
       "  list     [tenant]\n"
       "  clean    <tenant> <dataset> [key=value ...]\n"
       "  feedback <tenant> <dataset> <tid> <attr> <value>\n"
+      "  append   <tenant> <dataset> <csv-file>  (header row + new rows)\n"
       "  status   [tenant dataset]   (no args: global server counters)\n");
   return 2;
 }
@@ -156,6 +160,20 @@ int main(int argc, char** argv) {
     req.cell_tid = std::atoll(args[3].c_str());
     req.cell_attr = args[4];
     req.cell_value = args[5];
+  } else if (op == "append" && args.size() == 4) {
+    req.op = serve::Op::kAppendRows;
+    req.tenant = args[1];
+    req.dataset = args[2];
+    auto doc = holoclean::ReadCsvFile(args[3]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 2;
+    }
+    req.rows = std::move(doc).value().rows;
+    if (req.rows.empty()) {
+      std::fprintf(stderr, "append: %s has no data rows\n", args[3].c_str());
+      return 2;
+    }
   } else if (op == "status" && (args.size() == 1 || args.size() == 3)) {
     // With no target the server answers with its global counters only.
     req.op = serve::Op::kExplainStatus;
